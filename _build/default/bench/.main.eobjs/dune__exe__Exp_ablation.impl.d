@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Array Ctgate Gridsynth List Mat2 Mixing Printf Random Solovay_kitaev Synthetiq Trasyn Util

@@ -1,0 +1,1 @@
+bench/exp_circuits.ml: Circuit Cnot_resynth Float Hashtbl List Noise Option Phase_folding Pipeline Printf Settings State Suite Trasyn Util

@@ -1,0 +1,1 @@
+bench/exp_rq1.ml: Array Float Gridsynth List Mat2 Printf Random Synthetiq Trasyn Util

@@ -1,0 +1,1 @@
+bench/exp_rq5.ml: Float Gridsynth List Mat2 Printf Ptm Random Util

@@ -1,0 +1,1 @@
+bench/main.ml: Arg Ctgate Exact_u Exp_ablation Exp_circuits Exp_rq1 Exp_rq5 Gridsynth List Ma_table Mat2 Postprocess Printf Random String Suite Trasyn Unix Util

@@ -1,0 +1,1 @@
+bench/util.ml: Analyze Array Bechamel Benchmark Float Hashtbl List Measure Printf Staged Test Time Toolkit Unix

@@ -1,0 +1,110 @@
+(** Experiment harness: regenerates every table and figure of the paper
+    (see DESIGN.md's experiment index) plus design-choice ablations.
+
+    Usage:  dune exec bench/main.exe -- [--exp id1,id2] [--quick] [options]
+
+    Experiment ids: table2 fig3b fig6 fig7 (== table1, fig8) fig2 fig9
+    fig10 fig11 fig12 abl kernels all.  Scale knobs default to values
+    that finish on a laptop CPU; paper-scale settings are documented in
+    EXPERIMENTS.md. *)
+
+let exps = ref "all"
+let unitaries = ref 25
+let samples = ref 1024
+let table_t = ref 8
+let synthetiq_budget = ref 2.0
+let epsilon = ref 0.07
+let rq5_rotations = ref 100
+let trajectories = ref 50
+let bench_limit = ref max_int
+let quick = ref false
+
+let args =
+  [
+    ("--exp", Arg.Set_string exps, "comma-separated experiment ids (default: all)");
+    ("--unitaries", Arg.Set_int unitaries, "random unitaries for RQ1 (default 25; paper 1000)");
+    ("--samples", Arg.Set_int samples, "TRASYN sample count k (default 1024; paper 40000)");
+    ("--table-t", Arg.Set_int table_t, "TRASYN per-site T cap m (default 8; paper 10)");
+    ( "--synthetiq-budget",
+      Arg.Set_float synthetiq_budget,
+      "Synthetiq seconds per unitary (default 2; paper 600)" );
+    ("--epsilon", Arg.Set_float epsilon, "circuit per-rotation threshold (default 0.07)");
+    ("--rq5-rotations", Arg.Set_int rq5_rotations, "random Rz count for fig12 (default 100; paper 1000)");
+    ("--trajectories", Arg.Set_int trajectories, "noise trajectories for fig10 (default 50)");
+    ("--limit", Arg.Set_int bench_limit, "cap the number of benchmark circuits");
+    ("--quick", Arg.Set quick, "small smoke-test scale for everything");
+  ]
+
+let want id =
+  let ids = String.split_on_char ',' !exps in
+  List.mem "all" ids || List.mem id ids
+
+let kernels () =
+  Util.header "KERNEL MICROBENCHMARKS (Bechamel)";
+  let target = Mat2.random_unitary (Random.State.make [| 3 |]) in
+  let table = Ma_table.get 8 in
+  Util.bechamel_kernels ~name:"synthesis"
+    [
+      ( "trasyn-1site-k256",
+        fun () ->
+          ignore
+            (Trasyn.synthesize
+               ~config:{ Trasyn.default_config with samples = 256 }
+               ~target ~budgets:[ 8 ] ()) );
+      ("gridsynth-rz-1e-2", fun () -> ignore (Gridsynth.rz ~theta:0.61 ~epsilon:1e-2 ()));
+      ("gridsynth-rz-1e-4", fun () -> ignore (Gridsynth.rz ~theta:0.61 ~epsilon:1e-4 ()));
+      ( "postprocess-window",
+        fun () -> ignore (Postprocess.run table Ctgate.[ T; T; H; T; S; T; H; T; T; H; S; T ]) );
+      ("exact-mul", fun () -> ignore (Exact_u.mul Exact_u.gate_h Exact_u.gate_t));
+    ]
+
+let () =
+  Arg.parse args (fun a -> raise (Arg.Bad ("unexpected argument " ^ a))) "bench/main.exe options";
+  if !quick then begin
+    unitaries := 6;
+    samples := 256;
+    synthetiq_budget := 0.5;
+    rq5_rotations := 20;
+    trajectories := 20;
+    if !bench_limit = max_int then bench_limit := 24
+  end;
+  let t_start = Unix.gettimeofday () in
+  let benches =
+    let all = Suite.all () in
+    if !bench_limit >= List.length all then all
+    else begin
+      (* Deterministic stratified subsample: keep every k-th benchmark. *)
+      let n = List.length all in
+      let stride = max 1 (n / !bench_limit) in
+      List.filteri (fun i _ -> i mod stride = 0) all
+      |> List.filteri (fun i _ -> i < !bench_limit)
+    end
+  in
+  if want "table2" then Exp_circuits.table2 ();
+  if want "fig3b" then Exp_circuits.fig3b ~benches ();
+  if want "fig6" then Exp_circuits.fig6 ~benches ();
+  if want "fig7" || want "table1" || want "fig8" then
+    Exp_rq1.run ~unitaries:!unitaries ~samples:!samples ~table_t:!table_t
+      ~synthetiq_budget:!synthetiq_budget ();
+  let need_study = want "fig2" || want "fig9" || want "fig10" || want "fig11" in
+  if need_study then begin
+    let study = Exp_circuits.run_study ~benches ~epsilon:!epsilon ~samples:(min !samples 256) () in
+    if want "fig2" || want "fig9" then begin
+      Exp_circuits.fig2_fig9 study;
+      Exp_circuits.fig2_infidelity study ~max_qubits:10
+    end;
+    if want "fig10" then Exp_circuits.fig10 study ~max_qubits:8 ~trajectories:!trajectories;
+    if want "fig11" then Exp_circuits.fig11 study
+  end;
+  if want "fig12" then Exp_rq5.run ~rotations:!rq5_rotations ();
+  if want "abl" then begin
+    let n = max 4 (!unitaries / 2) in
+    Exp_ablation.postproc ~unitaries:n ();
+    Exp_ablation.sites ~unitaries:n ();
+    Exp_ablation.samples ~unitaries:n ();
+    Exp_ablation.baselines ~unitaries:n ();
+    Exp_ablation.mixing ~unitaries:n ();
+    Exp_ablation.greedy ~unitaries:n ()
+  end;
+  if want "kernels" then kernels ();
+  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)

@@ -1,0 +1,1 @@
+bin/compile_cli.ml: Arg Circuit Cmd Cmdliner Cnot_resynth Format Phase_folding Pipeline Printf Qasm Qasm_reader Settings Surface_code Term

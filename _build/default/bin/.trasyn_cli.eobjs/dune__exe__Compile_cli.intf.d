@@ -1,0 +1,1 @@
+bin/compile_cli.mli:

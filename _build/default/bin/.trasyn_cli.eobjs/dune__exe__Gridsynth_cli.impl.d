@@ -1,0 +1,1 @@
+bin/gridsynth_cli.ml: Arg Cmd Cmdliner Ctgate Gridsynth Printf Term

@@ -1,0 +1,1 @@
+bin/gridsynth_cli.mli:

@@ -1,0 +1,1 @@
+bin/trasyn_cli.ml: Arg Cmd Cmdliner Ctgate List Mat2 Option Printf Term Trasyn

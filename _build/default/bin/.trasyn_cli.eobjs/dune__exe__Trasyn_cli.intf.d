@@ -1,0 +1,1 @@
+bin/trasyn_cli.mli:

@@ -1,0 +1,61 @@
+(* Whole-circuit FT compiler: read an OpenQASM 2.0 file, transpile +
+   synthesize every rotation into Clifford+T through the chosen
+   workflow, and write the result back as QASM with a resource report.
+
+   dune exec bin/compile_cli.exe -- --input circuit.qasm --workflow trasyn \
+       --epsilon 0.05 --output out.qasm *)
+
+open Cmdliner
+
+let run input output workflow epsilon optimize estimate =
+  let circuit = Qasm_reader.of_file input in
+  Printf.printf "input    : %d qubits, %d gates, %d nontrivial rotations\n"
+    circuit.Circuit.n_qubits (Circuit.length circuit)
+    (Circuit.nontrivial_rotation_count circuit);
+  let synthesized =
+    match workflow with
+    | "trasyn" -> Pipeline.run_trasyn ~epsilon circuit
+    | "gridsynth" -> Pipeline.run_gridsynth ~epsilon circuit
+    | w ->
+        prerr_endline ("unknown workflow " ^ w ^ " (use trasyn | gridsynth)");
+        exit 2
+  in
+  let compiled =
+    if optimize then Cnot_resynth.run (Phase_folding.run synthesized.Pipeline.circuit)
+    else synthesized.Pipeline.circuit
+  in
+  Printf.printf "setting  : %s\n" (Settings.setting_to_string synthesized.Pipeline.setting);
+  Printf.printf "output   : %d gates, T=%d, Tdepth=%d, Cliffords=%d\n" (Circuit.length compiled)
+    (Circuit.t_count compiled) (Circuit.t_depth compiled) (Circuit.clifford_count compiled);
+  Printf.printf "synth err: %.4f summed over %d rotations\n"
+    synthesized.Pipeline.total_synth_error synthesized.Pipeline.rotations_synthesized;
+  if estimate then begin
+    let e = Surface_code.estimate compiled in
+    Format.printf "resources: %a@." Surface_code.pp e
+  end;
+  match output with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Qasm.to_string compiled);
+      close_out oc;
+      Printf.printf "wrote    : %s\n" path
+
+let input =
+  Arg.(required & opt (some file) None & info [ "input"; "i" ] ~doc:"input OpenQASM 2.0 file")
+
+let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"output QASM path")
+
+let workflow =
+  Arg.(value & opt string "trasyn" & info [ "workflow"; "w" ] ~doc:"trasyn | gridsynth")
+
+let epsilon = Arg.(value & opt float 0.07 & info [ "epsilon" ] ~doc:"per-rotation error threshold")
+let optimize = Arg.(value & flag & info [ "optimize" ] ~doc:"run phase folding afterwards")
+let estimate = Arg.(value & flag & info [ "estimate" ] ~doc:"print a surface-code resource estimate")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
+    Term.(const run $ input $ output $ workflow $ epsilon $ optimize $ estimate)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,22 @@
+(* Command-line GRIDSYNTH: approximate Rz(θ) over Clifford+T.
+
+   dune exec bin/gridsynth_cli.exe -- --theta 0.61 --epsilon 1e-4 *)
+
+open Cmdliner
+
+let run theta epsilon =
+  let r = Gridsynth.rz ~theta ~epsilon () in
+  Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Gridsynth.seq);
+  Printf.printf "T count  : %d\n" r.Gridsynth.t_count;
+  Printf.printf "Cliffords: %d\n" r.Gridsynth.clifford_count;
+  Printf.printf "distance : %.4e\n" r.Gridsynth.distance
+
+let theta = Arg.(required & opt (some float) None & info [ "theta" ] ~doc:"rotation angle")
+let epsilon = Arg.(value & opt float 1e-3 & info [ "epsilon" ] ~doc:"target unitary distance")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "gridsynth" ~doc:"Ross-Selinger Clifford+T approximation of z-rotations")
+    Term.(const run $ theta $ epsilon)
+
+let () = exit (Cmd.eval cmd)

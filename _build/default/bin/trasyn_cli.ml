@@ -1,0 +1,38 @@
+(* Command-line TRASYN: synthesize U3(θ,φ,λ) into a Clifford+T word.
+
+   dune exec bin/trasyn_cli.exe -- --theta 0.4 --phi 1.1 --lam -0.7 --epsilon 0.01 *)
+
+open Cmdliner
+
+let run theta phi lam epsilon budget sites samples =
+  let target = Mat2.u3 theta phi lam in
+  let budgets = List.init sites (fun _ -> budget) in
+  let config = { Trasyn.default_config with table_t = budget; samples } in
+  let r =
+    match epsilon with
+    | Some eps -> Trasyn.to_error ~config ~target ~budgets ~epsilon:eps ()
+    | None -> Trasyn.synthesize ~config ~target ~budgets ()
+  in
+  Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Trasyn.seq);
+  Printf.printf "T count  : %d\n" r.Trasyn.t_count;
+  Printf.printf "Cliffords: %d\n" r.Trasyn.clifford_count;
+  Printf.printf "distance : %.4e\n" r.Trasyn.distance;
+  if Option.is_some epsilon && r.Trasyn.distance > Option.get epsilon then begin
+    prerr_endline "warning: threshold not met; raise --sites or --budget";
+    exit 1
+  end
+
+let theta = Arg.(required & opt (some float) None & info [ "theta" ] ~doc:"U3 theta angle")
+let phi = Arg.(value & opt float 0.0 & info [ "phi" ] ~doc:"U3 phi angle")
+let lam = Arg.(value & opt float 0.0 & info [ "lam" ] ~doc:"U3 lambda angle")
+let epsilon = Arg.(value & opt (some float) None & info [ "epsilon" ] ~doc:"target unitary distance")
+let budget = Arg.(value & opt int 8 & info [ "budget" ] ~doc:"T budget per MPS site (table depth)")
+let sites = Arg.(value & opt int 3 & info [ "sites" ] ~doc:"maximum number of MPS sites")
+let samples = Arg.(value & opt int 1024 & info [ "samples" ] ~doc:"number of sampled sequences (k)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "trasyn" ~doc:"Tensor-network synthesis of single-qubit unitaries over Clifford+T")
+    Term.(const run $ theta $ phi $ lam $ epsilon $ budget $ sites $ samples)
+
+let () = exit (Cmd.eval cmd)

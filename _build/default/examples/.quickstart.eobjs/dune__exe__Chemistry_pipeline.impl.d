@@ -1,0 +1,1 @@
+examples/chemistry_pipeline.ml: Circuit Cnot_resynth Generators Phase_folding Pipeline Printf State

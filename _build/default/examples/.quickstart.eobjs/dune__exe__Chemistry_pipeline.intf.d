@@ -1,0 +1,1 @@
+examples/chemistry_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/error_budget.ml: Float Gridsynth List Mat2 Printf Ptm Random

@@ -1,0 +1,1 @@
+examples/qaoa_pipeline.ml: Circuit Generators Noise Pipeline Printf Settings State

@@ -1,0 +1,1 @@
+examples/qaoa_pipeline.mli:

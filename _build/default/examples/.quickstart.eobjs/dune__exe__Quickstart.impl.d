@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ctgate Gridsynth Mat2 Printf Trasyn

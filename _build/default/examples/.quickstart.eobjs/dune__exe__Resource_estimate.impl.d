@@ -1,0 +1,1 @@
+examples/resource_estimate.ml: Circuit Format Generators Mat2 Mixing Pipeline Printf Surface_code

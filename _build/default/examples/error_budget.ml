@@ -1,0 +1,57 @@
+(* Error-budget explorer (the RQ5 story): given an anticipated logical
+   error rate, what synthesis threshold minimizes the overall process
+   infidelity of a synthesized rotation?  Sweeps thresholds over a batch
+   of random angles and prints the tradeoff curve.
+
+   Run with:  dune exec examples/error_budget.exe *)
+
+let () =
+  let rng = Random.State.make [| 61 |] in
+  let angles = List.init 25 (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi) in
+  let thresholds = [ 0.1; 0.03; 0.01; 0.003; 0.001; 0.0003; 0.0001 ] in
+  let rates = [ 1e-4; 1e-5; 1e-6 ] in
+  Printf.printf "Mean process infidelity over %d random Rz per (threshold × logical rate)\n\n"
+    (List.length angles);
+  Printf.printf "%-10s %-8s" "threshold" "T";
+  List.iter (fun r -> Printf.printf "  rate=%-8.0e" r) rates;
+  print_newline ();
+  let rows =
+    List.map
+      (fun eps ->
+        let synths = List.map (fun theta -> (theta, Gridsynth.rz ~theta ~epsilon:eps ())) angles in
+        let mean_t =
+          List.fold_left (fun a (_, r) -> a + r.Gridsynth.t_count) 0 synths
+          / List.length synths
+        in
+        let infids =
+          List.map
+            (fun rate ->
+              let sum =
+                List.fold_left
+                  (fun a (theta, r) ->
+                    let ideal = Ptm.of_mat2 (Mat2.rz theta) in
+                    a +. (1.0 -. Ptm.process_fidelity ideal (Ptm.of_ctseq ~noise:rate r.Gridsynth.seq)))
+                  0.0 synths
+              in
+              sum /. float_of_int (List.length synths))
+            rates
+        in
+        Printf.printf "%-10.4f %-8d" eps mean_t;
+        List.iter (Printf.printf "  %-13.3e") infids;
+        print_newline ();
+        (eps, infids))
+      thresholds
+  in
+  print_newline ();
+  List.iteri
+    (fun i rate ->
+      let best, _ =
+        List.fold_left
+          (fun (be, bi) (eps, infids) ->
+            let v = List.nth infids i in
+            if v < bi then (eps, v) else (be, bi))
+          (nan, infinity) rows
+      in
+      Printf.printf "Optimal threshold at logical rate %.0e: %.4f\n" rate best)
+    rates;
+  Printf.printf "\nRule of thumb from the paper: optimal threshold ~ sqrt(logical rate).\n"

@@ -1,0 +1,1 @@
+lib/benchsuite/generators.ml: Array Circuit Float Graphs List Pauli_evo Qgate Queue Random

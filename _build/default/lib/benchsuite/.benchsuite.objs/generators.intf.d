@@ -1,0 +1,1 @@
+lib/benchsuite/generators.mli: Circuit

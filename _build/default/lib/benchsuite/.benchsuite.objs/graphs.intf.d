@@ -1,0 +1,1 @@
+lib/benchsuite/graphs.mli:

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.ml: Circuit Generators List Printf

@@ -1,0 +1,1 @@
+lib/benchsuite/suite.mli: Circuit

@@ -1,0 +1,362 @@
+(** Circuit generators for the benchmark families: FT algorithms
+    (Benchpress/QASMBench-style), Hamiltonian simulation (HamLib-style,
+    compiled with the Pauli-evolution compiler), and QAOA with the
+    merge-maximizing construction of §3.4. *)
+
+let pi = Float.pi
+let i1 g q = Circuit.instr g [| q |]
+let cx a b = Circuit.instr Qgate.CX [| a; b |]
+
+(* Controlled phase: CP(θ) = Rz(θ/2)⊗Rz(θ/2) · CX · (I⊗Rz(−θ/2)) · CX. *)
+let cp theta a b =
+  [
+    i1 (Qgate.Rz (theta /. 2.0)) a;
+    cx a b;
+    i1 (Qgate.Rz (-.theta /. 2.0)) b;
+    cx a b;
+    i1 (Qgate.Rz (theta /. 2.0)) b;
+  ]
+
+(* Controlled Ry: CRy(θ) = (I⊗Ry(θ/2)) · CX · (I⊗Ry(−θ/2)) · CX. *)
+let cry theta a b =
+  [ i1 (Qgate.Ry (theta /. 2.0)) b; cx a b; i1 (Qgate.Ry (-.theta /. 2.0)) b; cx a b ]
+
+(* ------------------------------------------------------------------ *)
+(* FT algorithm benchmarks                                             *)
+(* ------------------------------------------------------------------ *)
+
+let qft n =
+  let instrs = ref [] in
+  for i = n - 1 downto 0 do
+    instrs := !instrs @ [ i1 Qgate.H i ];
+    for j = i - 1 downto 0 do
+      instrs := !instrs @ cp (pi /. float_of_int (1 lsl (i - j))) j i
+    done
+  done;
+  Circuit.make n !instrs
+
+(* Phase estimation of U = Rz(2πφ) with [n] counting qubits + 1 target. *)
+let qpe ~phi n =
+  let target = n in
+  let instrs = ref [ i1 Qgate.X target ] in
+  for i = 0 to n - 1 do
+    instrs := !instrs @ [ i1 Qgate.H i ]
+  done;
+  for i = 0 to n - 1 do
+    let angle = 2.0 *. pi *. phi *. float_of_int (1 lsl i) in
+    instrs := !instrs @ cp angle i target
+  done;
+  (* Bit-reversal so the inverse QFT (written without swaps) reads the
+     kickback register in the right order — peak probability 1 at
+     exactly representable phases. *)
+  instrs :=
+    !instrs @ List.init (n / 2) (fun i -> Circuit.instr Qgate.Swap [| i; n - 1 - i |]);
+  (* Inverse QFT on the counting register. *)
+  let iqft = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      iqft := !iqft @ cp (-.pi /. float_of_int (1 lsl (i - j))) j i
+    done;
+    iqft := !iqft @ [ i1 Qgate.H i ]
+  done;
+  Circuit.make (n + 1) (!instrs @ !iqft)
+
+(* Draper QFT adder: |a⟩|b⟩ → |a⟩|a+b⟩ on two n-bit registers. *)
+let draper_adder n =
+  let b_reg j = n + j in
+  let instrs = ref [] in
+  (* QFT on register b *)
+  for i = n - 1 downto 0 do
+    instrs := !instrs @ [ i1 Qgate.H (b_reg i) ];
+    for j = i - 1 downto 0 do
+      instrs := !instrs @ cp (pi /. float_of_int (1 lsl (i - j))) (b_reg j) (b_reg i)
+    done
+  done;
+  (* Controlled phases from a *)
+  for i = 0 to n - 1 do
+    for j = 0 to i do
+      instrs := !instrs @ cp (pi /. float_of_int (1 lsl (i - j))) j (b_reg i)
+    done
+  done;
+  (* Inverse QFT on b *)
+  for i = 0 to n - 1 do
+    for j = 0 to i - 1 do
+      instrs := !instrs @ cp (-.pi /. float_of_int (1 lsl (i - j))) (b_reg j) (b_reg i)
+    done;
+    instrs := !instrs @ [ i1 Qgate.H (b_reg i) ]
+  done;
+  Circuit.make (2 * n) !instrs
+
+(* W-state preparation with cascaded controlled-Ry. *)
+let w_state n =
+  let instrs = ref [ i1 Qgate.X 0 ] in
+  for k = 1 to n - 1 do
+    let theta = 2.0 *. Float.acos (Float.sqrt (1.0 /. float_of_int (n - k + 1))) in
+    instrs := !instrs @ cry theta (k - 1) k @ [ cx k (k - 1) ]
+  done;
+  Circuit.make n !instrs
+
+(* Quantum-volume-style brickwork of random two-qubit blocks
+   (U3 · CX · U3 · CX · U3 per pair, KAK-shaped). *)
+let quantum_volume ~seed ~n ~depth =
+  let rng = Random.State.make [| seed; n; depth |] in
+  let ru3 q =
+    let a = Random.State.float rng (2.0 *. pi) -. pi in
+    let b = Random.State.float rng (2.0 *. pi) -. pi in
+    let c = Random.State.float rng (2.0 *. pi) -. pi in
+    i1 (Qgate.U3 (a, b, c)) q
+  in
+  let instrs = ref [] in
+  for layer = 0 to depth - 1 do
+    let off = layer mod 2 in
+    let p = ref off in
+    while !p + 1 < n do
+      let a = !p and b = !p + 1 in
+      instrs :=
+        !instrs
+        @ [ ru3 a; ru3 b; cx a b; ru3 a; ru3 b; cx a b; ru3 a; ru3 b ];
+      p := !p + 2
+    done
+  done;
+  Circuit.make n !instrs
+
+(* Hardware-efficient VQE ansatz: Ry·Rz columns + CX ring. *)
+let vqe_hea ~seed ~n ~layers =
+  let rng = Random.State.make [| seed; n; layers |] in
+  let angle () = Random.State.float rng (2.0 *. pi) -. pi in
+  let instrs = ref [] in
+  for _ = 1 to layers do
+    for q = 0 to n - 1 do
+      instrs := !instrs @ [ i1 (Qgate.Ry (angle ())) q; i1 (Qgate.Rz (angle ())) q ]
+    done;
+    for q = 0 to n - 1 do
+      instrs := !instrs @ [ cx q ((q + 1) mod n) ]
+    done
+  done;
+  for q = 0 to n - 1 do
+    instrs := !instrs @ [ i1 (Qgate.Ry (angle ())) q ]
+  done;
+  Circuit.make n !instrs
+
+(* ------------------------------------------------------------------ *)
+(* Hamiltonian simulation benchmarks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let string_term n support angle =
+  let paulis = Array.make n Pauli_evo.I in
+  List.iter (fun (q, p) -> paulis.(q) <- p) support;
+  { Pauli_evo.paulis; angle }
+
+(* Classical (Z-only) Hamiltonians. *)
+let maxcut_evolution ~seed ~n ~steps =
+  let g = Graphs.regular ~seed ~n ~d:3 in
+  let rng = Random.State.make [| seed; 17 |] in
+  let terms =
+    List.map
+      (fun (a, b) ->
+        string_term n [ (a, Pauli_evo.Z); (b, Pauli_evo.Z) ] (Random.State.float rng 2.0))
+      g.Graphs.edges
+  in
+  Pauli_evo.trotter ~n ~steps terms
+
+let vertex_cover_evolution ~seed ~n ~steps =
+  let g = Graphs.erdos_renyi ~seed ~n ~p:0.4 in
+  let rng = Random.State.make [| seed; 23 |] in
+  let edge_terms =
+    List.concat_map
+      (fun (a, b) ->
+        [
+          string_term n [ (a, Pauli_evo.Z); (b, Pauli_evo.Z) ] (Random.State.float rng 1.5);
+          string_term n [ (a, Pauli_evo.Z) ] (Random.State.float rng 1.0);
+          string_term n [ (b, Pauli_evo.Z) ] (Random.State.float rng 1.0);
+        ])
+      g.Graphs.edges
+  in
+  Pauli_evo.trotter ~n ~steps edge_terms
+
+let spin_glass_evolution ~seed ~n ~steps =
+  let rng = Random.State.make [| seed; 29 |] in
+  let terms = ref [] in
+  for a = 0 to n - 2 do
+    for b = a + 1 to n - 1 do
+      if Random.State.float rng 1.0 < 0.5 then
+        terms :=
+          string_term n [ (a, Pauli_evo.Z); (b, Pauli_evo.Z) ] (Random.State.float rng 2.0 -. 1.0)
+          :: !terms
+    done
+  done;
+  Pauli_evo.trotter ~n ~steps !terms
+
+(* Quantum Hamiltonians (mixed Pauli axes — the U3-friendly family). *)
+let tfim_evolution ~seed ~n ~steps =
+  let rng = Random.State.make [| seed; 31 |] in
+  let dt = 0.3 +. Random.State.float rng 0.4 in
+  let ring = Graphs.ring n in
+  let zz =
+    List.map (fun (a, b) -> string_term n [ (a, Pauli_evo.Z); (b, Pauli_evo.Z) ] dt) ring.Graphs.edges
+  in
+  let x = List.init n (fun q -> string_term n [ (q, Pauli_evo.X) ] (dt *. 1.3)) in
+  Pauli_evo.trotter ~n ~steps (zz @ x)
+
+let heisenberg_evolution ~seed ~n ~steps =
+  let rng = Random.State.make [| seed; 37 |] in
+  let dt = 0.2 +. Random.State.float rng 0.3 in
+  let path = Graphs.path n in
+  let terms =
+    List.concat_map
+      (fun (a, b) ->
+        [
+          string_term n [ (a, Pauli_evo.X); (b, Pauli_evo.X) ] dt;
+          string_term n [ (a, Pauli_evo.Y); (b, Pauli_evo.Y) ] dt;
+          string_term n [ (a, Pauli_evo.Z); (b, Pauli_evo.Z) ] (dt *. 0.7);
+        ])
+      path.Graphs.edges
+  in
+  Pauli_evo.trotter ~n ~steps terms
+
+let xy_evolution ~seed ~n ~steps =
+  let rng = Random.State.make [| seed; 41 |] in
+  let dt = 0.25 +. Random.State.float rng 0.3 in
+  let ring = Graphs.ring n in
+  let terms =
+    List.concat_map
+      (fun (a, b) ->
+        [
+          string_term n [ (a, Pauli_evo.X); (b, Pauli_evo.X) ] dt;
+          string_term n [ (a, Pauli_evo.Y); (b, Pauli_evo.Y) ] dt;
+        ])
+      ring.Graphs.edges
+  in
+  Pauli_evo.trotter ~n ~steps terms
+
+(* Spinless Fermi–Hubbard chain under Jordan–Wigner. *)
+let hubbard_evolution ~seed ~n ~steps =
+  let rng = Random.State.make [| seed; 43 |] in
+  let t_hop = 0.3 +. Random.State.float rng 0.2 in
+  let u_int = 0.5 +. Random.State.float rng 0.5 in
+  let path = Graphs.path n in
+  let terms =
+    List.concat_map
+      (fun (a, b) ->
+        [
+          string_term n [ (a, Pauli_evo.X); (b, Pauli_evo.X) ] t_hop;
+          string_term n [ (a, Pauli_evo.Y); (b, Pauli_evo.Y) ] t_hop;
+          string_term n [ (a, Pauli_evo.Z); (b, Pauli_evo.Z) ] u_int;
+          string_term n [ (a, Pauli_evo.Z) ] (u_int /. 2.0);
+        ])
+      path.Graphs.edges
+  in
+  Pauli_evo.trotter ~n ~steps terms
+
+let random_pauli_evolution ~seed ~n ~terms:n_terms ~steps =
+  let rng = Random.State.make [| seed; 47; n_terms |] in
+  let axes = [| Pauli_evo.X; Pauli_evo.Y; Pauli_evo.Z |] in
+  let one_term () =
+    let weight = 1 + Random.State.int rng 3 in
+    let support = ref [] in
+    while List.length !support < weight do
+      let q = Random.State.int rng n in
+      if not (List.mem_assoc q !support) then
+        support := (q, axes.(Random.State.int rng 3)) :: !support
+    done;
+    string_term n !support (Random.State.float rng 2.0 -. 1.0)
+  in
+  Pauli_evo.trotter ~n ~steps (List.init n_terms (fun _ -> one_term ()))
+
+(* A molecular-flavoured fixed term structure (H2-like under JW, scaled
+   coefficients), exercising single-Z, ZZ and the XXYY double
+   excitation. *)
+let molecular_evolution ~seed ~n ~steps =
+  let rng = Random.State.make [| seed; 53 |] in
+  let c () = Random.State.float rng 0.4 +. 0.05 in
+  let terms = ref [] in
+  for q = 0 to n - 1 do
+    terms := string_term n [ (q, Pauli_evo.Z) ] (c ()) :: !terms
+  done;
+  for q = 0 to n - 2 do
+    terms := string_term n [ (q, Pauli_evo.Z); (q + 1, Pauli_evo.Z) ] (c ()) :: !terms
+  done;
+  for q = 0 to n - 4 do
+    let s = c () in
+    terms :=
+      string_term n
+        [ (q, Pauli_evo.X); (q + 1, Pauli_evo.X); (q + 2, Pauli_evo.Y); (q + 3, Pauli_evo.Y) ]
+        s
+      :: string_term n
+           [ (q, Pauli_evo.Y); (q + 1, Pauli_evo.Y); (q + 2, Pauli_evo.X); (q + 3, Pauli_evo.X) ]
+           (-.s)
+      :: !terms
+  done;
+  Pauli_evo.trotter ~n ~steps (List.rev !terms)
+
+(* ------------------------------------------------------------------ *)
+(* QAOA with the merge-maximizing gate ordering of §3.4                *)
+(* ------------------------------------------------------------------ *)
+
+(* Each ZZ(γ) gadget is CX·Rz(γ)·CX oriented control→target.  The Rx
+   mixer on a vertex commutes through CX targets, so it can slide into
+   the last gadget that *targets* that vertex and fuse with its Rz into
+   a single U3.  To maximize fusions (§3.4: all but ~one Rx per layer),
+   we order the edges so that, as far as possible, every vertex's final
+   incident edge is oriented toward it: edges whose endpoints both have
+   further pending edges go first, and an edge that is the last one for
+   an endpoint is oriented to target that endpoint. *)
+let merge_maximizing_order ~n edges =
+  (* BFS spanning forest.  Schedule all non-tree edges first (arbitrary
+     orientation), then tree edges deepest-child-first, each oriented
+     parent→child: every non-root vertex's *last* incident gadget then
+     targets it, so its mixer Rx fuses — only the root(s) miss out. *)
+  let adj = Array.make n [] in
+  List.iter
+    (fun (a, b) ->
+      adj.(a) <- b :: adj.(a);
+      adj.(b) <- a :: adj.(b))
+    edges;
+  let depth = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  for root = 0 to n - 1 do
+    if depth.(root) < 0 then begin
+      depth.(root) <- 0;
+      Queue.add root queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.take queue in
+        List.iter
+          (fun w ->
+            if depth.(w) < 0 then begin
+              depth.(w) <- depth.(v) + 1;
+              parent.(w) <- v;
+              Queue.add w queue
+            end)
+          adj.(v)
+      done
+    end
+  done;
+  let is_tree (a, b) = parent.(a) = b || parent.(b) = a in
+  let non_tree = List.filter (fun e -> not (is_tree e)) edges in
+  let tree =
+    edges
+    |> List.filter is_tree
+    |> List.map (fun (a, b) -> if parent.(a) = b then (b, a) else (a, b))
+    |> List.sort (fun (_, c1) (_, c2) -> compare depth.(c2) depth.(c1))
+  in
+  non_tree @ tree
+
+let qaoa ~seed ~n ~depth =
+  let g = Graphs.regular ~seed ~n ~d:3 in
+  let ordered = merge_maximizing_order ~n g.Graphs.edges in
+  let rng = Random.State.make [| seed; n; depth; 61 |] in
+  let instrs = ref [] in
+  for _layer = 1 to depth do
+    let gamma = Random.State.float rng pi in
+    let beta = Random.State.float rng pi in
+    List.iter
+      (fun (a, b) ->
+        instrs := !instrs @ [ cx a b; i1 (Qgate.Rz (2.0 *. gamma)) b; cx a b ])
+      ordered;
+    for q = 0 to n - 1 do
+      instrs := !instrs @ [ i1 (Qgate.Rx (2.0 *. beta)) q ]
+    done
+  done;
+  let init = List.init n (fun q -> i1 Qgate.H q) in
+  Circuit.make n (init @ !instrs)

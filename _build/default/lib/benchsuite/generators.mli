@@ -1,0 +1,46 @@
+(** Circuit generators for the benchmark families (deterministic given
+    their seeds).  The FT-algorithm generators are functionally correct
+    (the adder adds, QPE estimates phases — see the tests), the
+    Hamiltonian families go through the Pauli-evolution compiler, and
+    QAOA uses the merge-maximizing construction of §3.4. *)
+
+val cp : float -> int -> int -> Circuit.instr list
+(** Controlled phase as CX + Rz gadget. *)
+
+val cry : float -> int -> int -> Circuit.instr list
+
+(** {1 FT algorithms} *)
+
+val qft : int -> Circuit.t
+val qpe : phi:float -> int -> Circuit.t
+(** Phase estimation of Rz(2πφ) with n counting qubits + 1 target;
+    exactly representable φ = k/2^n peak with probability 1. *)
+
+val draper_adder : int -> Circuit.t
+(** |a⟩|b⟩ → |a⟩|(a+b) mod 2^n⟩ on two n-bit registers. *)
+
+val w_state : int -> Circuit.t
+val quantum_volume : seed:int -> n:int -> depth:int -> Circuit.t
+val vqe_hea : seed:int -> n:int -> layers:int -> Circuit.t
+
+(** {1 Hamiltonian simulation (Trotterized)} *)
+
+val maxcut_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val vertex_cover_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val spin_glass_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val tfim_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val heisenberg_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val xy_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val hubbard_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+val random_pauli_evolution : seed:int -> n:int -> terms:int -> steps:int -> Circuit.t
+val molecular_evolution : seed:int -> n:int -> steps:int -> Circuit.t
+
+(** {1 QAOA} *)
+
+val merge_maximizing_order : n:int -> (int * int) list -> (int * int) list
+(** Spanning-forest edge schedule: every non-root vertex's last incident
+    gadget targets it, so its mixer Rx fuses into a U3 ("all but one Rx
+    per layer"). *)
+
+val qaoa : seed:int -> n:int -> depth:int -> Circuit.t
+(** 3-regular MaxCut QAOA with the merge-maximizing ordering. *)

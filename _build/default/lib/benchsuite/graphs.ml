@@ -1,0 +1,52 @@
+(** Seeded random graphs for the optimization benchmarks (MaxCut, QAOA,
+    vertex cover): 3-regular via the pairing model, and Erdős–Rényi. *)
+
+type t = { n : int; edges : (int * int) list }
+
+let normalize_edge (a, b) = if a < b then (a, b) else (b, a)
+
+(* Random d-regular graph by the configuration model with rejection. *)
+let regular ~seed ~n ~d =
+  if n * d mod 2 <> 0 then invalid_arg "Graphs.regular: n·d must be even";
+  let rng = Random.State.make [| seed; n; d |] in
+  let rec attempt tries =
+    if tries > 500 then invalid_arg "Graphs.regular: failed to build a simple graph"
+    else begin
+      let stubs = Array.concat (List.init n (fun v -> Array.make d v)) in
+      (* Fisher–Yates shuffle. *)
+      for i = Array.length stubs - 1 downto 1 do
+        let j = Random.State.int rng (i + 1) in
+        let t = stubs.(i) in
+        stubs.(i) <- stubs.(j);
+        stubs.(j) <- t
+      done;
+      let edges = ref [] in
+      let ok = ref true in
+      let seen = Hashtbl.create 16 in
+      for i = 0 to (Array.length stubs / 2) - 1 do
+        let a = stubs.(2 * i) and b = stubs.((2 * i) + 1) in
+        let e = normalize_edge (a, b) in
+        if a = b || Hashtbl.mem seen e then ok := false
+        else begin
+          Hashtbl.add seen e ();
+          edges := e :: !edges
+        end
+      done;
+      if !ok then { n; edges = List.rev !edges } else attempt (tries + 1)
+    end
+  in
+  attempt 0
+
+let erdos_renyi ~seed ~n ~p =
+  let rng = Random.State.make [| seed; n; int_of_float (p *. 1000.0) |] in
+  let edges = ref [] in
+  for a = 0 to n - 2 do
+    for b = a + 1 to n - 1 do
+      if Random.State.float rng 1.0 < p then edges := (a, b) :: !edges
+    done
+  done;
+  { n; edges = List.rev !edges }
+
+(* A simple path/ring for 1D models. *)
+let path n = { n; edges = List.init (n - 1) (fun i -> (i, i + 1)) }
+let ring n = { n; edges = List.init n (fun i -> normalize_edge (i, (i + 1) mod n)) }

@@ -1,0 +1,13 @@
+(** Seeded random graphs for the optimization benchmarks. *)
+
+type t = { n : int; edges : (int * int) list }
+(** Simple undirected graphs; edges normalized with the smaller vertex
+    first. *)
+
+val regular : seed:int -> n:int -> d:int -> t
+(** Random d-regular simple graph (configuration model with rejection).
+    @raise Invalid_argument when n·d is odd or rejection keeps failing. *)
+
+val erdos_renyi : seed:int -> n:int -> p:float -> t
+val path : int -> t
+val ring : int -> t

@@ -1,0 +1,135 @@
+(** The 187-circuit benchmark suite, assembled to mirror the paper's
+    categories (standard FT algorithms; classical Hamiltonians;
+    quantum Hamiltonians; QAOA) with qubit and rotation ranges in the
+    spirit of Table 2.  Generation is deterministic. *)
+
+type category = Ft_algorithm | Ham_classical | Ham_quantum | Qaoa
+
+let category_to_string = function
+  | Ft_algorithm -> "ft"
+  | Ham_classical -> "ham-classical"
+  | Ham_quantum -> "ham-quantum"
+  | Qaoa -> "qaoa"
+
+type benchmark = { name : string; category : category; circuit : Circuit.t }
+
+let bench name category circuit = { name; category; circuit }
+
+let ft_benchmarks () =
+  List.concat
+    [
+      List.map (fun n -> bench (Printf.sprintf "qft-%d" n) Ft_algorithm (Generators.qft n))
+        [ 3; 4; 5; 6; 7; 8; 10; 12; 14; 16 ];
+      List.map
+        (fun (n, phi) -> bench (Printf.sprintf "qpe-%d" n) Ft_algorithm (Generators.qpe ~phi n))
+        [ (3, 0.1234); (4, 0.7071); (5, 0.3333); (6, 0.9142); (7, 0.2718); (8, 0.577); (9, 0.8412) ];
+      List.map
+        (fun n -> bench (Printf.sprintf "adder-%d" n) Ft_algorithm (Generators.draper_adder n))
+        [ 3; 4; 5; 6; 7; 8 ];
+      List.map (fun n -> bench (Printf.sprintf "wstate-%d" n) Ft_algorithm (Generators.w_state n))
+        [ 4; 8; 12; 16 ];
+      List.map
+        (fun (n, d, s) ->
+          bench (Printf.sprintf "qv-%d-%d" n d) Ft_algorithm
+            (Generators.quantum_volume ~seed:s ~n ~depth:d))
+        [ (4, 4, 1); (6, 6, 2); (8, 8, 3); (10, 10, 4); (12, 12, 5); (14, 14, 6) ];
+      List.map
+        (fun (n, l, s) ->
+          bench (Printf.sprintf "vqe-%d-%d" n l) Ft_algorithm (Generators.vqe_hea ~seed:s ~n ~layers:l))
+        [ (4, 2, 1); (6, 2, 2); (8, 3, 3); (10, 3, 4); (12, 4, 5); (16, 4, 6); (20, 5, 7); (24, 5, 8); (14, 4, 9) ];
+    ]
+
+let ham_classical_benchmarks () =
+  List.concat
+    [
+      List.map
+        (fun (n, s) ->
+          bench (Printf.sprintf "maxcut-%d-%d" n s) Ham_classical
+            (Generators.maxcut_evolution ~seed:s ~n ~steps:1))
+        [ (6, 1); (8, 2); (10, 3); (12, 4); (14, 5); (16, 6); (18, 7); (20, 8); (24, 9); (28, 10); (32, 11); (40, 12); (44, 13); (48, 14) ];
+      List.map
+        (fun (n, s) ->
+          bench (Printf.sprintf "vcover-%d-%d" n s) Ham_classical
+            (Generators.vertex_cover_evolution ~seed:s ~n ~steps:1))
+        [ (6, 1); (8, 2); (10, 3); (12, 4); (16, 5); (20, 6); (24, 7); (28, 8); (32, 9) ];
+      List.map
+        (fun (n, s) ->
+          bench (Printf.sprintf "spinglass-%d-%d" n s) Ham_classical
+            (Generators.spin_glass_evolution ~seed:s ~n ~steps:1))
+        [ (5, 1); (6, 2); (7, 3); (8, 4); (10, 5); (12, 6); (14, 7); (16, 8); (20, 9); (24, 10); (28, 11) ];
+    ]
+
+let ham_quantum_benchmarks () =
+  List.concat
+    [
+      List.map
+        (fun (n, s, st) ->
+          bench (Printf.sprintf "tfim-%d-%d" n s) Ham_quantum
+            (Generators.tfim_evolution ~seed:s ~n ~steps:st))
+        [ (4, 1, 1); (6, 2, 1); (8, 3, 1); (10, 4, 1); (12, 5, 1); (16, 6, 1); (20, 7, 1); (24, 8, 1); (32, 9, 1); (40, 10, 1); (8, 11, 2); (12, 12, 2); (48, 13, 1) ];
+      List.map
+        (fun (n, s, st) ->
+          bench (Printf.sprintf "heis-%d-%d" n s) Ham_quantum
+            (Generators.heisenberg_evolution ~seed:s ~n ~steps:st))
+        [ (4, 1, 1); (6, 2, 1); (8, 3, 1); (10, 4, 1); (12, 5, 1); (16, 6, 1); (20, 7, 1); (24, 8, 1); (32, 9, 1); (6, 10, 2); (10, 11, 2); (14, 12, 1); (18, 13, 1) ];
+      List.map
+        (fun (n, s) ->
+          bench (Printf.sprintf "xy-%d-%d" n s) Ham_quantum (Generators.xy_evolution ~seed:s ~n ~steps:1))
+        [ (4, 1); (6, 2); (8, 3); (10, 4); (12, 5); (16, 6); (20, 7); (24, 8); (32, 9); (40, 10); (48, 11) ];
+      List.map
+        (fun (n, s) ->
+          bench (Printf.sprintf "hubbard-%d-%d" n s) Ham_quantum
+            (Generators.hubbard_evolution ~seed:s ~n ~steps:1))
+        [ (4, 1); (6, 2); (8, 3); (10, 4); (12, 5); (16, 6); (20, 7); (24, 8); (32, 9) ];
+      List.map
+        (fun (n, t, s) ->
+          bench (Printf.sprintf "randham-%d-%d" n s) Ham_quantum
+            (Generators.random_pauli_evolution ~seed:s ~n ~terms:t ~steps:1))
+        [ (4, 6, 1); (5, 8, 2); (6, 10, 3); (7, 12, 4); (8, 14, 5); (9, 16, 6); (10, 18, 7);
+          (12, 20, 8); (14, 24, 9); (16, 28, 10); (18, 30, 11); (20, 34, 12); (24, 40, 13);
+          (28, 44, 14); (32, 50, 15); (40, 60, 16); (48, 70, 17); (59, 80, 18); (64, 90, 19) ];
+      List.map
+        (fun (n, s) ->
+          bench (Printf.sprintf "molecule-%d-%d" n s) Ham_quantum
+            (Generators.molecular_evolution ~seed:s ~n ~steps:1))
+        [ (4, 1); (5, 2); (6, 3); (7, 4); (8, 5); (10, 6); (12, 7); (14, 8); (16, 9); (20, 10); (24, 11) ];
+    ]
+
+let qaoa_benchmarks () =
+  List.concat_map
+    (fun depth ->
+      List.map
+        (fun (n, s) ->
+          bench
+            (Printf.sprintf "qaoa-%d-p%d-%d" n depth s)
+            Qaoa
+            (Generators.qaoa ~seed:s ~n ~depth))
+        [ (4, 1); (8, 2); (12, 3); (16, 4); (20, 5); (24, 7); (26, 6) ])
+    [ 1; 2; 3; 4; 5 ]
+
+let all () =
+  let l =
+    List.concat
+      [ ft_benchmarks (); ham_classical_benchmarks (); ham_quantum_benchmarks (); qaoa_benchmarks () ]
+  in
+  l
+
+let count () = List.length (all ())
+
+(* Table 2-style summary rows: (dataset, qubit min/mean/max, rotation
+   min/mean/max) per category. *)
+let dataset_summary () =
+  let cats = [ Ft_algorithm; Ham_classical; Ham_quantum; Qaoa ] in
+  List.map
+    (fun cat ->
+      let benches = List.filter (fun b -> b.category = cat) (all ()) in
+      let qubits = List.map (fun b -> b.circuit.Circuit.n_qubits) benches in
+      let rots = List.map (fun b -> Circuit.nontrivial_rotation_count b.circuit) benches in
+      let stats xs =
+        let n = List.length xs in
+        let mn = List.fold_left min max_int xs and mx = List.fold_left max 0 xs in
+        let mean = float_of_int (List.fold_left ( + ) 0 xs) /. float_of_int n in
+        (mn, mean, mx)
+      in
+      (category_to_string cat, List.length benches, stats qubits, stats rots))
+    cats

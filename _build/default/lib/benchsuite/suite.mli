@@ -1,0 +1,19 @@
+(** The 187-circuit benchmark suite, mirroring the paper's categories
+    (Table 2): standard FT algorithms, classical (Z-only) Hamiltonians,
+    quantum (mixed-axis) Hamiltonians, and QAOA with the
+    merge-maximizing construction.  Generation is deterministic. *)
+
+type category = Ft_algorithm | Ham_classical | Ham_quantum | Qaoa
+
+val category_to_string : category -> string
+
+type benchmark = { name : string; category : category; circuit : Circuit.t }
+
+val all : unit -> benchmark list
+(** All 187 benchmarks, in a fixed order. *)
+
+val count : unit -> int
+
+val dataset_summary : unit -> (string * int * (int * float * int) * (int * float * int)) list
+(** Table 2 rows: per category, (name, count, qubit min/mean/max,
+    nontrivial-rotation min/mean/max). *)

@@ -1,0 +1,1 @@
+lib/bigint/bigint.ml: Array Buffer Format List Printf Random String

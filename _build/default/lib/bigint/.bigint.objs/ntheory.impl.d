@@ -1,0 +1,1 @@
+lib/bigint/ntheory.ml: Bigint Hashtbl List

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Float Format Hashtbl Lazy List Ma_table Mat2 Printf Qgate

@@ -1,0 +1,1 @@
+lib/circuit/circuit.mli: Format Qgate

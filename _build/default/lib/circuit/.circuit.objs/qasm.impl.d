@@ -1,0 +1,1 @@
+lib/circuit/qasm.ml: Array Buffer Circuit List Printf Qgate String

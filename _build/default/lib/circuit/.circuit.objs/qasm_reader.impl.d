@@ -1,0 +1,1 @@
+lib/circuit/qasm_reader.ml: Array Circuit Float List Printf Qgate String

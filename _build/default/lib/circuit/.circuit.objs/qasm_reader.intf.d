@@ -1,0 +1,1 @@
+lib/circuit/qasm_reader.mli: Circuit

@@ -1,0 +1,1 @@
+lib/circuit/qgate.ml: Ctgate Mat2 Printf

@@ -1,0 +1,1 @@
+lib/circuit/qgate.mli: Ctgate Mat2

@@ -1,0 +1,131 @@
+(** Quantum circuits: an instruction list over {!Qgate} with the resource
+    metrics the paper reports (T count, T depth, non-Pauli Clifford
+    count, nontrivial rotation count). *)
+
+type instr = { gate : Qgate.t; qubits : int array }
+
+type t = { n_qubits : int; instrs : instr list }
+
+let instr gate qubits =
+  if Array.length qubits <> Qgate.arity gate then
+    invalid_arg
+      (Printf.sprintf "Circuit.instr: %s expects %d qubits, got %d" (Qgate.to_string gate)
+         (Qgate.arity gate) (Array.length qubits));
+  let seen = Hashtbl.create 4 in
+  Array.iter
+    (fun q ->
+      if q < 0 then invalid_arg "Circuit.instr: negative qubit";
+      if Hashtbl.mem seen q then invalid_arg "Circuit.instr: duplicate qubit";
+      Hashtbl.add seen q ())
+    qubits;
+  { gate; qubits }
+
+let make n_qubits instrs =
+  List.iter
+    (fun i ->
+      Array.iter
+        (fun q ->
+          if q >= n_qubits then
+            invalid_arg (Printf.sprintf "Circuit.make: qubit %d out of range (n=%d)" q n_qubits))
+        i.qubits)
+    instrs;
+  { n_qubits; instrs }
+
+let empty n = { n_qubits = n; instrs = [] }
+let append c i = { c with instrs = c.instrs @ [ i ] }
+let of_list n gates = make n (List.map (fun (g, qs) -> instr g (Array.of_list qs)) gates)
+let length c = List.length c.instrs
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let count pred c = List.length (List.filter (fun i -> pred i.gate) c.instrs)
+let t_count c = count Qgate.is_t c
+let clifford_count c = count Qgate.is_counted_clifford c
+let rotation_count c = count Qgate.is_rotation c
+let two_qubit_count c = List.length (List.filter (fun i -> Array.length i.qubits >= 2) c.instrs)
+
+(* Is a rotation "nontrivial" (needs more than one T to synthesize)?
+   For axis rotations: the angle is not a multiple of π/4.  For U3: the
+   matrix is not within float tolerance of a ≤1-T Clifford+T operator
+   (checked against the exact step-0 table). *)
+let trivial_table = lazy (Ma_table.get 1)
+
+let nontrivial_rotation = function
+  | Qgate.Rx a | Qgate.Ry a | Qgate.Rz a ->
+      let q = a /. (Float.pi /. 4.0) in
+      Float.abs (q -. Float.round q) > 1e-9
+  | Qgate.U3 _ as g ->
+      let m = Qgate.to_mat2 g in
+      let table = Lazy.force trivial_table in
+      (* 1e-7 sits above the ~sqrt(ulp) floor of the trace distance but
+         far below any genuine rotation. *)
+      not
+        (Array.exists
+           (fun (e : Ma_table.entry) -> Mat2.distance m e.Ma_table.mat < 1e-7)
+           table.Ma_table.entries)
+  | Qgate.H | Qgate.X | Qgate.Y | Qgate.Z | Qgate.S | Qgate.Sdg | Qgate.T | Qgate.Tdg
+  | Qgate.CX | Qgate.CZ | Qgate.Swap | Qgate.Ccx ->
+      false
+
+let nontrivial_rotation_count c = count nontrivial_rotation c
+
+(* T depth: longest chain of T gates through qubit dependencies. *)
+let t_depth c =
+  let depth = Array.make c.n_qubits 0 in
+  List.iter
+    (fun i ->
+      let d = Array.fold_left (fun acc q -> max acc depth.(q)) 0 i.qubits in
+      let d = if Qgate.is_t i.gate then d + 1 else d in
+      Array.iter (fun q -> depth.(q) <- d) i.qubits)
+    c.instrs;
+  Array.fold_left max 0 depth
+
+(* Total depth over all gates (each instruction costs one layer). *)
+let depth c =
+  let depth = Array.make c.n_qubits 0 in
+  List.iter
+    (fun i ->
+      let d = 1 + Array.fold_left (fun acc q -> max acc depth.(q)) 0 i.qubits in
+      Array.iter (fun q -> depth.(q) <- d) i.qubits)
+    c.instrs;
+  Array.fold_left max 0 depth
+
+type summary = {
+  n_qubits : int;
+  gates : int;
+  t : int;
+  t_depth : int;
+  cliffords : int;
+  rotations : int;
+  nontrivial_rotations : int;
+}
+
+let summarize (c : t) =
+  {
+    n_qubits = c.n_qubits;
+    gates = length c;
+    t = t_count c;
+    t_depth = t_depth c;
+    cliffords = clifford_count c;
+    rotations = rotation_count c;
+    nontrivial_rotations = nontrivial_rotation_count c;
+  }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "q=%d gates=%d T=%d Tdepth=%d Cliff=%d rot=%d (nontrivial %d)" s.n_qubits
+    s.gates s.t s.t_depth s.cliffords s.rotations s.nontrivial_rotations
+
+(* Map every 1-qubit subsequence through a function (used to splice in
+   synthesized Clifford+T words for rotations). *)
+let map_rotations f c =
+  let instrs =
+    List.concat_map
+      (fun i ->
+        if Qgate.is_rotation i.gate then
+          List.map (fun g -> { gate = g; qubits = i.qubits }) (f i.gate)
+        else [ i ])
+      c.instrs
+  in
+  { c with instrs }

@@ -1,0 +1,60 @@
+(** Quantum circuits: instruction lists over {!Qgate} plus the resource
+    metrics the paper reports.  Instruction lists run in time order
+    (first instruction applied first). *)
+
+type instr = { gate : Qgate.t; qubits : int array }
+
+type t = { n_qubits : int; instrs : instr list }
+
+val instr : Qgate.t -> int array -> instr
+(** @raise Invalid_argument on arity mismatch or duplicate qubits. *)
+
+val make : int -> instr list -> t
+(** @raise Invalid_argument when an instruction touches a qubit outside
+    the register. *)
+
+val empty : int -> t
+val append : t -> instr -> t
+
+val of_list : int -> (Qgate.t * int list) list -> t
+(** Convenience constructor for tests and examples. *)
+
+val length : t -> int
+
+(** {1 Resource metrics} *)
+
+val t_count : t -> int
+val clifford_count : t -> int
+(** Non-Pauli Cliffords, including CX/CZ/Swap (paper convention). *)
+
+val rotation_count : t -> int
+val two_qubit_count : t -> int
+
+val nontrivial_rotation : Qgate.t -> bool
+(** Does this rotation need more than one T gate?  π/4-multiples of
+    axis rotations and U3s matching a ≤1-T Clifford+T operator are
+    trivial (footnote 3 of the paper). *)
+
+val nontrivial_rotation_count : t -> int
+
+val t_depth : t -> int
+(** T gates on the critical path. *)
+
+val depth : t -> int
+
+type summary = {
+  n_qubits : int;
+  gates : int;
+  t : int;
+  t_depth : int;
+  cliffords : int;
+  rotations : int;
+  nontrivial_rotations : int;
+}
+
+val summarize : t -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val map_rotations : (Qgate.t -> Qgate.t list) -> t -> t
+(** Replace every rotation instruction by a gate list on the same qubit
+    — the splice point where synthesis results enter the circuit. *)

@@ -1,0 +1,17 @@
+(** OpenQASM 2.0-style rendering of circuits (output only; useful for
+    inspecting benchmark circuits and for interop with other tools). *)
+
+let instr_to_string (i : Circuit.instr) =
+  let qs = String.concat "," (Array.to_list (Array.map (Printf.sprintf "q[%d]") i.Circuit.qubits)) in
+  Printf.sprintf "%s %s;" (Qgate.to_string i.Circuit.gate) qs
+
+let to_string (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  Buffer.add_string buf (Printf.sprintf "qreg q[%d];\n" c.Circuit.n_qubits);
+  List.iter
+    (fun i ->
+      Buffer.add_string buf (instr_to_string i);
+      Buffer.add_char buf '\n')
+    c.Circuit.instrs;
+  Buffer.contents buf

@@ -1,0 +1,4 @@
+(** OpenQASM 2.0 rendering (output side; {!Qasm_reader} parses). *)
+
+val instr_to_string : Circuit.instr -> string
+val to_string : Circuit.t -> string

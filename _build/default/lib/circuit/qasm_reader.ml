@@ -1,0 +1,212 @@
+(** OpenQASM 2.0 reader for the gate subset this project emits and the
+    common gates of the benchmark suites (qelib1-style).  Enough to
+    round-trip {!Qasm.to_string} output and to ingest external circuits
+    for compilation; unsupported statements raise with a line number. *)
+
+exception Parse_error of int * string
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* Arithmetic expressions in gate arguments: numbers, pi, + - * / and
+   parentheses (recursive descent over a token list). *)
+type token = Num of float | Pi | Plus | Minus | Star | Slash | LParen | RParen
+
+let tokenize_expr line s =
+  let n = String.length s in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if c = '+' then (tokens := Plus :: !tokens; incr i)
+    else if c = '-' then (tokens := Minus :: !tokens; incr i)
+    else if c = '*' then (tokens := Star :: !tokens; incr i)
+    else if c = '/' then (tokens := Slash :: !tokens; incr i)
+    else if c = '(' then (tokens := LParen :: !tokens; incr i)
+    else if c = ')' then (tokens := RParen :: !tokens; incr i)
+    else if !i + 1 < n && String.sub s !i 2 = "pi" then (tokens := Pi :: !tokens; i := !i + 2)
+    else if (c >= '0' && c <= '9') || c = '.' then begin
+      let j = ref !i in
+      while
+        !j < n
+        && ((s.[!j] >= '0' && s.[!j] <= '9') || s.[!j] = '.' || s.[!j] = 'e' || s.[!j] = 'E'
+           || ((s.[!j] = '+' || s.[!j] = '-') && !j > !i && (s.[!j - 1] = 'e' || s.[!j - 1] = 'E')))
+      do
+        incr j
+      done;
+      tokens := Num (float_of_string (String.sub s !i (!j - !i))) :: !tokens;
+      i := !j
+    end
+    else fail line (Printf.sprintf "unexpected character %c in expression" c)
+  done;
+  List.rev !tokens
+
+(* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
+   factor := ['-'] (number | pi | '(' expr ')') *)
+let parse_expr line tokens =
+  let toks = ref tokens in
+  let peek () = match !toks with [] -> None | t :: _ -> Some t in
+  let advance () = match !toks with [] -> fail line "unexpected end of expression" | _ :: r -> toks := r in
+  let rec expr () =
+    let v = ref (term ()) in
+    let rec loop () =
+      match peek () with
+      | Some Plus ->
+          advance ();
+          v := !v +. term ();
+          loop ()
+      | Some Minus ->
+          advance ();
+          v := !v -. term ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and term () =
+    let v = ref (factor ()) in
+    let rec loop () =
+      match peek () with
+      | Some Star ->
+          advance ();
+          v := !v *. factor ();
+          loop ()
+      | Some Slash ->
+          advance ();
+          v := !v /. factor ();
+          loop ()
+      | _ -> ()
+    in
+    loop ();
+    !v
+  and factor () =
+    match peek () with
+    | Some Minus ->
+        advance ();
+        -.factor ()
+    | Some (Num x) ->
+        advance ();
+        x
+    | Some Pi ->
+        advance ();
+        Float.pi
+    | Some LParen ->
+        advance ();
+        let v = expr () in
+        (match peek () with
+        | Some RParen -> advance ()
+        | _ -> fail line "expected )");
+        v
+    | _ -> fail line "malformed expression"
+  in
+  let v = expr () in
+  if !toks <> [] then fail line "trailing tokens in expression";
+  v
+
+let eval_expr line s = parse_expr line (tokenize_expr line s)
+
+(* "q[3]" -> 3 (single register named q). *)
+let parse_qubit line s =
+  let s = String.trim s in
+  match String.index_opt s '[' with
+  | Some i when s.[String.length s - 1] = ']' ->
+      let idx = String.sub s (i + 1) (String.length s - i - 2) in
+      (try int_of_string idx with _ -> fail line ("bad qubit index " ^ idx))
+  | _ -> fail line ("expected q[i], got " ^ s)
+
+let gate_of_name line name args =
+  match (name, args) with
+  | "h", [] -> Qgate.H
+  | "x", [] -> Qgate.X
+  | "y", [] -> Qgate.Y
+  | "z", [] -> Qgate.Z
+  | "s", [] -> Qgate.S
+  | "sdg", [] -> Qgate.Sdg
+  | "t", [] -> Qgate.T
+  | "tdg", [] -> Qgate.Tdg
+  | "rx", [ a ] -> Qgate.Rx a
+  | "ry", [ a ] -> Qgate.Ry a
+  | "rz", [ a ] -> Qgate.Rz a
+  | ("u" | "u3"), [ a; b; c ] -> Qgate.U3 (a, b, c)
+  | "u1", [ a ] -> Qgate.Rz a
+  | "cx", [] -> Qgate.CX
+  | "cz", [] -> Qgate.CZ
+  | "swap", [] -> Qgate.Swap
+  | ("ccx" | "toffoli"), [] -> Qgate.Ccx
+  | _ ->
+      fail line
+        (Printf.sprintf "unsupported gate %s/%d" name (List.length args))
+
+let split_on_string sep s =
+  (* Split on a single char sep, trimming pieces. *)
+  String.split_on_char sep s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let n_qubits = ref 0 in
+  let instrs = ref [] in
+  List.iteri
+    (fun lineno raw ->
+      let line = lineno + 1 in
+      (* Strip // comments. *)
+      let raw =
+        match String.index_opt raw '/' with
+        | Some i when i + 1 < String.length raw && raw.[i + 1] = '/' -> String.sub raw 0 i
+        | _ -> raw
+      in
+      let stmt = String.trim raw in
+      if stmt = "" then ()
+      else begin
+        let stmt =
+          if String.length stmt > 0 && stmt.[String.length stmt - 1] = ';' then
+            String.trim (String.sub stmt 0 (String.length stmt - 1))
+          else stmt
+        in
+        if stmt = "" then ()
+        else if String.length stmt >= 8 && String.sub stmt 0 8 = "OPENQASM" then ()
+        else if String.length stmt >= 7 && String.sub stmt 0 7 = "include" then ()
+        else if String.length stmt >= 7 && String.sub stmt 0 7 = "barrier" then ()
+        else if String.length stmt >= 4 && String.sub stmt 0 4 = "creg" then ()
+        else if String.length stmt >= 7 && String.sub stmt 0 7 = "measure" then ()
+        else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
+          match (String.index_opt stmt '[', String.index_opt stmt ']') with
+          | Some i, Some j when j > i ->
+              n_qubits := int_of_string (String.trim (String.sub stmt (i + 1) (j - i - 1)))
+          | _ -> fail line "malformed qreg"
+        end
+        else begin
+          (* gate[(args)] q[i] [, q[j] ...] *)
+          let name_args, operands =
+            match String.index_opt stmt ' ' with
+            | None -> fail line ("malformed statement: " ^ stmt)
+            | Some i ->
+                (String.trim (String.sub stmt 0 i),
+                 String.trim (String.sub stmt (i + 1) (String.length stmt - i - 1)))
+          in
+          let name, args =
+            match String.index_opt name_args '(' with
+            | None -> (name_args, [])
+            | Some i ->
+                let close =
+                  match String.rindex_opt name_args ')' with
+                  | Some c -> c
+                  | None -> fail line "unbalanced ("
+                in
+                let inner = String.sub name_args (i + 1) (close - i - 1) in
+                ( String.sub name_args 0 i,
+                  List.map (eval_expr line) (split_on_string ',' inner) )
+          in
+          let qubits = List.map (parse_qubit line) (split_on_string ',' operands) in
+          let gate = gate_of_name line (String.lowercase_ascii name) args in
+          instrs := Circuit.instr gate (Array.of_list qubits) :: !instrs
+        end
+      end)
+    lines;
+  Circuit.make !n_qubits (List.rev !instrs)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let buf = really_input_string ic len in
+  close_in ic;
+  of_string buf

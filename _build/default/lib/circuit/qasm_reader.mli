@@ -1,0 +1,10 @@
+(** OpenQASM 2.0 reader for the qelib1-style gate subset this project
+    emits (h/x/y/z/s/sdg/t/tdg, rx/ry/rz/u1/u/u3 with pi-arithmetic in
+    arguments, cx/cz/swap/ccx).  Single quantum register; barriers,
+    classical registers and measurements are skipped. *)
+
+exception Parse_error of int * string
+(** Line number and description of the offending statement. *)
+
+val of_string : string -> Circuit.t
+val of_file : string -> Circuit.t

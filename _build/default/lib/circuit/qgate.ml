@@ -1,0 +1,88 @@
+(** Gate alphabet for multi-qubit circuits: the Clifford+T basis plus the
+    parametric rotations that synthesis later eliminates. *)
+
+type t =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U3 of float * float * float
+  | CX
+  | CZ
+  | Swap
+  | Ccx
+
+let arity = function
+  | H | X | Y | Z | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U3 _ -> 1
+  | CX | CZ | Swap -> 2
+  | Ccx -> 3
+
+let is_single_qubit g = arity g = 1
+
+let is_rotation = function
+  | Rx _ | Ry _ | Rz _ | U3 _ -> true
+  | H | X | Y | Z | S | Sdg | T | Tdg | CX | CZ | Swap | Ccx -> false
+
+let is_t = function
+  | T | Tdg -> true
+  | H | X | Y | Z | S | Sdg | Rx _ | Ry _ | Rz _ | U3 _ | CX | CZ | Swap | Ccx -> false
+
+let is_pauli = function
+  | X | Y | Z -> true
+  | H | S | Sdg | T | Tdg | Rx _ | Ry _ | Rz _ | U3 _ | CX | CZ | Swap | Ccx -> false
+
+(* Non-Pauli Cliffords (the paper's "Clifford count" excludes Paulis). *)
+let is_counted_clifford = function
+  | H | S | Sdg | CX | CZ | Swap -> true
+  | X | Y | Z | T | Tdg | Rx _ | Ry _ | Rz _ | U3 _ | Ccx -> false
+
+let to_mat2 = function
+  | H -> Mat2.h
+  | X -> Mat2.x
+  | Y -> Mat2.y
+  | Z -> Mat2.z
+  | S -> Mat2.s
+  | Sdg -> Mat2.sdg
+  | T -> Mat2.t
+  | Tdg -> Mat2.tdg
+  | Rx a -> Mat2.rx a
+  | Ry a -> Mat2.ry a
+  | Rz a -> Mat2.rz a
+  | U3 (a, b, c) -> Mat2.u3 a b c
+  | (CX | CZ | Swap | Ccx) as g ->
+      invalid_arg (Printf.sprintf "Qgate.to_mat2: %d-qubit gate" (arity g))
+
+let of_ctgate = function
+  | Ctgate.H -> H
+  | Ctgate.S -> S
+  | Ctgate.Sdg -> Sdg
+  | Ctgate.T -> T
+  | Ctgate.Tdg -> Tdg
+  | Ctgate.X -> X
+  | Ctgate.Y -> Y
+  | Ctgate.Z -> Z
+
+let to_string = function
+  | H -> "h"
+  | X -> "x"
+  | Y -> "y"
+  | Z -> "z"
+  | S -> "s"
+  | Sdg -> "sdg"
+  | T -> "t"
+  | Tdg -> "tdg"
+  | Rx a -> Printf.sprintf "rx(%.17g)" a
+  | Ry a -> Printf.sprintf "ry(%.17g)" a
+  | Rz a -> Printf.sprintf "rz(%.17g)" a
+  | U3 (a, b, c) -> Printf.sprintf "u3(%.17g,%.17g,%.17g)" a b c
+  | CX -> "cx"
+  | CZ -> "cz"
+  | Swap -> "swap"
+  | Ccx -> "ccx"

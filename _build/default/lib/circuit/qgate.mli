@@ -1,0 +1,36 @@
+(** Gate alphabet for multi-qubit circuits: the Clifford+T basis plus
+    the parametric rotations that synthesis eliminates. *)
+
+type t =
+  | H
+  | X
+  | Y
+  | Z
+  | S
+  | Sdg
+  | T
+  | Tdg
+  | Rx of float
+  | Ry of float
+  | Rz of float
+  | U3 of float * float * float
+  | CX  (** control first, target second *)
+  | CZ
+  | Swap
+  | Ccx  (** two controls, then the target *)
+
+val arity : t -> int
+val is_single_qubit : t -> bool
+val is_rotation : t -> bool
+val is_t : t -> bool
+val is_pauli : t -> bool
+
+val is_counted_clifford : t -> bool
+(** Non-Pauli Cliffords — the paper's "Clifford count". *)
+
+val to_mat2 : t -> Mat2.t
+(** @raise Invalid_argument on multi-qubit gates. *)
+
+val of_ctgate : Ctgate.t -> t
+val to_string : t -> string
+(** OpenQASM-style spelling, e.g. ["rz(0.61)"]. *)

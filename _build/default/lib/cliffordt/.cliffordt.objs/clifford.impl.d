@@ -1,0 +1,1 @@
+lib/cliffordt/clifford.ml: Array Ctgate Exact_u List

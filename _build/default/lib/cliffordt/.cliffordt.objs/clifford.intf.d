@@ -1,0 +1,1 @@
+lib/cliffordt/clifford.mli: Ctgate Exact_u

@@ -1,0 +1,1 @@
+lib/cliffordt/ctgate.ml: Bytes List Mat2 Printf String

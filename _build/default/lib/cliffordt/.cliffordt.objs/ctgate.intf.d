@@ -1,0 +1,1 @@
+lib/cliffordt/ctgate.mli: Mat2

@@ -1,0 +1,1 @@
+lib/cliffordt/exact_u.ml: Cplx Ctgate Float Hashtbl List Mat2 Printf Zomega

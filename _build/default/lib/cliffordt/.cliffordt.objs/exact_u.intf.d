@@ -1,0 +1,1 @@
+lib/cliffordt/exact_u.mli: Ctgate Hashtbl Mat2 Zomega

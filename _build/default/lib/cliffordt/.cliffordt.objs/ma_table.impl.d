@@ -1,0 +1,1 @@
+lib/cliffordt/ma_table.ml: Array Clifford Ctgate Exact_u Hashtbl List Mat2

@@ -1,0 +1,1 @@
+lib/cliffordt/ma_table.mli: Ctgate Exact_u Mat2

@@ -1,0 +1,11 @@
+(** The 24 single-qubit Clifford operators modulo global phase, each
+    carrying a cheapest word over {H, S, S†, X, Y, Z} (Paulis free). *)
+
+type element = { index : int; u : Exact_u.t; word : Ctgate.t list }
+
+val elements : element array
+val count : int
+(** Always 24; asserted at construction. *)
+
+val find_up_to_phase : Exact_u.t -> element option
+val is_clifford_up_to_phase : Exact_u.t -> bool

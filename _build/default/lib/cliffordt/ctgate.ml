@@ -1,0 +1,62 @@
+(** The single-qubit Clifford+T gate alphabet and gate-sequence metrics.
+
+    Cost conventions follow the paper: T/T† are the expensive non-Clifford
+    gates; H, S, S† are counted as Clifford gates; Pauli gates are free
+    (they are absorbed into the Pauli frame of the error-correcting code). *)
+
+type t = H | S | Sdg | T | Tdg | X | Y | Z
+
+let to_string = function
+  | H -> "H"
+  | S -> "S"
+  | Sdg -> "Sdg"
+  | T -> "T"
+  | Tdg -> "Tdg"
+  | X -> "X"
+  | Y -> "Y"
+  | Z -> "Z"
+
+let to_char = function
+  | H -> 'H'
+  | S -> 'S'
+  | Sdg -> 's'
+  | T -> 'T'
+  | Tdg -> 't'
+  | X -> 'X'
+  | Y -> 'Y'
+  | Z -> 'Z'
+
+let of_char = function
+  | 'H' -> H
+  | 'S' -> S
+  | 's' -> Sdg
+  | 'T' -> T
+  | 't' -> Tdg
+  | 'X' -> X
+  | 'Y' -> Y
+  | 'Z' -> Z
+  | c -> invalid_arg (Printf.sprintf "Ctgate.of_char: %c" c)
+
+let is_t = function T | Tdg -> true | H | S | Sdg | X | Y | Z -> false
+let is_pauli = function X | Y | Z -> true | H | S | Sdg | T | Tdg -> false
+let is_clifford g = not (is_t g)
+
+let to_mat2 = function
+  | H -> Mat2.h
+  | S -> Mat2.s
+  | Sdg -> Mat2.sdg
+  | T -> Mat2.t
+  | Tdg -> Mat2.tdg
+  | X -> Mat2.x
+  | Y -> Mat2.y
+  | Z -> Mat2.z
+
+(* Matrix of a word: leftmost gate is the leftmost matrix factor. *)
+let seq_to_mat2 seq = List.fold_left (fun acc g -> Mat2.mul acc (to_mat2 g)) Mat2.identity seq
+let t_count seq = List.length (List.filter is_t seq)
+let clifford_count seq = List.length (List.filter (fun g -> is_clifford g && not (is_pauli g)) seq)
+let seq_to_string seq =
+  let b = Bytes.create (List.length seq) in
+  List.iteri (fun i g -> Bytes.set b i (to_char g)) seq;
+  Bytes.to_string b
+let seq_of_string s = List.init (String.length s) (fun i -> of_char s.[i])

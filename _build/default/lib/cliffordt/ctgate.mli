@@ -1,0 +1,31 @@
+(** The single-qubit Clifford+T gate alphabet and word-level metrics.
+
+    Words are written in {i matrix order}: the leftmost gate is the
+    leftmost matrix factor (applied last in circuit time).  Cost
+    conventions follow the paper: T/T† are the non-Clifford gates,
+    H/S/S† count as Cliffords, Paulis are free. *)
+
+type t = H | S | Sdg | T | Tdg | X | Y | Z
+
+val to_string : t -> string
+
+val to_char : t -> char
+(** One-character encoding; [Sdg] is ['s'], [Tdg] is ['t']. *)
+
+val of_char : char -> t
+(** @raise Invalid_argument on an unknown character. *)
+
+val is_t : t -> bool
+val is_pauli : t -> bool
+val is_clifford : t -> bool
+val to_mat2 : t -> Mat2.t
+
+val seq_to_mat2 : t list -> Mat2.t
+(** Product of a word, leftmost gate = leftmost factor. *)
+
+val t_count : t list -> int
+val clifford_count : t list -> int
+(** Non-Pauli Clifford gates in the word. *)
+
+val seq_to_string : t list -> string
+val seq_of_string : string -> t list

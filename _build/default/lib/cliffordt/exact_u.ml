@@ -1,0 +1,114 @@
+(** Exact single-qubit Clifford+T unitaries.
+
+    A Clifford+T operator is exactly (1/√2^k) · [[a, b], [c, d]] with
+    a, b, c, d ∈ Z[ω].  We keep the representation reduced (k minimal)
+    and provide a canonical form modulo the 8 global phases ω^j, which
+    is what "unique up to a global phase" means for this gate set
+    (Matsumoto–Amano; the paper's 24·(3·2^#T − 2) count is the
+    phase-free count). *)
+
+module O = Zomega.Native
+
+type t = { a : O.t; b : O.t; c : O.t; d : O.t; k : int }
+
+let map2 f u = { u with a = f u.a; b = f u.b; c = f u.c; d = f u.d }
+
+(* Reduce so that k is minimal (entries not all divisible by √2). *)
+let rec reduce u =
+  if u.k = 0 then u
+  else
+    match (O.div_sqrt2_opt u.a, O.div_sqrt2_opt u.b, O.div_sqrt2_opt u.c, O.div_sqrt2_opt u.d) with
+    | Some a, Some b, Some c, Some d -> reduce { a; b; c; d; k = u.k - 1 }
+    | _ -> u
+
+let make ~a ~b ~c ~d ~k = reduce { a; b; c; d; k }
+let identity = { a = O.one; b = O.zero; c = O.zero; d = O.one; k = 0 }
+
+let mul u v =
+  let a = O.add (O.mul u.a v.a) (O.mul u.b v.c) in
+  let b = O.add (O.mul u.a v.b) (O.mul u.b v.d) in
+  let c = O.add (O.mul u.c v.a) (O.mul u.d v.c) in
+  let d = O.add (O.mul u.c v.b) (O.mul u.d v.d) in
+  reduce { a; b; c; d; k = u.k + v.k }
+
+let adjoint u =
+  reduce { a = O.conj u.a; b = O.conj u.c; c = O.conj u.b; d = O.conj u.d; k = u.k }
+
+let mul_phase u j = map2 (fun x -> O.mul_omega_pow x j) u
+
+(* Gate constants. *)
+let gate_h = { a = O.one; b = O.one; c = O.one; d = O.neg O.one; k = 1 }
+let gate_t = { a = O.one; b = O.zero; c = O.zero; d = O.omega; k = 0 }
+let gate_tdg = { a = O.one; b = O.zero; c = O.zero; d = O.mul_omega_pow O.one 7; k = 0 }
+let gate_s = { a = O.one; b = O.zero; c = O.zero; d = O.i; k = 0 }
+let gate_sdg = { a = O.one; b = O.zero; c = O.zero; d = O.neg O.i; k = 0 }
+let gate_x = { a = O.zero; b = O.one; c = O.one; d = O.zero; k = 0 }
+let gate_y = { a = O.zero; b = O.neg O.i; c = O.i; d = O.zero; k = 0 }
+let gate_z = { a = O.one; b = O.zero; c = O.zero; d = O.neg O.one; k = 0 }
+
+let of_gate = function
+  | Ctgate.H -> gate_h
+  | Ctgate.S -> gate_s
+  | Ctgate.Sdg -> gate_sdg
+  | Ctgate.T -> gate_t
+  | Ctgate.Tdg -> gate_tdg
+  | Ctgate.X -> gate_x
+  | Ctgate.Y -> gate_y
+  | Ctgate.Z -> gate_z
+
+let of_seq seq = List.fold_left (fun acc g -> mul acc (of_gate g)) identity seq
+
+let to_mat2 u =
+  let s = Float.pow (Float.sqrt 2.0) (float_of_int (-u.k)) in
+  let conv z =
+    let re, im = O.to_complex z in
+    { Cplx.re = s *. re; im = s *. im }
+  in
+  Mat2.make (conv u.a) (conv u.b) (conv u.c) (conv u.d)
+
+(* A flat integer key; coefficient magnitudes stay tiny for the T
+   budgets the tables use, so native ints are safe. *)
+let key u =
+  let open Zomega.Native in
+  [|
+    u.k;
+    u.a.x0; u.a.x1; u.a.x2; u.a.x3;
+    u.b.x0; u.b.x1; u.b.x2; u.b.x3;
+    u.c.x0; u.c.x1; u.c.x2; u.c.x3;
+    u.d.x0; u.d.x1; u.d.x2; u.d.x3;
+  |]
+
+(* Canonical representative of { ω^j·U : j = 0..7 }: the phase multiple
+   with the lexicographically smallest key. *)
+let canonicalize u =
+  let best = ref u and best_key = ref (key u) in
+  for j = 1 to 7 do
+    let v = mul_phase u j in
+    let kv = key v in
+    if compare kv !best_key < 0 then begin
+      best := v;
+      best_key := kv
+    end
+  done;
+  !best
+
+let equal u v = key u = key v
+let equal_up_to_phase u v = key (canonicalize u) = key (canonicalize v)
+let hash u = Hashtbl.hash (key u)
+
+(* T-count parity invariant: the smallest denominator exponent grows with
+   T gates; used only for sanity checks. *)
+let sde u = u.k
+
+let to_string u =
+  Printf.sprintf "1/sqrt2^%d [[%s, %s], [%s, %s]]" u.k (O.to_string u.a) (O.to_string u.b)
+    (O.to_string u.c) (O.to_string u.d)
+
+module Key = struct
+  type nonrec t = int array
+
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end
+
+module Table = Hashtbl.Make (Key)

@@ -1,0 +1,60 @@
+(** Exact single-qubit Clifford+T unitaries: (1/√2^k)·[[a,b],[c,d]] with
+    entries in Z[ω] and k minimal.  Equality up to the 8 global phases
+    ω^j is decided by a canonical form, which is what backs the step-0
+    table and the peephole lookups — no float tolerance anywhere. *)
+
+module O = Zomega.Native
+
+type t = { a : O.t; b : O.t; c : O.t; d : O.t; k : int }
+
+val make : a:O.t -> b:O.t -> c:O.t -> d:O.t -> k:int -> t
+(** Reduces the representation so [k] is minimal. *)
+
+val identity : t
+val mul : t -> t -> t
+val adjoint : t -> t
+
+val mul_phase : t -> int -> t
+(** Multiply by ω^j. *)
+
+(** Exact gate constants. *)
+
+val gate_h : t
+val gate_t : t
+val gate_tdg : t
+val gate_s : t
+val gate_sdg : t
+val gate_x : t
+val gate_y : t
+val gate_z : t
+val of_gate : Ctgate.t -> t
+
+val of_seq : Ctgate.t list -> t
+(** Exact product of a word (matrix order). *)
+
+val to_mat2 : t -> Mat2.t
+
+val key : t -> int array
+(** Flat integer encoding (coefficients stay small at table depths). *)
+
+val canonicalize : t -> t
+(** The phase multiple with the lexicographically smallest {!key}. *)
+
+val equal : t -> t -> bool
+val equal_up_to_phase : t -> t -> bool
+val hash : t -> int
+
+val sde : t -> int
+(** The denominator exponent of the reduced form. *)
+
+val to_string : t -> string
+
+(** Hash tables keyed by {!key} arrays. *)
+module Key : sig
+  type t = int array
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Table : Hashtbl.S with type key = int array

@@ -1,0 +1,119 @@
+(** Step 0 of TRASYN: the table of all Clifford+T operators (up to global
+    phase) with at most a given number of T gates, each paired with a
+    T-optimal gate sequence.
+
+    Instead of the paper's enumerate-and-deduplicate sweep (O(4^#T) with
+    trace-value duplicate checks on a GPU), we enumerate Matsumoto–Amano
+    normal forms
+        [ε | T] (HT | SHT)* C,   C one of the 24 Cliffords,
+    which are in bijection with Clifford+T operators mod phase, so the
+    enumeration is linear in the output count 24·(3·2^#T − 2), and the
+    sequences produced are T-optimal by construction.  The table doubles
+    as step 3's lookup of shorter equivalents. *)
+
+type entry = {
+  seq : Ctgate.t list;  (** T-optimal word whose product is [u] up to phase *)
+  u : Exact_u.t;
+  mat : Mat2.t;
+  tcount : int;
+  ccount : int;  (** non-Pauli Clifford gates in [seq] *)
+}
+
+type t = {
+  max_t : int;
+  entries : entry array;  (** sorted by (tcount, index) *)
+  lookup : int Exact_u.Table.t;  (** canonical key -> entry index *)
+  offsets : int array;  (** offsets.(k) = first index with tcount >= k *)
+}
+
+let theoretical_count m = 24 * ((3 * (1 lsl m)) - 2)
+
+(* All MA prefixes with exactly [k] T gates, as (word, unitary) pairs.
+   Level 0 is the empty prefix; level 1 is {T, HT, SHT}; level k+1
+   appends a syllable HT or SHT to every level-k prefix. *)
+let prefixes_by_level max_t =
+  let syllables = Ctgate.[ [ H; T ]; [ S; H; T ] ] in
+  let apply (word, u) syl = (word @ syl, Exact_u.mul u (Exact_u.of_seq syl)) in
+  let levels = Array.make (max_t + 1) [] in
+  levels.(0) <- [ ([], Exact_u.identity) ];
+  if max_t >= 1 then
+    levels.(1) <-
+      ([ Ctgate.T ], Exact_u.gate_t) :: List.map (apply ([], Exact_u.identity)) syllables;
+  for k = 2 to max_t do
+    levels.(k) <-
+      List.concat_map (fun prefix -> List.map (apply prefix) syllables) levels.(k - 1)
+  done;
+  levels
+
+let build max_t =
+  let levels = prefixes_by_level max_t in
+  let buf = ref [] in
+  let n = ref 0 in
+  for k = 0 to max_t do
+    List.iter
+      (fun (word, u) ->
+        Array.iter
+          (fun (c : Clifford.element) ->
+            let seq = word @ c.Clifford.word in
+            let full = Exact_u.mul u c.Clifford.u in
+            let entry =
+              {
+                seq;
+                u = full;
+                mat = Exact_u.to_mat2 full;
+                tcount = k;
+                ccount = Ctgate.clifford_count seq;
+              }
+            in
+            buf := entry :: !buf;
+            incr n)
+          Clifford.elements)
+      levels.(k)
+  done;
+  let entries = Array.of_list (List.rev !buf) in
+  assert (Array.length entries = theoretical_count max_t);
+  let lookup = Exact_u.Table.create (Array.length entries * 2) in
+  Array.iteri
+    (fun i e ->
+      let key = Exact_u.key (Exact_u.canonicalize e.u) in
+      match Exact_u.Table.find_opt lookup key with
+      | Some j ->
+          let better =
+            let a = entries.(j) in
+            (e.tcount, e.ccount, List.length e.seq) < (a.tcount, a.ccount, List.length a.seq)
+          in
+          if better then Exact_u.Table.replace lookup key i
+      | None -> Exact_u.Table.add lookup key i)
+    entries;
+  let offsets = Array.make (max_t + 2) 0 in
+  let idx = ref 0 in
+  for k = 0 to max_t + 1 do
+    while !idx < Array.length entries && entries.(!idx).tcount < k do
+      incr idx
+    done;
+    offsets.(k) <- !idx
+  done;
+  { max_t; entries; lookup; offsets }
+
+(* Tables are expensive to build once max_t grows; share them. *)
+let cache : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let get max_t =
+  match Hashtbl.find_opt cache max_t with
+  | Some t -> t
+  | None ->
+      let t = build max_t in
+      Hashtbl.add cache max_t t;
+      t
+
+let lookup_best table u =
+  match Exact_u.Table.find_opt table.lookup (Exact_u.key (Exact_u.canonicalize u)) with
+  | Some i -> Some table.entries.(i)
+  | None -> None
+
+(* Entries with tcount in [lo, hi] as a sub-array view (copy). *)
+let entries_in_range table ~lo ~hi =
+  let hi = min hi table.max_t in
+  Array.sub table.entries table.offsets.(lo) (table.offsets.(hi + 1) - table.offsets.(lo))
+
+let size table = Array.length table.entries

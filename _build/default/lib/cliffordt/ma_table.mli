@@ -1,0 +1,36 @@
+(** Step 0 of TRASYN: the table of all Clifford+T operators up to global
+    phase with at most a given T count, enumerated as Matsumoto–Amano
+    normal forms [ε|T](HT|SHT)*·C — provably unique, so the enumeration
+    is linear in the output count 24·(3·2^#T − 2) and every sequence is
+    T-optimal by construction.  Doubles as step 3's lookup table of
+    cheaper equivalents. *)
+
+type entry = {
+  seq : Ctgate.t list;  (** T-optimal word equal to [u] up to phase *)
+  u : Exact_u.t;
+  mat : Mat2.t;
+  tcount : int;
+  ccount : int;  (** non-Pauli Cliffords in [seq] *)
+}
+
+type t = {
+  max_t : int;
+  entries : entry array;  (** sorted by T count *)
+  lookup : int Exact_u.Table.t;
+  offsets : int array;  (** [offsets.(k)] = first index with tcount ≥ k *)
+}
+
+val theoretical_count : int -> int
+(** 24·(3·2^m − 2), verified against the enumeration in the tests. *)
+
+val build : int -> t
+val get : int -> t
+(** Memoized [build]. *)
+
+val lookup_best : t -> Exact_u.t -> entry option
+(** Cheapest known realization of an operator, up to global phase. *)
+
+val entries_in_range : t -> lo:int -> hi:int -> entry array
+(** Entries with T count in [lo, hi] (fresh array). *)
+
+val size : t -> int

@@ -1,0 +1,1 @@
+lib/core/mixing.ml: Array Ctgate Float List Mat2 Ptm Trasyn

@@ -1,0 +1,1 @@
+lib/core/mixing.mli: Ctgate Mat2 Trasyn

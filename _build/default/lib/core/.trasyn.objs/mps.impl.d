@@ -1,0 +1,1 @@
+lib/core/mps.ml: Array Cmatrix Cplx Hashtbl List Mat2 Option Random Sitebank Svd

@@ -1,0 +1,1 @@
+lib/core/mps.mli: Cplx Mat2 Random Sitebank

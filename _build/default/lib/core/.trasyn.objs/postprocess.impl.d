@@ -1,0 +1,1 @@
+lib/core/postprocess.ml: Array Ctgate Exact_u List Ma_table

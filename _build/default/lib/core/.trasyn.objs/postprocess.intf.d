@@ -1,0 +1,1 @@
+lib/core/postprocess.mli: Ctgate Ma_table

@@ -1,0 +1,1 @@
+lib/core/sitebank.ml: Array Cplx Ma_table Mat2

@@ -1,0 +1,1 @@
+lib/core/sitebank.mli: Ctgate Ma_table Mat2

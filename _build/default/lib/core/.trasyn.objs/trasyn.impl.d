@@ -1,0 +1,1 @@
+lib/core/trasyn.ml: Array Cplx Ctgate Float List Ma_table Mat2 Mps Option Postprocess Random Sitebank Unix

@@ -1,0 +1,1 @@
+lib/core/trasyn.mli: Ctgate Mat2

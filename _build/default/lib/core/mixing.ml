@@ -1,0 +1,133 @@
+(** Probabilistic mixing of synthesized unitaries (Campbell 2017;
+    Hastings 2016) — the extension the paper's related-work section
+    points at: "using TRASYN as a blackbox algorithm, mixing unitaries
+    can reduce the error quadratically".
+
+    A deterministic approximation V of U has coherent error
+    D(U,V) = ε.  Executing V₁ with probability p and V₂ with 1−p
+    implements the channel E(ρ) = p·V₁ρV₁† + (1−p)·V₂ρV₂†; when the
+    first-order (trace-orthogonal) error components of V₁ and V₂ point
+    in opposing directions, a suitable p cancels them, leaving an
+    incoherent remainder of order ε² — magic-state-free error
+    suppression on top of any synthesizer.
+
+    We work at the PTM (channel) level: the figure of merit is process
+    infidelity 1 − F_pro, which for a coherent error ε is ≈ ε²·(2/3)
+    and for the optimal mixture drops by roughly another factor of the
+    cancellation quality. *)
+
+type candidate = { seq : Ctgate.t list; mat : Mat2.t; distance : float }
+
+type mixture = {
+  first : candidate;
+  second : candidate;
+  p : float;  (** probability of [first] *)
+  norm_distance : float;  (** ‖R_mix − R_U‖_F, the diamond-norm-scale metric *)
+  deterministic_norm_distance : float;  (** same metric, best single candidate *)
+  process_infidelity : float;  (** 1 − F_pro of the mixed channel *)
+  deterministic_infidelity : float;  (** 1 − F_pro of the best single candidate *)
+}
+
+let candidate_of_result (r : Trasyn.result) =
+  { seq = r.Trasyn.seq; mat = Ctgate.seq_to_mat2 r.Trasyn.seq; distance = r.Trasyn.distance }
+
+let mixed_ptm p r1 r2 =
+  Array.init 4 (fun i ->
+      Array.init 4 (fun j -> (p *. r1.(i).(j)) +. ((1.0 -. p) *. r2.(i).(j))))
+
+(* Frobenius distance between PTMs. *)
+let ptm_distance (a : Ptm.t) (b : Ptm.t) =
+  let acc = ref 0.0 in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      let d = a.(i).(j) -. b.(i).(j) in
+      acc := !acc +. (d *. d)
+    done
+  done;
+  Float.sqrt !acc
+
+(* Both error metrics of the channel p·V₁ + (1−p)·V₂ against U. *)
+let mixed_norm_distance ~target p v1 v2 =
+  let ru = Ptm.of_mat2 target in
+  ptm_distance ru (mixed_ptm p (Ptm.of_mat2 v1) (Ptm.of_mat2 v2))
+
+let mixed_infidelity ~target p v1 v2 =
+  let ru = Ptm.of_mat2 target in
+  1.0 -. Ptm.process_fidelity ru (mixed_ptm p (Ptm.of_mat2 v1) (Ptm.of_mat2 v2))
+
+(* Best mixing probability for a fixed pair by golden-section search
+   (the norm distance is smooth and unimodal in p). *)
+let optimize_p ~target v1 v2 =
+  let f p = mixed_norm_distance ~target p v1 v2 in
+  let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
+  let a = ref 0.0 and b = ref 1.0 in
+  for _ = 1 to 50 do
+    let x1 = !b -. (phi *. (!b -. !a)) and x2 = !a +. (phi *. (!b -. !a)) in
+    if f x1 < f x2 then b := x2 else a := x1
+  done;
+  let p = 0.5 *. (!a +. !b) in
+  (p, f p)
+
+(* Synthesize a pool of diverse candidates by reseeding TRASYN, then
+   pick the pair + probability minimizing the mixed process
+   infidelity. *)
+let synthesize ?(config = Trasyn.default_config) ?(pool = 6) ~target ~budgets () =
+  (* Diversity matters more than individual quality: error directions
+     of same-budget solutions correlate, so half the pool also drops
+     the post-processing pass and varies the final-site budget. *)
+  let variant i =
+    let cfg = { config with seed = config.seed + (i * 104729); post_process = i mod 2 = 0 } in
+    let budgets =
+      match (i mod 3, List.rev budgets) with
+      | 1, last :: rest when last > 2 -> List.rev ((last - 1) :: rest)
+      | 2, last :: rest when last > 4 -> List.rev ((last - 2) :: rest)
+      | _ -> budgets
+    in
+    candidate_of_result (Trasyn.synthesize ~config:cfg ~target ~budgets ())
+  in
+  let candidates = List.init pool variant in
+  (* Deduplicate identical sequences (reseeding can converge). *)
+  let distinct =
+    List.sort_uniq (fun a b -> compare (Ctgate.seq_to_string a.seq) (Ctgate.seq_to_string b.seq))
+      candidates
+  in
+  let best_single =
+    List.fold_left (fun acc c -> if c.distance < acc.distance then c else acc) (List.hd distinct)
+      distinct
+  in
+  let det_norm = mixed_norm_distance ~target 1.0 best_single.mat best_single.mat in
+  let det_infid = mixed_infidelity ~target 1.0 best_single.mat best_single.mat in
+  let best = ref None in
+  List.iteri
+    (fun i c1 ->
+      List.iteri
+        (fun j c2 ->
+          if j > i then begin
+            let p, dist = optimize_p ~target c1.mat c2.mat in
+            match !best with
+            | Some (_, _, _, bd) when bd <= dist -> ()
+            | _ -> best := Some (c1, c2, p, dist)
+          end)
+        distinct)
+    distinct;
+  match !best with
+  | Some (first, second, p, norm_distance) when norm_distance < det_norm ->
+      {
+        first;
+        second;
+        p;
+        norm_distance;
+        deterministic_norm_distance = det_norm;
+        process_infidelity = mixed_infidelity ~target p first.mat second.mat;
+        deterministic_infidelity = det_infid;
+      }
+  | _ ->
+      {
+        first = best_single;
+        second = best_single;
+        p = 1.0;
+        norm_distance = det_norm;
+        deterministic_norm_distance = det_norm;
+        process_infidelity = det_infid;
+        deterministic_infidelity = det_infid;
+      }

@@ -1,0 +1,28 @@
+(** Probabilistic mixing of TRASYN outputs (Campbell 2017, Hastings
+    2016) — the error-suppression extension the paper's related work
+    points at.  Executing one of two synthesized words at random turns
+    a coherent synthesis error of size ε into an incoherent one of
+    size ~ε² in norm distance; process infidelity (already quadratic)
+    is unchanged to leading order, so the norm metric is what is
+    optimized and reported. *)
+
+type candidate = { seq : Ctgate.t list; mat : Mat2.t; distance : float }
+
+type mixture = {
+  first : candidate;
+  second : candidate;
+  p : float;  (** probability of executing [first] *)
+  norm_distance : float;  (** ‖R_mix − R_U‖_F of the mixed channel *)
+  deterministic_norm_distance : float;  (** same metric, best single word *)
+  process_infidelity : float;
+  deterministic_infidelity : float;
+}
+
+val mixed_norm_distance : target:Mat2.t -> float -> Mat2.t -> Mat2.t -> float
+val mixed_infidelity : target:Mat2.t -> float -> Mat2.t -> Mat2.t -> float
+
+val synthesize :
+  ?config:Trasyn.config -> ?pool:int -> target:Mat2.t -> budgets:int list -> unit -> mixture
+(** Synthesize a pool of reseeded candidates (default 6), then choose
+    the pair and probability minimizing the mixed norm distance.  Falls
+    back to the best deterministic word when no mixture beats it. *)

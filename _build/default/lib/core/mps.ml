@@ -1,0 +1,339 @@
+(** The tensor-network engine of TRASYN (steps 1 and 2 of the paper).
+
+    The trace values Tr(U†·M₁[s₁]·M₂[s₂]⋯M_l[s_l]) over all index
+    choices form an exponentially large tensor; this module represents
+    it as an MPS with bond dimension ≤ 4:
+
+      site 1:  T₁[s]_(c,b)        = Σ_a conj(U_(a,b)) · M₁[s]_(a,c)
+      site i:  T_i[s]_((c,b),(c',b')) = M_i[s]_(c,c') · δ_(b,b')
+      site l:  T_l[s]_(c,b)       = M_l[s]_(c,b)
+
+    (the δ-line carries the target's second matrix dimension from the
+    end of the chain back to the beginning — the paper's "loop cut").
+    A right-to-left orthogonalization sweep brings the MPS to canonical
+    form, after which gate sequences are sampled from the chain rule
+    p(s₁)p(s₂|s₁)… with each conditional computed locally, and every
+    sample's trace value falls out of the final contraction for free. *)
+
+type site = {
+  dl : int;  (** left bond dimension *)
+  dr : int;  (** right bond dimension *)
+  n : int;  (** physical dimension = number of Clifford+T operators *)
+  re : float array;  (** (s·dl + a)·dr + b, row-major per physical index *)
+  im : float array;
+  bank : Sitebank.t;
+}
+
+type t = { sites : site array; target : Mat2.t }
+
+type sample = {
+  indices : int array;  (** one physical index per site *)
+  amplitude : Cplx.t;  (** Tr(U†·∏ M[sᵢ]) — the trace value *)
+  multiplicity : int;  (** how many of the k draws landed here *)
+}
+
+let site_get s phys a b =
+  let idx = (((phys * s.dl) + a) * s.dr) + b in
+  { Cplx.re = s.re.(idx); im = s.im.(idx) }
+
+let site_set s phys a b (z : Cplx.t) =
+  let idx = (((phys * s.dl) + a) * s.dr) + b in
+  s.re.(idx) <- z.Cplx.re;
+  s.im.(idx) <- z.Cplx.im
+
+let make_site bank dl dr =
+  let n = bank.Sitebank.count in
+  { dl; dr; n; re = Array.make (n * dl * dr) 0.0; im = Array.make (n * dl * dr) 0.0; bank }
+
+(* Matrix entry of physical index [phys] of a bank. *)
+let bank_entry bank phys row col =
+  { Cplx.re = bank.Sitebank.re.((phys * 4) + (row * 2) + col);
+    im = bank.Sitebank.im.((phys * 4) + (row * 2) + col) }
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let build ~(target : Mat2.t) (banks : Sitebank.t array) =
+  let l = Array.length banks in
+  if l = 0 then invalid_arg "Mps.build: need at least one site";
+  let u = Cmatrix.of_mat2 target in
+  let sites =
+    Array.mapi
+      (fun i bank ->
+        if l = 1 then begin
+          (* Single site: the tensor is directly the trace values. *)
+          let s = make_site bank 1 1 in
+          for phys = 0 to s.n - 1 do
+            let acc = ref Cplx.zero in
+            for a = 0 to 1 do
+              for b = 0 to 1 do
+                acc :=
+                  Cplx.add !acc
+                    (Cplx.mul (Cplx.conj (Cmatrix.get u a b)) (bank_entry bank phys a b))
+              done
+            done;
+            site_set s phys 0 0 !acc
+          done;
+          s
+        end
+        else if i = 0 then begin
+          (* First site: fold in U† and open the composite bond (c,b). *)
+          let s = make_site bank 1 4 in
+          for phys = 0 to s.n - 1 do
+            for c = 0 to 1 do
+              for b = 0 to 1 do
+                let acc = ref Cplx.zero in
+                for a = 0 to 1 do
+                  acc :=
+                    Cplx.add !acc
+                      (Cplx.mul (Cplx.conj (Cmatrix.get u a b)) (bank_entry bank phys a c))
+                done;
+                site_set s phys 0 ((c * 2) + b) !acc
+              done
+            done
+          done;
+          s
+        end
+        else if i = l - 1 then begin
+          (* Last site: close the composite bond. *)
+          let s = make_site bank 4 1 in
+          for phys = 0 to s.n - 1 do
+            for c = 0 to 1 do
+              for b = 0 to 1 do
+                site_set s phys ((c * 2) + b) 0 (bank_entry bank phys c b)
+              done
+            done
+          done;
+          s
+        end
+        else begin
+          (* Middle site: M ⊗ identity line. *)
+          let s = make_site bank 4 4 in
+          for phys = 0 to s.n - 1 do
+            for c = 0 to 1 do
+              for c' = 0 to 1 do
+                for b = 0 to 1 do
+                  site_set s phys ((c * 2) + b) ((c' * 2) + b) (bank_entry bank phys c c')
+                done
+              done
+            done
+          done;
+          s
+        end)
+      banks
+  in
+  { sites; target }
+
+(* Exact trace value for a full index assignment (direct evaluation,
+   used by tests and to double-check samples). *)
+let trace_of_indices t indices =
+  let prod =
+    Array.to_list indices
+    |> List.mapi (fun i s -> Sitebank.matrix t.sites.(i).bank s)
+    |> Mat2.product
+  in
+  Mat2.trace (Mat2.mul (Mat2.adjoint t.target) prod)
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization (right-to-left LQ sweep)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* View a site as a (dl × n·dr) matrix. *)
+let site_to_matrix s =
+  Cmatrix.init s.dl (s.n * s.dr) (fun a j -> site_get s (j / s.dr) a (j mod s.dr))
+
+let site_of_matrix s m =
+  for a = 0 to s.dl - 1 do
+    for j = 0 to (s.n * s.dr) - 1 do
+      site_set s (j / s.dr) a (j mod s.dr) (Cmatrix.get m a j)
+    done
+  done
+
+(* Contract a (dl × dl) matrix into the right bond of a site:
+   A[s]_(a,b) ← Σ_c A[s]_(a,c) · L_(c,b). *)
+let absorb_right s lmat =
+  for phys = 0 to s.n - 1 do
+    for a = 0 to s.dl - 1 do
+      let row = Array.init s.dr (fun c -> site_get s phys a c) in
+      for b = 0 to s.dr - 1 do
+        let acc = ref Cplx.zero in
+        for c = 0 to s.dr - 1 do
+          acc := Cplx.add !acc (Cplx.mul row.(c) (Cmatrix.get lmat c b))
+        done;
+        site_set s phys a b !acc
+      done
+    done
+  done
+
+(* Bring sites 1..l−1 to right-canonical form; site 0 absorbs the norm. *)
+let canonicalize t =
+  let l = Array.length t.sites in
+  for i = l - 1 downto 1 do
+    let s = t.sites.(i) in
+    let m = site_to_matrix s in
+    let lmat, q = Svd.lq m in
+    site_of_matrix s q;
+    absorb_right t.sites.(i - 1) lmat
+  done
+
+(* Canonical-form check: Σ_s A[s]·A[s]† = identity on the left bond. *)
+let right_canonical_error s =
+  let acc = Cmatrix.create s.dl s.dl in
+  for phys = 0 to s.n - 1 do
+    for a = 0 to s.dl - 1 do
+      for a' = 0 to s.dl - 1 do
+        let sum = ref (Cmatrix.get acc a a') in
+        for b = 0 to s.dr - 1 do
+          sum := Cplx.add !sum (Cplx.mul (site_get s phys a b) (Cplx.conj (site_get s phys a' b)))
+        done;
+        Cmatrix.set acc a a' !sum
+      done
+    done
+  done;
+  Cmatrix.frobenius_norm (Cmatrix.sub acc (Cmatrix.identity s.dl))
+
+(* ------------------------------------------------------------------ *)
+(* Sampling (step 2)                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type partial = { w_re : float array; w_im : float array; chosen : int list; mult : int }
+
+(* Weights over the physical index for a partial state: ‖w·A[s]‖². *)
+let weights_of_partial site (p : partial) =
+  let weights = Array.make site.n 0.0 in
+  let dl = site.dl and dr = site.dr in
+  for phys = 0 to site.n - 1 do
+    let base = phys * dl * dr in
+    let acc = ref 0.0 in
+    for b = 0 to dr - 1 do
+      let vre = ref 0.0 and vim = ref 0.0 in
+      for a = 0 to dl - 1 do
+        let are = site.re.(base + (a * dr) + b) and aim = site.im.(base + (a * dr) + b) in
+        vre := !vre +. (p.w_re.(a) *. are) -. (p.w_im.(a) *. aim);
+        vim := !vim +. (p.w_re.(a) *. aim) +. (p.w_im.(a) *. are)
+      done;
+      acc := !acc +. (!vre *. !vre) +. (!vim *. !vim)
+    done;
+    weights.(phys) <- !acc
+  done;
+  weights
+
+let advance_partial site (p : partial) phys =
+  let dl = site.dl and dr = site.dr in
+  let w_re = Array.make dr 0.0 and w_im = Array.make dr 0.0 in
+  let base = phys * dl * dr in
+  for b = 0 to dr - 1 do
+    let vre = ref 0.0 and vim = ref 0.0 in
+    for a = 0 to dl - 1 do
+      let are = site.re.(base + (a * dr) + b) and aim = site.im.(base + (a * dr) + b) in
+      vre := !vre +. (p.w_re.(a) *. are) -. (p.w_im.(a) *. aim);
+      vim := !vim +. (p.w_re.(a) *. aim) +. (p.w_im.(a) *. are)
+    done;
+    w_re.(b) <- !vre;
+    w_im.(b) <- !vim
+  done;
+  { p with w_re; w_im; chosen = phys :: p.chosen }
+
+(* Draw [mult] categorical samples from unnormalized [weights] in one
+   pass using sorted uniforms; returns (index, count) pairs. *)
+let draw_counts rng weights mult =
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  if total <= 0.0 then []
+  else begin
+    let points = Array.init mult (fun _ -> Random.State.float rng total) in
+    Array.sort compare points;
+    let counts = Hashtbl.create 16 in
+    let cum = ref 0.0 and j = ref 0 in
+    Array.iteri
+      (fun phys w ->
+        cum := !cum +. w;
+        let c = ref 0 in
+        while !j < mult && points.(!j) <= !cum do
+          incr c;
+          incr j
+        done;
+        if !c > 0 then Hashtbl.replace counts phys !c)
+      weights;
+    (* Numerical tail: assign any stragglers to the last nonzero weight. *)
+    if !j < mult then begin
+      let last = ref 0 in
+      Array.iteri (fun phys w -> if w > 0.0 then last := phys) weights;
+      let prev = Option.value ~default:0 (Hashtbl.find_opt counts !last) in
+      Hashtbl.replace counts !last (prev + (mult - !j))
+    end;
+    Hashtbl.fold (fun phys c acc -> (phys, c) :: acc) counts []
+  end
+
+(* Sample k gate-sequence index tuples from the canonicalized MPS.
+
+    With [argmax_last] (the default), each distinct sampled prefix also
+    contributes the best completion of the final site: the conditional
+    weights there are exactly the per-sequence trace values and have
+    already been computed, so taking their maximum costs nothing extra
+    and is what makes best-of-k reach deep error targets. *)
+let sample ?(rng = Random.State.make_self_init ()) ?(argmax_last = true) t ~k =
+  let l = Array.length t.sites in
+  let init = { w_re = [| 1.0 |]; w_im = [| 0.0 |]; chosen = []; mult = k } in
+  let finish p =
+    let amplitude = { Cplx.re = p.w_re.(0); im = p.w_im.(0) } in
+    { indices = Array.of_list (List.rev p.chosen); amplitude; multiplicity = p.mult }
+  in
+  let argmax weights =
+    let best = ref 0 in
+    Array.iteri (fun i w -> if w > weights.(!best) then best := i) weights;
+    !best
+  in
+  let rec go level partials =
+    if level = l then List.map finish partials
+    else begin
+      let site = t.sites.(level) in
+      let last = level = l - 1 in
+      let children =
+        List.concat_map
+          (fun p ->
+            let weights = weights_of_partial site p in
+            let drawn =
+              List.map
+                (fun (phys, c) -> { (advance_partial site p phys) with mult = c })
+                (draw_counts rng weights p.mult)
+            in
+            if last && argmax_last then begin
+              let best = argmax weights in
+              if List.exists (fun (q : partial) -> List.hd q.chosen = best) drawn then drawn
+              else { (advance_partial site p best) with mult = 1 } :: drawn
+            end
+            else drawn)
+          partials
+      in
+      go (level + 1) children
+    end
+  in
+  go 0 [ init ]
+
+(* Deterministic beam search over the same distribution: keep the [beam]
+   highest-weight partials at each level.  Used by the greedy ablation. *)
+let beam_search t ~beam =
+  let l = Array.length t.sites in
+  let init = { w_re = [| 1.0 |]; w_im = [| 0.0 |]; chosen = []; mult = 1 } in
+  let finish p =
+    let amplitude = { Cplx.re = p.w_re.(0); im = p.w_im.(0) } in
+    { indices = Array.of_list (List.rev p.chosen); amplitude; multiplicity = p.mult }
+  in
+  let rec go level partials =
+    if level = l then List.map finish partials
+    else begin
+      let site = t.sites.(level) in
+      let scored =
+        List.concat_map
+          (fun p ->
+            let weights = weights_of_partial site p in
+            Array.to_list (Array.mapi (fun phys w -> (w, p, phys)) weights))
+          partials
+      in
+      let sorted = List.sort (fun (w1, _, _) (w2, _, _) -> compare w2 w1) scored in
+      let top = List.filteri (fun i _ -> i < beam) sorted in
+      go (level + 1) (List.map (fun (_, p, phys) -> advance_partial site p phys) top)
+    end
+  in
+  go 0 [ init ]

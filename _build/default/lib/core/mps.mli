@@ -1,0 +1,56 @@
+(** The tensor-network engine of TRASYN (steps 1 and 2).
+
+    The exponentially large tensor of trace values
+    Tr(U†·M₁[s₁]⋯M_l[s_l]) is represented as an MPS with bond dimension
+    ≤ 4; a right-to-left orthogonalization sweep brings it to canonical
+    form, after which index tuples (gate sequences) are sampled from
+    p ∝ |trace|² via the chain rule, each conditional computed locally.
+    Every sample's trace value falls out of the final contraction for
+    free — the "error-aware" property the paper leans on. *)
+
+type site = {
+  dl : int;  (** left bond dimension *)
+  dr : int;  (** right bond dimension *)
+  n : int;  (** physical dimension (number of Clifford+T operators) *)
+  re : float array;
+  im : float array;
+  bank : Sitebank.t;
+}
+
+type t = { sites : site array; target : Mat2.t }
+
+type sample = {
+  indices : int array;  (** one physical index per site *)
+  amplitude : Cplx.t;  (** Tr(U†·∏ M[sᵢ]) *)
+  multiplicity : int;  (** how many of the k draws landed here *)
+}
+
+val site_get : site -> int -> int -> int -> Cplx.t
+(** [site_get s phys a b] — tensor entry at physical index [phys], left
+    bond [a], right bond [b]. *)
+
+val build : target:Mat2.t -> Sitebank.t array -> t
+(** Construct the MPS for a target and per-site operator banks;
+    the target's second matrix dimension rides along a δ-line (the
+    paper's "loop cut").  @raise Invalid_argument on zero sites. *)
+
+val trace_of_indices : t -> int array -> Cplx.t
+(** Direct exact evaluation of one index tuple (tests, verification). *)
+
+val canonicalize : t -> unit
+(** Right-to-left LQ sweep; sites 1..l−1 become right-isometric. *)
+
+val right_canonical_error : site -> float
+(** ‖Σ_s A[s]A[s]† − I‖_F — zero (to float precision) after
+    {!canonicalize}. *)
+
+val sample : ?rng:Random.State.t -> ?argmax_last:bool -> t -> k:int -> sample list
+(** Draw [k] sequences from the Born distribution of the canonicalized
+    MPS.  With [argmax_last] (default), each distinct sampled prefix
+    also contributes the best completion of the final site — the
+    conditional weights there are exactly the per-sequence trace values
+    and have already been computed. *)
+
+val beam_search : t -> beam:int -> sample list
+(** Deterministic alternative: keep the [beam] highest-weight partial
+    sequences at every site (the greedy ablation). *)

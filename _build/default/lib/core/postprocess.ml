@@ -1,0 +1,61 @@
+(** Step 3 of TRASYN: peephole resynthesis of sampled gate sequences.
+
+    Concatenating per-site optimal sequences can create suboptimal
+    subsequences (e.g. ...T·T... across a site boundary).  We slide
+    windows over the word, evaluate each window exactly in D[ω], and
+    replace it whenever the step-0 table knows a cheaper equivalent
+    (fewer T, then fewer Cliffords, then shorter), iterating to a
+    fixpoint.  Replacements are exact up to global phase, which is the
+    equivalence the synthesis works under. *)
+
+let better_cost (t1, c1, l1) (t2, c2, l2) =
+  t1 < t2 || (t1 = t2 && (c1 < c2 || (c1 = c2 && l1 < l2)))
+
+let cost_of seq = (Ctgate.t_count seq, Ctgate.clifford_count seq, List.length seq)
+
+(* One pass: find the leftmost window with a strictly cheaper table
+   equivalent and rewrite it.  Returns None at fixpoint. *)
+let improve_pass table max_window gates =
+  let arr = Array.of_list gates in
+  let len = Array.length arr in
+  let rec scan start =
+    if start >= len then None
+    else begin
+      (* Grow the window while its T-count stays within the table. *)
+      let rec try_windows stop u best =
+        if stop > len then best
+        else begin
+          let u = Exact_u.mul u (Exact_u.of_gate arr.(stop - 1)) in
+          let window_t = Ctgate.t_count (Array.to_list (Array.sub arr start (stop - start))) in
+          if window_t > table.Ma_table.max_t || stop - start > max_window then best
+          else begin
+            let window = Array.to_list (Array.sub arr start (stop - start)) in
+            let best =
+              match Ma_table.lookup_best table u with
+              | Some e when better_cost (cost_of e.Ma_table.seq) (cost_of window) ->
+                  Some (stop, e.Ma_table.seq)
+              | _ -> best
+            in
+            try_windows (stop + 1) u best
+          end
+        end
+      in
+      match try_windows (start + 1) Exact_u.identity None with
+      | Some (stop, replacement) ->
+          let prefix = Array.to_list (Array.sub arr 0 start) in
+          let suffix = Array.to_list (Array.sub arr stop (len - stop)) in
+          Some (prefix @ replacement @ suffix)
+      | None -> scan (start + 1)
+    end
+  in
+  scan 0
+
+let run ?(max_window = 24) ?(max_iters = 200) table gates =
+  let rec loop gates iters =
+    if iters = 0 then gates
+    else
+      match improve_pass table max_window gates with
+      | Some gates' -> loop gates' (iters - 1)
+      | None -> gates
+  in
+  loop gates max_iters

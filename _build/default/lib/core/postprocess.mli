@@ -1,0 +1,7 @@
+(** Step 3 of TRASYN: peephole resynthesis.  Windows of the sampled word
+    are evaluated exactly in D[ω] and replaced whenever the step-0 table
+    knows a cheaper equivalent (fewer T, then fewer Cliffords, then
+    shorter), iterating to a fixpoint.  Rewrites preserve the operator
+    up to global phase. *)
+
+val run : ?max_window:int -> ?max_iters:int -> Ma_table.t -> Ctgate.t list -> Ctgate.t list

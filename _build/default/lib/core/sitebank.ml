@@ -1,0 +1,39 @@
+(** Per-site tensor data for TRASYN's MPS.
+
+    A site's physical index ranges over all canonical Clifford+T
+    operators within a T-count range (step 0's table), and each index
+    carries its 2×2 matrix.  For the sampler's hot loop the matrices are
+    stored as flat float arrays (row-major, 4 complex entries per
+    index). *)
+
+type t = {
+  count : int;
+  re : float array;  (** count × 4 *)
+  im : float array;
+  entries : Ma_table.entry array;  (** entry per physical index *)
+  max_t : int;
+}
+
+let of_entries entries max_t =
+  let count = Array.length entries in
+  let re = Array.make (count * 4) 0.0 and im = Array.make (count * 4) 0.0 in
+  Array.iteri
+    (fun s (e : Ma_table.entry) ->
+      let m = e.Ma_table.mat in
+      let put j (z : Cplx.t) =
+        re.((s * 4) + j) <- z.Cplx.re;
+        im.((s * 4) + j) <- z.Cplx.im
+      in
+      put 0 m.Mat2.m00;
+      put 1 m.Mat2.m01;
+      put 2 m.Mat2.m10;
+      put 3 m.Mat2.m11)
+    entries;
+  { count; re; im; entries; max_t }
+
+(* A site covering T counts lo..hi of the given table. *)
+let of_table table ~lo ~hi = of_entries (Ma_table.entries_in_range table ~lo ~hi) hi
+
+let matrix bank s = bank.entries.(s).Ma_table.mat
+let sequence bank s = bank.entries.(s).Ma_table.seq
+let tcount bank s = bank.entries.(s).Ma_table.tcount

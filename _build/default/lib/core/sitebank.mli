@@ -1,0 +1,17 @@
+(** Per-site tensor data for TRASYN's MPS: the physical index ranges
+    over the step-0 table entries within a T-count range, with the 2×2
+    matrices stored as flat float arrays for the sampler's hot loop. *)
+
+type t = {
+  count : int;
+  re : float array;  (** count × 4, row-major 2×2 blocks *)
+  im : float array;
+  entries : Ma_table.entry array;
+  max_t : int;
+}
+
+val of_entries : Ma_table.entry array -> int -> t
+val of_table : Ma_table.t -> lo:int -> hi:int -> t
+val matrix : t -> int -> Mat2.t
+val sequence : t -> int -> Ctgate.t list
+val tcount : t -> int -> int

@@ -1,0 +1,89 @@
+(** TRASYN: tensor-network guided synthesis of arbitrary single-qubit
+    unitaries over Clifford+T — the paper's core contribution.
+
+    The search space of gate sequences is represented as a bond-4 MPS of
+    trace values ({!Mps}); sequences are sampled in proportion to
+    |Tr(U†V)|² and post-processed against the exact step-0 table
+    ({!Ma_table}, {!Postprocess}). *)
+
+type config = {
+  table_t : int;  (** step-0 table depth = max T per MPS site (paper: 10) *)
+  samples : int;  (** k, number of sampled sequences (paper: 40000) *)
+  beam : int;  (** width of the extra deterministic beam pass; 0 disables *)
+  post_process : bool;  (** run step 3 peephole resynthesis *)
+  seed : int;  (** RNG seed — synthesis is deterministic given a config *)
+}
+
+val default_config : config
+(** CPU-friendly defaults: table_t = 8, samples = 1024, beam = 32. *)
+
+type result = {
+  seq : Ctgate.t list;  (** the Clifford+T word, in matrix order *)
+  distance : float;  (** unitary distance to the target, Eq. (2) *)
+  t_count : int;
+  clifford_count : int;  (** non-Pauli Cliffords in [seq] *)
+  trace_value : float;  (** |Tr(U†V)|/2 of the result *)
+  sites : int;  (** number of MPS sites used *)
+  samples_used : int;
+}
+
+val synthesize_ranges :
+  ?config:config ->
+  ?epsilon:float ->
+  ?t_slack:int ->
+  target:Mat2.t ->
+  ranges:(int * int) list ->
+  unit ->
+  result
+(** General form: each MPS site ranges over the operators whose T count
+    lies in the given (lo, hi) interval — "each tensor can have a
+    different T count range" (§3.3).
+    @raise Invalid_argument on empty or malformed ranges. *)
+
+val synthesize :
+  ?config:config ->
+  ?epsilon:float ->
+  ?t_slack:int ->
+  target:Mat2.t ->
+  budgets:int list ->
+  unit ->
+  result
+(** Solve Eq. (3): minimize the distance to [target] subject to the T
+    budget, one entry of [budgets] per MPS site (each site ranges over
+    all operators with that many T gates or fewer).  When [epsilon] is
+    given the selection flips to Eq. (4): among sampled solutions
+    meeting the threshold, minimize the T count; [t_slack] then allows
+    up to that many extra T gates in exchange for lower error.
+
+    @raise Invalid_argument on an empty budget list. *)
+
+val to_error :
+  ?config:config ->
+  ?attempts:int ->
+  ?selection:[ `Best_error | `Min_t ] ->
+  ?t_slack:int ->
+  target:Mat2.t ->
+  budgets:int list ->
+  epsilon:float ->
+  unit ->
+  result
+(** Algorithm 1 of the paper: try growing prefixes of [budgets] (and
+    [attempts] reseeded tries per prefix) until [epsilon] is met,
+    always returning the best solution seen.  [`Best_error] (default,
+    paper-faithful) keeps lowering the error within the first
+    sufficient budget; [`Min_t] reads Eq. (4) strictly and spends as
+    few T gates as possible once the threshold is met. *)
+
+val synthesize_timed :
+  ?config:config -> seconds:float -> target:Mat2.t -> budgets:int list -> unit -> result
+(** Keep reseeding {!synthesize} until the wall-clock budget expires and
+    return the best result — the paper's RQ1 protocol (10 minutes per
+    unitary there; pick your own here). *)
+
+val synthesize_u3 :
+  ?config:config -> theta:float -> phi:float -> lam:float -> budgets:int list -> unit -> result
+(** [synthesize] on U3(θ,φ,λ). *)
+
+val synthesize_rz : ?config:config -> theta:float -> budgets:int list -> unit -> result
+(** [synthesize] on Rz(θ) — TRASYN is general, so z-rotations need no
+    special-casing. *)

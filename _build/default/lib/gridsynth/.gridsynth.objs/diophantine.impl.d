@@ -1,0 +1,1 @@
+lib/gridsynth/diophantine.ml: Bigint Float Ntheory Option Zomega Zroot2

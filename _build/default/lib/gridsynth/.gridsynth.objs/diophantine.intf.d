@@ -1,0 +1,1 @@
+lib/gridsynth/diophantine.mli: Zomega Zroot2

@@ -1,0 +1,1 @@
+lib/gridsynth/exact_synth.ml: Bigint Cplx Ctgate Float Hashtbl List Mat2 Queue String Zomega

@@ -1,0 +1,1 @@
+lib/gridsynth/exact_synth.mli: Ctgate Mat2 Zomega

@@ -1,0 +1,1 @@
+lib/gridsynth/grid1d.ml: Array Float List Ring_int Zroot2

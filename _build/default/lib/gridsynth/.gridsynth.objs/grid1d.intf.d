@@ -1,0 +1,1 @@
+lib/gridsynth/grid1d.mli: Zroot2

@@ -1,0 +1,1 @@
+lib/gridsynth/gridsynth.ml: Bigint Ctgate Diophantine Exact_synth Float List Mat2 Printf Region Zomega Zroot2

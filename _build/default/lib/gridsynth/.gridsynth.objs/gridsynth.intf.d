@@ -1,0 +1,1 @@
+lib/gridsynth/gridsynth.mli: Ctgate

@@ -1,0 +1,1 @@
+lib/gridsynth/region.ml: Bigint Float Grid1d List Ring_int Zomega Zroot2

@@ -1,0 +1,1 @@
+lib/gridsynth/region.mli: Zomega

@@ -1,0 +1,164 @@
+(** The Diophantine step of gridsynth: given ξ ∈ Z[√2], find t ∈ Z[ω]
+    with t†t = ξ, or report failure.
+
+    Solvability requires ξ to be totally positive (both embeddings
+    nonnegative) and, for every rational prime p ≡ 7 (mod 8), that the
+    primes of Z[√2] above p divide ξ to even powers.  The construction
+    is multiplicative over the factorization of N(ξ) = ξ·ξ• ∈ Z:
+
+      p = 2:        δ = 1 + ω          has δ†δ = √2·λ
+      p ≡ 1 (8):    η = gcd(π, y − i)  with y² ≡ −1 (p), π | p in Z[√2]
+      p ≡ 3 (8):    η = gcd(p, y − i√2) with y² ≡ −2 (p)
+      p ≡ 5 (8):    η = gcd(p, y − i)  with y² ≡ −1 (p)
+      p ≡ 7 (8):    π itself, needing even exponent
+
+    after which t†t = ξ·λ^{2j} for some j (totally positive units of
+    Z[√2] are the even powers of λ = 1+√2), fixed by t ← t·λ^{−j}.
+
+    Following Ross–Selinger's "easily solvable" policy, factoring effort
+    is bounded: when N(ξ) resists, we return [None] and the caller moves
+    to the next candidate. *)
+
+module R2 = Zroot2.Big
+module O = Zomega.Big
+module B = Bigint
+
+let ( %| ) d x = R2.divides d x
+
+(* Largest e with π^e | ξ, together with ξ/π^e. *)
+let rec val_and_quotient pi xi acc =
+  if pi %| xi then val_and_quotient pi (R2.div_exn xi pi) (acc + 1) else (acc, xi)
+
+(* A prime of Z[√2] above a split rational prime p (p ≡ ±1 mod 8). *)
+let prime_above_split p =
+  match Ntheory.sqrt_mod (B.of_int 2) p with
+  | None -> None
+  | Some x ->
+      let candidate = R2.gcd (R2.make p B.zero) (R2.make x B.minus_one) in
+      let n = B.abs (R2.norm candidate) in
+      if B.equal n p then Some candidate else None
+
+(* η ∈ Z[ω] with η†η = π·unit, given a degree-1 prime π over p ≡ 1 (8). *)
+let eta_for_split_prime pi p =
+  match Ntheory.sqrt_mod (B.sub p B.one) p with
+  | None -> None
+  | Some y ->
+      (* gcd(π, y − i) in Z[ω] *)
+      let pi_o = O.of_zroot2 pi in
+      let target = O.sub (O.make y B.zero B.zero B.zero) O.i in
+      let eta = O.gcd pi_o target in
+      if O.is_unit eta then None else Some eta
+
+(* η ∈ Z[ω] with η†η = p·unit for p inert in Z[√2]. *)
+let eta_for_inert_prime p =
+  let pmod8 = B.to_int_exn (B.erem p (B.of_int 8)) in
+  let root =
+    if pmod8 = 5 then
+      (* y² ≡ −1, η = gcd(p, y − i) *)
+      Option.map (fun y -> O.sub (O.make y B.zero B.zero B.zero) O.i) (Ntheory.sqrt_mod (B.sub p B.one) p)
+    else
+      (* p ≡ 3: y² ≡ −2, η = gcd(p, y − i√2); i√2 = ω + ω³ *)
+      Option.map
+        (fun y -> O.sub (O.make y B.zero B.zero B.zero) (O.make B.zero B.one B.zero B.one))
+        (Ntheory.sqrt_mod (B.sub p B.two) p)
+  in
+  match root with
+  | None -> None
+  | Some target ->
+      let eta = O.gcd (O.make p B.zero B.zero B.zero) target in
+      if O.is_unit eta then None else Some eta
+
+(* Decompose a totally positive unit q = λ^(2j) and return λ^j, i.e. the
+   element c with c†c = q. *)
+let unit_correction u0 =
+  if not (R2.is_unit u0) then None
+  else begin
+    let v = R2.to_float u0 in
+    if v <= 0.0 then None
+    else begin
+      let lambda_f = 1.0 +. Float.sqrt 2.0 in
+      let m = int_of_float (Float.round (Float.log v /. Float.log lambda_f)) in
+      let lam_m = if m >= 0 then R2.pow R2.lambda m else R2.pow R2.lambda_inv (-m) in
+      if (not (R2.equal u0 lam_m)) || m land 1 = 1 then None
+      else begin
+        let j = m / 2 in
+        let corr = if j >= 0 then R2.pow R2.lambda j else R2.pow R2.lambda_inv (-j) in
+        Some (O.of_zroot2 corr)
+      end
+    end
+  end
+
+let solve ?(factor_budget = 20_000) (xi : R2.t) : O.t option =
+  if R2.is_zero xi then Some O.zero
+  else if not (R2.is_totally_positive xi) then None
+  else begin
+    let n_xi = B.abs (R2.norm xi) in
+    match Ntheory.factor ~budget:factor_budget n_xi with
+    | None -> None
+    | Some factors ->
+        let delta = O.add O.one O.omega in
+        (* Fold prime contributions over the factorization. *)
+        let rec build factors acc remaining =
+          match factors with
+          | [] -> if R2.is_unit remaining then Some (acc, remaining) else None
+          | (p, _e) :: rest ->
+              let pmod8 = B.to_int_exn (B.erem p (B.of_int 8)) in
+              if B.equal p B.two then begin
+                let v, remaining = val_and_quotient R2.sqrt2 remaining 0 in
+                build rest (O.mul acc (O.pow delta v)) remaining
+              end
+              else if pmod8 = 1 || pmod8 = 7 then begin
+                match prime_above_split p with
+                | None -> None
+                | Some pi -> begin
+                    let pi' = R2.conj2 pi in
+                    let e1, remaining = val_and_quotient pi remaining 0 in
+                    let e2, remaining = val_and_quotient pi' remaining 0 in
+                    if pmod8 = 7 then begin
+                      if e1 land 1 = 1 || e2 land 1 = 1 then None
+                      else begin
+                        let contrib =
+                          O.mul
+                            (O.pow (O.of_zroot2 pi) (e1 / 2))
+                            (O.pow (O.of_zroot2 pi') (e2 / 2))
+                        in
+                        build rest (O.mul acc contrib) remaining
+                      end
+                    end
+                    else begin
+                      match eta_for_split_prime pi p with
+                      | None -> None
+                      | Some eta ->
+                          let contrib = O.mul (O.pow eta e1) (O.pow (O.adj2 eta) e2) in
+                          build rest (O.mul acc contrib) remaining
+                    end
+                  end
+              end
+              else begin
+                (* p inert in Z[√2]: p ≡ 3 or 5 (mod 8). *)
+                let f, remaining = val_and_quotient (R2.make p B.zero) remaining 0 in
+                if f = 0 then build rest acc remaining
+                else
+                  match eta_for_inert_prime p with
+                  | None -> None
+                  | Some eta -> build rest (O.mul acc (O.pow eta f)) remaining
+              end
+        in
+        (match build factors O.one xi with
+        | None -> None
+        | Some (s, _unit_left) -> begin
+            (* s†s = ξ·(unit); correct the unit. *)
+            let ss = O.abs_sq s in
+            if R2.is_zero ss then None
+            else begin
+              let q, r = R2.divmod xi ss in
+              if not (R2.is_zero r) then None
+              else
+                match unit_correction q with
+                | None -> None
+                | Some corr ->
+                    let t = O.mul s corr in
+                    if R2.equal (O.abs_sq t) xi then Some t else None
+            end
+          end)
+  end

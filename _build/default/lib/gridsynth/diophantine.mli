@@ -1,0 +1,12 @@
+(** The Diophantine step of gridsynth: solve t†·t = ξ for t ∈ Z[ω] given
+    ξ ∈ Z[√2], or report failure.
+
+    Solvable iff ξ is totally positive and every prime of Z[√2] above a
+    rational p ≡ 7 (mod 8) divides ξ to an even power; the construction
+    is multiplicative over the factorization of N(ξ), with explicit
+    generators per residue class of p mod 8 and a final unit correction
+    by powers of λ = 1+√2 (see the implementation header).  Factoring
+    effort is bounded (Ross–Selinger's "easily solvable" policy):
+    [None] also covers candidates whose norm resisted the budget. *)
+
+val solve : ?factor_budget:int -> Zroot2.Big.t -> Zomega.Big.t option

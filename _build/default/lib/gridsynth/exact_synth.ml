@@ -1,0 +1,145 @@
+(** Exact synthesis of Clifford+T unitaries over D[ω]
+    (Kliuchnikov–Maslov–Mosca column reduction).
+
+    Input: an exact unitary (1/√2^k)·[[a,b],[c,d]] with entries in Z[ω]
+    (arbitrary-precision coefficients — denominator exponents reach ~60
+    at gridsynth's smallest thresholds).  While k > 0 there is a row
+    operation H·T^(−j), j ∈ {0,1,2,3}, that lowers k; we find it by
+    trying all four and keeping the best, then emit T^j·H on the output
+    word.  At k = 0 the matrix is a permutation-phase matrix handled
+    directly.  The resulting word reproduces the input up to a global
+    phase (a power of ω). *)
+
+module O = Zomega.Big
+module B = Bigint
+
+type exact_mat = { a : O.t; b : O.t; c : O.t; d : O.t; k : int }
+
+let rec reduce m =
+  if m.k = 0 then m
+  else
+    match (O.div_sqrt2_opt m.a, O.div_sqrt2_opt m.b, O.div_sqrt2_opt m.c, O.div_sqrt2_opt m.d) with
+    | Some a, Some b, Some c, Some d -> reduce { a; b; c; d; k = m.k - 1 }
+    | _ -> m
+
+let make ~a ~b ~c ~d ~k = reduce { a; b; c; d; k }
+
+(* Left-multiply by H·T^(−j): row2 ← ω^(−j)·row2, then Hadamard-mix rows
+   (and one more √2 in the denominator). *)
+let apply_h_tinv m j =
+  let c' = O.mul_omega_pow m.c (-j) and d' = O.mul_omega_pow m.d (-j) in
+  reduce { a = O.add m.a c'; b = O.add m.b d'; c = O.sub m.a c'; d = O.sub m.b d'; k = m.k + 1 }
+
+(* ω^e as a single complex phase: is this entry ω^e? *)
+let omega_exponent z =
+  let rec go e = if e > 7 then None else if O.equal z (O.mul_omega_pow O.one e) then Some e else go (e + 1) in
+  go 0
+
+(* Word for T^e (e mod 8) using free Pauli Z and counted S/T. *)
+let t_power_word e =
+  let e = ((e mod 8) + 8) mod 8 in
+  let z = e / 4 and rest = e mod 4 in
+  let s = rest / 2 and t = rest mod 2 in
+  List.concat
+    [
+      (if z = 1 then [ Ctgate.Z ] else []);
+      (if s = 1 then [ Ctgate.S ] else []);
+      (if t = 1 then [ Ctgate.T ] else []);
+    ]
+
+exception Not_unitary of string
+
+(* Base case k = 0: the matrix is either diagonal or antidiagonal with
+   ω-power entries.  Returns the word (up to global phase). *)
+let base_case m =
+  if O.is_zero m.b && O.is_zero m.c then begin
+    match (omega_exponent m.a, omega_exponent m.d) with
+    | Some ea, Some ed -> t_power_word (ed - ea)
+    | _ -> raise (Not_unitary "diagonal entries are not phases")
+  end
+  else if O.is_zero m.a && O.is_zero m.d then begin
+    match (omega_exponent m.b, omega_exponent m.c) with
+    | Some eb, Some ec -> Ctgate.X :: t_power_word (eb - ec)
+    | _ -> raise (Not_unitary "antidiagonal entries are not phases")
+  end
+  else raise (Not_unitary "k = 0 but matrix is not a phased permutation")
+
+(* A single H·T^(−j) step can leave the denominator exponent unchanged
+   (the exponent drops roughly once per two syllables of the
+   Matsumoto–Amano normal form), so a greedy "must decrease now" loop
+   deadlocks.  We instead search over residue-matched j choices with a
+   bounded lookahead until the exponent strictly drops. *)
+
+let matrix_key m =
+  String.concat ","
+    (List.map O.to_string [ m.a; m.b; m.c; m.d ])
+  ^ ";" ^ string_of_int m.k
+
+(* j values for which √2 divides u ± ω^(−j)·t, i.e. u ≡ ω^(−j) t (mod √2);
+   only these can avoid increasing the exponent. *)
+let matched_js m =
+  List.filter
+    (fun j -> O.div_sqrt2_opt (O.sub m.a (O.mul_omega_pow m.c (-j))) <> None)
+    [ 0; 1; 2; 3 ]
+
+(* Find a short word of H·T^(−j) steps that strictly lowers m.k.
+   Returns (j list, resulting matrix). *)
+let reduce_once m =
+  let start_k = m.k in
+  let visited = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Queue.add (m, []) queue;
+  Hashtbl.replace visited (matrix_key m) ();
+  let result = ref None in
+  let max_depth = 12 in
+  while !result = None && not (Queue.is_empty queue) do
+    let node, path = Queue.take queue in
+    if List.length path < max_depth then
+      List.iter
+        (fun j ->
+          if !result = None then begin
+            let child = apply_h_tinv node j in
+            if child.k < start_k then result := Some (List.rev (j :: path), child)
+            else if child.k = start_k then begin
+              let key = matrix_key child in
+              if not (Hashtbl.mem visited key) then begin
+                Hashtbl.replace visited key ();
+                Queue.add (child, j :: path) queue
+              end
+            end
+          end)
+        (matched_js node)
+  done;
+  !result
+
+(* Synthesize the word for [m]; the word's product equals [m] up to ω^g. *)
+let synthesize m =
+  let rec go m acc =
+    if m.k = 0 then List.rev_append acc (base_case m)
+    else
+      match reduce_once m with
+      | None -> raise (Not_unitary "no H·T^(−j) path reduces the denominator")
+      | Some (js, m') ->
+          (* m = T^(j1)·H · T^(j2)·H · ... · m' *)
+          let acc =
+            List.fold_left
+              (fun acc j -> Ctgate.H :: List.rev_append (t_power_word j) acc)
+              acc js
+          in
+          go m' acc
+  in
+  go m []
+
+(* Convenience: build the unitary [[w, −t†], [t, w†]]/√2^n used by
+   gridsynth (orthonormal by w†w + t†t = 2^n) and synthesize it. *)
+let synthesize_column ~w ~t ~n =
+  let m = make ~a:w ~b:(O.neg (O.conj t)) ~c:t ~d:(O.conj w) ~k:n in
+  synthesize m
+
+let to_mat2 m =
+  let s = Float.pow (Float.sqrt 2.0) (float_of_int (-m.k)) in
+  let conv z =
+    let re, im = O.to_complex z in
+    { Cplx.re = s *. re; im = s *. im }
+  in
+  Mat2.make (conv m.a) (conv m.b) (conv m.c) (conv m.d)

@@ -1,0 +1,26 @@
+(** Exact synthesis of Clifford+T unitaries over D[ω] with
+    arbitrary-precision coefficients (Kliuchnikov–Maslov–Mosca column
+    reduction).  Denominator exponents drop roughly once per two
+    Matsumoto–Amano syllables, so the reduction runs a small lookahead
+    over residue-matched H·T^(−j) steps rather than a greedy descent. *)
+
+type exact_mat = { a : Zomega.Big.t; b : Zomega.Big.t; c : Zomega.Big.t; d : Zomega.Big.t; k : int }
+
+val make :
+  a:Zomega.Big.t -> b:Zomega.Big.t -> c:Zomega.Big.t -> d:Zomega.Big.t -> k:int -> exact_mat
+(** Reduced representation (minimal k). *)
+
+val apply_h_tinv : exact_mat -> int -> exact_mat
+(** Left-multiply by H·T^(−j), exposed for tests. *)
+
+exception Not_unitary of string
+
+val synthesize : exact_mat -> Ctgate.t list
+(** Word whose product equals the input up to a global phase ω^g.
+    @raise Not_unitary when the input is not a Clifford+T operator. *)
+
+val synthesize_column : w:Zomega.Big.t -> t:Zomega.Big.t -> n:int -> Ctgate.t list
+(** Build the unitary [[w, −t†], [t, w†]]/√2^n (orthonormal whenever
+    w†w + t†t = 2^n) and synthesize it. *)
+
+val to_mat2 : exact_mat -> Mat2.t

@@ -1,0 +1,75 @@
+(** The one-dimensional grid problem over Z[√2] (Ross–Selinger, §5):
+    given closed real intervals X and Y, find all α ∈ Z[√2] with
+    val(α) ∈ X and val(α•) ∈ Y, where α• is the √2-conjugate.
+
+    The lattice {(val α, val α•)} has covolume 2√2, so the expected
+    number of solutions is |X|·|Y|/(2√2).  Enumeration cost is governed
+    by the number of candidate √2-coefficients, ≈ (|X| + |Y|)/(2√2),
+    which is minimized when |X| ≈ |Y|; we first rescale by the unit
+    λ = 1 + √2 (α ↦ λ^m α maps solutions bijectively, scaling X by λ^m
+    and Y by (−1/λ)^m) to balance the two widths. *)
+
+module R2 = Zroot2.Big
+module I = Ring_int.Big
+
+let sqrt2 = Float.sqrt 2.0
+let lambda = 1.0 +. sqrt2
+
+(* Floating-point slack, relative to interval magnitudes: we widen the
+   search window slightly and let exact/downstream checks filter, so
+   float rounding can only ever add candidates, not lose them. *)
+let slack bounds = 1e-9 *. (1.0 +. Array.fold_left (fun acc b -> Float.max acc (Float.abs b)) 0.0 bounds)
+
+(* Solutions with balanced intervals; returns exact ring elements. *)
+let solve_balanced x0 x1 y0 y1 =
+  let eps = slack [| x0; x1; y0; y1 |] in
+  let x0 = x0 -. eps and x1 = x1 +. eps and y0 = y0 -. eps and y1 = y1 +. eps in
+  if x1 < x0 || y1 < y0 then []
+  else begin
+    let b_lo = int_of_float (Float.ceil ((x0 -. y1) /. (2.0 *. sqrt2) -. 1e-9)) in
+    let b_hi = int_of_float (Float.floor ((x1 -. y0) /. (2.0 *. sqrt2) +. 1e-9)) in
+    let results = ref [] in
+    for b = b_lo to b_hi do
+      let fb = float_of_int b *. sqrt2 in
+      let a_lo = Float.ceil (Float.max (x0 -. fb) (y0 +. fb) -. 1e-9) in
+      let a_hi = Float.floor (Float.min (x1 -. fb) (y1 +. fb) +. 1e-9) in
+      let a = ref (int_of_float a_lo) in
+      while float_of_int !a <= a_hi do
+        results := R2.make (I.of_int !a) (I.of_int b) :: !results;
+        incr a
+      done
+    done;
+    List.rev !results
+  end
+
+let solve ~x0 ~x1 ~y0 ~y1 =
+  if x1 < x0 || y1 < y0 then []
+  else begin
+    let wx = Float.max (x1 -. x0) 1e-300 and wy = Float.max (y1 -. y0) 1e-300 in
+    (* Choose m so that λ^m scales X and (−1/λ)^m scales Y into balance. *)
+    let m = int_of_float (Float.round (Float.log (wy /. wx) /. (2.0 *. Float.log lambda))) in
+    let m = max (-200) (min 200 m) in
+    let lm = Float.pow lambda (float_of_int m) in
+    let lm_conj = Float.pow (-1.0 /. lambda) (float_of_int m) in
+    let x0' = x0 *. lm and x1' = x1 *. lm in
+    let ya = y0 *. lm_conj and yb = y1 *. lm_conj in
+    let y0' = Float.min ya yb and y1' = Float.max ya yb in
+    let scaled = solve_balanced x0' x1' y0' y1' in
+    (* Map back: α = λ^(−m) · β, exactly in the ring. *)
+    let unscale =
+      if m = 0 then fun a -> a
+      else if m > 0 then
+        let li = R2.pow R2.lambda_inv m in
+        fun a -> R2.mul li a
+      else
+        let l = R2.pow R2.lambda (-m) in
+        fun a -> R2.mul l a
+    in
+    List.map unscale scaled
+  end
+
+(* Exact membership test used by callers that want to drop the float
+   slack: val(α) ∈ [x0,x1] and val(α•) ∈ [y0,y1] within a tolerance. *)
+let member ?(tol = 0.0) alpha ~x0 ~x1 ~y0 ~y1 =
+  let v = R2.to_float alpha and w = R2.to_float (R2.conj2 alpha) in
+  v >= x0 -. tol && v <= x1 +. tol && w >= y0 -. tol && w <= y1 +. tol

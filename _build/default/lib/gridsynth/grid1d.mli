@@ -1,0 +1,12 @@
+(** The one-dimensional grid problem over Z[√2] (Ross–Selinger §5): all
+    α ∈ Z[√2] with val(α) in one interval and val(α•) in another.
+    Intervals are first rebalanced by powers of the unit λ = 1+√2, so
+    enumeration cost matches the expected solution count. *)
+
+val solve : x0:float -> x1:float -> y0:float -> y1:float -> Zroot2.Big.t list
+(** Solutions with val(α) ∈ [x0,x1] and val(α•) ∈ [y0,y1].  Float slack
+    is one-sided: rounding can only add candidates (callers filter),
+    never lose them. *)
+
+val member : ?tol:float -> Zroot2.Big.t -> x0:float -> x1:float -> y0:float -> y1:float -> bool
+(** Interval membership check for both embeddings. *)

@@ -1,0 +1,33 @@
+(** GRIDSYNTH: optimal-style ancilla-free Clifford+T approximation of
+    z-rotations (Ross–Selinger 2016), the paper's baseline synthesizer.
+
+    The implementation is complete and exact: ε-region candidates from
+    the grid solver ({!Region}, {!Grid1d}), the Diophantine norm
+    equation over Z[√2] ({!Diophantine}), and Kliuchnikov–Maslov–Mosca
+    exact synthesis ({!Exact_synth}), all over arbitrary-precision
+    integers.  T counts track the 3·log2(1/ε) law. *)
+
+type result = {
+  seq : Ctgate.t list;  (** Clifford+T word, matrix order, equal to the
+                            target up to global phase and [distance] *)
+  distance : float;  (** achieved unitary distance (Eq. 2) *)
+  t_count : int;
+  clifford_count : int;
+  n_used : int;  (** denominator exponent of the accepted solution *)
+  candidates_tried : int;  (** grid candidates consumed (diagnostics) *)
+}
+
+exception Synthesis_failed of string
+(** Raised when no solution is found within [max_extra_n] levels above
+    the information-theoretic starting point — practically unreachable
+    for ε ≥ 1e-7. *)
+
+val rz :
+  ?max_extra_n:int -> ?candidates_per_n:int -> theta:float -> epsilon:float -> unit -> result
+(** Approximate Rz(theta) to unitary distance ≤ [epsilon]. *)
+
+val u3 :
+  ?max_extra_n:int -> theta:float -> phi:float -> lam:float -> epsilon:float -> unit -> result
+(** Approximate U3(θ,φ,λ) through the paper's Eq. (1): three Rz
+    syntheses at ε/3 joined by Hadamards — the indirect workflow whose
+    ~3× T overhead motivates TRASYN. *)

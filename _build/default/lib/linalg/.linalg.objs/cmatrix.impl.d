@@ -1,0 +1,1 @@
+lib/linalg/cmatrix.ml: Array Cplx Float Format Mat2

@@ -1,0 +1,1 @@
+lib/linalg/cmatrix.mli: Cplx Format Mat2

@@ -1,0 +1,1 @@
+lib/linalg/cplx.ml: Float Format Stdlib

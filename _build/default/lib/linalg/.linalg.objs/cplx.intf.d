@@ -1,0 +1,1 @@
+lib/linalg/cplx.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/linalg/mat2.ml: Cplx Float Format List Random

@@ -1,0 +1,1 @@
+lib/linalg/mat2.mli: Cplx Format Random

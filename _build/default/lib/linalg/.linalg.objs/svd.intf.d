@@ -1,0 +1,1 @@
+lib/linalg/svd.mli: Cmatrix

@@ -1,0 +1,13 @@
+(** Complex scalars: a thin layer over [Stdlib.Complex] with the handful
+    of helpers the synthesis code uses everywhere. *)
+
+include Stdlib.Complex
+
+let of_float re = { re; im = 0.0 }
+let scale s z = { re = s *. z.re; im = s *. z.im }
+let abs2 z = (z.re *. z.re) +. (z.im *. z.im)
+let is_close ?(tol = 1e-9) a b = abs2 (sub a b) < tol *. tol
+
+(* e^{iθ} *)
+let cis theta = { re = Float.cos theta; im = Float.sin theta }
+let pp fmt z = Format.fprintf fmt "%+.6f%+.6fi" z.re z.im

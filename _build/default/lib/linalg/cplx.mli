@@ -1,0 +1,17 @@
+(** Complex scalars: [Stdlib.Complex] plus the helpers used throughout
+    the synthesis code. *)
+
+include module type of Stdlib.Complex
+
+val of_float : float -> t
+val scale : float -> t -> t
+
+val abs2 : t -> float
+(** |z|² without the square root. *)
+
+val is_close : ?tol:float -> t -> t -> bool
+
+val cis : float -> t
+(** e^{iθ}. *)
+
+val pp : Format.formatter -> t -> unit

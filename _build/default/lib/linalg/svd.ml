@@ -1,0 +1,129 @@
+(** Factorizations for small complex matrices: modified Gram–Schmidt QR
+    (tall-skinny, used to canonicalize MPS tensors) and a one-sided
+    Jacobi SVD (used for the paper's sequential contraction/SVD step). *)
+
+module M = Cmatrix
+
+let col_inner a p q =
+  (* ⟨a_p, a_q⟩ = Σ_i conj(a_ip)·a_iq *)
+  let acc = ref Cplx.zero in
+  for i = 0 to a.M.rows - 1 do
+    acc := Cplx.add !acc (Cplx.mul (Cplx.conj (M.get a i p)) (M.get a i q))
+  done;
+  !acc
+
+let col_norm2 a p =
+  let acc = ref 0.0 in
+  for i = 0 to a.M.rows - 1 do
+    acc := !acc +. Cplx.abs2 (M.get a i p)
+  done;
+  !acc
+
+(* QR by modified Gram–Schmidt with one reorthogonalization pass.
+   Returns (q, r) with a = q·r, q of shape (m × rank-padded n) with
+   orthonormal columns (zero columns replaced by zeros when rank
+   deficient), r upper triangular n × n. *)
+let qr a =
+  let m, n = M.dims a in
+  let q = M.copy a in
+  let r = M.create n n in
+  for j = 0 to n - 1 do
+    for _pass = 1 to 2 do
+      for i = 0 to j - 1 do
+        let proj = col_inner q i j in
+        M.set r i j (Cplx.add (M.get r i j) proj);
+        for k = 0 to m - 1 do
+          M.set q k j (Cplx.sub (M.get q k j) (Cplx.mul proj (M.get q k i)))
+        done
+      done
+    done;
+    let nrm = Float.sqrt (col_norm2 q j) in
+    M.set r j j (Cplx.of_float nrm);
+    if nrm > 1e-14 then
+      for k = 0 to m - 1 do
+        M.set q k j (Cplx.scale (1.0 /. nrm) (M.get q k j))
+      done
+  done;
+  (q, r)
+
+(* LQ decomposition: a = l·q with q having orthonormal rows. *)
+let lq a =
+  let qh, rh = qr (M.adjoint a) in
+  (M.adjoint rh, M.adjoint qh)
+
+(* One-sided Jacobi SVD.  Input m × n with m ≥ n is handled directly;
+   wide matrices are transposed internally.  Returns (u, sigma, vh) with
+   a = u · diag(sigma) · vh, u: m × n, sigma: n, vh: n × n. *)
+let rec svd a =
+  let m, n = M.dims a in
+  if m < n then begin
+    (* a = u s vh  ⇔  a† = v s u† *)
+    let u', s, vh' = svd_tall (M.adjoint a) in
+    (M.adjoint vh', s, M.adjoint u')
+  end
+  else svd_tall a
+
+and svd_tall a =
+  let m, n = M.dims a in
+  let w = M.copy a in
+  let v = M.identity n in
+  let tol = 1e-13 in
+  let max_sweeps = 60 in
+  let sweep = ref 0 in
+  let converged = ref false in
+  while (not !converged) && !sweep < max_sweeps do
+    incr sweep;
+    converged := true;
+    for p = 0 to n - 2 do
+      for q = p + 1 to n - 1 do
+        let app = col_norm2 w p and aqq = col_norm2 w q in
+        let apq = col_inner w p q in
+        let off = Cplx.norm apq in
+        if off > tol *. Float.sqrt (app *. aqq) && off > 1e-300 then begin
+          converged := false;
+          (* Phase so the effective off-diagonal is real. *)
+          let phase = Cplx.scale (1.0 /. off) apq in
+          let tau = (aqq -. app) /. (2.0 *. off) in
+          let t =
+            let s = if tau >= 0.0 then 1.0 else -1.0 in
+            s /. (Float.abs tau +. Float.sqrt (1.0 +. (tau *. tau)))
+          in
+          let c = 1.0 /. Float.sqrt (1.0 +. (t *. t)) in
+          let s = c *. t in
+          (* Column rotation:
+             w_p ← c·w_p − s·conj(phase)·w_q
+             w_q ← s·phase·w_p + c·w_q *)
+          let rotate mat =
+            let rows = mat.M.rows in
+            for i = 0 to rows - 1 do
+              let wp = M.get mat i p and wq = M.get mat i q in
+              let wq_ph = Cplx.mul (Cplx.conj phase) wq in
+              let wp_ph = Cplx.mul phase wp in
+              M.set mat i p (Cplx.sub (Cplx.scale c wp) (Cplx.scale s wq_ph));
+              M.set mat i q (Cplx.add (Cplx.scale s wp_ph) (Cplx.scale c wq))
+            done
+          in
+          rotate w;
+          rotate v
+        end
+      done
+    done
+  done;
+  (* Extract singular values and sort descending. *)
+  let sigma = Array.init n (fun j -> Float.sqrt (col_norm2 w j)) in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare sigma.(j) sigma.(i)) order;
+  let u = M.create m n and v_sorted = M.create n n in
+  let sig_sorted = Array.make n 0.0 in
+  Array.iteri
+    (fun newj oldj ->
+      sig_sorted.(newj) <- sigma.(oldj);
+      let inv = if sigma.(oldj) > 1e-300 then 1.0 /. sigma.(oldj) else 0.0 in
+      for i = 0 to m - 1 do
+        M.set u i newj (Cplx.scale inv (M.get w i oldj))
+      done;
+      for i = 0 to n - 1 do
+        M.set v_sorted i newj (M.get v i oldj)
+      done)
+    order;
+  (u, sig_sorted, M.adjoint v_sorted)

@@ -1,0 +1,14 @@
+(** Factorizations for small complex matrices: modified Gram–Schmidt QR
+    (canonicalizing MPS tensors) and a one-sided Jacobi SVD. *)
+
+val qr : Cmatrix.t -> Cmatrix.t * Cmatrix.t
+(** [qr a] = (q, r) with a = q·r, q orthonormal columns (zero columns on
+    rank deficiency), r upper triangular. *)
+
+val lq : Cmatrix.t -> Cmatrix.t * Cmatrix.t
+(** [lq a] = (l, q) with a = l·q and q orthonormal rows — the
+    right-canonicalization step of the MPS sweep. *)
+
+val svd : Cmatrix.t -> Cmatrix.t * float array * Cmatrix.t
+(** [svd a] = (u, σ, vh) with a = u·diag(σ)·vh and σ sorted
+    descending. *)

@@ -1,0 +1,1 @@
+lib/optimizer/cnot_resynth.ml: Array Circuit List Qgate

@@ -1,0 +1,1 @@
+lib/optimizer/phase_folding.ml: Array Basis Circuit Float Hashtbl List Option Qgate String

@@ -1,0 +1,1 @@
+lib/optimizer/phase_folding.mli: Circuit

@@ -1,0 +1,13 @@
+(** CNOT-network resynthesis: each maximal run of CX gates is a linear
+    map over GF(2); re-deriving it by Gaussian elimination
+    (Patel–Markov–Hayes lite) removes redundant gates.  Runs are only
+    replaced when the resynthesis is strictly shorter, so the pass never
+    regresses.  Registers wider than 62 qubits pass through untouched
+    (bit-mask representation). *)
+
+val run : Circuit.t -> Circuit.t
+
+val synthesize_linear : int array -> (int * int) list
+(** CX list (application order) realizing an invertible GF(2) matrix
+    given as row bit-masks; exposed for tests.
+    @raise Invalid_argument on singular input. *)

@@ -1,0 +1,120 @@
+(** Phase folding: the T-count optimization at the heart of PyZX-style
+    post-synthesis optimizers (our RQ4 substitute).
+
+    Within regions free of non-diagonal gates, every Z-rotation acts on
+    a parity (an XOR of path variables) determined by the CNOT network;
+    rotations on the same parity commute and merge into one.  We track
+    per-qubit parities symbolically (fresh variables after each
+    Hadamard-like gate), accumulate angles per parity, and re-emit each
+    accumulated angle at its first occurrence with a minimal Clifford+T
+    realization. *)
+
+let pi = Float.pi
+
+type parity = { vars : int list; flipped : bool }  (* sorted variable ids *)
+
+let rec sym_diff a b =
+  match (a, b) with
+  | [], x | x, [] -> x
+  | x :: xs, y :: ys ->
+      if x = y then sym_diff xs ys
+      else if x < y then x :: sym_diff xs (y :: ys)
+      else y :: sym_diff (x :: xs) ys
+
+let key_of p = String.concat "," (List.map string_of_int p.vars)
+
+type bucket = { mutable angle : float; first_pos : int; first_flipped : bool; qubit : int }
+
+(* Angle of a diagonal gate as a Z-rotation (up to global phase). *)
+let z_angle = function
+  | Qgate.Z -> Some pi
+  | Qgate.S -> Some (pi /. 2.0)
+  | Qgate.Sdg -> Some (-.pi /. 2.0)
+  | Qgate.T -> Some (pi /. 4.0)
+  | Qgate.Tdg -> Some (-.pi /. 4.0)
+  | Qgate.Rz a -> Some a
+  | _ -> None
+
+(* Minimal Clifford+T word for Rz(angle) up to global phase when the
+   angle is a multiple of π/4; general angles stay an Rz gate. *)
+let emit_rotation q angle =
+  let a = Basis.norm_angle angle in
+  if Float.abs a < 1e-12 then []
+  else begin
+    let steps = a /. (pi /. 4.0) in
+    let r = Float.round steps in
+    if Float.abs (steps -. r) < 1e-9 then begin
+      let k = ((int_of_float r mod 8) + 8) mod 8 in
+      let gates =
+        match k with
+        | 0 -> []
+        | 1 -> [ Qgate.T ]
+        | 2 -> [ Qgate.S ]
+        | 3 -> [ Qgate.S; Qgate.T ]
+        | 4 -> [ Qgate.Z ]
+        | 5 -> [ Qgate.Z; Qgate.T ]
+        | 6 -> [ Qgate.Sdg ]
+        | _ -> [ Qgate.Tdg ]
+      in
+      List.map (fun g -> Circuit.instr g [| q |]) gates
+    end
+    else [ Circuit.instr (Qgate.Rz a) [| q |] ]
+  end
+
+let run (c : Circuit.t) : Circuit.t =
+  let n = c.Circuit.n_qubits in
+  let fresh = ref 0 in
+  let new_var () =
+    incr fresh;
+    !fresh
+  in
+  let parity = Array.init n (fun _ -> { vars = [ new_var () ]; flipped = false }) in
+  let buckets : (string, bucket) Hashtbl.t = Hashtbl.create 64 in
+  let instrs = Array.of_list c.Circuit.instrs in
+  (* First pass: classify each instruction. *)
+  let keep = Array.make (Array.length instrs) true in
+  Array.iteri
+    (fun pos (i : Circuit.instr) ->
+      match (i.Circuit.gate, i.Circuit.qubits) with
+      | g, [| q |] when z_angle g <> None -> begin
+          let a = Option.get (z_angle g) in
+          let p = parity.(q) in
+          let signed = if p.flipped then -.a else a in
+          keep.(pos) <- false;
+          match Hashtbl.find_opt buckets (key_of p) with
+          | Some b -> b.angle <- b.angle +. signed
+          | None ->
+              Hashtbl.add buckets (key_of p)
+                { angle = signed; first_pos = pos; first_flipped = p.flipped; qubit = q }
+        end
+      | Qgate.X, [| q |] -> parity.(q) <- { (parity.(q)) with flipped = not parity.(q).flipped }
+      | Qgate.CX, [| ctrl; tgt |] ->
+          parity.(tgt) <-
+            {
+              vars = sym_diff parity.(ctrl).vars parity.(tgt).vars;
+              flipped = parity.(tgt).flipped <> parity.(ctrl).flipped;
+            }
+      | Qgate.CZ, _ -> () (* diagonal: parities unaffected *)
+      | Qgate.Swap, [| a; b |] ->
+          let t = parity.(a) in
+          parity.(a) <- parity.(b);
+          parity.(b) <- t
+      | _, qs ->
+          (* Non-diagonal (H, Y, rotations, Toffoli, …): fresh variables. *)
+          Array.iter (fun q -> parity.(q) <- { vars = [ new_var () ]; flipped = false }) qs)
+    instrs;
+  (* Second pass: rebuild, splicing merged rotations at first positions. *)
+  let emit_at = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun _ b ->
+      let physical = if b.first_flipped then -.b.angle else b.angle in
+      Hashtbl.replace emit_at b.first_pos (emit_rotation b.qubit physical))
+    buckets;
+  let out = ref [] in
+  Array.iteri
+    (fun pos i ->
+      match Hashtbl.find_opt emit_at pos with
+      | Some gates -> out := List.rev_append gates !out
+      | None -> if keep.(pos) then out := i :: !out)
+    instrs;
+  { c with Circuit.instrs = List.rev !out }

@@ -1,0 +1,15 @@
+(** Phase folding — the T-count optimization inside PyZX-style circuit
+    optimizers, used by RQ4 to check whether post-synthesis optimization
+    can reclaim TRASYN's advantage.
+
+    Z-rotations acting on the same CNOT parity merge; parities are
+    tracked symbolically through CX/CZ/Swap/X, and any non-diagonal gate
+    refreshes its qubit's variable.  The output is equivalent to the
+    input up to a global phase, with equal or lower T count. *)
+
+val run : Circuit.t -> Circuit.t
+
+val emit_rotation : int -> float -> Circuit.instr list
+(** Minimal Clifford+T realization of Rz(angle) on a qubit when the
+    angle is a multiple of π/4 (a general angle stays an Rz gate);
+    exposed for reuse and tests. *)

@@ -1,0 +1,179 @@
+(** The two FTQC compilation workflows of Figure 3(a), end to end:
+
+      U3 workflow:  best U3-IR transpiler setting → TRASYN per U3
+      Rz workflow:  best Rz-IR transpiler setting → GRIDSYNTH per Rz
+
+    Both emit pure Clifford+T circuits.  Per-rotation thresholds follow
+    §4.2: TRASYN synthesizes each U3 at ε₀; GRIDSYNTH gets ε₀ scaled by
+    the U3:Rz rotation-count ratio so the two circuits land at a
+    comparable circuit-level error.  Trivial rotations (π/4 multiples)
+    are synthesized exactly in both workflows.  Synthesis results are
+    memoized on rounded angles — repeated angles are ubiquitous in QFT
+    and Hamiltonian circuits. *)
+
+type synthesized = {
+  circuit : Circuit.t;  (** pure Clifford+T *)
+  transpiled : Circuit.t;  (** the IR circuit before synthesis *)
+  setting : Settings.setting;
+  rotations_synthesized : int;
+  total_synth_error : float;  (** sum of per-rotation distances (upper bound) *)
+}
+
+let angle_key a = Printf.sprintf "%.10f" (Basis.norm_angle a)
+
+(* Clifford+T words are written in matrix order (leftmost factor applied
+   last); circuit instruction lists run in time order, so splicing a
+   word into a circuit reverses it. *)
+let word_to_gates seq = List.rev_map Qgate.of_ctgate seq
+
+(* Exact Clifford+T word for a trivial rotation gate, via the step-0
+   table (every ≤1-T operator is in there).  Tolerant matching: a gate
+   can pass the angle-space triviality test while its matrix sits a few
+   ulps away from the exact operator (wrapped angles), which is a
+   harmless substitution at circuit thresholds. *)
+let exact_word_of_trivial g =
+  let table = Ma_table.get 1 in
+  let m = Qgate.to_mat2 g in
+  let best = ref None in
+  Array.iter
+    (fun (e : Ma_table.entry) ->
+      if Mat2.distance m e.Ma_table.mat < 1e-6 then
+        match !best with
+        | Some (b : Ma_table.entry) when (b.tcount, b.ccount) <= (e.tcount, e.ccount) -> ()
+        | _ -> best := Some e)
+    table.Ma_table.entries;
+  Option.map (fun (e : Ma_table.entry) -> e.Ma_table.seq) !best
+
+(* ------------------------------------------------------------------ *)
+(* GRIDSYNTH (Rz) workflow                                             *)
+(* ------------------------------------------------------------------ *)
+
+let gridsynth_cache : (string, Ctgate.t list * float) Hashtbl.t = Hashtbl.create 256
+
+let gridsynth_rz_word ~epsilon theta =
+  let key = Printf.sprintf "%s@%.6g" (angle_key theta) epsilon in
+  match Hashtbl.find_opt gridsynth_cache key with
+  | Some r -> r
+  | None ->
+      let r = Gridsynth.rz ~theta ~epsilon () in
+      let out = (r.Gridsynth.seq, r.Gridsynth.distance) in
+      Hashtbl.add gridsynth_cache key out;
+      out
+
+let run_gridsynth ?(epsilon = 0.07) (c : Circuit.t) : synthesized =
+  let setting, transpiled = Settings.best_for Settings.Rz_ir c in
+  let total_err = ref 0.0 and nsynth = ref 0 in
+  let synth_gate g =
+    match exact_word_of_trivial g with
+    | Some word -> word_to_gates word
+    | None ->
+        let theta =
+          match g with
+          | Qgate.Rz theta -> theta
+          | _ ->
+              (* The Rz IR only leaves Rz rotations; anything else would
+                 be a transpiler bug. *)
+              invalid_arg "Pipeline.run_gridsynth: non-Rz rotation in Rz IR"
+        in
+        incr nsynth;
+        let seq, d = gridsynth_rz_word ~epsilon theta in
+        total_err := !total_err +. d;
+        word_to_gates seq
+  in
+  let circuit = Circuit.map_rotations synth_gate transpiled in
+  {
+    circuit;
+    transpiled;
+    setting;
+    rotations_synthesized = !nsynth;
+    total_synth_error = !total_err;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* TRASYN (U3) workflow                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trasyn_cache : (string, Ctgate.t list * float) Hashtbl.t = Hashtbl.create 256
+
+let default_budgets = [ 10; 10; 8 ]
+
+let trasyn_u3_word ~config ~budgets ~epsilon (theta, phi, lam) =
+  let key =
+    Printf.sprintf "%s/%s/%s@%.6g" (angle_key theta) (angle_key phi) (angle_key lam) epsilon
+  in
+  match Hashtbl.find_opt trasyn_cache key with
+  | Some r -> r
+  | None ->
+      (* Eq. (4) selection with a 2-T slack: gridsynth typically
+         over-delivers its threshold by 2-3x at a marginal T cost, so a
+         couple of spare T gates on our side keeps the two workflows'
+         achieved errors at the same level (§4.2's "error ratios close
+         to 1") without burning whole site budgets. *)
+      let r =
+        Trasyn.to_error ~config ~attempts:1 ~selection:`Min_t ~t_slack:2
+          ~target:(Mat2.u3 theta phi lam) ~budgets ~epsilon ()
+      in
+      let out = (r.Trasyn.seq, r.Trasyn.distance) in
+      Hashtbl.add trasyn_cache key out;
+      out
+
+let run_trasyn ?(epsilon = 0.07) ?(config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 })
+    ?(budgets = default_budgets) (c : Circuit.t) : synthesized =
+  let setting, transpiled = Settings.best_for Settings.U3_ir c in
+  let total_err = ref 0.0 and nsynth = ref 0 in
+  let synth_gate g =
+    match exact_word_of_trivial g with
+    | Some word -> word_to_gates word
+    | None ->
+        incr nsynth;
+        let theta, phi, lam = Mat2.to_u3_angles (Qgate.to_mat2 g) in
+        let seq, d = trasyn_u3_word ~config ~budgets ~epsilon (theta, phi, lam) in
+        total_err := !total_err +. d;
+        word_to_gates seq
+  in
+  let circuit = Circuit.map_rotations synth_gate transpiled in
+  {
+    circuit;
+    transpiled;
+    setting;
+    rotations_synthesized = !nsynth;
+    total_synth_error = !total_err;
+  }
+
+(* GRIDSYNTH threshold scaled by the rotation ratio (§4.2): with more
+   rotations it must synthesize each one tighter. *)
+let scaled_gridsynth_epsilon ~epsilon ~u3_rotations ~rz_rotations =
+  if rz_rotations = 0 then epsilon
+  else begin
+    let ratio = float_of_int (max 1 u3_rotations) /. float_of_int rz_rotations in
+    epsilon *. ratio
+  end
+
+type comparison = {
+  name : string;
+  trasyn : synthesized;
+  gridsynth : synthesized;
+  t_ratio : float;  (** gridsynth / trasyn; > 1 means TRASYN wins *)
+  t_depth_ratio : float;
+  clifford_ratio : float;
+}
+
+let ratio a b =
+  if b = 0 then if a = 0 then 1.0 else infinity else float_of_int a /. float_of_int b
+
+(* Run both workflows on one benchmark circuit. *)
+let compare_workflows ?(epsilon = 0.07) ?config ?budgets ~name (c : Circuit.t) : comparison =
+  let tr = run_trasyn ~epsilon ?config ?budgets c in
+  let u3_rot = Circuit.nontrivial_rotation_count tr.transpiled in
+  let _, rz_pre = Settings.best_for Settings.Rz_ir c in
+  let rz_rot = Circuit.nontrivial_rotation_count rz_pre in
+  let gs_eps = scaled_gridsynth_epsilon ~epsilon ~u3_rotations:u3_rot ~rz_rotations:rz_rot in
+  let gs = run_gridsynth ~epsilon:gs_eps c in
+  {
+    name;
+    trasyn = tr;
+    gridsynth = gs;
+    t_ratio = ratio (Circuit.t_count gs.circuit) (Circuit.t_count tr.circuit);
+    t_depth_ratio = ratio (Circuit.t_depth gs.circuit) (Circuit.t_depth tr.circuit);
+    clifford_ratio = ratio (Circuit.clifford_count gs.circuit) (Circuit.clifford_count tr.circuit);
+  }

@@ -1,0 +1,47 @@
+(** End-to-end FTQC compilation workflows (Figure 3(a) of the paper):
+    transpile to an intermediate representation, then synthesize every
+    nontrivial rotation into Clifford+T.
+
+    The U3 workflow pairs the U3 IR (which merges adjacent rotations)
+    with TRASYN; the Rz workflow pairs the Rz IR with GRIDSYNTH — the
+    comparison at the heart of RQ2/RQ3/RQ4. *)
+
+type synthesized = {
+  circuit : Circuit.t;  (** pure Clifford+T output *)
+  transpiled : Circuit.t;  (** the IR circuit before synthesis *)
+  setting : Settings.setting;  (** the transpiler setting that won *)
+  rotations_synthesized : int;  (** nontrivial rotations sent to synthesis *)
+  total_synth_error : float;  (** sum of per-rotation distances (an upper
+                                  bound on accumulated synthesis error) *)
+}
+
+val run_gridsynth : ?epsilon:float -> Circuit.t -> synthesized
+(** Rz IR + GRIDSYNTH at [epsilon] (default 0.07) per rotation; trivial
+    (π/4-multiple) rotations are replaced by exact words. *)
+
+val run_trasyn :
+  ?epsilon:float -> ?config:Trasyn.config -> ?budgets:int list -> Circuit.t -> synthesized
+(** U3 IR + TRASYN in Eq. (4) mode at [epsilon] (default 0.07). *)
+
+type comparison = {
+  name : string;
+  trasyn : synthesized;
+  gridsynth : synthesized;
+  t_ratio : float;  (** gridsynth T count / trasyn T count; > 1 = TRASYN wins *)
+  t_depth_ratio : float;
+  clifford_ratio : float;
+}
+
+val compare_workflows :
+  ?epsilon:float ->
+  ?config:Trasyn.config ->
+  ?budgets:int list ->
+  name:string ->
+  Circuit.t ->
+  comparison
+(** Run both workflows on one circuit.  Following §4.2, GRIDSYNTH's
+    per-rotation threshold is [epsilon] scaled by the U3:Rz rotation
+    ratio so both workflows land at comparable circuit-level error. *)
+
+val scaled_gridsynth_epsilon : epsilon:float -> u3_rotations:int -> rz_rotations:int -> float
+(** The §4.2 threshold scaling rule, exposed for tests. *)

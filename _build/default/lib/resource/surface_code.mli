@@ -1,0 +1,34 @@
+(** Surface-code resource estimation (lattice-surgery accounting with
+    Fowler–Gidney-style constants): turns a Clifford+T circuit into a
+    code distance, physical-qubit count and wall-clock estimate, with
+    magic-state distillation as the potential throughput bottleneck.
+    Built for *comparing* compilations of the same computation — the
+    modeling constants cancel in ratios. *)
+
+type params = {
+  p_phys : float;
+  cycle_time_s : float;
+  target_failure : float;
+  factories : int;
+}
+
+val default_params : params
+(** 1e-3 physical error, 1 µs cycles, 1% failure budget, 4 factories. *)
+
+type estimate = {
+  distance : int;
+  logical_qubits : int;
+  physical_qubits : int;
+  code_cycles : float;
+  runtime_s : float;
+  magic_states : int;
+  factory_limited : bool;  (** distillation throughput set the runtime *)
+  logical_error_total : float;
+}
+
+val logical_error_per_cycle : p_phys:float -> int -> float
+val estimate : ?params:params -> Circuit.t -> estimate
+val pp : Format.formatter -> estimate -> unit
+
+val compare_estimates : estimate -> estimate -> float * float
+(** (runtime ratio, physical-qubit ratio) of the first vs the second. *)

@@ -1,0 +1,1 @@
+lib/rings/ring_int.ml: Bigint Int Stdlib

@@ -1,0 +1,1 @@
+lib/rings/zomega.ml: Float Format Printf Ring_int Zroot2

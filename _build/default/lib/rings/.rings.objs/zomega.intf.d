@@ -1,0 +1,1 @@
+lib/rings/zomega.mli: Format Ring_int Zroot2

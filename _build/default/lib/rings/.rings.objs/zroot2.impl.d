@@ -1,0 +1,1 @@
+lib/rings/zroot2.ml: Float Format Printf Ring_int

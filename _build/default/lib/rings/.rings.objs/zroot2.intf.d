@@ -1,0 +1,1 @@
+lib/rings/zroot2.mli: Format Ring_int

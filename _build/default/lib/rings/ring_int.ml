@@ -1,0 +1,73 @@
+(** The integer operations the exact rings are parameterized over.
+
+    Two instances are provided: {!Native} (machine ints, used on the hot
+    enumeration paths where coefficients stay tiny) and {!Big}
+    (arbitrary precision, used by gridsynth where denominators grow with
+    the precision target). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val to_int_exn : t -> int
+  val to_float : t -> float
+  val to_string : t -> string
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val neg : t -> t
+  val sign : t -> int
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val is_zero : t -> bool
+  val is_even : t -> bool
+
+  val ediv_rem : t -> t -> t * t
+  (** Euclidean: remainder in [0, |divisor|). *)
+
+  val div_round_nearest : t -> t -> t
+  (** [div_round_nearest n d] rounds n/d to the nearest integer (ties
+      toward +infinity); [d] must be positive. *)
+end
+
+module Native : S with type t = int = struct
+  type t = int
+
+  let zero = 0
+  let one = 1
+  let of_int n = n
+  let to_int_exn n = n
+  let to_float = float_of_int
+  let to_string = string_of_int
+  let add = ( + )
+  let sub = ( - )
+  let mul = ( * )
+  let neg x = -x
+  let sign x = Stdlib.compare x 0
+  let equal = Int.equal
+  let compare = Int.compare
+  let hash x = x land max_int
+  let is_zero x = x = 0
+  let is_even x = x land 1 = 0
+
+  let ediv_rem a b =
+    let q = a / b and r = a mod b in
+    if r >= 0 then (q, r) else if b > 0 then (q - 1, r + b) else (q + 1, r - b)
+
+  let div_round_nearest n d =
+    let q, _ = ediv_rem ((2 * n) + d) (2 * d) in
+    q
+end
+
+module Big : S with type t = Bigint.t = struct
+  include Bigint
+
+  let sign = Bigint.sign
+
+  let div_round_nearest n d =
+    let two_n_plus_d = Bigint.add (Bigint.shift_left n 1) d in
+    fst (Bigint.ediv_rem two_n_plus_d (Bigint.shift_left d 1))
+end

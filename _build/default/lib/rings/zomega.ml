@@ -1,0 +1,144 @@
+(** The ring Z[ω], ω = e^{iπ/4} = (1+i)/√2, the eighth cyclotomic ring.
+
+    Elements are x0 + x1·ω + x2·ω² + x3·ω³ with ω⁴ = −1.  Every entry of a
+    Clifford+T unitary is an element of Z[ω] divided by a power of √2,
+    so this ring carries both the exact enumeration of Clifford+T
+    operators and the output of the Diophantine norm-equation solver.
+    Z[ω] is norm-Euclidean, so gcds exist constructively. *)
+
+module Make (I : Ring_int.S) = struct
+  module R2 = Zroot2.Make (I)
+
+  type t = { x0 : I.t; x1 : I.t; x2 : I.t; x3 : I.t }
+
+  let make x0 x1 x2 x3 = { x0; x1; x2; x3 }
+  let of_ints x0 x1 x2 x3 = { x0 = I.of_int x0; x1 = I.of_int x1; x2 = I.of_int x2; x3 = I.of_int x3 }
+  let zero = of_ints 0 0 0 0
+  let one = of_ints 1 0 0 0
+  let omega = of_ints 0 1 0 0
+
+  (* i = ω² *)
+  let i = of_ints 0 0 1 0
+
+  (* √2 = ω − ω³ *)
+  let sqrt2 = of_ints 0 1 0 (-1)
+  let equal x y = I.equal x.x0 y.x0 && I.equal x.x1 y.x1 && I.equal x.x2 y.x2 && I.equal x.x3 y.x3
+  let is_zero x = I.is_zero x.x0 && I.is_zero x.x1 && I.is_zero x.x2 && I.is_zero x.x3
+
+  let hash x =
+    let h = I.hash x.x0 in
+    let h = (h * 1000003) lxor I.hash x.x1 in
+    let h = (h * 1000003) lxor I.hash x.x2 in
+    (h * 1000003) lxor I.hash x.x3
+
+  let neg x = { x0 = I.neg x.x0; x1 = I.neg x.x1; x2 = I.neg x.x2; x3 = I.neg x.x3 }
+  let add x y = { x0 = I.add x.x0 y.x0; x1 = I.add x.x1 y.x1; x2 = I.add x.x2 y.x2; x3 = I.add x.x3 y.x3 }
+  let sub x y = add x (neg y)
+
+  let mul x y =
+    (* Convolution modulo ω⁴ = −1. *)
+    let ( * ) = I.mul and ( + ) = I.add and ( - ) = I.sub in
+    {
+      x0 = (x.x0 * y.x0) - (x.x1 * y.x3) - (x.x2 * y.x2) - (x.x3 * y.x1);
+      x1 = (x.x0 * y.x1) + (x.x1 * y.x0) - (x.x2 * y.x3) - (x.x3 * y.x2);
+      x2 = (x.x0 * y.x2) + (x.x1 * y.x1) + (x.x2 * y.x0) - (x.x3 * y.x3);
+      x3 = (x.x0 * y.x3) + (x.x1 * y.x2) + (x.x2 * y.x1) + (x.x3 * y.x0);
+    }
+
+  let mul_int x n =
+    let n = I.of_int n in
+    { x0 = I.mul x.x0 n; x1 = I.mul x.x1 n; x2 = I.mul x.x2 n; x3 = I.mul x.x3 n }
+
+  (* Complex conjugation: ω ↦ ω⁻¹ = −ω³. *)
+  let conj x = { x0 = x.x0; x1 = I.neg x.x3; x2 = I.neg x.x2; x3 = I.neg x.x1 }
+
+  (* √2-conjugation: ω ↦ −ω (sends √2 to −√2, fixes i). *)
+  let adj2 x = { x0 = x.x0; x1 = I.neg x.x1; x2 = x.x2; x3 = I.neg x.x3 }
+
+  (* Multiplication by ω^k, k arbitrary. *)
+  let mul_omega_pow x k =
+    let k = ((k mod 8) + 8) mod 8 in
+    let rec rot x k =
+      if k = 0 then x
+      else rot { x0 = I.neg x.x3; x1 = x.x0; x2 = x.x1; x3 = x.x2 } (k - 1)
+    in
+    rot x k
+
+  (* |x|² = x·x†, always real, returned in Z[√2]. *)
+  let abs_sq x =
+    let p = mul x (conj x) in
+    (* Real elements satisfy x2 = 0 and x1 = −x3; value = x0 + x1√2. *)
+    assert (I.is_zero p.x2);
+    assert (I.equal p.x1 (I.neg p.x3));
+    R2.make p.x0 p.x1
+
+  let of_zroot2 (r : R2.t) = { x0 = r.R2.a; x1 = r.R2.b; x2 = I.zero; x3 = I.neg r.R2.b }
+
+  (* Absolute norm to Z: N(x) = N_{Z[√2]/Z}(|x|²) = a² − 2b² where
+     |x|² = a + b√2.  Multiplicative; may be negative when the conjugate
+     embedding of |x|² is negative. *)
+  let norm x = R2.norm (abs_sq x)
+
+  let to_complex x =
+    let s = 1.0 /. Float.sqrt 2.0 in
+    let re = I.to_float x.x0 +. ((I.to_float x.x1 -. I.to_float x.x3) *. s) in
+    let im = I.to_float x.x2 +. ((I.to_float x.x1 +. I.to_float x.x3) *. s) in
+    (re, im)
+
+  (* Euclidean division.  ŷ = y†·(y y†)• satisfies y·ŷ = N(y) ∈ Z. *)
+  let divmod x y =
+    if is_zero y then raise Division_by_zero;
+    let yhat = mul (conj y) (adj2 (mul y (conj y))) in
+    let n = norm y in
+    let n_pos = if I.sign n >= 0 then n else I.neg n in
+    let fix v = if I.sign n >= 0 then v else I.neg v in
+    let num = mul x yhat in
+    let q =
+      {
+        x0 = I.div_round_nearest (fix num.x0) n_pos;
+        x1 = I.div_round_nearest (fix num.x1) n_pos;
+        x2 = I.div_round_nearest (fix num.x2) n_pos;
+        x3 = I.div_round_nearest (fix num.x3) n_pos;
+      }
+    in
+    (q, sub x (mul q y))
+
+  let rec gcd x y = if is_zero y then x else gcd y (snd (divmod x y))
+
+  let div_exn x y =
+    let q, r = divmod x y in
+    if is_zero r then q else invalid_arg "Zomega.div_exn: not divisible"
+
+  let divides d x = is_zero (snd (divmod x d))
+
+  let is_unit x =
+    let n = norm x in
+    I.equal n I.one || I.equal n (I.neg I.one)
+
+  (* x / √2 when exact.  √2·u has even coordinates iff x0≡x2, x1≡x3 (mod 2). *)
+  let div_sqrt2_opt x =
+    let y = mul x sqrt2 in
+    let half v = fst (I.ediv_rem v (I.of_int 2)) in
+    if I.is_even y.x0 && I.is_even y.x1 && I.is_even y.x2 && I.is_even y.x3 then
+      Some { x0 = half y.x0; x1 = half y.x1; x2 = half y.x2; x3 = half y.x3 }
+    else None
+
+  let pow x n =
+    let rec go acc base n =
+      if n = 0 then acc
+      else begin
+        let acc = if n land 1 = 1 then mul acc base else acc in
+        go acc (mul base base) (n lsr 1)
+      end
+    in
+    if n < 0 then invalid_arg "Zomega.pow: negative exponent" else go one x n
+
+  let to_string x =
+    Printf.sprintf "(%s + %s*w + %s*w^2 + %s*w^3)" (I.to_string x.x0) (I.to_string x.x1)
+      (I.to_string x.x2) (I.to_string x.x3)
+
+  let pp fmt x = Format.pp_print_string fmt (to_string x)
+end
+
+module Native = Make (Ring_int.Native)
+module Big = Make (Ring_int.Big)

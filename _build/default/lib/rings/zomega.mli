@@ -1,0 +1,74 @@
+(** The eighth cyclotomic ring Z[ω], ω = e^{iπ/4} = (1+i)/√2: elements
+    x0 + x1·ω + x2·ω² + x3·ω³ with ω⁴ = −1.  Every Clifford+T matrix
+    entry is an element of Z[ω] over a power of √2, so this ring carries
+    the exact enumeration, the Diophantine solutions, and the exact
+    synthesis.  Norm-Euclidean. *)
+
+module Make (I : Ring_int.S) : sig
+  module R2 : module type of Zroot2.Make (I)
+
+  type t = { x0 : I.t; x1 : I.t; x2 : I.t; x3 : I.t }
+
+  val make : I.t -> I.t -> I.t -> I.t -> t
+  val of_ints : int -> int -> int -> int -> t
+  val zero : t
+  val one : t
+  val omega : t
+
+  val i : t
+  (** i = ω². *)
+
+  val sqrt2 : t
+  (** √2 = ω − ω³. *)
+
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val hash : t -> int
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val mul_int : t -> int -> t
+
+  val conj : t -> t
+  (** Complex conjugation (ω ↦ ω⁻¹). *)
+
+  val adj2 : t -> t
+  (** √2-conjugation (ω ↦ −ω): sends √2 to −√2, fixes i. *)
+
+  val mul_omega_pow : t -> int -> t
+  (** Multiplication by ω^k for any integer k. *)
+
+  val abs_sq : t -> R2.t
+  (** |x|² = x·x†, always real, as an element of Z[√2]. *)
+
+  val of_zroot2 : R2.t -> t
+
+  val norm : t -> I.t
+  (** Absolute norm N_{Z[√2]/Z}(|x|²); multiplicative. *)
+
+  val to_complex : t -> float * float
+
+  val divmod : t -> t -> t * t
+  (** Euclidean: |N(remainder)| < |N(divisor)|.
+      @raise Division_by_zero. *)
+
+  val gcd : t -> t -> t
+
+  val div_exn : t -> t -> t
+  (** @raise Invalid_argument when not exactly divisible. *)
+
+  val divides : t -> t -> bool
+  val is_unit : t -> bool
+
+  val div_sqrt2_opt : t -> t option
+  (** Exact division by √2 when possible (x0 ≡ x2 and x1 ≡ x3 mod 2) —
+      the step that drives denominator-exponent reduction everywhere. *)
+
+  val pow : t -> int -> t
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+module Native : module type of Make (Ring_int.Native)
+module Big : module type of Make (Ring_int.Big)

@@ -1,0 +1,105 @@
+(** The ring Z[√2] = { a + b√2 : a, b ∈ Z }.
+
+    This is the real quadratic ring underlying the Ross–Selinger grid
+    method: candidates for matrix entries live here, the lattice
+    {(α, α•)} (α• the √2-conjugate) is what the 1D grid problem
+    enumerates, and the norm equation of the Diophantine step is posed
+    over it.  The ring is norm-Euclidean, which [divmod] exploits. *)
+
+module Make (I : Ring_int.S) = struct
+  type t = { a : I.t; b : I.t }
+  (* The value a + b·√2. *)
+
+  let make a b = { a; b }
+  let of_ints a b = { a = I.of_int a; b = I.of_int b }
+  let zero = of_ints 0 0
+  let one = of_ints 1 0
+  let two = of_ints 2 0
+  let sqrt2 = of_ints 0 1
+
+  (* λ = 1 + √2, the fundamental unit. *)
+  let lambda = of_ints 1 1
+
+  (* λ⁻¹ = −1 + √2, also a unit. *)
+  let lambda_inv = of_ints (-1) 1
+
+  let equal x y = I.equal x.a y.a && I.equal x.b y.b
+  let is_zero x = I.is_zero x.a && I.is_zero x.b
+  let hash x = (I.hash x.a * 1000003) lxor I.hash x.b
+  let neg x = { a = I.neg x.a; b = I.neg x.b }
+  let add x y = { a = I.add x.a y.a; b = I.add x.b y.b }
+  let sub x y = { a = I.sub x.a y.a; b = I.sub x.b y.b }
+
+  let mul x y =
+    (* (a + b√2)(c + d√2) = ac + 2bd + (ad + bc)√2 *)
+    {
+      a = I.add (I.mul x.a y.a) (I.add (I.mul x.b y.b) (I.mul x.b y.b));
+      b = I.add (I.mul x.a y.b) (I.mul x.b y.a);
+    }
+
+  let mul_int x n = { a = I.mul x.a (I.of_int n); b = I.mul x.b (I.of_int n) }
+
+  (* √2-conjugation: a + b√2 ↦ a − b√2.  A ring automorphism. *)
+  let conj2 x = { a = x.a; b = I.neg x.b }
+
+  (* Field norm to Z: N(a + b√2) = a² − 2b². Multiplicative. *)
+  let norm x = I.sub (I.mul x.a x.a) (I.add (I.mul x.b x.b) (I.mul x.b x.b))
+  let to_float x = I.to_float x.a +. (I.to_float x.b *. Float.sqrt 2.0)
+
+  (* Sign of the real value a + b√2, computed exactly. *)
+  let sign_val x =
+    let sa = I.sign x.a and sb = I.sign x.b in
+    if sb = 0 then sa
+    else if sa = 0 then sb
+    else if sa = sb then sa
+    else
+      (* Opposite signs: a + b√2 has the sign of a iff a² > 2b². *)
+      let n = I.sign (norm x) in
+      if n = 0 then 0 else n * sa
+
+  let compare_val x y = sign_val (sub x y)
+  let is_totally_positive x = sign_val x > 0 && sign_val (conj2 x) > 0
+
+  let pow x n =
+    let rec go acc base n =
+      if n = 0 then acc
+      else begin
+        let acc = if n land 1 = 1 then mul acc base else acc in
+        go acc (mul base base) (n lsr 1)
+      end
+    in
+    if n < 0 then invalid_arg "Zroot2.pow: negative exponent" else go one x n
+
+  (* Euclidean division: q minimizes |N(x − q·y)| approximately by
+     rounding the exact quotient x·y•/N(y) coordinatewise; this achieves
+     |N(r)| < |N(y)|, which is all Euclid's algorithm needs. *)
+  let divmod x y =
+    if is_zero y then raise Division_by_zero;
+    let n = norm y in
+    let num = mul x (conj2 y) in
+    let n_pos = if I.sign n >= 0 then n else I.neg n in
+    let fix v = if I.sign n >= 0 then v else I.neg v in
+    let qa = I.div_round_nearest (fix num.a) n_pos in
+    let qb = I.div_round_nearest (fix num.b) n_pos in
+    let q = { a = qa; b = qb } in
+    let r = sub x (mul q y) in
+    (q, r)
+
+  let rec gcd x y = if is_zero y then x else gcd y (snd (divmod x y))
+  let divides d x = is_zero (snd (divmod x d))
+
+  (* Exact division; raises if not divisible. *)
+  let div_exn x y =
+    let q, r = divmod x y in
+    if is_zero r then q else invalid_arg "Zroot2.div_exn: not divisible"
+
+  let is_unit x =
+    let n = norm x in
+    I.equal n I.one || I.equal n (I.neg I.one)
+
+  let to_string x = Printf.sprintf "(%s + %s*sqrt2)" (I.to_string x.a) (I.to_string x.b)
+  let pp fmt x = Format.pp_print_string fmt (to_string x)
+end
+
+module Native = Make (Ring_int.Native)
+module Big = Make (Ring_int.Big)

@@ -1,0 +1,72 @@
+(** The real quadratic ring Z[√2] = { a + b√2 }, the substrate of the
+    Ross–Selinger grid method: the 1D grid problem enumerates the
+    lattice {(val α, val α•)} (α• the √2-conjugate), and the Diophantine
+    norm equation t†t = ξ is posed over it.  Norm-Euclidean, so gcds
+    exist constructively.
+
+    Functorized over the integer implementation: {!Native} (machine
+    ints) for the enumeration paths, {!Big} (arbitrary precision) for
+    gridsynth where coefficients grow as √2^n. *)
+
+module Make (I : Ring_int.S) : sig
+  type t = { a : I.t; b : I.t }
+  (** The value a + b·√2. *)
+
+  val make : I.t -> I.t -> t
+  val of_ints : int -> int -> t
+  val zero : t
+  val one : t
+  val two : t
+  val sqrt2 : t
+
+  val lambda : t
+  (** λ = 1 + √2, the fundamental unit. *)
+
+  val lambda_inv : t
+  (** λ⁻¹ = −1 + √2. *)
+
+  val equal : t -> t -> bool
+  val is_zero : t -> bool
+  val hash : t -> int
+  val neg : t -> t
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val mul_int : t -> int -> t
+
+  val conj2 : t -> t
+  (** √2-conjugation a + b√2 ↦ a − b√2, a ring automorphism. *)
+
+  val norm : t -> I.t
+  (** Field norm N(a + b√2) = a² − 2b²; multiplicative. *)
+
+  val to_float : t -> float
+
+  val sign_val : t -> int
+  (** Exact sign of the real value. *)
+
+  val compare_val : t -> t -> int
+
+  val is_totally_positive : t -> bool
+  (** Positive in both embeddings — the solvability precondition of the
+      norm equation. *)
+
+  val pow : t -> int -> t
+
+  val divmod : t -> t -> t * t
+  (** Euclidean: |N(remainder)| < |N(divisor)|.
+      @raise Division_by_zero. *)
+
+  val gcd : t -> t -> t
+  val divides : t -> t -> bool
+
+  val div_exn : t -> t -> t
+  (** @raise Invalid_argument when not exactly divisible. *)
+
+  val is_unit : t -> bool
+  val to_string : t -> string
+  val pp : Format.formatter -> t -> unit
+end
+
+module Native : module type of Make (Ring_int.Native)
+module Big : module type of Make (Ring_int.Big)

@@ -1,0 +1,1 @@
+lib/sim/noise.ml: Array Circuit List Mat2 Qgate Random State

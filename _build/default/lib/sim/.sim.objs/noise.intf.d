@@ -1,0 +1,1 @@
+lib/sim/noise.mli: Circuit Qgate Random State

@@ -1,0 +1,1 @@
+lib/sim/ptm.ml: Array Cplx Ctgate List Mat2

@@ -1,0 +1,1 @@
+lib/sim/ptm.mli: Ctgate Mat2

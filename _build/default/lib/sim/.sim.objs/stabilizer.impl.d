@@ -1,0 +1,1 @@
+lib/sim/stabilizer.ml: Array Circuit List Qgate

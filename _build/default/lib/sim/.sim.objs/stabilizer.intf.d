@@ -1,0 +1,1 @@
+lib/sim/stabilizer.mli: Circuit Qgate

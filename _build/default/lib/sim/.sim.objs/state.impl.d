@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Circuit Cplx List Mat2 Qgate

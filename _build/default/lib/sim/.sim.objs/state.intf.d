@@ -1,0 +1,1 @@
+lib/sim/state.mli: Circuit Cplx Mat2

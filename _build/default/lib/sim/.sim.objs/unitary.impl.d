@@ -1,0 +1,1 @@
+lib/sim/unitary.ml: Array Circuit Cmatrix State

@@ -1,0 +1,1 @@
+lib/sim/unitary.mli: Circuit Cmatrix

@@ -1,0 +1,22 @@
+(** The RQ3 logical-error model: depolarizing noise on selected gates,
+    estimated by Monte-Carlo Pauli trajectories over statevectors — an
+    unbiased estimator of the density-matrix fidelity that scales past
+    the 4^n wall. *)
+
+type model = { rate : float; noisy : Qgate.t -> bool }
+
+val non_pauli_model : float -> model
+(** Depolarizing on every non-Pauli gate (the paper's RQ3 model). *)
+
+val t_only_model : float -> model
+(** Depolarizing on T gates only (the conservative RQ5 model). *)
+
+val run_trajectory : Random.State.t -> model -> Circuit.t -> State.t
+
+val fidelity_vs :
+  ?trajectories:int -> ?seed:int -> model:model -> ideal:State.t -> Circuit.t -> float
+(** E|⟨ideal|noisy⟩|² over sampled trajectories. *)
+
+val infidelity :
+  ?trajectories:int -> ?seed:int -> model:model -> reference:Circuit.t -> Circuit.t -> float
+(** 1 − [fidelity_vs] against the state prepared by [reference]. *)

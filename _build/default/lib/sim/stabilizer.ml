@@ -1,0 +1,167 @@
+(** Stabilizer (Clifford tableau) simulation, Aaronson–Gottesman style.
+
+    Tracks the stabilizer group of the state through H/S/X/Y/Z/CX/CZ/
+    Swap in O(n) per gate — polynomial where statevectors are
+    exponential.  Used to validate Clifford-heavy circuits (the vast
+    majority of gates in synthesized Clifford+T output) and to
+    cross-check the statevector engine.
+
+    Representation: 2n generators (destabilizers then stabilizers), each
+    a Pauli string as x/z bit masks plus a sign bit. *)
+
+type t = {
+  n : int;
+  xs : int array;  (** 2n rows: X-part bit mask *)
+  zs : int array;  (** 2n rows: Z-part bit mask *)
+  signs : bool array;  (** negative sign flags *)
+}
+
+let init n =
+  if n > 62 then invalid_arg "Stabilizer.init: at most 62 qubits (bit masks)";
+  {
+    n;
+    (* Row i < n: destabilizer X_i; row n+i: stabilizer Z_i. *)
+    xs = Array.init (2 * n) (fun r -> if r < n then 1 lsl r else 0);
+    zs = Array.init (2 * n) (fun r -> if r >= n then 1 lsl (r - n) else 0);
+    signs = Array.make (2 * n) false;
+  }
+
+let copy t = { t with xs = Array.copy t.xs; zs = Array.copy t.zs; signs = Array.copy t.signs }
+
+let bit m q = (m lsr q) land 1 = 1
+
+let apply_h t q =
+  let m = 1 lsl q in
+  for r = 0 to (2 * t.n) - 1 do
+    let x = bit t.xs.(r) q and z = bit t.zs.(r) q in
+    if x && z then t.signs.(r) <- not t.signs.(r);
+    (* Swap the x and z bits. *)
+    if x <> z then begin
+      t.xs.(r) <- t.xs.(r) lxor m;
+      t.zs.(r) <- t.zs.(r) lxor m
+    end
+  done
+
+let apply_s t q =
+  let m = 1 lsl q in
+  for r = 0 to (2 * t.n) - 1 do
+    let x = bit t.xs.(r) q and z = bit t.zs.(r) q in
+    if x && z then t.signs.(r) <- not t.signs.(r);
+    if x then t.zs.(r) <- t.zs.(r) lxor m
+  done
+
+let apply_sdg t q =
+  (* S† = S·Z; Z flips the sign whenever x is set. *)
+  apply_s t q;
+  for r = 0 to (2 * t.n) - 1 do
+    if bit t.xs.(r) q then t.signs.(r) <- not t.signs.(r)
+  done
+
+let apply_x t q =
+  for r = 0 to (2 * t.n) - 1 do
+    if bit t.zs.(r) q then t.signs.(r) <- not t.signs.(r)
+  done
+
+let apply_z t q =
+  for r = 0 to (2 * t.n) - 1 do
+    if bit t.xs.(r) q then t.signs.(r) <- not t.signs.(r)
+  done
+
+let apply_y t q =
+  apply_z t q;
+  apply_x t q
+
+let apply_cx t c tg =
+  let mc = 1 lsl c and mt = 1 lsl tg in
+  for r = 0 to (2 * t.n) - 1 do
+    let xc = bit t.xs.(r) c and zc = bit t.zs.(r) c in
+    let xt = bit t.xs.(r) tg and zt = bit t.zs.(r) tg in
+    if xc && zt && xt = zc then t.signs.(r) <- not t.signs.(r);
+    if xc then t.xs.(r) <- t.xs.(r) lxor mt;
+    if zt then t.zs.(r) <- t.zs.(r) lxor mc
+  done
+
+let apply_cz t a b =
+  apply_h t b;
+  apply_cx t a b;
+  apply_h t b
+
+let apply_swap t a b =
+  apply_cx t a b;
+  apply_cx t b a;
+  apply_cx t a b
+
+exception Not_clifford of Qgate.t
+
+let apply_instr t (i : Circuit.instr) =
+  match (i.Circuit.gate, i.Circuit.qubits) with
+  | Qgate.H, [| q |] -> apply_h t q
+  | Qgate.S, [| q |] -> apply_s t q
+  | Qgate.Sdg, [| q |] -> apply_sdg t q
+  | Qgate.X, [| q |] -> apply_x t q
+  | Qgate.Y, [| q |] -> apply_y t q
+  | Qgate.Z, [| q |] -> apply_z t q
+  | Qgate.CX, [| c; tg |] -> apply_cx t c tg
+  | Qgate.CZ, [| a; b |] -> apply_cz t a b
+  | Qgate.Swap, [| a; b |] -> apply_swap t a b
+  | g, _ -> raise (Not_clifford g)
+
+let run (c : Circuit.t) =
+  let t = init c.Circuit.n_qubits in
+  List.iter (apply_instr t) c.Circuit.instrs;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Readout                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic ⟨Z_q⟩: +1/−1 when Z_q is (up to sign) in the stabilizer
+   group, 0 when the outcome is random.  Z_q commutes with every
+   stabilizer iff no stabilizer has an X on q. *)
+let expectation_z t q =
+  let random = ref false in
+  for r = t.n to (2 * t.n) - 1 do
+    if bit t.xs.(r) q then random := true
+  done;
+  if !random then 0
+  else begin
+    (* Express Z_q as a product of stabilizers via the destabilizers:
+       Z_q anticommutes with destabilizer row i iff that row has X on
+       q; the product of the corresponding stabilizers equals ±Z_q. *)
+    let acc_x = ref 0 and acc_z = ref 0 and sign = ref false in
+    let phase = ref 0 in
+    for i = 0 to t.n - 1 do
+      if bit t.xs.(i) q then begin
+        let r = t.n + i in
+        (* Multiply accumulated Pauli by row r, tracking the phase. *)
+        for qq = 0 to t.n - 1 do
+          let x1 = bit !acc_x qq and z1 = bit !acc_z qq in
+          let x2 = bit t.xs.(r) qq and z2 = bit t.zs.(r) qq in
+          (* i-power contributed by multiplying single-qubit Paulis. *)
+          let g =
+            match ((x1, z1), (x2, z2)) with
+            | (false, false), _ | _, (false, false) -> 0
+            | (true, false), (true, false) | (false, true), (false, true) | (true, true), (true, true)
+              -> 0
+            | (true, false), (true, true) -> 1 (* X·Y = iZ *)
+            | (true, false), (false, true) -> -1 (* X·Z = -iY *)
+            | (false, true), (true, false) -> 1 (* Z·X = iY *)
+            | (false, true), (true, true) -> -1 (* Z·Y = -iX *)
+            | (true, true), (true, false) -> -1 (* Y·X = -iZ *)
+            | (true, true), (false, true) -> 1 (* Y·Z = iX *)
+          in
+          phase := !phase + g
+        done;
+        if t.signs.(r) then sign := not !sign;
+        acc_x := !acc_x lxor t.xs.(r);
+        acc_z := !acc_z lxor t.zs.(r)
+      end
+    done;
+    let ph = ((!phase mod 4) + 4) mod 4 in
+    (* A Hermitian product of stabilizers carries phase ±1, never ±i. *)
+    assert (ph = 0 || ph = 2);
+    let sign = if ph = 2 then not !sign else !sign in
+    (* The product should be exactly Z_q. *)
+    assert (!acc_x = 0 && !acc_z = 1 lsl q);
+    if sign then -1 else 1
+  end

@@ -1,0 +1,33 @@
+(** Stabilizer (Clifford tableau) simulation, Aaronson–Gottesman style:
+    O(n) per Clifford gate where statevectors cost 2^n.  Used to
+    validate Clifford-heavy circuits and cross-check the statevector
+    engine (see the tests). *)
+
+type t = { n : int; xs : int array; zs : int array; signs : bool array }
+(** 2n generator rows (destabilizers then stabilizers) as X/Z bit masks
+    plus sign flags.  At most 62 qubits (bit-mask representation). *)
+
+val init : int -> t
+(** Tableau of |0…0⟩. @raise Invalid_argument above 62 qubits. *)
+
+val copy : t -> t
+val apply_h : t -> int -> unit
+val apply_s : t -> int -> unit
+val apply_sdg : t -> int -> unit
+val apply_x : t -> int -> unit
+val apply_y : t -> int -> unit
+val apply_z : t -> int -> unit
+val apply_cx : t -> int -> int -> unit
+val apply_cz : t -> int -> int -> unit
+val apply_swap : t -> int -> int -> unit
+
+exception Not_clifford of Qgate.t
+
+val apply_instr : t -> Circuit.instr -> unit
+(** @raise Not_clifford on T/rotations/Toffoli. *)
+
+val run : Circuit.t -> t
+
+val expectation_z : t -> int -> int
+(** ⟨Z_q⟩: +1 or −1 when deterministic, 0 when the measurement outcome
+    would be random. *)

@@ -1,0 +1,20 @@
+(** Full circuit unitaries for small qubit counts (the paper computes
+    unitary distance for circuits under 12 qubits; we apply the circuit
+    to each basis column, which is cheap up to ~10 qubits). *)
+
+let of_circuit (c : Circuit.t) =
+  let d = 1 lsl c.Circuit.n_qubits in
+  let m = Cmatrix.create d d in
+  for col = 0 to d - 1 do
+    let s = State.zero_state c.Circuit.n_qubits in
+    s.State.re.(0) <- 0.0;
+    s.State.re.(col) <- 1.0;
+    State.apply_circuit s c;
+    for row = 0 to d - 1 do
+      Cmatrix.set m row col (State.amplitude s row)
+    done
+  done;
+  m
+
+(* Unitary distance between two circuits (Eq. 2 generalized to N = 2^n). *)
+let distance a b = Cmatrix.distance (of_circuit a) (of_circuit b)

@@ -1,0 +1,8 @@
+(** Full circuit unitaries for small registers (cheap up to ~10 qubits),
+    built by applying the circuit to each basis column. *)
+
+val of_circuit : Circuit.t -> Cmatrix.t
+
+val distance : Circuit.t -> Circuit.t -> float
+(** Unitary distance (Eq. 2 with N = 2^n) between two circuits; global
+    phase invariant. *)

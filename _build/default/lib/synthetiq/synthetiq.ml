@@ -1,0 +1,78 @@
+(** Simulated-annealing Clifford+T synthesis — our reimplementation of
+    Synthetiq (Paradis et al., OOPSLA'24) restricted to the single-qubit
+    case the paper evaluates, with the error metric changed to the
+    paper's unitary distance (as the authors did for their comparison).
+
+    The algorithm anneals over fixed-length gate words with
+    single-position resampling moves, restarting with longer words until
+    the time budget expires.  Like the original, it has no guarantee of
+    finding a solution within the budget — reproducing the RQ1 failure
+    mode at tight thresholds is the point. *)
+
+let alphabet = Ctgate.[| H; S; Sdg; T; Tdg; X; Z |]
+
+type result = {
+  seq : Ctgate.t list option;
+  distance : float;
+  t_count : int;
+  elapsed : float;
+  restarts : int;
+}
+
+let eval target word =
+  let m = Array.fold_left (fun acc g -> Mat2.mul acc (Ctgate.to_mat2 g)) Mat2.identity word in
+  Mat2.distance target m
+
+let anneal rng target ~len ~iters ~t0 ~t1 =
+  let word = Array.init len (fun _ -> alphabet.(Random.State.int rng (Array.length alphabet))) in
+  let best = Array.copy word in
+  let cur_e = ref (eval target word) in
+  let best_e = ref !cur_e in
+  for it = 0 to iters - 1 do
+    let temp = t0 *. ((t1 /. t0) ** (float_of_int it /. float_of_int iters)) in
+    let pos = Random.State.int rng len in
+    let old = word.(pos) in
+    word.(pos) <- alphabet.(Random.State.int rng (Array.length alphabet));
+    let e = eval target word in
+    if e <= !cur_e || Random.State.float rng 1.0 < Float.exp ((!cur_e -. e) /. temp) then begin
+      cur_e := e;
+      if e < !best_e then begin
+        best_e := e;
+        Array.blit word 0 best 0 len
+      end
+    end
+    else word.(pos) <- old
+  done;
+  (Array.to_list best, !best_e)
+
+(* Budgeted synthesis: anneal with growing word lengths until [epsilon]
+   is met or [time_limit] (seconds) runs out. *)
+let synthesize ?(seed = 42) ?(time_limit = 10.0) ~target ~epsilon () =
+  let rng = Random.State.make [| seed |] in
+  let start = Unix.gettimeofday () in
+  let best_seq = ref None and best_e = ref infinity in
+  let restarts = ref 0 in
+  let lengths = [ 10; 20; 30; 40; 60; 80; 120 ] in
+  let rec loop lens =
+    let elapsed = Unix.gettimeofday () -. start in
+    if elapsed >= time_limit then ()
+    else begin
+      let len = match lens with l :: _ -> l | [] -> 120 in
+      incr restarts;
+      let seq, e = anneal rng target ~len ~iters:4000 ~t0:0.5 ~t1:0.001 in
+      if e < !best_e then begin
+        best_e := e;
+        best_seq := Some seq
+      end;
+      if !best_e > epsilon then loop (match lens with _ :: tl -> tl | [] -> [])
+    end
+  in
+  loop lengths;
+  let found = !best_e <= epsilon in
+  {
+    seq = (if found then !best_seq else None);
+    distance = !best_e;
+    t_count = (match !best_seq with Some s -> Ctgate.t_count s | None -> 0);
+    elapsed = Unix.gettimeofday () -. start;
+    restarts = !restarts;
+  }

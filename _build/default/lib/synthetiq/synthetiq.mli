@@ -1,0 +1,20 @@
+(** Simulated-annealing Clifford+T synthesis — a faithful single-qubit
+    reimplementation of Synthetiq (Paradis et al., OOPSLA'24) with the
+    paper's unitary-distance metric, used as the second RQ1 baseline.
+
+    Like the original, it offers no guarantee of success within its
+    wall-clock budget; failing at tight thresholds is the documented
+    behaviour the evaluation reproduces. *)
+
+type result = {
+  seq : Ctgate.t list option;  (** [None] when the threshold was not met *)
+  distance : float;  (** best distance found (even on failure) *)
+  t_count : int;
+  elapsed : float;  (** seconds actually spent *)
+  restarts : int;  (** annealing restarts performed *)
+}
+
+val synthesize :
+  ?seed:int -> ?time_limit:float -> target:Mat2.t -> epsilon:float -> unit -> result
+(** Anneal words of growing length until [epsilon] is met or
+    [time_limit] seconds (default 10) run out. *)

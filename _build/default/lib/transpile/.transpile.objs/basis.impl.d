@@ -1,0 +1,1 @@
+lib/transpile/basis.ml: Array Circuit Float List Mat2 Qgate

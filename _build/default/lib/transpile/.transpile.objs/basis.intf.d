@@ -1,0 +1,1 @@
+lib/transpile/basis.mli: Circuit

@@ -1,0 +1,1 @@
+lib/transpile/commute.ml: Array Basis Circuit Float List Qgate

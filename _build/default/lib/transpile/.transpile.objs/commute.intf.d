@@ -1,0 +1,1 @@
+lib/transpile/commute.mli: Circuit

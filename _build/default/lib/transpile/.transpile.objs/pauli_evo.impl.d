@@ -1,0 +1,1 @@
+lib/transpile/pauli_evo.ml: Array Circuit Commute List Option Printf Qgate String

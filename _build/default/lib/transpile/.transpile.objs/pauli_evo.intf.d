@@ -1,0 +1,1 @@
+lib/transpile/pauli_evo.mli: Circuit

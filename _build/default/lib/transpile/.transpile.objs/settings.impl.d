@@ -1,0 +1,1 @@
+lib/transpile/settings.ml: Basis Circuit Commute List Printf

@@ -1,0 +1,1 @@
+lib/transpile/settings.mli: Circuit

@@ -1,0 +1,145 @@
+(** Basis conversion passes: lowering to {CX + 1q}, merging adjacent
+    single-qubit runs into U3, and expanding to the Rz intermediate
+    representation (CX + H + Rz), mirroring the two compilation
+    workflows of Figure 3(a). *)
+
+let pi = Float.pi
+
+(* Lower CZ/Swap/Ccx to CX + 1q gates. *)
+let lower (c : Circuit.t) : Circuit.t =
+  let instrs =
+    List.concat_map
+      (fun (i : Circuit.instr) ->
+        match (i.Circuit.gate, i.Circuit.qubits) with
+        | Qgate.CZ, [| a; b |] ->
+            [
+              Circuit.instr Qgate.H [| b |];
+              Circuit.instr Qgate.CX [| a; b |];
+              Circuit.instr Qgate.H [| b |];
+            ]
+        | Qgate.Swap, [| a; b |] ->
+            [
+              Circuit.instr Qgate.CX [| a; b |];
+              Circuit.instr Qgate.CX [| b; a |];
+              Circuit.instr Qgate.CX [| a; b |];
+            ]
+        | Qgate.Ccx, [| a; b; t |] ->
+            (* Standard 6-CX Toffoli decomposition. *)
+            [
+              Circuit.instr Qgate.H [| t |];
+              Circuit.instr Qgate.CX [| b; t |];
+              Circuit.instr Qgate.Tdg [| t |];
+              Circuit.instr Qgate.CX [| a; t |];
+              Circuit.instr Qgate.T [| t |];
+              Circuit.instr Qgate.CX [| b; t |];
+              Circuit.instr Qgate.Tdg [| t |];
+              Circuit.instr Qgate.CX [| a; t |];
+              Circuit.instr Qgate.T [| b |];
+              Circuit.instr Qgate.T [| t |];
+              Circuit.instr Qgate.H [| t |];
+              Circuit.instr Qgate.CX [| a; b |];
+              Circuit.instr Qgate.T [| a |];
+              Circuit.instr Qgate.Tdg [| b |];
+              Circuit.instr Qgate.CX [| a; b |];
+            ]
+        | _ -> [ i ])
+      c.Circuit.instrs
+  in
+  { c with Circuit.instrs }
+
+let is_identity_mat m = Mat2.distance m Mat2.identity < 1e-10
+
+(* Merge maximal runs of adjacent single-qubit gates per qubit into one
+   U3 gate (the U3-IR merge of §3.4). *)
+let merge_1q (c : Circuit.t) : Circuit.t =
+  let pending : Mat2.t option array = Array.make c.Circuit.n_qubits None in
+  let out = ref [] in
+  let flush q =
+    match pending.(q) with
+    | None -> ()
+    | Some m ->
+        pending.(q) <- None;
+        if not (is_identity_mat m) then begin
+          let theta, phi, lam = Mat2.to_u3_angles m in
+          out := Circuit.instr (Qgate.U3 (theta, phi, lam)) [| q |] :: !out
+        end
+  in
+  List.iter
+    (fun (i : Circuit.instr) ->
+      if Qgate.is_single_qubit i.Circuit.gate then begin
+        let q = i.Circuit.qubits.(0) in
+        let m = Qgate.to_mat2 i.Circuit.gate in
+        pending.(q) <-
+          (match pending.(q) with None -> Some m | Some acc -> Some (Mat2.mul m acc))
+      end
+      else begin
+        Array.iter flush i.Circuit.qubits;
+        out := i :: !out
+      end)
+    c.Circuit.instrs;
+  for q = 0 to c.Circuit.n_qubits - 1 do
+    flush q
+  done;
+  { c with Circuit.instrs = List.rev !out }
+
+(* Snap angles that are numerically at multiples of π/4 so that trivial
+   rotations are recognized exactly downstream. *)
+let snap a =
+  let q = a /. (pi /. 4.0) in
+  let r = Float.round q in
+  if Float.abs (q -. r) < 1e-9 then r *. pi /. 4.0 else a
+
+let norm_angle a =
+  let two_pi = 2.0 *. pi in
+  let a = Float.rem a two_pi in
+  let a = if a > pi then a -. two_pi else if a < -.pi then a +. two_pi else a in
+  snap a
+
+(* Expand one U3 into the Rz IR via Eq. (1):
+   U3(θ,φ,λ) = Rz(φ + 5π/2) · H · Rz(θ) · H · Rz(λ − π/2)  as a matrix
+   product — so in circuit order the λ-rotation comes first.  The
+   degenerate θ ≈ 0 case stays a single Rz. *)
+let u3_to_rz_ir q (theta, phi, lam) =
+  let rz a =
+    let a = norm_angle a in
+    if Float.abs a < 1e-12 then [] else [ Circuit.instr (Qgate.Rz a) [| q |] ]
+  in
+  let h = Circuit.instr Qgate.H [| q |] in
+  if Float.abs (norm_angle theta) < 1e-12 then rz (phi +. lam)
+  else List.concat [ rz (lam -. (pi /. 2.0)); [ h ]; rz theta; [ h ]; rz (phi +. (5.0 *. pi /. 2.0)) ]
+
+(* Rewrite every rotation (and stray 1q gate) into the Rz IR. *)
+let to_rz_ir (c : Circuit.t) : Circuit.t =
+  let instrs =
+    List.concat_map
+      (fun (i : Circuit.instr) ->
+        match i.Circuit.gate with
+        | Qgate.U3 (t, p, l) -> u3_to_rz_ir i.Circuit.qubits.(0) (t, p, l)
+        | Qgate.Rz a -> if Float.abs (norm_angle a) < 1e-12 then [] else [ Circuit.instr (Qgate.Rz (snap a)) i.Circuit.qubits ]
+        | Qgate.Rx a ->
+            let q = i.Circuit.qubits.(0) in
+            let h = Circuit.instr Qgate.H [| q |] in
+            if Float.abs (norm_angle a) < 1e-12 then []
+            else [ h; Circuit.instr (Qgate.Rz (snap a)) [| q |]; h ]
+        | Qgate.Ry a ->
+            let q = i.Circuit.qubits.(0) in
+            let t, p, l = Mat2.to_u3_angles (Mat2.ry a) in
+            u3_to_rz_ir q (t, p, l)
+        | _ -> [ i ])
+      c.Circuit.instrs
+  in
+  { c with Circuit.instrs }
+
+(* Rewrite every 1q gate into a U3 (the trivial "level 0" U3 IR). *)
+let to_u3_ir_simple (c : Circuit.t) : Circuit.t =
+  let instrs =
+    List.map
+      (fun (i : Circuit.instr) ->
+        if Qgate.is_rotation i.Circuit.gate then begin
+          let t, p, l = Mat2.to_u3_angles (Qgate.to_mat2 i.Circuit.gate) in
+          Circuit.instr (Qgate.U3 (t, p, l)) i.Circuit.qubits
+        end
+        else i)
+      c.Circuit.instrs
+  in
+  { c with Circuit.instrs }

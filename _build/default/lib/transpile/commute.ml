@@ -1,0 +1,97 @@
+(** The gate-commutation pass of §3.4: rotations commute through CNOTs
+    (diagonal gates through the control, X-axis gates through the
+    target), so pulling each rotation as far left as it can go brings
+    commuting rotations next to each other where the merge passes can
+    fuse them.  This is the pass that makes the U3 IR shine on QAOA-like
+    circuits. *)
+
+let is_diagonal_1q = function
+  | Qgate.Z | Qgate.S | Qgate.Sdg | Qgate.T | Qgate.Tdg | Qgate.Rz _ -> true
+  | Qgate.H | Qgate.X | Qgate.Y | Qgate.Rx _ | Qgate.Ry _ | Qgate.U3 _ | Qgate.CX | Qgate.CZ
+  | Qgate.Swap | Qgate.Ccx ->
+      false
+
+let is_xaxis_1q = function
+  | Qgate.X | Qgate.Rx _ -> true
+  | Qgate.H | Qgate.Y | Qgate.Z | Qgate.S | Qgate.Sdg | Qgate.T | Qgate.Tdg | Qgate.Ry _
+  | Qgate.Rz _ | Qgate.U3 _ | Qgate.CX | Qgate.CZ | Qgate.Swap | Qgate.Ccx ->
+      false
+
+(* Does single-qubit instruction [a] (on qubit q) commute with [b]? *)
+let commutes_past (a : Circuit.instr) (b : Circuit.instr) =
+  let q = a.Circuit.qubits.(0) in
+  if not (Array.exists (fun x -> x = q) b.Circuit.qubits) then true
+  else
+    match (b.Circuit.gate, b.Circuit.qubits) with
+    | Qgate.CX, [| ctrl; tgt |] ->
+        (is_diagonal_1q a.Circuit.gate && q = ctrl) || (is_xaxis_1q a.Circuit.gate && q = tgt)
+    | Qgate.CZ, _ -> is_diagonal_1q a.Circuit.gate
+    | _ ->
+        (* Same-qubit 1q gates: diagonal pairs and X-axis pairs commute. *)
+        Qgate.is_single_qubit b.Circuit.gate
+        && ((is_diagonal_1q a.Circuit.gate && is_diagonal_1q b.Circuit.gate)
+           || (is_xaxis_1q a.Circuit.gate && is_xaxis_1q b.Circuit.gate))
+
+(* Schedule every rotation at its earliest commuting position (stable
+   for everything else). *)
+let pull_rotations_left (c : Circuit.t) : Circuit.t =
+  let arr = Array.of_list c.Circuit.instrs in
+  let n = Array.length arr in
+  for i = 1 to n - 1 do
+    if Qgate.is_single_qubit arr.(i).Circuit.gate then begin
+      let j = ref i in
+      while !j > 0 && commutes_past arr.(i) arr.(!j - 1) do
+        decr j
+      done;
+      if !j < i then begin
+        let g = arr.(i) in
+        Array.blit arr !j arr (!j + 1) (i - !j);
+        arr.(!j) <- g
+      end
+    end
+  done;
+  { c with Circuit.instrs = Array.to_list arr }
+
+(* Cancel adjacent self-inverse pairs (CX·CX, H·H) — cheap cleanup that
+   the ladder-sharing Pauli compiler relies on. *)
+let cancel_pairs (c : Circuit.t) : Circuit.t =
+  let rec pass acc = function
+    | [] -> List.rev acc
+    | (a : Circuit.instr) :: (b : Circuit.instr) :: rest
+      when a.Circuit.gate = b.Circuit.gate && a.Circuit.qubits = b.Circuit.qubits
+           && (match a.Circuit.gate with Qgate.CX | Qgate.CZ | Qgate.H | Qgate.X | Qgate.Y | Qgate.Z | Qgate.Swap -> true | _ -> false) ->
+        pass acc rest
+    | a :: rest -> pass (a :: acc) rest
+  in
+  let rec fixpoint c guard =
+    let c' = { c with Circuit.instrs = pass [] c.Circuit.instrs } in
+    if guard = 0 || List.length c'.Circuit.instrs = List.length c.Circuit.instrs then c'
+    else fixpoint c' (guard - 1)
+  in
+  fixpoint c 50
+
+(* Merge adjacent same-axis rotations without leaving the Rz IR. *)
+let merge_axis_rotations (c : Circuit.t) : Circuit.t =
+  let rec pass acc = function
+    | [] -> List.rev acc
+    | (a : Circuit.instr) :: (b : Circuit.instr) :: rest
+      when a.Circuit.qubits = b.Circuit.qubits -> begin
+        match (a.Circuit.gate, b.Circuit.gate) with
+        | Qgate.Rz x, Qgate.Rz y ->
+            let s = Basis.norm_angle (x +. y) in
+            if Float.abs s < 1e-12 then pass acc rest
+            else pass acc (Circuit.instr (Qgate.Rz s) a.Circuit.qubits :: rest)
+        | Qgate.Rx x, Qgate.Rx y ->
+            let s = Basis.norm_angle (x +. y) in
+            if Float.abs s < 1e-12 then pass acc rest
+            else pass acc (Circuit.instr (Qgate.Rx s) a.Circuit.qubits :: rest)
+        | _ -> pass (a :: acc) (b :: rest)
+      end
+    | a :: rest -> pass (a :: acc) rest
+  in
+  let rec fixpoint c guard =
+    let c' = { c with Circuit.instrs = pass [] c.Circuit.instrs } in
+    if guard = 0 || List.length c'.Circuit.instrs = List.length c.Circuit.instrs then c'
+    else fixpoint c' (guard - 1)
+  in
+  fixpoint c 50

@@ -1,0 +1,13 @@
+(** The gate-commutation pass of §3.4: diagonal rotations slide through
+    CX controls (and CZ), X-axis rotations through CX targets.  Pulling
+    every rotation to its earliest commuting slot brings mergeable
+    rotations next to each other. *)
+
+val pull_rotations_left : Circuit.t -> Circuit.t
+
+val cancel_pairs : Circuit.t -> Circuit.t
+(** Remove adjacent self-inverse pairs (CX·CX, H·H, …) to a fixpoint. *)
+
+val merge_axis_rotations : Circuit.t -> Circuit.t
+(** Fuse adjacent same-axis rotations (Rz·Rz, Rx·Rx) without leaving
+    the Rz IR; exact-zero results vanish. *)

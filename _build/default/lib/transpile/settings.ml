@@ -1,0 +1,81 @@
+(** The 16 transpilation settings of §3.4: {Rz, U3} IR × optimization
+    levels 0–3 × gate-commutation pass on/off.  [best_for] picks, per
+    circuit and IR, the setting minimizing nontrivial rotations —
+    exactly the selection rule used before synthesis in the paper. *)
+
+type ir = Rz_ir | U3_ir
+
+let ir_to_string = function Rz_ir -> "rz" | U3_ir -> "u3"
+
+type setting = { ir : ir; level : int; commutation : bool }
+
+let all_settings =
+  List.concat_map
+    (fun ir ->
+      List.concat_map
+        (fun level -> [ { ir; level; commutation = false }; { ir; level; commutation = true } ])
+        [ 0; 1; 2; 3 ])
+    [ Rz_ir; U3_ir ]
+
+let setting_to_string s =
+  Printf.sprintf "%s-O%d%s" (ir_to_string s.ir) s.level (if s.commutation then "+c" else "")
+
+let finalize ir c =
+  match ir with
+  | U3_ir -> Basis.to_u3_ir_simple c
+  | Rz_ir -> Basis.to_rz_ir c
+
+(* Apply one setting to a circuit.  All settings first lower exotic
+   gates to CX + 1q. *)
+let apply (s : setting) (c : Circuit.t) : Circuit.t =
+  let c = Basis.lower c in
+  let c = if s.commutation then Commute.pull_rotations_left c else c in
+  let c =
+    match s.level with
+    | 0 -> c
+    | 1 -> Basis.merge_1q c
+    | 2 -> Commute.cancel_pairs (Basis.merge_1q (Commute.cancel_pairs c))
+    | _ ->
+        (* Level 3: iterate merge / cancel / commute to a (short) fixpoint. *)
+        let step c =
+          let c = Commute.cancel_pairs c in
+          let c = Basis.merge_1q c in
+          let c = if s.commutation then Commute.pull_rotations_left c else c in
+          Basis.merge_1q c
+        in
+        step (step c)
+  in
+  let c = finalize s.ir c in
+  (* The Rz IR benefits from axis-merging after expansion. *)
+  match s.ir with
+  | Rz_ir -> Commute.merge_axis_rotations c
+  | U3_ir -> c
+
+(* Best setting for an IR: fewest nontrivial rotations, then fewest
+   total gates. *)
+let best_for ir (c : Circuit.t) : setting * Circuit.t =
+  let candidates = List.filter (fun s -> s.ir = ir) all_settings in
+  let scored =
+    List.map
+      (fun s ->
+        let c' = apply s c in
+        ((Circuit.nontrivial_rotation_count c', Circuit.length c'), s, c'))
+      candidates
+  in
+  match List.sort (fun (a, _, _) (b, _, _) -> compare a b) scored with
+  | (_, s, c') :: _ -> (s, c')
+  | [] -> assert false
+
+(* Which setting (across both IRs) yields the fewest nontrivial
+   rotations — the Figure 6 experiment. *)
+let winner (c : Circuit.t) : setting =
+  let scored =
+    List.map
+      (fun s ->
+        let c' = apply s c in
+        ((Circuit.nontrivial_rotation_count c', Circuit.length c'), s))
+      all_settings
+  in
+  match List.sort (fun (a, _) (b, _) -> compare a b) scored with
+  | (_, s) :: _ -> s
+  | [] -> assert false

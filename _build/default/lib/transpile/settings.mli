@@ -1,0 +1,24 @@
+(** The 16 transpilation settings of §3.4: {Rz, U3} IR × optimization
+    levels 0–3 × commutation pass on/off. *)
+
+type ir = Rz_ir | U3_ir
+
+val ir_to_string : ir -> string
+
+type setting = { ir : ir; level : int; commutation : bool }
+
+val all_settings : setting list
+(** All 16, in a fixed order. *)
+
+val setting_to_string : setting -> string
+(** e.g. ["u3-O2+c"]. *)
+
+val apply : setting -> Circuit.t -> Circuit.t
+(** Semantics-preserving (up to global phase); property-tested. *)
+
+val best_for : ir -> Circuit.t -> setting * Circuit.t
+(** The setting of the given IR minimizing nontrivial rotations (then
+    total gates) — the pre-synthesis selection rule of §4.2. *)
+
+val winner : Circuit.t -> setting
+(** Best across both IRs — the Figure 6 statistic. *)

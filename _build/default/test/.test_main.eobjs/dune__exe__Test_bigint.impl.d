@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Bigint Float List Ntheory Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Basis Circuit Cmatrix Commute Cplx Float Generators List Mat2 Pauli_evo Printf QCheck2 QCheck_alcotest Qasm Qgate Random Settings String Unitary

@@ -1,0 +1,1 @@
+test/test_cliffordt.ml: Alcotest Array Clifford Ctgate Exact_u Float List Ma_table Mat2 Printf QCheck2 QCheck_alcotest Random

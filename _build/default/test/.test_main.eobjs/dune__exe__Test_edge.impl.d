@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Bigint Circuit Ctgate Float Gridsynth List Ma_table Mat2 Noise Phase_folding Pipeline Postprocess Printf Qgate Random Trasyn Zomega Zroot2

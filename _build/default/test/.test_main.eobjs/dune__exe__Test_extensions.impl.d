@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Circuit Float Generators List Mat2 Mixing Pipeline Printf Qgate Random Surface_code

@@ -1,0 +1,1 @@
+test/test_generators.ml: Alcotest Array Circuit Cmatrix Cplx Float Generators Graphs List Printf State Unitary

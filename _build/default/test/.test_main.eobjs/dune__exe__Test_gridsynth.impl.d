@@ -1,0 +1,1 @@
+test/test_gridsynth.ml: Alcotest Bigint Ctgate Diophantine Exact_synth Exact_u Float Grid1d Gridsynth List Mat2 Printf QCheck2 QCheck_alcotest Random Region Ring_int Zomega Zroot2

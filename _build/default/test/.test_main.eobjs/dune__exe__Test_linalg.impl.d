@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Cmatrix Cplx Float List Mat2 QCheck2 QCheck_alcotest Random Svd

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Circuit Cmatrix Cnot_resynth List Phase_folding Printf QCheck2 QCheck_alcotest Qgate Random Unitary

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Circuit Cmatrix Ctgate Generators List Mat2 Phase_folding Pipeline Printf Random Settings State Suite Synthetiq Unitary

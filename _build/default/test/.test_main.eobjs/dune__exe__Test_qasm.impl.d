@@ -1,0 +1,1 @@
+test/test_qasm.ml: Alcotest Circuit Cmatrix Float List Printf Qasm Qasm_reader Qgate Random Unitary

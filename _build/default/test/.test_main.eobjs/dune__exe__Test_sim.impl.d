@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Basis Circuit Cmatrix Cplx Ctgate Float Generators Gridsynth List Mat2 Noise Printf Ptm QCheck2 QCheck_alcotest Qgate Random Stabilizer State Unitary

@@ -1,0 +1,1 @@
+test/test_sk.ml: Alcotest Ctgate Mat2 Printf Random Solovay_kitaev

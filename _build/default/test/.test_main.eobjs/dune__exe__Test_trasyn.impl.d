@@ -1,0 +1,1 @@
+test/test_trasyn.ml: Alcotest Array Cplx Ctgate Exact_u Float List Ma_table Mat2 Mps Postprocess Printf QCheck2 QCheck_alcotest Random Sitebank Trasyn Unix

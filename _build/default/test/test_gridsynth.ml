@@ -1,0 +1,248 @@
+(* Tests for the Ross–Selinger stack: rings, grid problems, Diophantine
+   solving, exact synthesis, and the end-to-end Rz/U3 approximation. *)
+
+module R2 = Zroot2.Big
+module R2n = Zroot2.Native
+module O = Zomega.Big
+module On = Zomega.Native
+module B = Bigint
+
+let ring_tests =
+  [
+    Alcotest.test_case "Z[√2] arithmetic identities" `Quick (fun () ->
+        let a = R2n.make 3 (-2) and b = R2n.make (-1) 4 in
+        Alcotest.(check bool) "commutative" true (R2n.equal (R2n.mul a b) (R2n.mul b a));
+        Alcotest.(check bool) "conj2 multiplicative" true
+          (R2n.equal (R2n.conj2 (R2n.mul a b)) (R2n.mul (R2n.conj2 a) (R2n.conj2 b)));
+        Alcotest.(check int) "norm multiplicative" (R2n.norm a * R2n.norm b)
+          (R2n.norm (R2n.mul a b)));
+    Alcotest.test_case "lambda is a unit with inverse" `Quick (fun () ->
+        Alcotest.(check bool) "λ·λ⁻¹ = 1" true
+          (R2n.equal (R2n.mul R2n.lambda R2n.lambda_inv) R2n.one);
+        Alcotest.(check bool) "unit" true (R2n.is_unit R2n.lambda));
+    Alcotest.test_case "sign_val agrees with floats" `Quick (fun () ->
+        List.iter
+          (fun (a, b) ->
+            let x = R2n.make a b in
+            let expected = compare (R2n.to_float x) 0.0 in
+            Alcotest.(check int) (Printf.sprintf "%d+%d√2" a b) expected (R2n.sign_val x))
+          [ (3, -2); (-3, 2); (0, 0); (7, -5); (-7, 5); (1, 1); (-1, -1); (141, -100); (-141, 100) ]);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"Z[√2] Euclidean division"
+         QCheck2.Gen.(quad (int_range (-500) 500) (int_range (-500) 500) (int_range (-500) 500) (int_range (-500) 500))
+         (fun (a, b, c, d) ->
+           let x = R2.make (B.of_int a) (B.of_int b) and y = R2.make (B.of_int c) (B.of_int d) in
+           R2.is_zero y
+           ||
+           let q, r = R2.divmod x y in
+           R2.equal x (R2.add (R2.mul q y) r)
+           && B.compare (B.abs (R2.norm r)) (B.abs (R2.norm y)) < 0));
+    Alcotest.test_case "Z[ω] basic identities" `Quick (fun () ->
+        Alcotest.(check bool) "ω^8 = 1" true (On.equal (On.pow On.omega 8) On.one);
+        Alcotest.(check bool) "ω^2 = i" true (On.equal (On.mul On.omega On.omega) On.i);
+        Alcotest.(check bool) "√2² = 2" true
+          (On.equal (On.mul On.sqrt2 On.sqrt2) (On.of_ints 2 0 0 0));
+        Alcotest.(check bool) "ω·ω† = 1" true (On.equal (On.mul On.omega (On.conj On.omega)) On.one));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"Z[ω] Euclidean division"
+         QCheck2.Gen.(
+           let coef = int_range (-60) 60 in
+           pair (quad coef coef coef coef) (quad coef coef coef coef))
+         (fun ((a, b, c, d), (e, f, g, h)) ->
+           let x = O.make (B.of_int a) (B.of_int b) (B.of_int c) (B.of_int d) in
+           let y = O.make (B.of_int e) (B.of_int f) (B.of_int g) (B.of_int h) in
+           O.is_zero y
+           ||
+           let q, r = O.divmod x y in
+           O.equal x (O.add (O.mul q y) r)
+           && B.compare (B.abs (O.norm r)) (B.abs (O.norm y)) < 0));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"|x|² matches complex embedding"
+         QCheck2.Gen.(quad (int_range (-40) 40) (int_range (-40) 40) (int_range (-40) 40) (int_range (-40) 40))
+         (fun (a, b, c, d) ->
+           let x = On.of_ints a b c d in
+           let re, im = On.to_complex x in
+           let exact = R2n.to_float (On.abs_sq x) in
+           Float.abs (exact -. ((re *. re) +. (im *. im))) < 1e-6 *. (1.0 +. Float.abs exact)));
+    Alcotest.test_case "div_sqrt2 inverts mul by √2" `Quick (fun () ->
+        let x = On.of_ints 3 (-1) 4 2 in
+        let y = On.mul x On.sqrt2 in
+        match On.div_sqrt2_opt y with
+        | Some z -> Alcotest.(check bool) "round trip" true (On.equal z x)
+        | None -> Alcotest.fail "should divide");
+  ]
+
+let grid_tests =
+  [
+    Alcotest.test_case "grid1d finds all solutions in a box" `Quick (fun () ->
+        (* Brute force over small coefficients for ground truth. *)
+        let x0 = -2.0 and x1 = 3.0 and y0 = -4.0 and y1 = 1.0 in
+        let expected = ref [] in
+        for a = -20 to 20 do
+          for b = -20 to 20 do
+            let v = float_of_int a +. (float_of_int b *. Float.sqrt 2.0) in
+            let w = float_of_int a -. (float_of_int b *. Float.sqrt 2.0) in
+            if v >= x0 && v <= x1 && w >= y0 && w <= y1 then expected := (a, b) :: !expected
+          done
+        done;
+        let got = Grid1d.solve ~x0 ~x1 ~y0 ~y1 in
+        let got_pairs =
+          List.sort compare
+            (List.map (fun (r : R2.t) -> (B.to_int_exn r.R2.a, B.to_int_exn r.R2.b)) got)
+        in
+        Alcotest.(check (list (pair int int))) "solutions" (List.sort compare !expected) got_pairs);
+    Alcotest.test_case "grid1d solutions satisfy constraints (narrow intervals)" `Quick (fun () ->
+        let sols = Grid1d.solve ~x0:100.0 ~x1:100.5 ~y0:(-200.0) ~y1:200.0 in
+        Alcotest.(check bool) "nonempty" true (sols <> []);
+        List.iter
+          (fun s ->
+            Alcotest.(check bool) "member" true
+              (Grid1d.member ~tol:1e-6 s ~x0:100.0 ~x1:100.5 ~y0:(-200.0) ~y1:200.0))
+          sols);
+    Alcotest.test_case "region candidates lie in the sliver" `Quick (fun () ->
+        let theta = 0.9 and epsilon = 0.05 in
+        let cands = Region.candidates ~theta ~epsilon ~n:8 in
+        Alcotest.(check bool) "found some" true (cands <> []);
+        List.iter
+          (fun (c : Region.candidate) ->
+            let re, im = O.to_complex c.Region.w in
+            let s = Float.pow (Float.sqrt 2.0) (float_of_int c.Region.n) in
+            let ur = re /. s and ui = im /. s in
+            let rho = (ur *. Float.cos (theta /. 2.0)) -. (ui *. Float.sin (theta /. 2.0)) in
+            Alcotest.(check bool) "|u| <= 1" true (((ur *. ur) +. (ui *. ui)) <= 1.0 +. 1e-9);
+            Alcotest.(check bool) "in sliver" true (rho >= 1.0 -. (epsilon *. epsilon /. 2.0) -. 1e-9))
+          cands);
+  ]
+
+let diophantine_tests =
+  [
+    Alcotest.test_case "solves known-solvable norms" `Quick (fun () ->
+        (* ξ = |t|² for a selection of t — must be solvable by construction. *)
+        List.iter
+          (fun (a, b, c, d) ->
+            let t = O.make (B.of_int a) (B.of_int b) (B.of_int c) (B.of_int d) in
+            let xi = O.abs_sq t in
+            match Diophantine.solve xi with
+            | Some t' -> Alcotest.(check bool) "norm matches" true (R2.equal (O.abs_sq t') xi)
+            | None -> Alcotest.fail "should be solvable")
+          [ (1, 0, 0, 0); (1, 1, 0, 0); (2, -1, 3, 0); (5, 2, -1, 3); (0, 7, 1, -2) ]);
+    Alcotest.test_case "rejects totally negative" `Quick (fun () ->
+        Alcotest.(check bool) "-1 unsolvable" true
+          (Diophantine.solve (R2.make B.minus_one B.zero) = None));
+    Alcotest.test_case "rejects p ≡ 7 (mod 8) to odd power" `Quick (fun () ->
+        (* ξ = 7 is totally positive but 7 ≡ 7 (mod 8) splits π·π• with odd
+           exponents, so it is not a relative norm. *)
+        Alcotest.(check bool) "7 unsolvable" true (Diophantine.solve (R2.make (B.of_int 7) B.zero) = None));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:150 ~name:"random |t|² round-trips"
+         QCheck2.Gen.(quad (int_range (-30) 30) (int_range (-30) 30) (int_range (-30) 30) (int_range (-30) 30))
+         (fun (a, b, c, d) ->
+           let t = O.make (B.of_int a) (B.of_int b) (B.of_int c) (B.of_int d) in
+           let xi = O.abs_sq t in
+           match Diophantine.solve xi with
+           | Some t' -> R2.equal (O.abs_sq t') xi
+           | None -> false));
+  ]
+
+let exact_synth_tests =
+  [
+    Alcotest.test_case "reconstructs simple gates" `Quick (fun () ->
+        List.iter
+          (fun (name, seq) ->
+            let target = Ctgate.seq_to_mat2 seq in
+            let m =
+              (* Build the exact matrix of the word over Big coefficients. *)
+              List.fold_left
+                (fun acc g ->
+                  let e = Exact_u.of_gate g in
+                  let conv (z : Zomega.Native.t) =
+                    O.make (B.of_int z.Zomega.Native.x0) (B.of_int z.Zomega.Native.x1)
+                      (B.of_int z.Zomega.Native.x2) (B.of_int z.Zomega.Native.x3)
+                  in
+                  let gm =
+                    Exact_synth.make ~a:(conv e.Exact_u.a) ~b:(conv e.Exact_u.b)
+                      ~c:(conv e.Exact_u.c) ~d:(conv e.Exact_u.d) ~k:e.Exact_u.k
+                  in
+                  let mul_mat (x : Exact_synth.exact_mat) (y : Exact_synth.exact_mat) =
+                    Exact_synth.make
+                      ~a:(O.add (O.mul x.Exact_synth.a y.Exact_synth.a) (O.mul x.Exact_synth.b y.Exact_synth.c))
+                      ~b:(O.add (O.mul x.Exact_synth.a y.Exact_synth.b) (O.mul x.Exact_synth.b y.Exact_synth.d))
+                      ~c:(O.add (O.mul x.Exact_synth.c y.Exact_synth.a) (O.mul x.Exact_synth.d y.Exact_synth.c))
+                      ~d:(O.add (O.mul x.Exact_synth.c y.Exact_synth.b) (O.mul x.Exact_synth.d y.Exact_synth.d))
+                      ~k:(x.Exact_synth.k + y.Exact_synth.k)
+                  in
+                  mul_mat acc gm)
+                (Exact_synth.make ~a:O.one ~b:O.zero ~c:O.zero ~d:O.one ~k:0)
+                seq
+            in
+            let word = Exact_synth.synthesize m in
+            let d = Mat2.distance target (Ctgate.seq_to_mat2 word) in
+            Alcotest.(check bool) (name ^ " reconstructed") true (d < 1e-6))
+          [
+            ("H", [ Ctgate.H ]);
+            ("T", [ Ctgate.T ]);
+            ("HTH", Ctgate.[ H; T; H ]);
+            ("THTSH", Ctgate.[ T; H; T; S; H ]);
+            ("long", Ctgate.[ H; T; H; T; T; H; S; T; H; T; S; H; T; T; T; H ]);
+          ]);
+  ]
+
+let end_to_end_tests =
+  [
+    Alcotest.test_case "rz meets thresholds across angles" `Quick (fun () ->
+        List.iter
+          (fun theta ->
+            List.iter
+              (fun eps ->
+                let r = Gridsynth.rz ~theta ~epsilon:eps () in
+                Alcotest.(check bool)
+                  (Printf.sprintf "theta=%g eps=%g dist=%g" theta eps r.Gridsynth.distance)
+                  true
+                  (r.Gridsynth.distance <= eps))
+              [ 0.1; 0.01 ])
+          [ 0.0001; 0.61; 1.5707; 3.1; -2.8; 6.2 ]);
+    Alcotest.test_case "rz T-count tracks 3·log2(1/eps)" `Quick (fun () ->
+        let r = Gridsynth.rz ~theta:0.61 ~epsilon:1e-3 () in
+        Alcotest.(check bool)
+          (Printf.sprintf "T=%d" r.Gridsynth.t_count)
+          true
+          (r.Gridsynth.t_count >= 15 && r.Gridsynth.t_count <= 45));
+    Alcotest.test_case "u3 synthesizes arbitrary unitaries" `Quick (fun () ->
+        let rng = Random.State.make [| 5 |] in
+        for _ = 1 to 3 do
+          let target = Mat2.random_unitary rng in
+          let theta, phi, lam = Mat2.to_u3_angles target in
+          let r = Gridsynth.u3 ~theta ~phi ~lam ~epsilon:0.01 () in
+          Alcotest.(check bool) "within eps" true (r.Gridsynth.distance <= 0.01)
+        done);
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:25 ~name:"rz random angles at 1e-2"
+         QCheck2.Gen.(float_range (-3.1) 3.1)
+         (fun theta ->
+           let r = Gridsynth.rz ~theta ~epsilon:1e-2 () in
+           r.Gridsynth.distance <= 1e-2));
+  ]
+
+let suite = ring_tests @ grid_tests @ diophantine_tests @ exact_synth_tests @ end_to_end_tests
+
+(* Rounding-division convention backing the Euclidean ring division. *)
+let rounding_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:500 ~name:"div_round_nearest matches float rounding"
+         QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range 1 5000))
+         (fun (n, d) ->
+           let q = Ring_int.Native.div_round_nearest n d in
+           let exact = float_of_int n /. float_of_int d in
+           (* Nearest integer, ties allowed either way within 1/2. *)
+           Float.abs (float_of_int q -. exact) <= 0.5 +. 1e-12));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"big div_round_nearest agrees with native"
+         QCheck2.Gen.(pair (int_range (-100000) 100000) (int_range 1 5000))
+         (fun (n, d) ->
+           let qn = Ring_int.Native.div_round_nearest n d in
+           let qb = Ring_int.Big.div_round_nearest (Bigint.of_int n) (Bigint.of_int d) in
+           Bigint.to_int_opt qb = Some qn));
+  ]
+
+let suite = suite @ rounding_tests

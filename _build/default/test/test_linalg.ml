@@ -1,0 +1,117 @@
+(* Tests for complex linear algebra: Mat2, Cmatrix, QR/LQ and SVD. *)
+
+let rng = Random.State.make [| 2024 |]
+
+let random_cmatrix m n =
+  Cmatrix.init m n (fun _ _ ->
+      { Cplx.re = Random.State.float rng 2.0 -. 1.0; im = Random.State.float rng 2.0 -. 1.0 })
+
+let mat2_tests =
+  [
+    Alcotest.test_case "standard gates are unitary" `Quick (fun () ->
+        List.iter
+          (fun (name, m) -> Alcotest.(check bool) name true (Mat2.is_unitary m))
+          [
+            ("h", Mat2.h); ("x", Mat2.x); ("y", Mat2.y); ("z", Mat2.z); ("s", Mat2.s);
+            ("t", Mat2.t); ("rz", Mat2.rz 0.7); ("rx", Mat2.rx (-1.2)); ("ry", Mat2.ry 2.9);
+            ("u3", Mat2.u3 0.3 1.1 (-0.8));
+          ]);
+    Alcotest.test_case "gate identities" `Quick (fun () ->
+        let close = Mat2.is_close ~tol:1e-12 in
+        Alcotest.(check bool) "H^2 = I" true (close (Mat2.mul Mat2.h Mat2.h) Mat2.identity);
+        Alcotest.(check bool) "S = T^2" true (close Mat2.s (Mat2.mul Mat2.t Mat2.t));
+        Alcotest.(check bool) "HXH = Z" true
+          (close (Mat2.mul Mat2.h (Mat2.mul Mat2.x Mat2.h)) Mat2.z);
+        Alcotest.(check bool) "S X S† = Y" true
+          (close (Mat2.mul Mat2.s (Mat2.mul Mat2.x Mat2.sdg)) Mat2.y);
+        Alcotest.(check bool) "H Rz(a) H = Rx(a)" true
+          (Mat2.distance (Mat2.mul Mat2.h (Mat2.mul (Mat2.rz 0.9) Mat2.h)) (Mat2.rx 0.9) < 1e-7));
+    Alcotest.test_case "distance: identical zero, orthogonal one" `Quick (fun () ->
+        (* The trace-distance formula has a ~sqrt(ulp) floor near zero. *)
+        Alcotest.(check bool) "same" true (Mat2.distance Mat2.h Mat2.h < 1e-7);
+        Alcotest.(check bool) "phase invariant" true
+          (Mat2.distance Mat2.h (Mat2.scale (Cplx.cis 0.3) Mat2.h) < 1e-7);
+        Alcotest.(check (float 1e-9)) "X vs Z" 1.0 (Mat2.distance Mat2.x Mat2.z));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"u3 angles round-trip"
+         QCheck2.Gen.(triple (float_bound_exclusive 3.14) (float_range (-3.0) 3.0) (float_range (-3.0) 3.0))
+         (fun (t, p, l) ->
+           let m = Mat2.u3 t p l in
+           let t', p', l' = Mat2.to_u3_angles m in
+           Mat2.distance m (Mat2.u3 t' p' l') < 1e-7));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:300 ~name:"random_unitary is unitary (Haar quaternion)"
+         QCheck2.Gen.unit
+         (fun () -> Mat2.is_unitary ~tol:1e-10 (Mat2.random_unitary rng)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:200 ~name:"distance is symmetric and bounded" QCheck2.Gen.unit
+         (fun () ->
+           let a = Mat2.random_unitary rng and b = Mat2.random_unitary rng in
+           let d1 = Mat2.distance a b and d2 = Mat2.distance b a in
+           Float.abs (d1 -. d2) < 1e-12 && d1 >= 0.0 && d1 <= 1.0 +. 1e-12));
+  ]
+
+let cmatrix_tests =
+  [
+    Alcotest.test_case "identity multiplication" `Quick (fun () ->
+        let a = random_cmatrix 5 5 in
+        Alcotest.(check bool) "I*A = A" true (Cmatrix.is_close (Cmatrix.mul (Cmatrix.identity 5) a) a));
+    Alcotest.test_case "kron dimensions and values" `Quick (fun () ->
+        let a = random_cmatrix 2 2 and b = random_cmatrix 3 3 in
+        let k = Cmatrix.kron a b in
+        Alcotest.(check (pair int int)) "dims" (6, 6) (Cmatrix.dims k);
+        let expected = Cplx.mul (Cmatrix.get a 1 0) (Cmatrix.get b 2 1) in
+        Alcotest.(check bool) "entry" true (Cplx.is_close expected (Cmatrix.get k 5 1)));
+    Alcotest.test_case "mat2 round trip" `Quick (fun () ->
+        let m = Mat2.random_unitary rng in
+        Alcotest.(check bool) "round trip" true
+          (Mat2.is_close m (Cmatrix.to_mat2 (Cmatrix.of_mat2 m))));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"adjoint is an involution" QCheck2.Gen.unit (fun () ->
+           let a = random_cmatrix 4 3 in
+           Cmatrix.is_close a (Cmatrix.adjoint (Cmatrix.adjoint a))));
+  ]
+
+let factorization_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"QR reconstructs and Q orthonormal"
+         QCheck2.Gen.(pair (int_range 2 8) (int_range 1 4))
+         (fun (m, n) ->
+           let n = min m n in
+           let a = random_cmatrix m n in
+           let q, r = Svd.qr a in
+           let recon = Cmatrix.mul q r in
+           let qtq = Cmatrix.mul (Cmatrix.adjoint q) q in
+           Cmatrix.is_close ~tol:1e-8 recon a && Cmatrix.is_close ~tol:1e-8 qtq (Cmatrix.identity n)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"LQ reconstructs with orthonormal rows"
+         QCheck2.Gen.(pair (int_range 1 4) (int_range 2 12))
+         (fun (m, n) ->
+           let m = min m n in
+           let a = random_cmatrix m n in
+           let l, q = Svd.lq a in
+           let qqt = Cmatrix.mul q (Cmatrix.adjoint q) in
+           Cmatrix.is_close ~tol:1e-8 (Cmatrix.mul l q) a
+           && Cmatrix.is_close ~tol:1e-8 qqt (Cmatrix.identity m)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:100 ~name:"SVD reconstructs with descending singular values"
+         QCheck2.Gen.(pair (int_range 1 6) (int_range 1 6))
+         (fun (m, n) ->
+           let a = random_cmatrix m n in
+           let u, s, vh = Svd.svd a in
+           let k = min m n in
+           let smat = Cmatrix.init k k (fun i j -> if i = j then Cplx.of_float s.(i) else Cplx.zero) in
+           let recon = Cmatrix.mul u (Cmatrix.mul smat vh) in
+           let descending =
+             Array.for_all (fun x -> x >= -.1e-12) s
+             && Array.for_all2 ( <= ) (Array.sub s 1 (k - 1)) (Array.sub s 0 (k - 1))
+           in
+           Cmatrix.is_close ~tol:1e-7 recon a && descending));
+    Alcotest.test_case "SVD of unitary has unit singular values" `Quick (fun () ->
+        let m = Cmatrix.of_mat2 (Mat2.random_unitary rng) in
+        let _, s, _ = Svd.svd m in
+        Array.iter (fun x -> Alcotest.(check (float 1e-9)) "sigma" 1.0 x) s);
+  ]
+
+let suite = mat2_tests @ cmatrix_tests @ factorization_tests

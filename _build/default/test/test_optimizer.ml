@@ -1,0 +1,125 @@
+(* Tests for the phase-folding T-count optimizer. *)
+
+let circuits_equal a b = Cmatrix.distance (Unitary.of_circuit a) (Unitary.of_circuit b) < 1e-7
+
+let rng = Random.State.make [| 909 |]
+
+let random_ct_circuit n gates =
+  let instrs = ref [] in
+  for _ = 1 to gates do
+    let q = Random.State.int rng n in
+    let q2 = (q + 1 + Random.State.int rng (n - 1)) mod n in
+    let i =
+      match Random.State.int rng 7 with
+      | 0 -> Circuit.instr Qgate.H [| q |]
+      | 1 -> Circuit.instr Qgate.T [| q |]
+      | 2 -> Circuit.instr Qgate.Tdg [| q |]
+      | 3 -> Circuit.instr Qgate.S [| q |]
+      | 4 -> Circuit.instr Qgate.X [| q |]
+      | 5 -> Circuit.instr Qgate.CX [| q; q2 |]
+      | _ -> Circuit.instr Qgate.Z [| q |]
+    in
+    instrs := i :: !instrs
+  done;
+  Circuit.make n (List.rev !instrs)
+
+let suite =
+  [
+    Alcotest.test_case "adjacent T·T merges to S" `Quick (fun () ->
+        let c = Circuit.of_list 1 [ (Qgate.T, [ 0 ]); (Qgate.T, [ 0 ]) ] in
+        let c' = Phase_folding.run c in
+        Alcotest.(check int) "no T" 0 (Circuit.t_count c');
+        Alcotest.(check bool) "semantics" true (circuits_equal c c'));
+    Alcotest.test_case "T and Tdg cancel" `Quick (fun () ->
+        let c = Circuit.of_list 1 [ (Qgate.T, [ 0 ]); (Qgate.Tdg, [ 0 ]) ] in
+        Alcotest.(check int) "empty" 0 (Circuit.length (Phase_folding.run c)));
+    Alcotest.test_case "merges through CNOT (same parity)" `Quick (fun () ->
+        (* T(1); CX(0,1); ... CX(0,1); T(1): the two T's act on the same
+           parity and must merge to S. *)
+        let c =
+          Circuit.of_list 2
+            [
+              (Qgate.T, [ 1 ]); (Qgate.CX, [ 0; 1 ]); (Qgate.CX, [ 0; 1 ]); (Qgate.T, [ 1 ]);
+            ]
+        in
+        let c' = Phase_folding.run c in
+        Alcotest.(check int) "T gone" 0 (Circuit.t_count c');
+        Alcotest.(check bool) "semantics" true (circuits_equal c c'));
+    Alcotest.test_case "merges T(1) CX T(1) pattern on shifted parity" `Quick (fun () ->
+        (* T(1); CX(0,1); T(1): parities differ (x1 vs x0⊕x1): no merge. *)
+        let c = Circuit.of_list 2 [ (Qgate.T, [ 1 ]); (Qgate.CX, [ 0; 1 ]); (Qgate.T, [ 1 ]) ] in
+        let c' = Phase_folding.run c in
+        Alcotest.(check int) "both kept" 2 (Circuit.t_count c');
+        Alcotest.(check bool) "semantics" true (circuits_equal c c'));
+    Alcotest.test_case "H blocks folding" `Quick (fun () ->
+        let c = Circuit.of_list 1 [ (Qgate.T, [ 0 ]); (Qgate.H, [ 0 ]); (Qgate.T, [ 0 ]) ] in
+        let c' = Phase_folding.run c in
+        Alcotest.(check int) "both kept" 2 (Circuit.t_count c');
+        Alcotest.(check bool) "semantics" true (circuits_equal c c'));
+    Alcotest.test_case "X conjugation negates the angle" `Quick (fun () ->
+        (* T; X; T; X  =  T·(X T X) = T·Tdg·(phase) → 0 T gates. *)
+        let c =
+          Circuit.of_list 1 [ (Qgate.T, [ 0 ]); (Qgate.X, [ 0 ]); (Qgate.T, [ 0 ]); (Qgate.X, [ 0 ]) ]
+        in
+        let c' = Phase_folding.run c in
+        Alcotest.(check int) "cancelled" 0 (Circuit.t_count c');
+        Alcotest.(check bool) "semantics" true (circuits_equal c c'));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60 ~name:"phase folding preserves semantics" QCheck2.Gen.unit
+         (fun () ->
+           let c = random_ct_circuit 3 30 in
+           let c' = Phase_folding.run c in
+           Circuit.t_count c' <= Circuit.t_count c && circuits_equal c c'));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:20 ~name:"idempotent on its own output" QCheck2.Gen.unit (fun () ->
+           let c = random_ct_circuit 3 25 in
+           let c' = Phase_folding.run c in
+           let c'' = Phase_folding.run c' in
+           Circuit.t_count c'' = Circuit.t_count c'));
+  ]
+
+(* CNOT resynthesis tests appended to the optimizer suite. *)
+
+let random_cx_run rng n len =
+  Circuit.make n
+    (List.init len (fun _ ->
+         let c = Random.State.int rng n in
+         let t = (c + 1 + Random.State.int rng (n - 1)) mod n in
+         Circuit.instr Qgate.CX [| c; t |]))
+
+let cnot_suite =
+  [
+    Alcotest.test_case "cancelling pair vanishes" `Quick (fun () ->
+        let c = Circuit.of_list 2 [ (Qgate.CX, [ 0; 1 ]); (Qgate.CX, [ 0; 1 ]) ] in
+        Alcotest.(check int) "empty" 0 (Circuit.length (Cnot_resynth.run c)));
+    Alcotest.test_case "swap pattern is already minimal" `Quick (fun () ->
+        let c =
+          Circuit.of_list 2 [ (Qgate.CX, [ 0; 1 ]); (Qgate.CX, [ 1; 0 ]); (Qgate.CX, [ 0; 1 ]) ]
+        in
+        Alcotest.(check int) "three" 3 (Circuit.length (Cnot_resynth.run c)));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:60 ~name:"cnot resynthesis preserves semantics"
+         QCheck2.Gen.(pair (int_range 2 5) (int_range 1 25))
+         (fun (n, len) ->
+           let c = random_cx_run rng n len in
+           let c' = Cnot_resynth.run c in
+           Circuit.two_qubit_count c' <= Circuit.two_qubit_count c
+           && circuits_equal c c'));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:30 ~name:"cnot resynthesis within mixed circuits"
+         QCheck2.Gen.unit
+         (fun () ->
+           let c = random_ct_circuit 4 40 in
+           circuits_equal c (Cnot_resynth.run c)));
+    Alcotest.test_case "long redundant ladder shrinks" `Quick (fun () ->
+        (* The same parity computed and uncomputed twice in a row. *)
+        let ladder = [ (Qgate.CX, [ 0; 2 ]); (Qgate.CX, [ 1; 2 ]) ] in
+        let c = Circuit.of_list 3 (ladder @ List.rev ladder @ ladder) in
+        let c' = Cnot_resynth.run c in
+        Alcotest.(check bool)
+          (Printf.sprintf "%d < 6" (Circuit.length c'))
+          true
+          (Circuit.length c' < 6));
+  ]
+
+let suite = suite @ cnot_suite

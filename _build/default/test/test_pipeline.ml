@@ -1,0 +1,104 @@
+(* Tests for the benchmark suite and the end-to-end compilation
+   pipelines (these are the slowest tests; they use small circuits). *)
+
+let suite_tests =
+  [
+    Alcotest.test_case "exactly 187 benchmarks" `Quick (fun () ->
+        Alcotest.(check int) "count" 187 (Suite.count ()));
+    Alcotest.test_case "benchmark names are unique" `Quick (fun () ->
+        let names = List.map (fun (b : Suite.benchmark) -> b.Suite.name) (Suite.all ()) in
+        let uniq = List.sort_uniq compare names in
+        Alcotest.(check int) "unique" (List.length names) (List.length uniq));
+    Alcotest.test_case "no benchmark is trivial to synthesize" `Quick (fun () ->
+        List.iter
+          (fun (b : Suite.benchmark) ->
+            Alcotest.(check bool)
+              (b.Suite.name ^ " has nontrivial rotations")
+              true
+              (Circuit.nontrivial_rotation_count b.Suite.circuit > 0))
+          (Suite.all ()));
+    Alcotest.test_case "generation is deterministic" `Quick (fun () ->
+        let a = Suite.all () and b = Suite.all () in
+        List.iter2
+          (fun (x : Suite.benchmark) (y : Suite.benchmark) ->
+            Alcotest.(check int)
+              (x.Suite.name ^ " gate count")
+              (Circuit.length x.Suite.circuit)
+              (Circuit.length y.Suite.circuit))
+          a b);
+    Alcotest.test_case "qaoa merge structure reduces rotations by ~40%" `Quick (fun () ->
+        (* §3.4: for 3-regular graphs the U3 IR merges all but one Rx per
+           layer, a ≈40% rotation reduction over the Rz IR. *)
+        let c = Generators.qaoa ~seed:5 ~n:12 ~depth:3 in
+        let _, u3 = Settings.best_for Settings.U3_ir c in
+        let _, rz = Settings.best_for Settings.Rz_ir c in
+        let ru3 = float_of_int (Circuit.nontrivial_rotation_count u3) in
+        let rrz = float_of_int (Circuit.nontrivial_rotation_count rz) in
+        let reduction = 1.0 -. (ru3 /. rrz) in
+        Alcotest.(check bool)
+          (Printf.sprintf "reduction %.2f in [0.2, 0.6]" reduction)
+          true
+          (reduction > 0.2 && reduction < 0.6));
+  ]
+
+let pipeline_tests =
+  [
+    Alcotest.test_case "gridsynth workflow output is pure Clifford+T" `Quick (fun () ->
+        let c = Generators.qaoa ~seed:1 ~n:4 ~depth:1 in
+        let s = Pipeline.run_gridsynth ~epsilon:0.05 c in
+        Alcotest.(check int) "no rotations left" 0 (Circuit.rotation_count s.Pipeline.circuit));
+    Alcotest.test_case "trasyn workflow output is pure Clifford+T" `Quick (fun () ->
+        let c = Generators.qaoa ~seed:1 ~n:4 ~depth:1 in
+        let s = Pipeline.run_trasyn ~epsilon:0.07 c in
+        Alcotest.(check int) "no rotations left" 0 (Circuit.rotation_count s.Pipeline.circuit));
+    Alcotest.test_case "synthesized circuits approximate the original state" `Quick (fun () ->
+        let c = Generators.tfim_evolution ~seed:3 ~n:4 ~steps:1 in
+        let ideal = State.run c in
+        let check_workflow name circ =
+          let f = State.fidelity ideal (State.run circ) in
+          Alcotest.(check bool) (Printf.sprintf "%s fidelity %.4f > 0.8" name f) true (f > 0.8)
+        in
+        check_workflow "gridsynth" (Pipeline.run_gridsynth ~epsilon:0.02 c).Pipeline.circuit;
+        check_workflow "trasyn" (Pipeline.run_trasyn ~epsilon:0.03 c).Pipeline.circuit);
+    Alcotest.test_case "comparison ratios are positive" `Quick (fun () ->
+        let c = Generators.vqe_hea ~seed:2 ~n:4 ~layers:1 in
+        let cmp = Pipeline.compare_workflows ~name:"vqe" c in
+        Alcotest.(check bool) "t ratio > 0" true (cmp.Pipeline.t_ratio > 0.0);
+        Alcotest.(check bool) "clifford ratio > 0" true (cmp.Pipeline.clifford_ratio > 0.0));
+    Alcotest.test_case "U3 workflow beats Rz workflow on VQE" `Quick (fun () ->
+        let c = Generators.vqe_hea ~seed:7 ~n:5 ~layers:2 in
+        let cmp = Pipeline.compare_workflows ~name:"vqe" c in
+        Alcotest.(check bool)
+          (Printf.sprintf "t ratio %.2f > 1.5" cmp.Pipeline.t_ratio)
+          true
+          (cmp.Pipeline.t_ratio > 1.5));
+    Alcotest.test_case "phase folding keeps synthesized semantics" `Quick (fun () ->
+        let c = Generators.maxcut_evolution ~seed:4 ~n:4 ~steps:1 in
+        let s = Pipeline.run_gridsynth ~epsilon:0.05 c in
+        let folded = Phase_folding.run s.Pipeline.circuit in
+        let d = Cmatrix.distance (Unitary.of_circuit s.Pipeline.circuit) (Unitary.of_circuit folded) in
+        (* hundreds of float gates accumulate ~1e-7 of distance noise *)
+        Alcotest.(check bool) "equal up to phase" true (d < 1e-5));
+  ]
+
+let synthetiq_tests =
+  [
+    Alcotest.test_case "solves an easy target" `Quick (fun () ->
+        (* H is in the gate set; annealing must find something within 0.1. *)
+        let r = Synthetiq.synthesize ~time_limit:2.0 ~target:Mat2.h ~epsilon:0.1 () in
+        Alcotest.(check bool) "solved" true (r.Synthetiq.seq <> None));
+    Alcotest.test_case "respects its wall-clock budget" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 1 |]) in
+        let r = Synthetiq.synthesize ~time_limit:0.5 ~target ~epsilon:1e-6 () in
+        Alcotest.(check bool) "stopped in time" true (r.Synthetiq.elapsed < 5.0));
+    Alcotest.test_case "reported distance matches its sequence" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 2 |]) in
+        let r = Synthetiq.synthesize ~time_limit:1.0 ~target ~epsilon:0.2 () in
+        match r.Synthetiq.seq with
+        | Some seq ->
+            let d = Mat2.distance target (Ctgate.seq_to_mat2 seq) in
+            Alcotest.(check (float 1e-9)) "distance" d r.Synthetiq.distance
+        | None -> ());
+  ]
+
+let suite = suite_tests @ pipeline_tests @ synthetiq_tests

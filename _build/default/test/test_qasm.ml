@@ -1,0 +1,77 @@
+(* Tests for the OpenQASM printer/reader pair. *)
+
+let rng = Random.State.make [| 808 |]
+
+let random_circuit n gates =
+  let instrs = ref [] in
+  for _ = 1 to gates do
+    let q = Random.State.int rng n in
+    let q2 = (q + 1 + Random.State.int rng (n - 1)) mod n in
+    let q3 = (q2 + 1 + Random.State.int rng (n - 2)) mod n in
+    let q3 = if q3 = q then (q3 + 1) mod n else q3 in
+    let angle = Random.State.float rng 6.0 -. 3.0 in
+    let i =
+      match Random.State.int rng 10 with
+      | 0 -> Circuit.instr Qgate.H [| q |]
+      | 1 -> Circuit.instr (Qgate.Rz angle) [| q |]
+      | 2 -> Circuit.instr (Qgate.Rx angle) [| q |]
+      | 3 -> Circuit.instr (Qgate.U3 (angle, -.angle, angle /. 3.0)) [| q |]
+      | 4 -> Circuit.instr Qgate.T [| q |]
+      | 5 -> Circuit.instr Qgate.Sdg [| q |]
+      | 6 -> Circuit.instr Qgate.CX [| q; q2 |]
+      | 7 -> Circuit.instr Qgate.CZ [| q; q2 |]
+      | 8 -> Circuit.instr Qgate.Swap [| q; q2 |]
+      | _ -> if q3 <> q && q3 <> q2 then Circuit.instr Qgate.Ccx [| q; q2; q3 |]
+             else Circuit.instr Qgate.Y [| q |]
+    in
+    instrs := i :: !instrs
+  done;
+  Circuit.make n (List.rev !instrs)
+
+let suite =
+  [
+    Alcotest.test_case "print/parse round trip preserves structure" `Quick (fun () ->
+        for _ = 1 to 10 do
+          let c = random_circuit 4 20 in
+          let c' = Qasm_reader.of_string (Qasm.to_string c) in
+          Alcotest.(check int) "qubits" c.Circuit.n_qubits c'.Circuit.n_qubits;
+          Alcotest.(check int) "gates" (Circuit.length c) (Circuit.length c');
+          Alcotest.(check int) "T count" (Circuit.t_count c) (Circuit.t_count c')
+        done);
+    Alcotest.test_case "round trip preserves semantics" `Quick (fun () ->
+        for _ = 1 to 10 do
+          let c = random_circuit 3 15 in
+          let c' = Qasm_reader.of_string (Qasm.to_string c) in
+          let d = Cmatrix.distance (Unitary.of_circuit c) (Unitary.of_circuit c') in
+          Alcotest.(check bool) "equivalent" true (d < 1e-6)
+        done);
+    Alcotest.test_case "expressions with pi parse" `Quick (fun () ->
+        let c =
+          Qasm_reader.of_string
+            "OPENQASM 2.0;\nqreg q[1];\nrz(pi/2) q[0];\nrz(-pi/4) q[0];\nrz(3*pi/8) q[0];\nrz(2*(pi+1)) q[0];\n"
+        in
+        match List.map (fun (i : Circuit.instr) -> i.Circuit.gate) c.Circuit.instrs with
+        | [ Qgate.Rz a; Qgate.Rz b; Qgate.Rz c1; Qgate.Rz d ] ->
+            Alcotest.(check (float 1e-12)) "pi/2" (Float.pi /. 2.0) a;
+            Alcotest.(check (float 1e-12)) "-pi/4" (-.Float.pi /. 4.0) b;
+            Alcotest.(check (float 1e-12)) "3pi/8" (3.0 *. Float.pi /. 8.0) c1;
+            Alcotest.(check (float 1e-12)) "2(pi+1)" (2.0 *. (Float.pi +. 1.0)) d
+        | _ -> Alcotest.fail "wrong gates");
+    Alcotest.test_case "comments, barriers and measures are skipped" `Quick (fun () ->
+        let c =
+          Qasm_reader.of_string
+            "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncreg c[2];\n// comment\nh q[0]; \nbarrier q[0];\ncx q[0],q[1];\nmeasure q[0] -> c[0];\n"
+        in
+        Alcotest.(check int) "two gates" 2 (Circuit.length c));
+    Alcotest.test_case "u1 and u aliases" `Quick (fun () ->
+        let c = Qasm_reader.of_string "qreg q[1];\nu1(0.5) q[0];\nu(0.1,0.2,0.3) q[0];\n" in
+        match List.map (fun (i : Circuit.instr) -> i.Circuit.gate) c.Circuit.instrs with
+        | [ Qgate.Rz _; Qgate.U3 _ ] -> ()
+        | _ -> Alcotest.fail "aliases not handled");
+    Alcotest.test_case "errors carry line numbers" `Quick (fun () ->
+        (match Qasm_reader.of_string "qreg q[1];\nfrobnicate q[0];\n" with
+        | exception Qasm_reader.Parse_error (2, _) -> ()
+        | exception Qasm_reader.Parse_error (l, m) ->
+            Alcotest.fail (Printf.sprintf "wrong location %d: %s" l m)
+        | _ -> Alcotest.fail "should have failed"));
+  ]

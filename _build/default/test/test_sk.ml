@@ -1,0 +1,49 @@
+(* Tests for the Solovay–Kitaev baseline. *)
+
+let rng = Random.State.make [| 606 |]
+
+let suite =
+  [
+    Alcotest.test_case "axis-angle round trip" `Quick (fun () ->
+        for _ = 1 to 20 do
+          let u = Mat2.random_unitary rng in
+          let r = Solovay_kitaev.rotation_of_mat2 u in
+          let back = Solovay_kitaev.mat2_of_rotation r in
+          Alcotest.(check bool) "round trip up to phase" true (Mat2.distance u back < 1e-7)
+        done);
+    Alcotest.test_case "group commutator reconstructs small rotations" `Quick (fun () ->
+        for _ = 1 to 10 do
+          (* A rotation within distance ~0.2 of the identity. *)
+          let r =
+            {
+              Solovay_kitaev.angle = 0.1 +. Random.State.float rng 0.2;
+              nx = 0.6;
+              ny = -0.64;
+              nz = 0.48;
+            }
+          in
+          let u = Solovay_kitaev.mat2_of_rotation r in
+          let v, w = Solovay_kitaev.group_commutator u in
+          let back = Mat2.product [ v; w; Mat2.adjoint v; Mat2.adjoint w ] in
+          Alcotest.(check bool) "commutator matches" true (Mat2.distance u back < 1e-6)
+        done);
+    Alcotest.test_case "sequence matches reported matrix" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let r = Solovay_kitaev.synthesize ~depth:2 target in
+        Alcotest.(check bool) "word product" true
+          (Mat2.distance (Ctgate.seq_to_mat2 r.Solovay_kitaev.seq) r.Solovay_kitaev.mat < 1e-6));
+    Alcotest.test_case "error decreases with depth" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let d0 = (Solovay_kitaev.synthesize ~depth:0 target).Solovay_kitaev.distance in
+        let d2 = (Solovay_kitaev.synthesize ~depth:2 target).Solovay_kitaev.distance in
+        let d3 = (Solovay_kitaev.synthesize ~depth:3 target).Solovay_kitaev.distance in
+        Alcotest.(check bool)
+          (Printf.sprintf "%.3f > %.3f > %.3f" d0 d2 d3)
+          true
+          (d0 > d2 && d2 > d3));
+    Alcotest.test_case "adjoint word inverts" `Quick (fun () ->
+        let seq = Ctgate.[ H; T; S; Tdg; X; Sdg ] in
+        let m = Ctgate.seq_to_mat2 seq in
+        let minv = Ctgate.seq_to_mat2 (Solovay_kitaev.adjoint_word seq) in
+        Alcotest.(check bool) "U·U† = I" true (Mat2.distance (Mat2.mul m minv) Mat2.identity < 1e-6));
+  ]

@@ -1,0 +1,302 @@
+(* Tests for the TRASYN core: MPS construction/canonicalization/sampling
+   invariants, post-processing soundness, and end-to-end synthesis. *)
+
+let rng = Random.State.make [| 77 |]
+
+let small_banks l =
+  let table = Ma_table.get 3 in
+  Array.init l (fun _ -> Sitebank.of_table table ~lo:0 ~hi:3)
+
+let mps_tests =
+  [
+    Alcotest.test_case "full contraction equals the exact trace (l=1,2,3)" `Quick (fun () ->
+        List.iter
+          (fun l ->
+            let target = Mat2.random_unitary rng in
+            let banks = small_banks l in
+            let mps = Mps.build ~target banks in
+            (* Pick a few random index tuples; compare MPS-contracted
+               amplitude (via sampling machinery on a projected chain)
+               against direct matrix evaluation. *)
+            for _ = 1 to 20 do
+              let indices = Array.map (fun b -> Random.State.int rng b.Sitebank.count) banks in
+              let direct = Mps.trace_of_indices mps indices in
+              (* Contract manually through the sites. *)
+              let l_sites = Array.length mps.Mps.sites in
+              let w = ref [| Cplx.one |] in
+              for i = 0 to l_sites - 1 do
+                let site = mps.Mps.sites.(i) in
+                let next = Array.make site.Mps.dr Cplx.zero in
+                for b = 0 to site.Mps.dr - 1 do
+                  let acc = ref Cplx.zero in
+                  for a = 0 to site.Mps.dl - 1 do
+                    acc := Cplx.add !acc (Cplx.mul !w.(a) (Mps.site_get site indices.(i) a b))
+                  done;
+                  next.(b) <- !acc
+                done;
+                w := next
+              done;
+              Alcotest.(check bool)
+                (Printf.sprintf "l=%d trace" l)
+                true
+                (Cplx.is_close ~tol:1e-9 direct !w.(0))
+            done)
+          [ 1; 2; 3 ]);
+    Alcotest.test_case "canonicalization preserves contractions" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let banks = small_banks 3 in
+        let mps = Mps.build ~target banks in
+        let indices = Array.map (fun b -> Random.State.int rng b.Sitebank.count) banks in
+        let before = Mps.trace_of_indices mps indices in
+        Mps.canonicalize mps;
+        (* trace_of_indices uses the banks (exact), so instead contract
+           the canonicalized tensors. *)
+        let w = ref [| Cplx.one |] in
+        Array.iteri
+          (fun i site ->
+            let next = Array.make site.Mps.dr Cplx.zero in
+            for b = 0 to site.Mps.dr - 1 do
+              let acc = ref Cplx.zero in
+              for a = 0 to site.Mps.dl - 1 do
+                acc := Cplx.add !acc (Cplx.mul !w.(a) (Mps.site_get site indices.(i) a b))
+              done;
+              next.(b) <- !acc
+            done;
+            w := next)
+          mps.Mps.sites;
+        Alcotest.(check bool) "unchanged" true (Cplx.is_close ~tol:1e-8 before !w.(0)));
+    Alcotest.test_case "right-canonical form after sweep" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let mps = Mps.build ~target (small_banks 3) in
+        Mps.canonicalize mps;
+        for i = 1 to 2 do
+          let err = Mps.right_canonical_error mps.Mps.sites.(i) in
+          Alcotest.(check bool) (Printf.sprintf "site %d isometric" i) true (err < 1e-8)
+        done);
+    Alcotest.test_case "sample amplitudes are true trace values" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let mps = Mps.build ~target (small_banks 2) in
+        Mps.canonicalize mps;
+        let samples = Mps.sample ~rng ~k:50 mps in
+        Alcotest.(check bool) "nonempty" true (samples <> []);
+        List.iter
+          (fun (s : Mps.sample) ->
+            let direct = Mps.trace_of_indices mps s.Mps.indices in
+            Alcotest.(check bool) "amplitude matches direct trace" true
+              (Cplx.is_close ~tol:1e-7 direct s.Mps.amplitude))
+          samples);
+    Alcotest.test_case "sample multiplicities sum to k" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let mps = Mps.build ~target (small_banks 2) in
+        Mps.canonicalize mps;
+        let k = 64 in
+        let samples = Mps.sample ~rng ~argmax_last:false ~k mps in
+        let total = List.fold_left (fun acc (s : Mps.sample) -> acc + s.Mps.multiplicity) 0 samples in
+        Alcotest.(check int) "k draws" k total);
+    Alcotest.test_case "sampling is biased toward high trace values" `Quick (fun () ->
+        (* The mean sampled |trace| should beat the mean over uniform tuples. *)
+        let target = Mat2.random_unitary rng in
+        let mps = Mps.build ~target (small_banks 2) in
+        Mps.canonicalize mps;
+        let samples = Mps.sample ~rng ~argmax_last:false ~k:200 mps in
+        let weighted_mean =
+          List.fold_left
+            (fun acc (s : Mps.sample) ->
+              acc +. (float_of_int s.Mps.multiplicity *. Cplx.norm s.Mps.amplitude))
+            0.0 samples
+          /. 200.0
+        in
+        let uniform_mean =
+          let acc = ref 0.0 in
+          for _ = 1 to 200 do
+            let indices =
+              Array.map (fun s -> Random.State.int rng s.Mps.n) mps.Mps.sites
+            in
+            acc := !acc +. Cplx.norm (Mps.trace_of_indices mps indices)
+          done;
+          !acc /. 200.0
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "biased (%.3f > %.3f)" weighted_mean uniform_mean)
+          true (weighted_mean > uniform_mean));
+  ]
+
+let postprocess_tests =
+  [
+    Alcotest.test_case "T·T contracts to S" `Quick (fun () ->
+        let table = Ma_table.get 4 in
+        let out = Postprocess.run table Ctgate.[ T; T ] in
+        Alcotest.(check int) "no T left" 0 (Ctgate.t_count out));
+    Alcotest.test_case "preserves the operator up to phase" `Quick (fun () ->
+        let table = Ma_table.get 4 in
+        for _ = 1 to 20 do
+          let len = 1 + Random.State.int rng 15 in
+          let gates = [| Ctgate.H; Ctgate.S; Ctgate.T; Ctgate.Tdg; Ctgate.X; Ctgate.Z; Ctgate.Sdg |] in
+          let seq = List.init len (fun _ -> gates.(Random.State.int rng (Array.length gates))) in
+          let out = Postprocess.run table seq in
+          Alcotest.(check bool) "equal up to phase" true
+            (Exact_u.equal_up_to_phase (Exact_u.of_seq seq) (Exact_u.of_seq out));
+          Alcotest.(check bool) "did not get more expensive" true
+            (Ctgate.t_count out <= Ctgate.t_count seq)
+        done);
+  ]
+
+let synthesis_tests =
+  [
+    Alcotest.test_case "single site equals table-optimal" `Quick (fun () ->
+        (* With one site, TRASYN is an exhaustive table lookup: no entry
+           can beat the returned distance. *)
+        let target = Mat2.random_unitary rng in
+        let config = { Trasyn.default_config with table_t = 5; samples = 4096 } in
+        let r = Trasyn.synthesize ~config ~target ~budgets:[ 5 ] () in
+        let table = Ma_table.get 5 in
+        let best =
+          Array.fold_left
+            (fun acc (e : Ma_table.entry) -> Float.min acc (Mat2.distance target e.Ma_table.mat))
+            infinity table.Ma_table.entries
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "optimal %.4f vs %.4f" r.Trasyn.distance best)
+          true
+          (r.Trasyn.distance <= best +. 1e-9));
+    Alcotest.test_case "distance decreases with more sites" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let config = { Trasyn.default_config with samples = 512 } in
+        let r1 = Trasyn.synthesize ~config ~target ~budgets:[ 8 ] () in
+        let r2 = Trasyn.synthesize ~config ~target ~budgets:[ 8; 8 ] () in
+        Alcotest.(check bool)
+          (Printf.sprintf "%.4f -> %.4f" r1.Trasyn.distance r2.Trasyn.distance)
+          true
+          (r2.Trasyn.distance <= r1.Trasyn.distance +. 1e-6));
+    Alcotest.test_case "result sequence matches reported metrics" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let r = Trasyn.synthesize ~target ~budgets:[ 8; 8 ] () in
+        Alcotest.(check int) "t_count" (Ctgate.t_count r.Trasyn.seq) r.Trasyn.t_count;
+        Alcotest.(check int) "cliffords" (Ctgate.clifford_count r.Trasyn.seq) r.Trasyn.clifford_count;
+        let d = Mat2.distance target (Ctgate.seq_to_mat2 r.Trasyn.seq) in
+        Alcotest.(check (float 1e-9)) "distance" d r.Trasyn.distance);
+    Alcotest.test_case "to_error meets threshold and respects Eq.(4)" `Quick (fun () ->
+        let target = Mat2.random_unitary rng in
+        let r = Trasyn.to_error ~target ~budgets:[ 8; 8; 8 ] ~epsilon:0.05 () in
+        Alcotest.(check bool) "meets" true (r.Trasyn.distance <= 0.05));
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~count:10 ~name:"to_error on random unitaries at 0.07" QCheck2.Gen.unit
+         (fun () ->
+           let target = Mat2.random_unitary rng in
+           let config = { Trasyn.default_config with samples = 256 } in
+           let r = Trasyn.to_error ~config ~target ~budgets:[ 8; 8 ] ~epsilon:0.07 () in
+           r.Trasyn.distance <= 0.07));
+    Alcotest.test_case "rz targets synthesize too" `Quick (fun () ->
+        let r = Trasyn.synthesize_rz ~theta:0.61 ~budgets:[ 8; 8 ] () in
+        Alcotest.(check bool) "small" true (r.Trasyn.distance < 0.05));
+  ]
+
+let suite = mps_tests @ postprocess_tests @ synthesis_tests
+
+(* Per-site T-count range tests (the §3.3 generalization). *)
+
+let range_tests =
+  [
+    Alcotest.test_case "ranges validate" `Quick (fun () ->
+        Alcotest.check_raises "bad range" (Invalid_argument "Trasyn.synthesize_ranges: bad range")
+          (fun () ->
+            ignore (Trasyn.synthesize_ranges ~target:Mat2.h ~ranges:[ (5, 2) ] ())));
+    Alcotest.test_case "a (k,k) range forces exactly k T per site" `Quick (fun () ->
+        (* Both sites restricted to exactly 3 T gates: before
+           post-processing every sample costs 6 T; the final count can
+           only be lower via step-3 rewrites. *)
+        let target = Mat2.random_unitary (Random.State.make [| 50 |]) in
+        let config = { Trasyn.default_config with post_process = false; samples = 128 } in
+        let r = Trasyn.synthesize_ranges ~config ~target ~ranges:[ (3, 3); (3, 3) ] () in
+        Alcotest.(check int) "exactly 6 T" 6 r.Trasyn.t_count);
+    Alcotest.test_case "budgets wrapper equals (0,b) ranges" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 51 |]) in
+        let r1 = Trasyn.synthesize ~target ~budgets:[ 6; 6 ] () in
+        let r2 = Trasyn.synthesize_ranges ~target ~ranges:[ (0, 6); (0, 6) ] () in
+        Alcotest.(check string) "same result" (Ctgate.seq_to_string r1.Trasyn.seq)
+          (Ctgate.seq_to_string r2.Trasyn.seq));
+  ]
+
+let suite = suite @ range_tests
+
+(* Statistical validation of step 2: on a bank small enough to
+   enumerate, the empirical sampling frequencies must match the exact
+   Born distribution p ∝ |trace|². *)
+
+let sampling_stats_tests =
+  [
+    Alcotest.test_case "empirical frequencies match the Born distribution" `Slow (fun () ->
+        let table = Ma_table.get 1 in
+        let bank = Sitebank.of_table table ~lo:0 ~hi:1 in
+        let target = Mat2.random_unitary (Random.State.make [| 2718 |]) in
+        let mps = Mps.build ~target [| bank; bank |] in
+        Mps.canonicalize mps;
+        let n = bank.Sitebank.count in
+        (* Exact distribution over all n² index pairs. *)
+        let exact = Array.make (n * n) 0.0 in
+        let total = ref 0.0 in
+        for s1 = 0 to n - 1 do
+          for s2 = 0 to n - 1 do
+            let w = Cplx.abs2 (Mps.trace_of_indices mps [| s1; s2 |]) in
+            exact.((s1 * n) + s2) <- w;
+            total := !total +. w
+          done
+        done;
+        Array.iteri (fun i w -> exact.(i) <- w /. !total) exact;
+        (* Empirical counts. *)
+        let k = 200_000 in
+        let counts = Array.make (n * n) 0 in
+        let samples = Mps.sample ~rng:(Random.State.make [| 99 |]) ~argmax_last:false mps ~k in
+        List.iter
+          (fun (s : Mps.sample) ->
+            let idx = (s.Mps.indices.(0) * n) + s.Mps.indices.(1) in
+            counts.(idx) <- counts.(idx) + s.Mps.multiplicity)
+          samples;
+        (* Compare on every outcome with meaningful mass. *)
+        Array.iteri
+          (fun i p ->
+            if p > 1e-3 then begin
+              let emp = float_of_int counts.(i) /. float_of_int k in
+              let sigma = Float.sqrt (p *. (1.0 -. p) /. float_of_int k) in
+              Alcotest.(check bool)
+                (Printf.sprintf "outcome %d: p=%.4f emp=%.4f" i p emp)
+                true
+                (Float.abs (emp -. p) < Float.max (6.0 *. sigma) 1e-3)
+            end)
+          exact);
+    Alcotest.test_case "four-site chain still contracts exactly" `Quick (fun () ->
+        let table = Ma_table.get 2 in
+        let bank = Sitebank.of_table table ~lo:0 ~hi:2 in
+        let target = Mat2.random_unitary (Random.State.make [| 31415 |]) in
+        let mps = Mps.build ~target [| bank; bank; bank; bank |] in
+        Mps.canonicalize mps;
+        let samples = Mps.sample ~rng:(Random.State.make [| 1 |]) mps ~k:20 in
+        List.iter
+          (fun (s : Mps.sample) ->
+            let direct = Mps.trace_of_indices mps s.Mps.indices in
+            Alcotest.(check bool) "amplitude" true
+              (Cplx.is_close ~tol:1e-7 direct s.Mps.amplitude))
+          samples);
+  ]
+
+let suite = suite @ sampling_stats_tests
+
+let timed_tests =
+  [
+    Alcotest.test_case "timed synthesis respects its budget and returns" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 60 |]) in
+        let config = { Trasyn.default_config with samples = 64; beam = 4 } in
+        let t0 = Unix.gettimeofday () in
+        let r = Trasyn.synthesize_timed ~config ~seconds:0.5 ~target ~budgets:[ 6 ] () in
+        let dt = Unix.gettimeofday () -. t0 in
+        Alcotest.(check bool) "bounded" true (dt < 5.0);
+        Alcotest.(check bool) "valid" true (r.Trasyn.distance < 0.5));
+    Alcotest.test_case "more time never hurts" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 61 |]) in
+        let config = { Trasyn.default_config with samples = 32; beam = 0 } in
+        let quick = Trasyn.synthesize_timed ~config ~seconds:0.05 ~target ~budgets:[ 6; 6 ] () in
+        let longer = Trasyn.synthesize_timed ~config ~seconds:1.0 ~target ~budgets:[ 6; 6 ] () in
+        Alcotest.(check bool) "monotone" true (longer.Trasyn.distance <= quick.Trasyn.distance +. 1e-12));
+  ]
+
+let suite = suite @ timed_tests
