@@ -68,7 +68,7 @@ let () =
     trajectories := 20;
     if !bench_limit = max_int then bench_limit := 24
   end;
-  let t_start = Unix.gettimeofday () in
+  let t_start = Obs.Clock.elapsed_s () in
   let benches =
     let all = Suite.all () in
     if !bench_limit >= List.length all then all
@@ -80,31 +80,37 @@ let () =
       |> List.filteri (fun i _ -> i < !bench_limit)
     end
   in
-  if want "table2" then Exp_circuits.table2 ();
-  if want "fig3b" then Exp_circuits.fig3b ~benches ();
-  if want "fig6" then Exp_circuits.fig6 ~benches ();
+  if want "table2" then Util.phase "table2" (fun () -> Exp_circuits.table2 ());
+  if want "fig3b" then Util.phase "fig3b" (fun () -> Exp_circuits.fig3b ~benches ());
+  if want "fig6" then Util.phase "fig6" (fun () -> Exp_circuits.fig6 ~benches ());
   if want "fig7" || want "table1" || want "fig8" then
-    Exp_rq1.run ~unitaries:!unitaries ~samples:!samples ~table_t:!table_t
-      ~synthetiq_budget:!synthetiq_budget ();
+    Util.phase "rq1" (fun () ->
+        Exp_rq1.run ~unitaries:!unitaries ~samples:!samples ~table_t:!table_t
+          ~synthetiq_budget:!synthetiq_budget ());
   let need_study = want "fig2" || want "fig9" || want "fig10" || want "fig11" in
   if need_study then begin
-    let study = Exp_circuits.run_study ~benches ~epsilon:!epsilon ~samples:(min !samples 256) () in
-    if want "fig2" || want "fig9" then begin
-      Exp_circuits.fig2_fig9 study;
-      Exp_circuits.fig2_infidelity study ~max_qubits:10
-    end;
-    if want "fig10" then Exp_circuits.fig10 study ~max_qubits:8 ~trajectories:!trajectories;
-    if want "fig11" then Exp_circuits.fig11 study
+    let study =
+      Util.phase "study" (fun () ->
+          Exp_circuits.run_study ~benches ~epsilon:!epsilon ~samples:(min !samples 256) ())
+    in
+    if want "fig2" || want "fig9" then
+      Util.phase "fig2-fig9" (fun () ->
+          Exp_circuits.fig2_fig9 study;
+          Exp_circuits.fig2_infidelity study ~max_qubits:10);
+    if want "fig10" then
+      Util.phase "fig10" (fun () ->
+          Exp_circuits.fig10 study ~max_qubits:8 ~trajectories:!trajectories);
+    if want "fig11" then Util.phase "fig11" (fun () -> Exp_circuits.fig11 study)
   end;
-  if want "fig12" then Exp_rq5.run ~rotations:!rq5_rotations ();
-  if want "abl" then begin
-    let n = max 4 (!unitaries / 2) in
-    Exp_ablation.postproc ~unitaries:n ();
-    Exp_ablation.sites ~unitaries:n ();
-    Exp_ablation.samples ~unitaries:n ();
-    Exp_ablation.baselines ~unitaries:n ();
-    Exp_ablation.mixing ~unitaries:n ();
-    Exp_ablation.greedy ~unitaries:n ()
-  end;
-  if want "kernels" then kernels ();
-  Printf.printf "\nTotal bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)
+  if want "fig12" then Util.phase "fig12" (fun () -> Exp_rq5.run ~rotations:!rq5_rotations ());
+  if want "abl" then
+    Util.phase "ablations" (fun () ->
+        let n = max 4 (!unitaries / 2) in
+        Exp_ablation.postproc ~unitaries:n ();
+        Exp_ablation.sites ~unitaries:n ();
+        Exp_ablation.samples ~unitaries:n ();
+        Exp_ablation.baselines ~unitaries:n ();
+        Exp_ablation.mixing ~unitaries:n ();
+        Exp_ablation.greedy ~unitaries:n ());
+  if want "kernels" then Util.phase "kernels" kernels;
+  Printf.printf "\nTotal bench time: %.1fs\n" (Obs.Clock.elapsed_s () -. t_start)

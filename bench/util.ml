@@ -43,9 +43,19 @@ let header title =
   Printf.printf "==================================================================\n%!"
 
 let time_it f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.elapsed_s () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Obs.Clock.elapsed_s () -. t0)
+
+(* Run one experiment phase under an [Obs] span ("bench.<name>") and
+   print its wall time.  With TGATES_TRACE set, the trace then carries a
+   per-phase breakdown (and the per-subsystem spans nested inside it),
+   so future BENCH_*.json entries can record more than end-to-end
+   totals. *)
+let phase name f =
+  let r, dt = time_it (fun () -> Obs.span ("bench." ^ name) f) in
+  Printf.printf "[phase] %-12s %.2fs\n%!" name dt;
+  r
 
 (* Least-squares slope/intercept of y against x. *)
 let linear_fit xs ys =

@@ -7,7 +7,8 @@
 
 open Cmdliner
 
-let run input output workflow epsilon optimize estimate =
+let run input output workflow epsilon optimize estimate trace =
+  Obs.with_trace ?file:trace @@ fun () ->
   let circuit = Qasm_reader.of_file input in
   Printf.printf "input    : %d qubits, %d gates, %d nontrivial rotations\n"
     circuit.Circuit.n_qubits (Circuit.length circuit)
@@ -16,8 +17,15 @@ let run input output workflow epsilon optimize estimate =
     match workflow with
     | "trasyn" -> Pipeline.run_trasyn ~epsilon circuit
     | "gridsynth" -> Pipeline.run_gridsynth ~epsilon circuit
+    | "compare" ->
+        (* Run both workflows (the paper's RQ2-RQ4 comparison), report
+           the ratios, and continue with the TRASYN output. *)
+        let cmp = Pipeline.compare_workflows ~epsilon ~name:(Filename.basename input) circuit in
+        Printf.printf "compare  : T ratio=%.2f  Tdepth ratio=%.2f  Clifford ratio=%.2f (gridsynth/trasyn)\n"
+          cmp.Pipeline.t_ratio cmp.Pipeline.t_depth_ratio cmp.Pipeline.clifford_ratio;
+        cmp.Pipeline.trasyn
     | w ->
-        prerr_endline ("unknown workflow " ^ w ^ " (use trasyn | gridsynth)");
+        prerr_endline ("unknown workflow " ^ w ^ " (use trasyn | gridsynth | compare)");
         exit 2
   in
   let compiled =
@@ -47,15 +55,23 @@ let input =
 let output = Arg.(value & opt (some string) None & info [ "output"; "o" ] ~doc:"output QASM path")
 
 let workflow =
-  Arg.(value & opt string "trasyn" & info [ "workflow"; "w" ] ~doc:"trasyn | gridsynth")
+  Arg.(value & opt string "trasyn" & info [ "workflow"; "w" ] ~doc:"trasyn | gridsynth | compare")
 
 let epsilon = Arg.(value & opt float 0.07 & info [ "epsilon" ] ~doc:"per-rotation error threshold")
 let optimize = Arg.(value & flag & info [ "optimize" ] ~doc:"run phase folding afterwards")
 let estimate = Arg.(value & flag & info [ "estimate" ] ~doc:"print a surface-code resource estimate")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
+              environment variable does the same")
+
 let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
-    Term.(const run $ input $ output $ workflow $ epsilon $ optimize $ estimate)
+    Term.(const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,8 @@
 
 open Cmdliner
 
-let run theta epsilon =
+let run theta epsilon trace =
+  Obs.with_trace ?file:trace @@ fun () ->
   let r = Gridsynth.rz ~theta ~epsilon () in
   Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Gridsynth.seq);
   Printf.printf "T count  : %d\n" r.Gridsynth.t_count;
@@ -14,9 +15,17 @@ let run theta epsilon =
 let theta = Arg.(required & opt (some float) None & info [ "theta" ] ~doc:"rotation angle")
 let epsilon = Arg.(value & opt float 1e-3 & info [ "epsilon" ] ~doc:"target unitary distance")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
+              environment variable does the same")
+
 let cmd =
   Cmd.v
     (Cmd.info "gridsynth" ~doc:"Ross-Selinger Clifford+T approximation of z-rotations")
-    Term.(const run $ theta $ epsilon)
+    Term.(const run $ theta $ epsilon $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -4,7 +4,8 @@
 
 open Cmdliner
 
-let run theta phi lam epsilon budget sites samples =
+let run theta phi lam epsilon budget sites samples trace =
+  Obs.with_trace ?file:trace @@ fun () ->
   let target = Mat2.u3 theta phi lam in
   let budgets = List.init sites (fun _ -> budget) in
   let config = { Trasyn.default_config with table_t = budget; samples } in
@@ -30,9 +31,17 @@ let budget = Arg.(value & opt int 8 & info [ "budget" ] ~doc:"T budget per MPS s
 let sites = Arg.(value & opt int 3 & info [ "sites" ] ~doc:"maximum number of MPS sites")
 let samples = Arg.(value & opt int 1024 & info [ "samples" ] ~doc:"number of sampled sequences (k)")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
+              environment variable does the same")
+
 let cmd =
   Cmd.v
     (Cmd.info "trasyn" ~doc:"Tensor-network synthesis of single-qubit unitaries over Clifford+T")
-    Term.(const run $ theta $ phi $ lam $ epsilon $ budget $ sites $ samples)
+    Term.(const run $ theta $ phi $ lam $ epsilon $ budget $ sites $ samples $ trace)
 
 let () = exit (Cmd.eval cmd)

@@ -54,9 +54,13 @@ let bank_entry bank phys row col =
 (* Construction                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let c_sweeps = Obs.counter "mps.sweeps"
+let c_samples = Obs.counter "mps.samples_drawn"
+
 let build ~(target : Mat2.t) (banks : Sitebank.t array) =
   let l = Array.length banks in
   if l = 0 then invalid_arg "Mps.build: need at least one site";
+  Obs.span "mps.build" @@ fun () ->
   let u = Cmatrix.of_mat2 target in
   let sites =
     Array.mapi
@@ -168,7 +172,9 @@ let absorb_right s lmat =
 
 (* Bring sites 1..l−1 to right-canonical form; site 0 absorbs the norm. *)
 let canonicalize t =
+  Obs.span "mps.canonicalize" @@ fun () ->
   let l = Array.length t.sites in
+  Obs.incr ~by:(max 0 (l - 1)) c_sweeps;
   for i = l - 1 downto 1 do
     let s = t.sites.(i) in
     let m = site_to_matrix s in
@@ -273,6 +279,8 @@ let draw_counts rng weights mult =
     already been computed, so taking their maximum costs nothing extra
     and is what makes best-of-k reach deep error targets. *)
 let sample ?(rng = Random.State.make_self_init ()) ?(argmax_last = true) t ~k =
+  Obs.span "mps.sample" @@ fun () ->
+  Obs.incr ~by:k c_samples;
   let l = Array.length t.sites in
   let init = { w_re = [| 1.0 |]; w_im = [| 0.0 |]; chosen = []; mult = k } in
   let finish p =
@@ -314,6 +322,7 @@ let sample ?(rng = Random.State.make_self_init ()) ?(argmax_last = true) t ~k =
 (* Deterministic beam search over the same distribution: keep the [beam]
    highest-weight partials at each level.  Used by the greedy ablation. *)
 let beam_search t ~beam =
+  Obs.span "mps.beam_search" @@ fun () ->
   let l = Array.length t.sites in
   let init = { w_re = [| 1.0 |]; w_im = [| 0.0 |]; chosen = []; mult = 1 } in
   let finish p =

@@ -34,6 +34,19 @@ let of_entries entries max_t =
 (* A site covering T counts lo..hi of the given table. *)
 let of_table table ~lo ~hi = of_entries (Ma_table.entries_in_range table ~lo ~hi) hi
 
-let matrix bank s = bank.entries.(s).Ma_table.mat
-let sequence bank s = bank.entries.(s).Ma_table.seq
-let tcount bank s = bank.entries.(s).Ma_table.tcount
+(* One shared counter for all three accessors: they are the bank's only
+   read path, so this is "how often did synthesis consult a sitebank".
+   An atomic add is noise next to the float work per lookup. *)
+let c_lookups = Obs.counter "sitebank.lookups"
+
+let matrix bank s =
+  Obs.incr c_lookups;
+  bank.entries.(s).Ma_table.mat
+
+let sequence bank s =
+  Obs.incr c_lookups;
+  bank.entries.(s).Ma_table.seq
+
+let tcount bank s =
+  Obs.incr c_lookups;
+  bank.entries.(s).Ma_table.tcount

@@ -16,6 +16,12 @@ type config = {
 
 let default_config = { table_t = 8; samples = 1024; beam = 32; post_process = true; seed = 0x7a51 }
 
+(* Observability handles (interned once; see lib/obs). *)
+let c_attempts = Obs.counter "trasyn.attempts"
+let c_restarts = Obs.counter "trasyn.restarts"
+let c_escalations = Obs.counter "trasyn.budget_escalations"
+let h_tcount = Obs.histogram ~buckets:(Array.init 33 (fun i -> float_of_int (4 * i))) "trasyn.t_count"
+
 type result = {
   seq : Ctgate.t list;
   distance : float;
@@ -53,6 +59,8 @@ let seq_of_sample (mps : Mps.t) (s : Mps.sample) =
    error — a cheap hedge against error accumulation at circuit level. *)
 let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target ~ranges () =
   if ranges = [] then invalid_arg "Trasyn.synthesize: empty budget list";
+  Obs.span "trasyn.synthesize" @@ fun () ->
+  Obs.incr c_attempts;
   let table = Ma_table.get config.table_t in
   let banks =
     Array.of_list
@@ -99,7 +107,10 @@ let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target
     List.map
       (fun s ->
         let seq = seq_of_sample mps s in
-        let seq = if config.post_process then Postprocess.run table seq else seq in
+        let seq =
+          if config.post_process then Obs.span "trasyn.postprocess" (fun () -> Postprocess.run table seq)
+          else seq
+        in
         result_of_seq ~target ~sites:l ~samples:config.samples seq)
       top
   in
@@ -117,16 +128,20 @@ let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target
         in
         fun a b -> compare (key a) (key b)
   in
-  match (List.sort order candidates, epsilon) with
-  | [], _ -> failwith "Trasyn.synthesize: sampling produced no candidates"
-  | best :: rest, Some eps when t_slack > 0 && best.distance <= eps ->
-      List.fold_left
-        (fun acc r ->
-          if r.distance <= eps && r.t_count <= best.t_count + t_slack && r.distance < acc.distance
-          then r
-          else acc)
-        best rest
-  | best :: _, _ -> best
+  let chosen =
+    match (List.sort order candidates, epsilon) with
+    | [], _ -> failwith "Trasyn.synthesize: sampling produced no candidates"
+    | best :: rest, Some eps when t_slack > 0 && best.distance <= eps ->
+        List.fold_left
+          (fun acc r ->
+            if r.distance <= eps && r.t_count <= best.t_count + t_slack && r.distance < acc.distance
+            then r
+            else acc)
+          best rest
+    | best :: _, _ -> best
+  in
+  Obs.observe h_tcount (float_of_int chosen.t_count);
+  chosen
 
 (* The common case: per-site caps, each site ranging over 0..cap. *)
 let synthesize ?config ?epsilon ?t_slack ~target ~budgets () =
@@ -166,7 +181,12 @@ let to_error ?(config = default_config) ?(attempts = 2) ?(selection = `Best_erro
       let best = match best with Some b -> Some (better b r) | None -> Some r in
       match best with
       | Some b when b.distance <= epsilon -> best
-      | _ -> if attempt + 1 < attempts then go sites (attempt + 1) best else go (sites + 1) 0 best
+      | _ ->
+          if attempt + 1 < attempts then go sites (attempt + 1) best
+          else begin
+            Obs.incr c_escalations;
+            go (sites + 1) 0 best
+          end
     end
   in
   match go 1 0 None with
@@ -175,12 +195,15 @@ let to_error ?(config = default_config) ?(attempts = 2) ?(selection = `Best_erro
 
 (* The paper's RQ1 protocol allots each tool a wall-clock budget per
    unitary; this wrapper keeps reseeding [synthesize] until the deadline
-   and returns the best result seen (Eq. (3) objective). *)
+   and returns the best result seen (Eq. (3) objective).  The deadline
+   is measured on the monotonic clock so it survives wall-clock jumps
+   (NTP slews, DST) mid-run. *)
 let synthesize_timed ?(config = default_config) ~seconds ~target ~budgets () =
-  let deadline = Unix.gettimeofday () +. seconds in
+  let deadline = Obs.Clock.elapsed_s () +. seconds in
   let rec go attempt best =
-    if Unix.gettimeofday () >= deadline && best <> None then Option.get best
+    if Obs.Clock.elapsed_s () >= deadline && best <> None then Option.get best
     else begin
+      if attempt > 0 then Obs.incr c_restarts;
       let cfg = { config with seed = config.seed + (attempt * 65537) } in
       let r = synthesize ~config:cfg ~target ~budgets () in
       let best =
@@ -188,7 +211,7 @@ let synthesize_timed ?(config = default_config) ~seconds ~target ~budgets () =
         | Some b when (b.distance, b.t_count) <= (r.distance, r.t_count) -> Some b
         | _ -> Some r
       in
-      if Unix.gettimeofday () >= deadline then Option.get best else go (attempt + 1) best
+      if Obs.Clock.elapsed_s () >= deadline then Option.get best else go (attempt + 1) best
     end
   in
   go 0 None

@@ -88,13 +88,19 @@ let unit_correction u0 =
     end
   end
 
-let solve ?(factor_budget = 20_000) (xi : R2.t) : O.t option =
+let c_attempts = Obs.counter "gridsynth.diophantine.attempts"
+let c_solutions = Obs.counter "gridsynth.diophantine.solutions"
+let c_factor_fail = Obs.counter "gridsynth.diophantine.factor_fail"
+
+let solve_impl ~factor_budget (xi : R2.t) : O.t option =
   if R2.is_zero xi then Some O.zero
   else if not (R2.is_totally_positive xi) then None
   else begin
     let n_xi = B.abs (R2.norm xi) in
     match Ntheory.factor ~budget:factor_budget n_xi with
-    | None -> None
+    | None ->
+        Obs.incr c_factor_fail;
+        None
     | Some factors ->
         let delta = O.add O.one O.omega in
         (* Fold prime contributions over the factorization. *)
@@ -162,3 +168,9 @@ let solve ?(factor_budget = 20_000) (xi : R2.t) : O.t option =
             end
           end)
   end
+
+let solve ?(factor_budget = 20_000) (xi : R2.t) : O.t option =
+  Obs.incr c_attempts;
+  let r = Obs.span "gridsynth.diophantine.solve" (fun () -> solve_impl ~factor_budget xi) in
+  if r <> None then Obs.incr c_solutions;
+  r

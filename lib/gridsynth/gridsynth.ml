@@ -33,29 +33,39 @@ let verify_rz theta seq =
 
 exception Synthesis_failed of string
 
+let c_candidates = Obs.counter "gridsynth.candidates"
+let c_levels = Obs.counter "gridsynth.levels"
+let c_solutions = Obs.counter "gridsynth.solutions"
+let h_n_used = Obs.histogram ~buckets:(Array.init 80 float_of_int) "gridsynth.n_used"
+
 let rz ?(max_extra_n = 40) ?(candidates_per_n = 64) ~theta ~epsilon () =
+  Obs.span "gridsynth.rz" @@ fun () ->
   let n0 = initial_n epsilon in
   let tried = ref 0 in
   let rec at_level n =
     if n > n0 + max_extra_n then
       raise (Synthesis_failed (Printf.sprintf "gridsynth: no solution up to n=%d for eps=%g" n epsilon))
     else begin
-      let cands = Region.candidates ~theta ~epsilon ~n in
+      Obs.incr c_levels;
+      let cands = Obs.span "gridsynth.grid_problem" (fun () -> Region.candidates ~theta ~epsilon ~n) in
       let rec try_cands cands budget =
         match cands with
         | [] -> at_level (n + 1)
         | _ when budget = 0 -> at_level (n + 1)
         | (c : Region.candidate) :: rest -> begin
             incr tried;
+            Obs.incr c_candidates;
             let w = c.Region.w in
             let xi = R2.sub (R2.make (B.shift_left B.one n) B.zero) (O.abs_sq w) in
             match Diophantine.solve xi with
             | None -> try_cands rest (budget - 1)
             | Some t -> begin
-                match Exact_synth.synthesize_column ~w ~t ~n with
+                match Obs.span "gridsynth.exact_synth" (fun () -> Exact_synth.synthesize_column ~w ~t ~n) with
                 | seq ->
                     let d = verify_rz theta seq in
-                    if d <= epsilon +. 1e-12 then
+                    if d <= epsilon +. 1e-12 then begin
+                      Obs.incr c_solutions;
+                      Obs.observe h_n_used (float_of_int n);
                       {
                         seq;
                         distance = d;
@@ -64,6 +74,7 @@ let rz ?(max_extra_n = 40) ?(candidates_per_n = 64) ~theta ~epsilon () =
                         n_used = n;
                         candidates_tried = !tried;
                       }
+                    end
                     else try_cands rest (budget - 1)
                 | exception Exact_synth.Not_unitary _ -> try_cands rest (budget - 1)
               end

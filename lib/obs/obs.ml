@@ -1,0 +1,589 @@
+(* See obs.mli for the design constraints.  Everything lives in one
+   process-global registry so that instrumentation sites anywhere in the
+   stack and exporters in the CLIs agree on the same metrics. *)
+
+module Clock = struct
+  let now_ns () = Monotonic_clock.now ()
+  let t0 = now_ns ()
+  let elapsed_s () = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
+end
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type counter = { cname : string; cell : int Atomic.t }
+type gauge = { gname : string; mutable gval : float }
+type hkind = Span | Value
+
+type histogram = {
+  hname : string;
+  bounds : float array;  (* strictly increasing upper bounds *)
+  counts : int array;  (* length bounds + 1 (overflow), under hlock *)
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+  hkind : hkind;
+  hlock : Mutex.t;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let reg_lock = Mutex.create ()
+let counters_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let hists_tbl : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+let locked lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter name =
+  locked reg_lock (fun () ->
+      match Hashtbl.find_opt counters_tbl name with
+      | Some c -> c
+      | None ->
+          let c = { cname = name; cell = Atomic.make 0 } in
+          Hashtbl.add counters_tbl name c;
+          c)
+
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.cell by)
+let counter_value c = Atomic.get c.cell
+
+let gauge name =
+  locked reg_lock (fun () ->
+      match Hashtbl.find_opt gauges_tbl name with
+      | Some g -> g
+      | None ->
+          let g = { gname = name; gval = 0.0 } in
+          Hashtbl.add gauges_tbl name g;
+          g)
+
+let set_gauge g v = g.gval <- v
+let add_gauge g v = g.gval <- g.gval +. v
+let gauge_value g = g.gval
+
+let default_time_buckets =
+  (* 100ns .. 1000s, three buckets per decade. *)
+  Array.init 31 (fun i -> 1e-7 *. (10.0 ** (float_of_int i /. 3.0)))
+
+let make_histogram kind buckets name =
+  let n = Array.length buckets in
+  if n = 0 then invalid_arg "Obs.histogram: empty bucket list";
+  for i = 1 to n - 1 do
+    if buckets.(i) <= buckets.(i - 1) then
+      invalid_arg "Obs.histogram: bucket bounds must be strictly increasing"
+  done;
+  {
+    hname = name;
+    bounds = Array.copy buckets;
+    counts = Array.make (n + 1) 0;
+    hcount = 0;
+    hsum = 0.0;
+    hmin = infinity;
+    hmax = neg_infinity;
+    hkind = kind;
+    hlock = Mutex.create ();
+  }
+
+let histogram_k kind ?(buckets = default_time_buckets) name =
+  locked reg_lock (fun () ->
+      match Hashtbl.find_opt hists_tbl name with
+      | Some h -> h
+      | None ->
+          let h = make_histogram kind buckets name in
+          Hashtbl.add hists_tbl name h;
+          h)
+
+let histogram ?buckets name = histogram_k Value ?buckets name
+
+let observe h v =
+  Mutex.lock h.hlock;
+  let nb = Array.length h.bounds in
+  (* First bucket whose upper bound covers v (binary search). *)
+  let lo = ref 0 and hi = ref nb in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if h.bounds.(mid) >= v then hi := mid else lo := mid + 1
+  done;
+  h.counts.(!lo) <- h.counts.(!lo) + 1;
+  h.hcount <- h.hcount + 1;
+  h.hsum <- h.hsum +. v;
+  if v < h.hmin then h.hmin <- v;
+  if v > h.hmax then h.hmax <- v;
+  Mutex.unlock h.hlock
+
+(* Quantile with [h.hlock] already held. *)
+let quantile_unlocked h q =
+  if h.hcount = 0 then nan
+  else begin
+    let rank = Float.max 1.0 (q *. float_of_int h.hcount) in
+    let nb = Array.length h.bounds in
+    let rec go i cum =
+      if i >= nb then h.hmax
+      else begin
+        let cum = cum + h.counts.(i) in
+        if float_of_int cum >= rank then Float.max h.hmin (Float.min h.bounds.(i) h.hmax)
+        else go (i + 1) cum
+      end
+    in
+    go 0 0
+  end
+
+let quantile h q = locked h.hlock (fun () -> quantile_unlocked h q)
+
+type summary = {
+  count : int;
+  sum : float;
+  vmin : float;
+  vmax : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let summarize h =
+  locked h.hlock (fun () ->
+      {
+        count = h.hcount;
+        sum = h.hsum;
+        vmin = h.hmin;
+        vmax = h.hmax;
+        p50 = quantile_unlocked h 0.5;
+        p90 = quantile_unlocked h 0.9;
+        p99 = quantile_unlocked h 0.99;
+      })
+
+let reset () =
+  locked reg_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters_tbl;
+      Hashtbl.iter (fun _ g -> g.gval <- 0.0) gauges_tbl;
+      Hashtbl.iter
+        (fun _ h ->
+          locked h.hlock (fun () ->
+              Array.fill h.counts 0 (Array.length h.counts) 0;
+              h.hcount <- 0;
+              h.hsum <- 0.0;
+              h.hmin <- infinity;
+              h.hmax <- neg_infinity))
+        hists_tbl)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  let add_escaped b s =
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\r' -> Buffer.add_string b "\\r"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s
+
+  (* Non-finite floats have no JSON representation; emit null. *)
+  let add_num b f =
+    if not (Float.is_finite f) then Buffer.add_string b "null"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.0f" f)
+    else Buffer.add_string b (Printf.sprintf "%.17g" f)
+
+  let to_string j =
+    let b = Buffer.create 128 in
+    let rec go = function
+      | Null -> Buffer.add_string b "null"
+      | Bool true -> Buffer.add_string b "true"
+      | Bool false -> Buffer.add_string b "false"
+      | Num f -> add_num b f
+      | Str s ->
+          Buffer.add_char b '"';
+          add_escaped b s;
+          Buffer.add_char b '"'
+      | Arr xs ->
+          Buffer.add_char b '[';
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_char b ',';
+              go x)
+            xs;
+          Buffer.add_char b ']'
+      | Obj kvs ->
+          Buffer.add_char b '{';
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_char b '"';
+              add_escaped b k;
+              Buffer.add_string b "\":";
+              go v)
+            kvs;
+          Buffer.add_char b '}'
+    in
+    go j;
+    Buffer.contents b
+
+  exception Err of string * int
+
+  let utf8_of_code b code =
+    (* Basic multilingual plane only — enough for metric names. *)
+    if code < 0x80 then Buffer.add_char b (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+    end
+
+  let parse s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let err m = raise (Err (m, !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let skip_ws () =
+      while !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+        Stdlib.incr pos
+      done
+    in
+    let expect c =
+      if !pos < n && s.[!pos] = c then Stdlib.incr pos
+      else err (Printf.sprintf "expected '%c'" c)
+    in
+    let parse_lit lit v =
+      let l = String.length lit in
+      if !pos + l <= n && String.sub s !pos l = lit then begin
+        pos := !pos + l;
+        v
+      end
+      else err ("bad literal, expected " ^ lit)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then err "unterminated string"
+        else
+          match s.[!pos] with
+          | '"' ->
+              Stdlib.incr pos;
+              Buffer.contents b
+          | '\\' ->
+              Stdlib.incr pos;
+              if !pos >= n then err "truncated escape";
+              (match s.[!pos] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'b' -> Buffer.add_char b '\b'
+              | 'f' -> Buffer.add_char b '\012'
+              | 'n' -> Buffer.add_char b '\n'
+              | 'r' -> Buffer.add_char b '\r'
+              | 't' -> Buffer.add_char b '\t'
+              | 'u' ->
+                  if !pos + 4 >= n then err "truncated \\u escape";
+                  (match int_of_string_opt ("0x" ^ String.sub s (!pos + 1) 4) with
+                  | None -> err "bad \\u escape"
+                  | Some code ->
+                      pos := !pos + 4;
+                      utf8_of_code b code)
+              | _ -> err "unknown escape");
+              Stdlib.incr pos;
+              go ()
+          | c ->
+              Buffer.add_char b c;
+              Stdlib.incr pos;
+              go ()
+      in
+      go ()
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> err "unexpected end of input"
+      | Some '{' ->
+          Stdlib.incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            Stdlib.incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  Stdlib.incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  Stdlib.incr pos;
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> err "expected ',' or '}'"
+            in
+            members []
+          end
+      | Some '[' ->
+          Stdlib.incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            Stdlib.incr pos;
+            Arr []
+          end
+          else begin
+            let rec items acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  Stdlib.incr pos;
+                  items (v :: acc)
+              | Some ']' ->
+                  Stdlib.incr pos;
+                  Arr (List.rev (v :: acc))
+              | _ -> err "expected ',' or ']'"
+            in
+            items []
+          end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> parse_lit "true" (Bool true)
+      | Some 'f' -> parse_lit "false" (Bool false)
+      | Some 'n' -> parse_lit "null" Null
+      | Some _ ->
+          let start = !pos in
+          let numchar = function '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false in
+          while !pos < n && numchar s.[!pos] do
+            Stdlib.incr pos
+          done;
+          if !pos = start then err "unexpected character"
+          else begin
+            match float_of_string_opt (String.sub s start (!pos - start)) with
+            | Some f -> Num f
+            | None -> err "bad number"
+          end
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos <> n then raise (Err ("trailing input", !pos));
+      v
+    with
+    | v -> Ok v
+    | exception Err (m, p) -> Error (Printf.sprintf "%s at offset %d" m p)
+
+  let member key = function Obj kvs -> List.assoc_opt key kvs | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Trace output                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let out_lock = Mutex.create ()
+let trace_oc : out_channel option ref = ref None
+let trace_file : string option ref = ref None
+let at_exit_registered = ref false
+
+let tracing () = !trace_oc <> None
+let trace_path () = !trace_file
+
+let emit_line line =
+  Mutex.lock out_lock;
+  (match !trace_oc with
+  | None -> ()
+  | Some oc -> ( try output_string oc line; output_char oc '\n' with Sys_error _ -> ()));
+  Mutex.unlock out_lock
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let span_depth () = !(Domain.DLS.get depth_key)
+
+let emit_span ~name ~t0 ~dur ~depth =
+  if tracing () then begin
+    let b = Buffer.create 96 in
+    Buffer.add_string b {|{"ev":"span","name":"|};
+    Json.add_escaped b name;
+    Buffer.add_string b (Printf.sprintf {|","t0":%.9f,"dur":%.9f,"depth":%d}|} t0 dur depth);
+    emit_line (Buffer.contents b)
+  end
+
+let span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let h = histogram_k Span name in
+    let depth = Domain.DLS.get depth_key in
+    let d0 = !depth in
+    depth := d0 + 1;
+    let t0 = Clock.elapsed_s () in
+    Fun.protect
+      ~finally:(fun () ->
+        depth := d0;
+        let dur = Clock.elapsed_s () -. t0 in
+        observe h dur;
+        emit_span ~name ~t0 ~dur ~depth:d0)
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let num f = Json.Num f
+let opt_num f = if Float.is_finite f then Json.Num f else Json.Null
+
+let metrics_jsonl () =
+  let counters, gauges, hists =
+    locked reg_lock (fun () ->
+        ( Hashtbl.fold (fun _ c acc -> c :: acc) counters_tbl [],
+          Hashtbl.fold (fun _ g acc -> g :: acc) gauges_tbl [],
+          Hashtbl.fold (fun _ h acc -> h :: acc) hists_tbl [] ))
+  in
+  let lines = ref [] in
+  List.iter
+    (fun (c : counter) ->
+      lines :=
+        ( c.cname,
+          Json.Obj
+            [ ("ev", Str "counter"); ("name", Str c.cname); ("value", num (float_of_int (counter_value c))) ] )
+        :: !lines)
+    counters;
+  List.iter
+    (fun (g : gauge) ->
+      lines :=
+        (g.gname, Json.Obj [ ("ev", Str "gauge"); ("name", Str g.gname); ("value", opt_num g.gval) ])
+        :: !lines)
+    gauges;
+  List.iter
+    (fun (h : histogram) ->
+      let s = summarize h in
+      lines :=
+        ( h.hname,
+          Json.Obj
+            [
+              ("ev", Str "hist");
+              ("kind", Str (match h.hkind with Span -> "span" | Value -> "value"));
+              ("name", Str h.hname);
+              ("count", num (float_of_int s.count));
+              ("sum", opt_num s.sum);
+              ("min", opt_num s.vmin);
+              ("max", opt_num s.vmax);
+              ("p50", opt_num s.p50);
+              ("p90", opt_num s.p90);
+              ("p99", opt_num s.p99);
+            ] )
+        :: !lines)
+    hists;
+  List.sort (fun (a, _) (b, _) -> compare a b) !lines |> List.map (fun (_, j) -> Json.to_string j)
+
+let fmt_seconds s =
+  if not (Float.is_finite s) then "-"
+  else if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.1fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let report oc =
+  let by_name proj tbl = List.sort compare (Hashtbl.fold (fun k v acc -> (k, proj v) :: acc) tbl []) in
+  let counters = locked reg_lock (fun () -> by_name counter_value counters_tbl) in
+  let gauges = locked reg_lock (fun () -> by_name gauge_value gauges_tbl) in
+  let hists = locked reg_lock (fun () -> Hashtbl.fold (fun _ h acc -> h :: acc) hists_tbl []) in
+  let hists = List.sort (fun a b -> compare a.hname b.hname) hists in
+  let spans = List.filter (fun h -> h.hkind = Span) hists in
+  let values = List.filter (fun h -> h.hkind = Value) hists in
+  Printf.fprintf oc "== observability report ==========================================\n";
+  if counters <> [] then begin
+    Printf.fprintf oc "counters:\n";
+    List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12d\n" n v) counters
+  end;
+  if gauges <> [] then begin
+    Printf.fprintf oc "gauges:\n";
+    List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12g\n" n v) gauges
+  end;
+  if spans <> [] then begin
+    Printf.fprintf oc "spans:%40s %8s %8s %8s %8s %8s\n" "" "calls" "total" "p50" "p90" "p99";
+    List.iter
+      (fun h ->
+        let s = summarize h in
+        Printf.fprintf oc "  %-44s %8d %8s %8s %8s %8s\n" h.hname s.count (fmt_seconds s.sum)
+          (fmt_seconds s.p50) (fmt_seconds s.p90) (fmt_seconds s.p99))
+      spans
+  end;
+  if values <> [] then begin
+    Printf.fprintf oc "histograms:%35s %8s %10s %8s %8s %8s\n" "" "count" "mean" "p50" "p90" "p99";
+    List.iter
+      (fun h ->
+        let s = summarize h in
+        let mean = if s.count = 0 then nan else s.sum /. float_of_int s.count in
+        Printf.fprintf oc "  %-44s %8d %10.3g %8.3g %8.3g %8.3g\n" h.hname s.count mean s.p50 s.p90
+          s.p99)
+      values
+  end;
+  Printf.fprintf oc "==================================================================\n%!"
+
+let finish () =
+  let oc_opt =
+    locked out_lock (fun () ->
+        let o = !trace_oc in
+        trace_oc := None;
+        o)
+  in
+  match oc_opt with
+  | None -> ()
+  | Some oc ->
+      List.iter
+        (fun l ->
+          try
+            output_string oc l;
+            output_char oc '\n'
+          with Sys_error _ -> ())
+        (metrics_jsonl ());
+      close_out_noerr oc;
+      report stderr
+
+let trace_to_file path =
+  let oc = open_out path in
+  locked out_lock (fun () ->
+      (match !trace_oc with Some old -> close_out_noerr old | None -> ());
+      trace_oc := Some oc;
+      trace_file := Some path);
+  set_enabled true;
+  if not !at_exit_registered then begin
+    at_exit_registered := true;
+    at_exit finish
+  end;
+  emit_line
+    (Printf.sprintf {|{"ev":"meta","version":1,"clock":"monotonic","t0":%.9f}|} (Clock.elapsed_s ()))
+
+let with_trace ?file f =
+  (match file with Some p -> trace_to_file p | None -> ());
+  Fun.protect ~finally:finish f
+
+(* Environment gate: TGATES_TRACE=<path> enables tracing for any binary
+   linking this library, with export at exit. *)
+let () =
+  match Sys.getenv_opt "TGATES_TRACE" with
+  | Some f when String.trim f <> "" -> trace_to_file f
+  | _ -> ()

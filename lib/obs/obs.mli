@@ -1,0 +1,158 @@
+(** Observability for the synthesis stack: monotonic span timers, named
+    counters/gauges, fixed-bucket histograms, and a JSONL trace/metrics
+    exporter.
+
+    Design constraints (they shape the API):
+
+    - {b Cheap when disabled.}  Counters, gauges, and histogram
+      observations are always live (an atomic add or a short
+      mutex-guarded update, no allocation); {!span} is the only wrapper
+      and reduces to a single atomic-bool load plus a tail call when
+      disabled.
+    - {b Thread/domain-safe.}  Counters are [Atomic]; each histogram
+      carries its own mutex; span nesting depth is domain-local.
+    - {b Zero new dependencies.}  The only non-stdlib ingredient is the
+      CLOCK_MONOTONIC stub already vendored by bechamel (a declared
+      dependency of this package).
+
+    Metric names follow a [subsystem.operation] scheme, e.g.
+    ["gridsynth.diophantine.attempts"] or ["pipeline.run_trasyn"].
+
+    Tracing is enabled by {!trace_to_file} (the CLIs' [--trace FILE]
+    flag) or by setting the [TGATES_TRACE] environment variable to a
+    file path before the program starts.  While tracing, every span
+    emits one JSONL event; {!finish} (registered [at_exit]) appends the
+    final value of every metric and prints a human-readable report to
+    stderr. *)
+
+module Clock : sig
+  val now_ns : unit -> int64
+  (** CLOCK_MONOTONIC, nanoseconds, arbitrary origin. *)
+
+  val elapsed_s : unit -> float
+  (** Monotonic seconds since program start.  Use this — never
+      [Unix.gettimeofday] — for deadlines and timings, so they survive
+      wall-clock jumps (NTP slews, DST, manual clock changes). *)
+end
+
+(** {1 Global switch} *)
+
+val enabled : unit -> bool
+(** Whether spans record and emit.  Off by default; turned on by
+    {!set_enabled}, {!trace_to_file}, or the [TGATES_TRACE] env var. *)
+
+val set_enabled : bool -> unit
+
+(** {1 Counters and gauges} *)
+
+type counter
+type gauge
+
+val counter : string -> counter
+(** Intern (create or fetch) the counter of that name.  Call once at
+    module level and keep the handle: lookups take the registry lock. *)
+
+val incr : ?by:int -> counter -> unit
+(** Atomic add ([by] defaults to 1); allocation-free. *)
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val add_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+type histogram
+
+val default_time_buckets : float array
+(** Geometric bucket upper bounds from 100ns to 1000s (3 per decade),
+    suitable for durations in seconds.  The default for {!histogram}
+    and the bucket set used by {!span}. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** Intern a histogram.  [buckets] are strictly increasing upper
+    bounds; an implicit overflow bucket is appended.  If the name is
+    already registered the existing histogram is returned and [buckets]
+    is ignored.
+    @raise Invalid_argument on empty or non-increasing [buckets]. *)
+
+val observe : histogram -> float -> unit
+
+type summary = {
+  count : int;
+  sum : float;
+  vmin : float;  (** [infinity] when empty *)
+  vmax : float;  (** [neg_infinity] when empty *)
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val quantile : histogram -> float -> float
+(** Bucketed quantile estimate: the upper bound of the bucket holding
+    the rank-⌈q·count⌉ observation, clamped to the observed
+    \[min, max\].  [nan] when empty. *)
+
+val summarize : histogram -> summary
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] times [f ()] with the monotonic clock, records the
+    duration into the histogram [name] (kind "span", time buckets), and
+    emits a JSONL event when tracing.  Nesting is tracked per domain.
+    When {!enabled} is false this is exactly [f ()].  The duration is
+    recorded even if [f] raises. *)
+
+val span_depth : unit -> int
+(** Current span nesting depth in this domain (0 outside any span). *)
+
+(** {1 Trace export} *)
+
+val trace_to_file : string -> unit
+(** Open [path] for writing, emit a meta line, enable spans, and
+    register {!finish} [at_exit].  Replaces any previously open trace. *)
+
+val tracing : unit -> bool
+
+val trace_path : unit -> string option
+
+val finish : unit -> unit
+(** Append one JSONL line per registered metric to the trace, close it,
+    and print the report to stderr.  Idempotent; no-op when not
+    tracing. *)
+
+val with_trace : ?file:string -> (unit -> 'a) -> 'a
+(** CLI helper: [with_trace ?file f] enables tracing to [file] when
+    given (the [TGATES_TRACE] env var may have enabled it already),
+    runs [f], and finishes the trace on the way out. *)
+
+val metrics_jsonl : unit -> string list
+(** One JSON object per registered metric (counters, gauges, histogram
+    and span summaries), sorted by name. *)
+
+val report : out_channel -> unit
+(** Human-readable end-of-run report of every registered metric. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (handles stay valid) — for tests and
+    for separating bench phases. *)
+
+(** {1 Minimal JSON} *)
+
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  val parse : string -> (t, string) result
+  val to_string : t -> string
+  val member : string -> t -> t option
+  (** Field lookup on [Obj]; [None] otherwise. *)
+end

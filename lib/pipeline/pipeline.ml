@@ -45,6 +45,35 @@ let exact_word_of_trivial g =
   Option.map (fun (e : Ma_table.entry) -> e.Ma_table.seq) !best
 
 (* ------------------------------------------------------------------ *)
+(* Synthesis memo caches                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Both memo tables are bounded: past [cache_capacity] entries a table
+   is flushed wholesale (counted as one eviction) rather than grown
+   without limit — long benchmark sweeps over many epsilons would
+   otherwise retain every word ever synthesized.  Flush-all beats LRU
+   here because hits are dominated by repeats *within* one circuit. *)
+let cache_capacity = ref 65_536
+
+let set_cache_capacity n =
+  if n < 1 then invalid_arg "Pipeline.set_cache_capacity: capacity must be positive";
+  cache_capacity := n
+
+let c_evictions = Obs.counter "pipeline.cache.evictions"
+let c_gs_hit = Obs.counter "pipeline.gridsynth_cache.hit"
+let c_gs_miss = Obs.counter "pipeline.gridsynth_cache.miss"
+let c_tr_hit = Obs.counter "pipeline.trasyn_cache.hit"
+let c_tr_miss = Obs.counter "pipeline.trasyn_cache.miss"
+let h_rot_tcount = Obs.histogram ~buckets:(Array.init 41 (fun i -> float_of_int (4 * i))) "pipeline.rotation.t_count"
+
+let cache_put tbl key v =
+  if Hashtbl.length tbl >= !cache_capacity then begin
+    Obs.incr c_evictions;
+    Hashtbl.reset tbl
+  end;
+  Hashtbl.add tbl key v
+
+(* ------------------------------------------------------------------ *)
 (* GRIDSYNTH (Rz) workflow                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -53,14 +82,19 @@ let gridsynth_cache : (string, Ctgate.t list * float) Hashtbl.t = Hashtbl.create
 let gridsynth_rz_word ~epsilon theta =
   let key = Printf.sprintf "%s@%.6g" (angle_key theta) epsilon in
   match Hashtbl.find_opt gridsynth_cache key with
-  | Some r -> r
+  | Some r ->
+      Obs.incr c_gs_hit;
+      r
   | None ->
-      let r = Gridsynth.rz ~theta ~epsilon () in
+      Obs.incr c_gs_miss;
+      let r = Obs.span "pipeline.synthesize_rotation" (fun () -> Gridsynth.rz ~theta ~epsilon ()) in
+      Obs.observe h_rot_tcount (float_of_int r.Gridsynth.t_count);
       let out = (r.Gridsynth.seq, r.Gridsynth.distance) in
-      Hashtbl.add gridsynth_cache key out;
+      cache_put gridsynth_cache key out;
       out
 
 let run_gridsynth ?(epsilon = 0.07) (c : Circuit.t) : synthesized =
+  Obs.span "pipeline.run_gridsynth" @@ fun () ->
   let setting, transpiled = Settings.best_for Settings.Rz_ir c in
   let total_err = ref 0.0 and nsynth = ref 0 in
   let synth_gate g =
@@ -95,6 +129,10 @@ let run_gridsynth ?(epsilon = 0.07) (c : Circuit.t) : synthesized =
 
 let trasyn_cache : (string, Ctgate.t list * float) Hashtbl.t = Hashtbl.create 256
 
+let clear_caches () =
+  Hashtbl.reset gridsynth_cache;
+  Hashtbl.reset trasyn_cache
+
 let default_budgets = [ 10; 10; 8 ]
 
 let trasyn_u3_word ~config ~budgets ~epsilon (theta, phi, lam) =
@@ -102,23 +140,29 @@ let trasyn_u3_word ~config ~budgets ~epsilon (theta, phi, lam) =
     Printf.sprintf "%s/%s/%s@%.6g" (angle_key theta) (angle_key phi) (angle_key lam) epsilon
   in
   match Hashtbl.find_opt trasyn_cache key with
-  | Some r -> r
+  | Some r ->
+      Obs.incr c_tr_hit;
+      r
   | None ->
+      Obs.incr c_tr_miss;
       (* Eq. (4) selection with a 2-T slack: gridsynth typically
          over-delivers its threshold by 2-3x at a marginal T cost, so a
          couple of spare T gates on our side keeps the two workflows'
          achieved errors at the same level (§4.2's "error ratios close
          to 1") without burning whole site budgets. *)
       let r =
+        Obs.span "pipeline.synthesize_rotation" @@ fun () ->
         Trasyn.to_error ~config ~attempts:1 ~selection:`Min_t ~t_slack:2
           ~target:(Mat2.u3 theta phi lam) ~budgets ~epsilon ()
       in
+      Obs.observe h_rot_tcount (float_of_int r.Trasyn.t_count);
       let out = (r.Trasyn.seq, r.Trasyn.distance) in
-      Hashtbl.add trasyn_cache key out;
+      cache_put trasyn_cache key out;
       out
 
 let run_trasyn ?(epsilon = 0.07) ?(config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 })
     ?(budgets = default_budgets) (c : Circuit.t) : synthesized =
+  Obs.span "pipeline.run_trasyn" @@ fun () ->
   let setting, transpiled = Settings.best_for Settings.U3_ir c in
   let total_err = ref 0.0 and nsynth = ref 0 in
   let synth_gate g =

@@ -19,6 +19,24 @@ val run_gridsynth : ?epsilon:float -> Circuit.t -> synthesized
 (** Rz IR + GRIDSYNTH at [epsilon] (default 0.07) per rotation; trivial
     (π/4-multiple) rotations are replaced by exact words. *)
 
+val gridsynth_rz_word : epsilon:float -> float -> Ctgate.t list * float
+(** The memoized word-level entry point of the Rz workflow: the
+    Clifford+T word and achieved distance for Rz(θ) at [epsilon],
+    served from the gridsynth cache when the rounded angle repeats. *)
+
+val clear_caches : unit -> unit
+(** Empty both synthesis memo caches (gridsynth Rz words and TRASYN U3
+    words).  Use between unrelated runs, or to make timing measurements
+    cache-cold.  Hit/miss/eviction counts are exported through {!Obs}
+    as [pipeline.gridsynth_cache.hit]/[.miss],
+    [pipeline.trasyn_cache.hit]/[.miss], and
+    [pipeline.cache.evictions]. *)
+
+val set_cache_capacity : int -> unit
+(** Bound each memo cache to that many entries (default 65536); a full
+    cache is flushed wholesale on the next insert.
+    @raise Invalid_argument when the capacity is < 1. *)
+
 val run_trasyn :
   ?epsilon:float -> ?config:Trasyn.config -> ?budgets:int list -> Circuit.t -> synthesized
 (** U3 IR + TRASYN in Eq. (4) mode at [epsilon] (default 0.07). *)

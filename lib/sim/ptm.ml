@@ -53,6 +53,7 @@ let process_fidelity (a : t) (b : t) =
    conservative RQ5 model).  Words act leftmost-last, so compose from
    the right. *)
 let of_ctseq ?(noise = 0.0) ?(noisy_gate = fun g -> Ctgate.is_t g) seq : t =
+  Obs.span "sim.ptm.of_ctseq" @@ fun () ->
   List.fold_left
     (fun acc g ->
       let r = of_mat2 (Ctgate.to_mat2 g) in

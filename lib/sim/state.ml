@@ -100,9 +100,14 @@ let apply_instr s (i : Circuit.instr) =
   | g, [| q |] -> apply_mat2 s (Qgate.to_mat2 g) q
   | _ -> assert false
 
-let apply_circuit s (c : Circuit.t) = List.iter (apply_instr s) c.Circuit.instrs
+let c_gates = Obs.counter "sim.state.gates_applied"
+
+let apply_circuit s (c : Circuit.t) =
+  Obs.incr ~by:(List.length c.Circuit.instrs) c_gates;
+  List.iter (apply_instr s) c.Circuit.instrs
 
 let run (c : Circuit.t) =
+  Obs.span "sim.state.run" @@ fun () ->
   let s = zero_state c.Circuit.n_qubits in
   apply_circuit s c;
   s

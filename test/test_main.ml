@@ -15,4 +15,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("qasm", Test_qasm.suite);
       ("generators", Test_generators.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,203 @@
+(* Tests for lib/obs: counter/gauge semantics, span nesting, histogram
+   percentile estimates on known distributions, JSONL round-tripping,
+   and the disabled-mode no-op guarantees. *)
+
+let counter_tests =
+  [
+    Alcotest.test_case "counter increments and interning" `Quick (fun () ->
+        let c = Obs.counter "test.counter.a" in
+        let before = Obs.counter_value c in
+        Obs.incr c;
+        Obs.incr ~by:5 c;
+        Alcotest.(check int) "incremented by 6" (before + 6) (Obs.counter_value c);
+        (* Interning: the same name yields the same cell. *)
+        Obs.incr (Obs.counter "test.counter.a");
+        Alcotest.(check int) "shared cell" (before + 7) (Obs.counter_value c));
+    Alcotest.test_case "gauge set/add" `Quick (fun () ->
+        let g = Obs.gauge "test.gauge.a" in
+        Obs.set_gauge g 2.5;
+        Alcotest.(check (float 1e-12)) "set" 2.5 (Obs.gauge_value g);
+        Obs.add_gauge g 1.5;
+        Alcotest.(check (float 1e-12)) "add" 4.0 (Obs.gauge_value g);
+        Obs.set_gauge (Obs.gauge "test.gauge.a") 0.25;
+        Alcotest.(check (float 1e-12)) "interned" 0.25 (Obs.gauge_value g));
+    Alcotest.test_case "reset zeroes metrics but keeps handles" `Quick (fun () ->
+        let c = Obs.counter "test.counter.reset" in
+        Obs.incr ~by:42 c;
+        Obs.reset ();
+        Alcotest.(check int) "zeroed" 0 (Obs.counter_value c);
+        Obs.incr c;
+        Alcotest.(check int) "still usable" 1 (Obs.counter_value c));
+  ]
+
+let histogram_tests =
+  [
+    Alcotest.test_case "percentiles on a uniform distribution" `Quick (fun () ->
+        (* Buckets 1..10; observe 0.1, 0.2, …, 10.0 — ten per bucket.
+           The estimator returns the upper bound of the quantile bucket. *)
+        let h = Obs.histogram ~buckets:(Array.init 10 (fun i -> float_of_int (i + 1))) "test.hist.uniform" in
+        for i = 1 to 100 do
+          Obs.observe h (float_of_int i /. 10.0)
+        done;
+        let s = Obs.summarize h in
+        Alcotest.(check int) "count" 100 s.Obs.count;
+        Alcotest.(check (float 1e-9)) "sum" 505.0 s.Obs.sum;
+        Alcotest.(check (float 1e-9)) "min" 0.1 s.Obs.vmin;
+        Alcotest.(check (float 1e-9)) "max" 10.0 s.Obs.vmax;
+        Alcotest.(check (float 1e-9)) "p50" 5.0 s.Obs.p50;
+        Alcotest.(check (float 1e-9)) "p90" 9.0 s.Obs.p90;
+        Alcotest.(check (float 1e-9)) "p99" 10.0 s.Obs.p99);
+    Alcotest.test_case "percentiles on a point mass" `Quick (fun () ->
+        let h = Obs.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0 |] "test.hist.point" in
+        for _ = 1 to 50 do
+          Obs.observe h 3.0
+        done;
+        (* All mass in the (2,4] bucket; estimates clamp to [min,max]. *)
+        Alcotest.(check (float 1e-9)) "p50" 3.0 (Obs.quantile h 0.5);
+        Alcotest.(check (float 1e-9)) "p99" 3.0 (Obs.quantile h 0.99));
+    Alcotest.test_case "overflow bucket reports the observed max" `Quick (fun () ->
+        let h = Obs.histogram ~buckets:[| 1.0 |] "test.hist.overflow" in
+        Obs.observe h 1000.0;
+        Alcotest.(check (float 1e-9)) "p50 = max" 1000.0 (Obs.quantile h 0.5));
+    Alcotest.test_case "empty histogram yields nan quantiles" `Quick (fun () ->
+        let h = Obs.histogram ~buckets:[| 1.0 |] "test.hist.empty" in
+        Alcotest.(check bool) "nan" true (Float.is_nan (Obs.quantile h 0.5)));
+    Alcotest.test_case "bad bucket bounds are rejected" `Quick (fun () ->
+        Alcotest.check_raises "non-increasing" (Invalid_argument
+          "Obs.histogram: bucket bounds must be strictly increasing") (fun () ->
+            ignore (Obs.histogram ~buckets:[| 2.0; 1.0 |] "test.hist.bad")));
+  ]
+
+let span_tests =
+  [
+    Alcotest.test_case "spans nest and record durations" `Quick (fun () ->
+        Obs.set_enabled true;
+        Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+        Alcotest.(check int) "depth outside" 0 (Obs.span_depth ());
+        let v =
+          Obs.span "test.span.outer" (fun () ->
+              Alcotest.(check int) "depth 1" 1 (Obs.span_depth ());
+              Obs.span "test.span.inner" (fun () ->
+                  Alcotest.(check int) "depth 2" 2 (Obs.span_depth ());
+                  17))
+        in
+        Alcotest.(check int) "value through" 17 v;
+        Alcotest.(check int) "depth restored" 0 (Obs.span_depth ());
+        let outer = Obs.summarize (Obs.histogram "test.span.outer") in
+        let inner = Obs.summarize (Obs.histogram "test.span.inner") in
+        Alcotest.(check int) "outer recorded" 1 outer.Obs.count;
+        Alcotest.(check int) "inner recorded" 1 inner.Obs.count;
+        Alcotest.(check bool) "outer >= inner" true (outer.Obs.sum >= inner.Obs.sum));
+    Alcotest.test_case "span records and restores depth on raise" `Quick (fun () ->
+        Obs.set_enabled true;
+        Fun.protect ~finally:(fun () -> Obs.set_enabled false) @@ fun () ->
+        (try Obs.span "test.span.raise" (fun () -> failwith "boom") with Failure _ -> ());
+        Alcotest.(check int) "depth restored" 0 (Obs.span_depth ());
+        Alcotest.(check int) "duration recorded" 1
+          (Obs.summarize (Obs.histogram "test.span.raise")).Obs.count);
+    Alcotest.test_case "disabled spans are transparent no-ops" `Quick (fun () ->
+        Obs.set_enabled false;
+        let v = Obs.span "test.span.disabled" (fun () -> 23) in
+        Alcotest.(check int) "value through" 23 v;
+        Alcotest.(check int) "nothing recorded" 0
+          (Obs.summarize (Obs.histogram "test.span.disabled")).Obs.count);
+  ]
+
+let json_tests =
+  [
+    Alcotest.test_case "parser round-trips the serializer" `Quick (fun () ->
+        let j =
+          Obs.Json.Obj
+            [
+              ("name", Obs.Json.Str "weird \"name\"\nwith\tescapes\\");
+              ("value", Obs.Json.Num 1.5);
+              ("int", Obs.Json.Num 42.0);
+              ("flag", Obs.Json.Bool true);
+              ("nothing", Obs.Json.Null);
+              ("list", Obs.Json.Arr [ Obs.Json.Num 0.25; Obs.Json.Str "x" ]);
+            ]
+        in
+        match Obs.Json.parse (Obs.Json.to_string j) with
+        | Error e -> Alcotest.failf "parse error: %s" e
+        | Ok j' -> Alcotest.(check bool) "round trip" true (j = j'));
+    Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
+        List.iter
+          (fun s ->
+            match Obs.Json.parse s with
+            | Ok _ -> Alcotest.failf "accepted malformed %S" s
+            | Error _ -> ())
+          [ "{"; "{\"a\":}"; "[1,]"; "\"unterminated"; "{} trailing"; "nul" ]);
+    Alcotest.test_case "metrics export is valid JSONL with correct values" `Quick (fun () ->
+        Obs.reset ();
+        let c = Obs.counter "test.export.counter" in
+        Obs.incr ~by:9 c;
+        let h = Obs.histogram ~buckets:[| 1.0; 2.0 |] "test.export.hist" in
+        Obs.observe h 0.5;
+        Obs.observe h 1.5;
+        let lines = Obs.metrics_jsonl () in
+        Alcotest.(check bool) "nonempty" true (lines <> []);
+        let parsed =
+          List.map
+            (fun l ->
+              match Obs.Json.parse l with
+              | Ok j -> j
+              | Error e -> Alcotest.failf "invalid JSONL line %S: %s" l e)
+            lines
+        in
+        let find name =
+          List.find_opt
+            (fun j -> Obs.Json.member "name" j = Some (Obs.Json.Str name))
+            parsed
+        in
+        (match find "test.export.counter" with
+        | Some j ->
+            Alcotest.(check bool) "counter value" true
+              (Obs.Json.member "value" j = Some (Obs.Json.Num 9.0))
+        | None -> Alcotest.fail "counter line missing");
+        match find "test.export.hist" with
+        | Some j ->
+            Alcotest.(check bool) "hist count" true
+              (Obs.Json.member "count" j = Some (Obs.Json.Num 2.0));
+            Alcotest.(check bool) "hist sum" true
+              (Obs.Json.member "sum" j = Some (Obs.Json.Num 2.0))
+        | None -> Alcotest.fail "hist line missing");
+  ]
+
+let trace_tests =
+  [
+    Alcotest.test_case "trace file carries span events and final metrics" `Quick (fun () ->
+        let path = Filename.temp_file "tgates_obs" ".jsonl" in
+        Obs.trace_to_file path;
+        Obs.span "test.trace.work" (fun () -> ignore (Sys.opaque_identity 1));
+        Obs.finish ();
+        Obs.set_enabled false;
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        Sys.remove path;
+        let parsed =
+          List.rev_map
+            (fun l ->
+              match Obs.Json.parse l with
+              | Ok j -> j
+              | Error e -> Alcotest.failf "invalid trace line %S: %s" l e)
+            !lines
+        in
+        let has ev name =
+          List.exists
+            (fun j ->
+              Obs.Json.member "ev" j = Some (Obs.Json.Str ev)
+              && (name = None || Obs.Json.member "name" j = Some (Obs.Json.Str (Option.get name))))
+            parsed
+        in
+        Alcotest.(check bool) "meta line" true (has "meta" None);
+        Alcotest.(check bool) "span event" true (has "span" (Some "test.trace.work"));
+        Alcotest.(check bool) "span summary" true (has "hist" (Some "test.trace.work"));
+        Alcotest.(check bool) "finish is idempotent" true (Obs.finish () = ()));
+  ]
+
+let suite = counter_tests @ histogram_tests @ span_tests @ json_tests @ trace_tests

@@ -72,6 +72,42 @@ let pipeline_tests =
           (Printf.sprintf "t ratio %.2f > 1.5" cmp.Pipeline.t_ratio)
           true
           (cmp.Pipeline.t_ratio > 1.5));
+    Alcotest.test_case "memo caches count hits/misses and reset" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        let hits = Obs.counter "pipeline.gridsynth_cache.hit" in
+        let misses = Obs.counter "pipeline.gridsynth_cache.miss" in
+        let h0 = Obs.counter_value hits and m0 = Obs.counter_value misses in
+        let c = Generators.qaoa ~seed:1 ~n:4 ~depth:1 in
+        let s1 = Pipeline.run_gridsynth ~epsilon:0.05 c in
+        let m_after_cold = Obs.counter_value misses in
+        Alcotest.(check bool) "cold run misses" true (m_after_cold > m0);
+        let s2 = Pipeline.run_gridsynth ~epsilon:0.05 c in
+        Alcotest.(check bool) "warm run hits" true (Obs.counter_value hits > h0);
+        Alcotest.(check int) "warm run adds no misses" m_after_cold (Obs.counter_value misses);
+        Alcotest.(check int)
+          "same T count either way"
+          (Circuit.t_count s1.Pipeline.circuit)
+          (Circuit.t_count s2.Pipeline.circuit);
+        (* After a reset the same circuit misses again. *)
+        Pipeline.clear_caches ();
+        ignore (Pipeline.run_gridsynth ~epsilon:0.05 c);
+        Alcotest.(check bool) "cleared caches miss again" true
+          (Obs.counter_value misses > m_after_cold));
+    Alcotest.test_case "cache capacity bound triggers eviction" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        let evictions = Obs.counter "pipeline.cache.evictions" in
+        let e0 = Obs.counter_value evictions in
+        Pipeline.set_cache_capacity 2;
+        Fun.protect ~finally:(fun () ->
+            Pipeline.set_cache_capacity 65_536;
+            Pipeline.clear_caches ())
+        @@ fun () ->
+        (* Distinct angles at a loose epsilon: each is a fresh entry, so
+           a capacity of 2 must flush at least once. *)
+        List.iter
+          (fun theta -> ignore (Pipeline.gridsynth_rz_word ~epsilon:0.2 theta))
+          [ 0.31; 0.62; 0.93; 1.24 ];
+        Alcotest.(check bool) "evicted" true (Obs.counter_value evictions > e0));
     Alcotest.test_case "phase folding keeps synthesized semantics" `Quick (fun () ->
         let c = Generators.maxcut_evolution ~seed:4 ~n:4 ~steps:1 in
         let s = Pipeline.run_gridsynth ~epsilon:0.05 c in
