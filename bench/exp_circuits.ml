@@ -53,7 +53,7 @@ type study_entry = {
   cmp : Pipeline.comparison;
 }
 
-let run_study ~benches ~epsilon ~samples () =
+let run_study ~benches ~epsilon ~samples ?bench_deadline () =
   (* Mirror the pipeline defaults (deep table, small k — one-site
      lookups dominate at circuit thresholds); --samples only caps k. *)
   let config = { Trasyn.default_config with table_t = 10; samples = min samples 48; beam = 4 } in
@@ -61,11 +61,31 @@ let run_study ~benches ~epsilon ~samples () =
   List.mapi
     (fun i (b : Suite.benchmark) ->
       if i mod 20 = 0 then Printf.eprintf "[study %d/%d] %s\n%!" i n b.Suite.name;
-      let cmp =
-        Pipeline.compare_workflows ~epsilon ~config ~name:b.Suite.name b.Suite.circuit
+      (* One wall-clock budget per benchmark, shared by both workflows;
+         a benchmark that cannot finish is dropped from the study
+         instead of sinking the whole sweep. *)
+      let deadline =
+        match bench_deadline with
+        | None -> Obs.Deadline.none
+        | Some s -> Obs.Deadline.after s
       in
-      { bench = b; cmp })
+      match Pipeline.compare_workflows ~epsilon ~config ~deadline ~name:b.Suite.name b.Suite.circuit with
+      | cmp ->
+          let degr =
+            List.length cmp.Pipeline.trasyn.Pipeline.degraded
+            + List.length cmp.Pipeline.gridsynth.Pipeline.degraded
+          in
+          if degr > 0 then
+            (* Degraded rotations were synthesized off the happy path;
+               EXPERIMENTS.md says not to quote such runs silently. *)
+            Printf.eprintf "[study] %s: %d degraded rotations (see EXPERIMENTS.md)\n%!"
+              b.Suite.name degr;
+          Some { bench = b; cmp }
+      | exception Robust.Failure_exn f ->
+          Printf.eprintf "[study] %s: skipped (%s)\n%!" b.Suite.name (Robust.failure_to_string f);
+          None)
     benches
+  |> List.filter_map Fun.id
 
 let fig2_fig9 study =
   Util.header "FIG 2 / FIG 9 — workflow reduction ratios (GRIDSYNTH / TRASYN)";

@@ -18,6 +18,7 @@ let rq5_rotations = ref 100
 let trajectories = ref 50
 let bench_limit = ref max_int
 let quick = ref false
+let bench_deadline = ref 0.0
 
 let args =
   [
@@ -32,6 +33,10 @@ let args =
     ("--rq5-rotations", Arg.Set_int rq5_rotations, "random Rz count for fig12 (default 100; paper 1000)");
     ("--trajectories", Arg.Set_int trajectories, "noise trajectories for fig10 (default 50)");
     ("--limit", Arg.Set_int bench_limit, "cap the number of benchmark circuits");
+    ( "--bench-deadline",
+      Arg.Set_float bench_deadline,
+      "wall-clock seconds per benchmark in the circuit study (0 = unbounded); benchmarks that \
+       time out are skipped, not fatal" );
     ("--quick", Arg.Set quick, "small smoke-test scale for everything");
   ]
 
@@ -91,7 +96,9 @@ let () =
   if need_study then begin
     let study =
       Util.phase "study" (fun () ->
-          Exp_circuits.run_study ~benches ~epsilon:!epsilon ~samples:(min !samples 256) ())
+          Exp_circuits.run_study ~benches ~epsilon:!epsilon ~samples:(min !samples 256)
+            ?bench_deadline:(if !bench_deadline > 0.0 then Some !bench_deadline else None)
+            ())
     in
     if want "fig2" || want "fig9" then
       Util.phase "fig2-fig9" (fun () ->

@@ -3,51 +3,106 @@
    workflow, and write the result back as QASM with a resource report.
 
    dune exec bin/compile_cli.exe -- --input circuit.qasm --workflow trasyn \
-       --epsilon 0.05 --output out.qasm *)
+       --epsilon 0.05 --output out.qasm
+
+   Synthesis is hardened: every word is re-verified before entering the
+   circuit, failing backends fall back down a ladder (TRASYN → retry →
+   GRIDSYNTH → Solovay–Kitaev), and --deadline/--rotation-deadline bound
+   the run on the monotonic clock.  --faults (or the TGATES_FAULTS
+   environment variable) injects deterministic faults for testing; any
+   rotation that needed a fallback or overshot its threshold is listed
+   in the degradation report. *)
 
 open Cmdliner
 
-let run input output workflow epsilon optimize estimate trace =
-  Obs.with_trace ?file:trace @@ fun () ->
-  let circuit = Qasm_reader.of_file input in
-  Printf.printf "input    : %d qubits, %d gates, %d nontrivial rotations\n"
-    circuit.Circuit.n_qubits (Circuit.length circuit)
-    (Circuit.nontrivial_rotation_count circuit);
-  let synthesized =
-    match workflow with
-    | "trasyn" -> Pipeline.run_trasyn ~epsilon circuit
-    | "gridsynth" -> Pipeline.run_gridsynth ~epsilon circuit
-    | "compare" ->
-        (* Run both workflows (the paper's RQ2-RQ4 comparison), report
-           the ratios, and continue with the TRASYN output. *)
-        let cmp = Pipeline.compare_workflows ~epsilon ~name:(Filename.basename input) circuit in
-        Printf.printf "compare  : T ratio=%.2f  Tdepth ratio=%.2f  Clifford ratio=%.2f (gridsynth/trasyn)\n"
-          cmp.Pipeline.t_ratio cmp.Pipeline.t_depth_ratio cmp.Pipeline.clifford_ratio;
-        cmp.Pipeline.trasyn
-    | w ->
-        prerr_endline ("unknown workflow " ^ w ^ " (use trasyn | gridsynth | compare)");
-        exit 2
-  in
-  let compiled =
-    if optimize then Cnot_resynth.run (Phase_folding.run synthesized.Pipeline.circuit)
-    else synthesized.Pipeline.circuit
-  in
-  Printf.printf "setting  : %s\n" (Settings.setting_to_string synthesized.Pipeline.setting);
-  Printf.printf "output   : %d gates, T=%d, Tdepth=%d, Cliffords=%d\n" (Circuit.length compiled)
-    (Circuit.t_count compiled) (Circuit.t_depth compiled) (Circuit.clifford_count compiled);
-  Printf.printf "synth err: %.4f summed over %d rotations\n"
-    synthesized.Pipeline.total_synth_error synthesized.Pipeline.rotations_synthesized;
-  if estimate then begin
-    let e = Surface_code.estimate compiled in
-    Format.printf "resources: %a@." Surface_code.pp e
-  end;
-  match output with
-  | None -> ()
-  | Some path ->
-      let oc = open_out path in
-      output_string oc (Qasm.to_string compiled);
-      close_out oc;
-      Printf.printf "wrote    : %s\n" path
+(* How many degraded rotations to itemize before summarizing. *)
+let max_degraded_lines = 10
+
+let report_degraded (ds : Pipeline.degradation list) =
+  if ds <> [] then begin
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun (d : Pipeline.degradation) ->
+        Hashtbl.replace counts d.Pipeline.backend
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts d.Pipeline.backend)))
+      ds;
+    let by_backend =
+      Hashtbl.fold (fun b n acc -> Printf.sprintf "%s=%d" b n :: acc) counts []
+      |> List.sort compare |> String.concat ", "
+    in
+    Printf.printf "degraded : %d rotations needed a fallback or overshot (%s)\n" (List.length ds)
+      by_backend;
+    List.iteri
+      (fun i (d : Pipeline.degradation) ->
+        if i < max_degraded_lines then
+          Printf.printf "  %s -> %s after %d fallbacks, achieved %.3g (requested %.3g)\n"
+            d.Pipeline.gate d.Pipeline.backend d.Pipeline.fallbacks d.Pipeline.achieved
+            d.Pipeline.requested)
+      ds;
+    if List.length ds > max_degraded_lines then
+      Printf.printf "  ... and %d more\n" (List.length ds - max_degraded_lines)
+  end
+
+let run input output workflow epsilon optimize estimate trace deadline rotation_deadline faults =
+  match
+    Robust.guarded @@ fun () ->
+    (match faults with
+    | None -> ()
+    | Some s -> (
+        match Robust.Fault.parse s with
+        | Error e -> invalid_arg ("--faults: " ^ e)
+        | Ok (seed, specs) -> Robust.Fault.configure ?seed specs));
+    Obs.with_trace ?file:trace @@ fun () ->
+    let deadline =
+      match deadline with None -> Obs.Deadline.none | Some s -> Obs.Deadline.after s
+    in
+    let rotation_budget = rotation_deadline in
+    let circuit = Qasm_reader.of_file input in
+    Printf.printf "input    : %d qubits, %d gates, %d nontrivial rotations\n"
+      circuit.Circuit.n_qubits (Circuit.length circuit)
+      (Circuit.nontrivial_rotation_count circuit);
+    let synthesized =
+      match workflow with
+      | "trasyn" -> Pipeline.run_trasyn ~epsilon ~deadline ?rotation_budget circuit
+      | "gridsynth" -> Pipeline.run_gridsynth ~epsilon ~deadline ?rotation_budget circuit
+      | "compare" ->
+          (* Run both workflows (the paper's RQ2-RQ4 comparison), report
+             the ratios, and continue with the TRASYN output. *)
+          let cmp =
+            Pipeline.compare_workflows ~epsilon ~deadline ?rotation_budget
+              ~name:(Filename.basename input) circuit
+          in
+          Printf.printf "compare  : T ratio=%.2f  Tdepth ratio=%.2f  Clifford ratio=%.2f (gridsynth/trasyn)\n"
+            cmp.Pipeline.t_ratio cmp.Pipeline.t_depth_ratio cmp.Pipeline.clifford_ratio;
+          cmp.Pipeline.trasyn
+      | w -> invalid_arg ("unknown workflow " ^ w ^ " (use trasyn | gridsynth | compare)")
+    in
+    let compiled =
+      if optimize then Cnot_resynth.run (Phase_folding.run synthesized.Pipeline.circuit)
+      else synthesized.Pipeline.circuit
+    in
+    Printf.printf "setting  : %s\n" (Settings.setting_to_string synthesized.Pipeline.setting);
+    Printf.printf "output   : %d gates, T=%d, Tdepth=%d, Cliffords=%d\n" (Circuit.length compiled)
+      (Circuit.t_count compiled) (Circuit.t_depth compiled) (Circuit.clifford_count compiled);
+    Printf.printf "synth err: %.4f summed over %d rotations\n"
+      synthesized.Pipeline.total_synth_error synthesized.Pipeline.rotations_synthesized;
+    report_degraded synthesized.Pipeline.degraded;
+    if estimate then begin
+      let e = Surface_code.estimate compiled in
+      Format.printf "resources: %a@." Surface_code.pp e
+    end;
+    match output with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Qasm.to_string compiled);
+        close_out oc;
+        Printf.printf "wrote    : %s\n" path
+  with
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline msg;
+      1
 
 let input =
   Arg.(required & opt (some file) None & info [ "input"; "i" ] ~doc:"input OpenQASM 2.0 file")
@@ -69,9 +124,33 @@ let trace =
         ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
               environment variable does the same")
 
+let deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:"whole-run wall-clock budget; expiry aborts with a structured timeout")
+
+let rotation_deadline =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "rotation-deadline" ] ~docv:"SECONDS"
+        ~doc:"per-rotation wall-clock budget, additionally capped by --deadline")
+
+let faults =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:"inject deterministic faults, e.g. 'trasyn=fail' or '*=corrupt\\@0.25,seed=7'; \
+              same grammar as the TGATES_FAULTS environment variable")
+
 let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
-    Term.(const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace)
+    Term.(
+      const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace $ deadline
+      $ rotation_deadline $ faults)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

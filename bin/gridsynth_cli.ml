@@ -5,12 +5,19 @@
 open Cmdliner
 
 let run theta epsilon trace =
-  Obs.with_trace ?file:trace @@ fun () ->
-  let r = Gridsynth.rz ~theta ~epsilon () in
-  Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Gridsynth.seq);
-  Printf.printf "T count  : %d\n" r.Gridsynth.t_count;
-  Printf.printf "Cliffords: %d\n" r.Gridsynth.clifford_count;
-  Printf.printf "distance : %.4e\n" r.Gridsynth.distance
+  match
+    Robust.guarded @@ fun () ->
+    Obs.with_trace ?file:trace @@ fun () ->
+    let r = Gridsynth.rz ~theta ~epsilon () in
+    Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Gridsynth.seq);
+    Printf.printf "T count  : %d\n" r.Gridsynth.t_count;
+    Printf.printf "Cliffords: %d\n" r.Gridsynth.clifford_count;
+    Printf.printf "distance : %.4e\n" r.Gridsynth.distance
+  with
+  | Ok () -> 0
+  | Error msg ->
+      prerr_endline msg;
+      1
 
 let theta = Arg.(required & opt (some float) None & info [ "theta" ] ~doc:"rotation angle")
 let epsilon = Arg.(value & opt float 1e-3 & info [ "epsilon" ] ~doc:"target unitary distance")
@@ -28,4 +35,4 @@ let cmd =
     (Cmd.info "gridsynth" ~doc:"Ross-Selinger Clifford+T approximation of z-rotations")
     Term.(const run $ theta $ epsilon $ trace)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

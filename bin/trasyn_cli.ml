@@ -5,23 +5,31 @@
 open Cmdliner
 
 let run theta phi lam epsilon budget sites samples trace =
-  Obs.with_trace ?file:trace @@ fun () ->
-  let target = Mat2.u3 theta phi lam in
-  let budgets = List.init sites (fun _ -> budget) in
-  let config = { Trasyn.default_config with table_t = budget; samples } in
-  let r =
+  match
+    Robust.guarded @@ fun () ->
+    Obs.with_trace ?file:trace @@ fun () ->
+    let target = Mat2.u3 theta phi lam in
+    let budgets = List.init sites (fun _ -> budget) in
+    let config = { Trasyn.default_config with table_t = budget; samples } in
+    let r =
+      match epsilon with
+      | Some eps -> Trasyn.to_error ~config ~target ~budgets ~epsilon:eps ()
+      | None -> Trasyn.synthesize ~config ~target ~budgets ()
+    in
+    Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Trasyn.seq);
+    Printf.printf "T count  : %d\n" r.Trasyn.t_count;
+    Printf.printf "Cliffords: %d\n" r.Trasyn.clifford_count;
+    Printf.printf "distance : %.4e\n" r.Trasyn.distance;
     match epsilon with
-    | Some eps -> Trasyn.to_error ~config ~target ~budgets ~epsilon:eps ()
-    | None -> Trasyn.synthesize ~config ~target ~budgets ()
-  in
-  Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Trasyn.seq);
-  Printf.printf "T count  : %d\n" r.Trasyn.t_count;
-  Printf.printf "Cliffords: %d\n" r.Trasyn.clifford_count;
-  Printf.printf "distance : %.4e\n" r.Trasyn.distance;
-  if Option.is_some epsilon && r.Trasyn.distance > Option.get epsilon then begin
-    prerr_endline "warning: threshold not met; raise --sites or --budget";
-    exit 1
-  end
+    | Some eps when r.Trasyn.distance > eps ->
+        prerr_endline "warning: threshold not met; raise --sites or --budget";
+        1
+    | _ -> 0
+  with
+  | Ok code -> code
+  | Error msg ->
+      prerr_endline msg;
+      1
 
 let theta = Arg.(required & opt (some float) None & info [ "theta" ] ~doc:"U3 theta angle")
 let phi = Arg.(value & opt float 0.0 & info [ "phi" ] ~doc:"U3 phi angle")
@@ -44,4 +52,4 @@ let cmd =
     (Cmd.info "trasyn" ~doc:"Tensor-network synthesis of single-qubit unitaries over Clifford+T")
     Term.(const run $ theta $ phi $ lam $ epsilon $ budget $ sites $ samples $ trace)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -1,17 +1,20 @@
 (** OpenQASM 2.0 reader for the gate subset this project emits and the
     common gates of the benchmark suites (qelib1-style).  Enough to
     round-trip {!Qasm.to_string} output and to ingest external circuits
-    for compilation; unsupported statements raise with a line number. *)
+    for compilation; unsupported statements raise with the source file
+    name and line number. *)
 
-exception Parse_error of int * string
+exception Parse_error of string * int * string
 
-let fail line msg = raise (Parse_error (line, msg))
+(* Every failure site knows the source file and line, so error messages
+   read like a compiler's: "circuit.qasm:17: unsupported gate foo/2". *)
+let fail file line msg = raise (Parse_error (file, line, msg))
 
 (* Arithmetic expressions in gate arguments: numbers, pi, + - * / and
    parentheses (recursive descent over a token list). *)
 type token = Num of float | Pi | Plus | Minus | Star | Slash | LParen | RParen
 
-let tokenize_expr line s =
+let tokenize_expr file line s =
   let n = String.length s in
   let tokens = ref [] in
   let i = ref 0 in
@@ -37,16 +40,16 @@ let tokenize_expr line s =
       tokens := Num (float_of_string (String.sub s !i (!j - !i))) :: !tokens;
       i := !j
     end
-    else fail line (Printf.sprintf "unexpected character %c in expression" c)
+    else fail file line (Printf.sprintf "unexpected character %c in expression" c)
   done;
   List.rev !tokens
 
 (* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
    factor := ['-'] (number | pi | '(' expr ')') *)
-let parse_expr line tokens =
+let parse_expr file line tokens =
   let toks = ref tokens in
   let peek () = match !toks with [] -> None | t :: _ -> Some t in
-  let advance () = match !toks with [] -> fail line "unexpected end of expression" | _ :: r -> toks := r in
+  let advance () = match !toks with [] -> fail file line "unexpected end of expression" | _ :: r -> toks := r in
   let rec expr () =
     let v = ref (term ()) in
     let rec loop () =
@@ -95,26 +98,26 @@ let parse_expr line tokens =
         let v = expr () in
         (match peek () with
         | Some RParen -> advance ()
-        | _ -> fail line "expected )");
+        | _ -> fail file line "expected )");
         v
-    | _ -> fail line "malformed expression"
+    | _ -> fail file line "malformed expression"
   in
   let v = expr () in
-  if !toks <> [] then fail line "trailing tokens in expression";
+  if !toks <> [] then fail file line "trailing tokens in expression";
   v
 
-let eval_expr line s = parse_expr line (tokenize_expr line s)
+let eval_expr file line s = parse_expr file line (tokenize_expr file line s)
 
 (* "q[3]" -> 3 (single register named q). *)
-let parse_qubit line s =
+let parse_qubit file line s =
   let s = String.trim s in
   match String.index_opt s '[' with
   | Some i when s.[String.length s - 1] = ']' ->
       let idx = String.sub s (i + 1) (String.length s - i - 2) in
-      (try int_of_string idx with _ -> fail line ("bad qubit index " ^ idx))
-  | _ -> fail line ("expected q[i], got " ^ s)
+      (try int_of_string idx with _ -> fail file line ("bad qubit index " ^ idx))
+  | _ -> fail file line ("expected q[i], got " ^ s)
 
-let gate_of_name line name args =
+let gate_of_name file line name args =
   match (name, args) with
   | "h", [] -> Qgate.H
   | "x", [] -> Qgate.X
@@ -134,16 +137,17 @@ let gate_of_name line name args =
   | "swap", [] -> Qgate.Swap
   | ("ccx" | "toffoli"), [] -> Qgate.Ccx
   | _ ->
-      fail line
+      fail file line
         (Printf.sprintf "unsupported gate %s/%d" name (List.length args))
 
 let split_on_string sep s =
   (* Split on a single char sep, trimming pieces. *)
   String.split_on_char sep s |> List.map String.trim |> List.filter (fun x -> x <> "")
 
-let of_string text =
+let of_string ?(file = "<string>") text =
   let lines = String.split_on_char '\n' text in
   let n_qubits = ref 0 in
+  let saw_qreg = ref false in
   let instrs = ref [] in
   List.iteri
     (fun lineno raw ->
@@ -170,15 +174,19 @@ let of_string text =
         else if String.length stmt >= 7 && String.sub stmt 0 7 = "measure" then ()
         else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
           match (String.index_opt stmt '[', String.index_opt stmt ']') with
-          | Some i, Some j when j > i ->
-              n_qubits := int_of_string (String.trim (String.sub stmt (i + 1) (j - i - 1)))
-          | _ -> fail line "malformed qreg"
+          | Some i, Some j when j > i -> (
+              match int_of_string_opt (String.trim (String.sub stmt (i + 1) (j - i - 1))) with
+              | Some n when n > 0 ->
+                  saw_qreg := true;
+                  n_qubits := n
+              | _ -> fail file line "malformed qreg")
+          | _ -> fail file line "malformed qreg"
         end
         else begin
           (* gate[(args)] q[i] [, q[j] ...] *)
           let name_args, operands =
             match String.index_opt stmt ' ' with
-            | None -> fail line ("malformed statement: " ^ stmt)
+            | None -> fail file line ("malformed statement: " ^ stmt)
             | Some i ->
                 (String.trim (String.sub stmt 0 i),
                  String.trim (String.sub stmt (i + 1) (String.length stmt - i - 1)))
@@ -190,15 +198,28 @@ let of_string text =
                 let close =
                   match String.rindex_opt name_args ')' with
                   | Some c -> c
-                  | None -> fail line "unbalanced ("
+                  | None -> fail file line "unbalanced ("
                 in
                 let inner = String.sub name_args (i + 1) (close - i - 1) in
                 ( String.sub name_args 0 i,
-                  List.map (eval_expr line) (split_on_string ',' inner) )
+                  List.map (eval_expr file line) (split_on_string ',' inner) )
           in
-          let qubits = List.map (parse_qubit line) (split_on_string ',' operands) in
-          let gate = gate_of_name line (String.lowercase_ascii name) args in
-          instrs := Circuit.instr gate (Array.of_list qubits) :: !instrs
+          let qubits = List.map (parse_qubit file line) (split_on_string ',' operands) in
+          (* Range and arity problems are caught here, per statement,
+             so the message points at the offending line instead of
+             surfacing later as an Invalid_argument from Circuit. *)
+          List.iter
+            (fun q ->
+              if not !saw_qreg then fail file line "gate before qreg declaration"
+              else if q < 0 || q >= !n_qubits then
+                fail file line (Printf.sprintf "qubit %d out of range (qreg has %d)" q !n_qubits))
+            qubits;
+          let gate = gate_of_name file line (String.lowercase_ascii name) args in
+          let instr =
+            try Circuit.instr gate (Array.of_list qubits)
+            with Invalid_argument msg -> fail file line msg
+          in
+          instrs := instr :: !instrs
         end
       end)
     lines;
@@ -209,4 +230,4 @@ let of_file path =
   let len = in_channel_length ic in
   let buf = really_input_string ic len in
   close_in ic;
-  of_string buf
+  of_string ~file:path buf

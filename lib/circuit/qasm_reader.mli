@@ -1,10 +1,20 @@
 (** OpenQASM 2.0 reader for the qelib1-style gate subset this project
     emits (h/x/y/z/s/sdg/t/tdg, rx/ry/rz/u1/u/u3 with pi-arithmetic in
     arguments, cx/cz/swap/ccx).  Single quantum register; barriers,
-    classical registers and measurements are skipped. *)
+    classical registers and measurements are skipped.
 
-exception Parse_error of int * string
-(** Line number and description of the offending statement. *)
+    Malformed input raises {!Parse_error} pointing at the offending
+    statement — including gate-arity mismatches, out-of-range qubits,
+    and truncated expressions, which are all caught per line rather
+    than surfacing later from circuit construction. *)
 
-val of_string : string -> Circuit.t
+exception Parse_error of string * int * string
+(** Source file (["<string>"] for {!of_string} without [file]), line
+    number, and description of the offending statement. *)
+
+val of_string : ?file:string -> string -> Circuit.t
+(** [file] (default ["<string>"]) is used only in error messages. *)
+
 val of_file : string -> Circuit.t
+(** Reads and parses [path]; {!Parse_error} messages carry [path].
+    @raise Sys_error when the file cannot be read. *)

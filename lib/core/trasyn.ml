@@ -198,10 +198,15 @@ let to_error ?(config = default_config) ?(attempts = 2) ?(selection = `Best_erro
    and returns the best result seen (Eq. (3) objective).  The deadline
    is measured on the monotonic clock so it survives wall-clock jumps
    (NTP slews, DST) mid-run. *)
-let synthesize_timed ?(config = default_config) ~seconds ~target ~budgets () =
-  let deadline = Obs.Clock.elapsed_s () +. seconds in
+let synthesize_timed ?(config = default_config) ?(deadline = Obs.Deadline.none) ~seconds ~target
+    ~budgets () =
+  (* A zero (or negative, or NaN) budget means "one attempt, no
+     reseeding": the deadline is already expired when the loop first
+     tests it, so exactly one synthesize runs and its result is
+     returned — never a busy loop, never zero attempts. *)
+  let deadline = Obs.Deadline.earliest deadline (Obs.Deadline.after (Float.max 0.0 seconds)) in
   let rec go attempt best =
-    if Obs.Clock.elapsed_s () >= deadline && best <> None then Option.get best
+    if Obs.Deadline.expired deadline && best <> None then Option.get best
     else begin
       if attempt > 0 then Obs.incr c_restarts;
       let cfg = { config with seed = config.seed + (attempt * 65537) } in
@@ -211,7 +216,7 @@ let synthesize_timed ?(config = default_config) ~seconds ~target ~budgets () =
         | Some b when (b.distance, b.t_count) <= (r.distance, r.t_count) -> Some b
         | _ -> Some r
       in
-      if Obs.Clock.elapsed_s () >= deadline then Option.get best else go (attempt + 1) best
+      if Obs.Deadline.expired deadline then Option.get best else go (attempt + 1) best
     end
   in
   go 0 None

@@ -75,10 +75,19 @@ val to_error :
     few T gates as possible once the threshold is met. *)
 
 val synthesize_timed :
-  ?config:config -> seconds:float -> target:Mat2.t -> budgets:int list -> unit -> result
+  ?config:config ->
+  ?deadline:Obs.Deadline.t ->
+  seconds:float ->
+  target:Mat2.t ->
+  budgets:int list ->
+  unit ->
+  result
 (** Keep reseeding {!synthesize} until the wall-clock budget expires and
     return the best result — the paper's RQ1 protocol (10 minutes per
-    unitary there; pick your own here). *)
+    unitary there; pick your own here).  The effective deadline is the
+    tighter of [seconds] from now and the caller's [deadline]; a
+    [seconds] budget ≤ 0 still runs exactly one attempt (never a busy
+    loop).  Both are measured on the monotonic clock. *)
 
 val synthesize_u3 :
   ?config:config -> theta:float -> phi:float -> lam:float -> budgets:int list -> unit -> result

@@ -36,13 +36,23 @@ exception Synthesis_failed of string
 let c_candidates = Obs.counter "gridsynth.candidates"
 let c_levels = Obs.counter "gridsynth.levels"
 let c_solutions = Obs.counter "gridsynth.solutions"
+let c_deadline = Obs.counter "gridsynth.deadline_expired"
 let h_n_used = Obs.histogram ~buckets:(Array.init 80 float_of_int) "gridsynth.n_used"
 
-let rz ?(max_extra_n = 40) ?(candidates_per_n = 64) ~theta ~epsilon () =
+let rz ?(max_extra_n = 40) ?(candidates_per_n = 64) ?(deadline = Obs.Deadline.none) ~theta ~epsilon
+    () =
   Obs.span "gridsynth.rz" @@ fun () ->
   let n0 = initial_n epsilon in
   let tried = ref 0 in
   let rec at_level n =
+    (* The deadline is checked once per level: a level is the unit of
+       work between which abandoning the search is safe and cheap. *)
+    if Obs.Deadline.expired deadline then begin
+      Obs.incr c_deadline;
+      raise
+        (Synthesis_failed
+           (Printf.sprintf "gridsynth: deadline expired at n=%d for eps=%g" n epsilon))
+    end;
     if n > n0 + max_extra_n then
       raise (Synthesis_failed (Printf.sprintf "gridsynth: no solution up to n=%d for eps=%g" n epsilon))
     else begin
@@ -89,11 +99,11 @@ let rz ?(max_extra_n = 40) ?(candidates_per_n = 64) ~theta ~epsilon () =
    rotation synthesized at ε/3.  (The Hadamard-sandwich identity
    H·Rz(α)·H = Rx(α) underlies it; the constant offsets reproduce the
    U3 phase convention up to a global phase.) *)
-let u3 ?(max_extra_n = 40) ~theta ~phi ~lam ~epsilon () =
+let u3 ?(max_extra_n = 40) ?(deadline = Obs.Deadline.none) ~theta ~phi ~lam ~epsilon () =
   let eps3 = epsilon /. 3.0 in
-  let r1 = rz ~max_extra_n ~theta:(lam -. (Float.pi /. 2.0)) ~epsilon:eps3 () in
-  let r2 = rz ~max_extra_n ~theta ~epsilon:eps3 () in
-  let r3 = rz ~max_extra_n ~theta:(phi +. (5.0 *. Float.pi /. 2.0)) ~epsilon:eps3 () in
+  let r1 = rz ~max_extra_n ~deadline ~theta:(lam -. (Float.pi /. 2.0)) ~epsilon:eps3 () in
+  let r2 = rz ~max_extra_n ~deadline ~theta ~epsilon:eps3 () in
+  let r3 = rz ~max_extra_n ~deadline ~theta:(phi +. (5.0 *. Float.pi /. 2.0)) ~epsilon:eps3 () in
   let seq = List.concat [ r3.seq; [ Ctgate.H ]; r2.seq; [ Ctgate.H ]; r1.seq ] in
   let target = Mat2.u3 theta phi lam in
   let d = Mat2.distance target (Ctgate.seq_to_mat2 seq) in

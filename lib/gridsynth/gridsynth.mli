@@ -20,14 +20,30 @@ type result = {
 exception Synthesis_failed of string
 (** Raised when no solution is found within [max_extra_n] levels above
     the information-theoretic starting point — practically unreachable
-    for ε ≥ 1e-7. *)
+    for ε ≥ 1e-7 — or when the [deadline] expires mid-search. *)
 
 val rz :
-  ?max_extra_n:int -> ?candidates_per_n:int -> theta:float -> epsilon:float -> unit -> result
-(** Approximate Rz(theta) to unitary distance ≤ [epsilon]. *)
+  ?max_extra_n:int ->
+  ?candidates_per_n:int ->
+  ?deadline:Obs.Deadline.t ->
+  theta:float ->
+  epsilon:float ->
+  unit ->
+  result
+(** Approximate Rz(theta) to unitary distance ≤ [epsilon].  The
+    [deadline] (default: none) is checked between denominator-exponent
+    levels; on expiry the search aborts with {!Synthesis_failed}
+    (counted as [gridsynth.deadline_expired]). *)
 
 val u3 :
-  ?max_extra_n:int -> theta:float -> phi:float -> lam:float -> epsilon:float -> unit -> result
+  ?max_extra_n:int ->
+  ?deadline:Obs.Deadline.t ->
+  theta:float ->
+  phi:float ->
+  lam:float ->
+  epsilon:float ->
+  unit ->
+  result
 (** Approximate U3(θ,φ,λ) through the paper's Eq. (1): three Rz
     syntheses at ε/3 joined by Hadamards — the indirect workflow whose
     ~3× T overhead motivates TRASYN. *)

@@ -8,6 +8,19 @@ module Clock = struct
   let elapsed_s () = Int64.to_float (Int64.sub (now_ns ()) t0) *. 1e-9
 end
 
+module Deadline = struct
+  (* Absolute Clock.elapsed_s instant; infinity = no deadline. *)
+  type t = float
+
+  let none = infinity
+  let at t = t
+  let after s = if Float.is_nan s then none else Clock.elapsed_s () +. s
+  let is_none d = d = infinity
+  let expired d = d < infinity && Clock.elapsed_s () >= d
+  let remaining_s d = if d = infinity then infinity else Float.max 0.0 (d -. Clock.elapsed_s ())
+  let earliest a b = Float.min a b
+end
+
 (* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)

@@ -35,6 +35,40 @@ module Clock : sig
       wall-clock jumps (NTP slews, DST, manual clock changes). *)
 end
 
+(** {1 Deadlines} *)
+
+(** Wall-budget deadlines on the monotonic clock ({!Clock.elapsed_s}),
+    the one currency for time limits across the synthesis stack:
+    per-rotation and whole-circuit budgets in [Pipeline], the candidate
+    search cutoff in [Gridsynth], the reseeding loop in
+    [Trasyn.synthesize_timed].  A deadline is cheap to test (one clock
+    read, no allocation) and composes with {!earliest}. *)
+module Deadline : sig
+  type t
+
+  val none : t
+  (** Never expires; [remaining_s none = infinity]. *)
+
+  val after : float -> t
+  (** Expires that many seconds from now ([after s] with [s <= 0] is
+      already expired).  Non-finite positive spans behave like
+      {!none}. *)
+
+  val at : float -> t
+  (** Expires at that absolute {!Clock.elapsed_s} instant. *)
+
+  val expired : t -> bool
+
+  val remaining_s : t -> float
+  (** Seconds left, clamped to 0; [infinity] for {!none}. *)
+
+  val earliest : t -> t -> t
+  (** The tighter of two deadlines — use to combine a per-item budget
+      with an enclosing whole-run budget. *)
+
+  val is_none : t -> bool
+end
+
 (** {1 Global switch} *)
 
 val enabled : unit -> bool

@@ -9,7 +9,22 @@
     comparable circuit-level error.  Trivial rotations (π/4 multiples)
     are synthesized exactly in both workflows.  Synthesis results are
     memoized on rounded angles — repeated angles are ubiquitous in QFT
-    and Hamiltonian circuits. *)
+    and Hamiltonian circuits.
+
+    Every per-rotation synthesis goes through {!Robust}: the word is
+    re-verified against its target before it enters the circuit, failed
+    backends fall back down a ladder (ending in Solovay–Kitaev, which
+    always lands), and deadlines are honored between and inside rungs.
+    Rotations that needed a fallback or landed above the requested
+    threshold are reported in [degraded]. *)
+
+type degradation = {
+  gate : string;
+  backend : string;
+  fallbacks : int;
+  achieved : float;
+  requested : float;
+}
 
 type synthesized = {
   circuit : Circuit.t;  (** pure Clifford+T *)
@@ -17,6 +32,8 @@ type synthesized = {
   setting : Settings.setting;
   rotations_synthesized : int;
   total_synth_error : float;  (** sum of per-rotation distances (upper bound) *)
+  degraded : degradation list;
+      (** rotations that fell back or overshot their threshold *)
 }
 
 let angle_key a = Printf.sprintf "%.10f" (Basis.norm_angle a)
@@ -52,7 +69,9 @@ let exact_word_of_trivial g =
    is flushed wholesale (counted as one eviction) rather than grown
    without limit — long benchmark sweeps over many epsilons would
    otherwise retain every word ever synthesized.  Flush-all beats LRU
-   here because hits are dominated by repeats *within* one circuit. *)
+   here because hits are dominated by repeats *within* one circuit.
+   Only verified successes are cached: failures are deadline-relative
+   (a timeout now says nothing about the next run's budget). *)
 let cache_capacity = ref 65_536
 
 let set_cache_capacity n =
@@ -64,6 +83,7 @@ let c_gs_hit = Obs.counter "pipeline.gridsynth_cache.hit"
 let c_gs_miss = Obs.counter "pipeline.gridsynth_cache.miss"
 let c_tr_hit = Obs.counter "pipeline.trasyn_cache.hit"
 let c_tr_miss = Obs.counter "pipeline.trasyn_cache.miss"
+let c_degraded = Obs.counter "pipeline.rotation.degraded"
 let h_rot_tcount = Obs.histogram ~buckets:(Array.init 41 (fun i -> float_of_int (4 * i))) "pipeline.rotation.t_count"
 
 let cache_put tbl key v =
@@ -73,116 +93,169 @@ let cache_put tbl key v =
   end;
   Hashtbl.add tbl key v
 
+(* Per-rotation deadline: the circuit deadline capped by the rotation
+   budget, both on the monotonic clock. *)
+let rotation_deadline deadline rotation_budget =
+  match rotation_budget with
+  | None -> deadline
+  | Some s -> Obs.Deadline.earliest deadline (Obs.Deadline.after s)
+
+(* Escape hatch for a structured failure inside a [Circuit.map_rotations]
+   closure; caught at the workflow boundary and returned as [Error]. *)
+exception Abort of Robust.failure
+
 (* ------------------------------------------------------------------ *)
 (* GRIDSYNTH (Rz) workflow                                             *)
 (* ------------------------------------------------------------------ *)
 
-let gridsynth_cache : (string, Ctgate.t list * float) Hashtbl.t = Hashtbl.create 256
+let gridsynth_cache : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
 
-let gridsynth_rz_word ~epsilon theta =
+let gridsynth_rz_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~epsilon theta :
+    (Robust.attempt, Robust.failure) result =
   let key = Printf.sprintf "%s@%.6g" (angle_key theta) epsilon in
   match Hashtbl.find_opt gridsynth_cache key with
-  | Some r ->
+  | Some a ->
       Obs.incr c_gs_hit;
-      r
+      Ok a
   | None ->
       Obs.incr c_gs_miss;
-      let r = Obs.span "pipeline.synthesize_rotation" (fun () -> Gridsynth.rz ~theta ~epsilon ()) in
-      Obs.observe h_rot_tcount (float_of_int r.Gridsynth.t_count);
-      let out = (r.Gridsynth.seq, r.Gridsynth.distance) in
-      cache_put gridsynth_cache key out;
-      out
+      let deadline = rotation_deadline deadline rotation_budget in
+      let r =
+        Obs.span "pipeline.synthesize_rotation" (fun () ->
+            Robust.synthesize_rz ~deadline ~epsilon theta)
+      in
+      Result.iter
+        (fun (a : Robust.attempt) ->
+          Obs.observe h_rot_tcount (float_of_int (Ctgate.t_count a.Robust.word));
+          cache_put gridsynth_cache key a)
+        r;
+      r
 
-let run_gridsynth ?(epsilon = 0.07) (c : Circuit.t) : synthesized =
-  Obs.span "pipeline.run_gridsynth" @@ fun () ->
-  let setting, transpiled = Settings.best_for Settings.Rz_ir c in
+let gridsynth_rz_word ~epsilon theta =
+  match gridsynth_rz_attempt ~epsilon theta with
+  | Ok a -> (a.Robust.word, a.Robust.distance)
+  | Error f -> Robust.fail f
+
+(* Shared workflow skeleton: transpile (or take the circuit as IR),
+   synthesize every nontrivial rotation through [synth], collect the
+   degradation report.  [requested] is the per-rotation threshold the
+   degradation report judges achieved distances against. *)
+let run_workflow ~span ~ir ~transpile ~requested ~synth (c : Circuit.t) :
+    (synthesized, Robust.failure) result =
+  Obs.span span @@ fun () ->
+  let setting, transpiled =
+    if transpile then Settings.best_for ir c
+    else ({ Settings.ir; level = 0; commutation = false }, c)
+  in
   let total_err = ref 0.0 and nsynth = ref 0 in
+  let degraded = ref [] in
   let synth_gate g =
     match exact_word_of_trivial g with
     | Some word -> word_to_gates word
-    | None ->
-        let theta =
-          match g with
-          | Qgate.Rz theta -> theta
-          | _ ->
-              (* The Rz IR only leaves Rz rotations; anything else would
-                 be a transpiler bug. *)
-              invalid_arg "Pipeline.run_gridsynth: non-Rz rotation in Rz IR"
-        in
+    | None -> (
         incr nsynth;
-        let seq, d = gridsynth_rz_word ~epsilon theta in
-        total_err := !total_err +. d;
-        word_to_gates seq
+        match synth g with
+        | Error f -> raise (Abort f)
+        | Ok (a : Robust.attempt) ->
+            total_err := !total_err +. a.Robust.distance;
+            if a.Robust.fallbacks > 0 || a.Robust.distance > requested then begin
+              Obs.incr c_degraded;
+              degraded :=
+                {
+                  gate = Qgate.to_string g;
+                  backend = a.Robust.backend;
+                  fallbacks = a.Robust.fallbacks;
+                  achieved = a.Robust.distance;
+                  requested;
+                }
+                :: !degraded
+            end;
+            word_to_gates a.Robust.word)
   in
-  let circuit = Circuit.map_rotations synth_gate transpiled in
-  {
-    circuit;
-    transpiled;
-    setting;
-    rotations_synthesized = !nsynth;
-    total_synth_error = !total_err;
-  }
+  match Circuit.map_rotations synth_gate transpiled with
+  | circuit ->
+      Ok
+        {
+          circuit;
+          transpiled;
+          setting;
+          rotations_synthesized = !nsynth;
+          total_synth_error = !total_err;
+          degraded = List.rev !degraded;
+        }
+  | exception Abort f -> Error f
+
+let run_gridsynth_result ?(epsilon = 0.07) ?(deadline = Obs.Deadline.none) ?rotation_budget
+    ?(transpile = true) (c : Circuit.t) : (synthesized, Robust.failure) result =
+  run_workflow ~span:"pipeline.run_gridsynth" ~ir:Settings.Rz_ir ~transpile ~requested:epsilon
+    ~synth:(fun g ->
+      match g with
+      | Qgate.Rz theta -> gridsynth_rz_attempt ~deadline ?rotation_budget ~epsilon theta
+      | _ ->
+          (* The Rz IR only leaves Rz rotations; anything else is a
+             transpiler bug (or a hand-fed IR), surfaced structurally
+             rather than as Invalid_argument. *)
+          Error
+            (Robust.Backend_error
+               (Printf.sprintf "Pipeline.run_gridsynth: non-Rz rotation %s in Rz IR"
+                  (Qgate.to_string g))))
+    c
+
+let run_gridsynth ?epsilon ?deadline ?rotation_budget ?transpile (c : Circuit.t) : synthesized =
+  match run_gridsynth_result ?epsilon ?deadline ?rotation_budget ?transpile c with
+  | Ok s -> s
+  | Error f -> Robust.fail f
 
 (* ------------------------------------------------------------------ *)
 (* TRASYN (U3) workflow                                                *)
 (* ------------------------------------------------------------------ *)
 
-let trasyn_cache : (string, Ctgate.t list * float) Hashtbl.t = Hashtbl.create 256
+let trasyn_cache : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
 
 let clear_caches () =
   Hashtbl.reset gridsynth_cache;
   Hashtbl.reset trasyn_cache
 
 let default_budgets = [ 10; 10; 8 ]
+let default_config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 }
 
-let trasyn_u3_word ~config ~budgets ~epsilon (theta, phi, lam) =
+let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~budgets ~epsilon
+    (theta, phi, lam) : (Robust.attempt, Robust.failure) result =
   let key =
     Printf.sprintf "%s/%s/%s@%.6g" (angle_key theta) (angle_key phi) (angle_key lam) epsilon
   in
   match Hashtbl.find_opt trasyn_cache key with
-  | Some r ->
+  | Some a ->
       Obs.incr c_tr_hit;
-      r
+      Ok a
   | None ->
       Obs.incr c_tr_miss;
-      (* Eq. (4) selection with a 2-T slack: gridsynth typically
-         over-delivers its threshold by 2-3x at a marginal T cost, so a
-         couple of spare T gates on our side keeps the two workflows'
-         achieved errors at the same level (§4.2's "error ratios close
-         to 1") without burning whole site budgets. *)
+      let deadline = rotation_deadline deadline rotation_budget in
       let r =
-        Obs.span "pipeline.synthesize_rotation" @@ fun () ->
-        Trasyn.to_error ~config ~attempts:1 ~selection:`Min_t ~t_slack:2
-          ~target:(Mat2.u3 theta phi lam) ~budgets ~epsilon ()
+        Obs.span "pipeline.synthesize_rotation" (fun () ->
+            Robust.synthesize_u3 ~deadline ~config ~budgets ~epsilon (Mat2.u3 theta phi lam))
       in
-      Obs.observe h_rot_tcount (float_of_int r.Trasyn.t_count);
-      let out = (r.Trasyn.seq, r.Trasyn.distance) in
-      cache_put trasyn_cache key out;
-      out
+      Result.iter
+        (fun (a : Robust.attempt) ->
+          Obs.observe h_rot_tcount (float_of_int (Ctgate.t_count a.Robust.word));
+          cache_put trasyn_cache key a)
+        r;
+      r
 
-let run_trasyn ?(epsilon = 0.07) ?(config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 })
-    ?(budgets = default_budgets) (c : Circuit.t) : synthesized =
-  Obs.span "pipeline.run_trasyn" @@ fun () ->
-  let setting, transpiled = Settings.best_for Settings.U3_ir c in
-  let total_err = ref 0.0 and nsynth = ref 0 in
-  let synth_gate g =
-    match exact_word_of_trivial g with
-    | Some word -> word_to_gates word
-    | None ->
-        incr nsynth;
-        let theta, phi, lam = Mat2.to_u3_angles (Qgate.to_mat2 g) in
-        let seq, d = trasyn_u3_word ~config ~budgets ~epsilon (theta, phi, lam) in
-        total_err := !total_err +. d;
-        word_to_gates seq
-  in
-  let circuit = Circuit.map_rotations synth_gate transpiled in
-  {
-    circuit;
-    transpiled;
-    setting;
-    rotations_synthesized = !nsynth;
-    total_synth_error = !total_err;
-  }
+let run_trasyn_result ?(epsilon = 0.07) ?(config = default_config) ?(budgets = default_budgets)
+    ?(deadline = Obs.Deadline.none) ?rotation_budget ?(transpile = true) (c : Circuit.t) :
+    (synthesized, Robust.failure) result =
+  run_workflow ~span:"pipeline.run_trasyn" ~ir:Settings.U3_ir ~transpile ~requested:epsilon
+    ~synth:(fun g ->
+      let theta, phi, lam = Mat2.to_u3_angles (Qgate.to_mat2 g) in
+      trasyn_u3_attempt ~deadline ?rotation_budget ~config ~budgets ~epsilon (theta, phi, lam))
+    c
+
+let run_trasyn ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile (c : Circuit.t) :
+    synthesized =
+  match run_trasyn_result ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile c with
+  | Ok s -> s
+  | Error f -> Robust.fail f
 
 (* GRIDSYNTH threshold scaled by the rotation ratio (§4.2): with more
    rotations it must synthesize each one tighter. *)
@@ -205,14 +278,17 @@ type comparison = {
 let ratio a b =
   if b = 0 then if a = 0 then 1.0 else infinity else float_of_int a /. float_of_int b
 
-(* Run both workflows on one benchmark circuit. *)
-let compare_workflows ?(epsilon = 0.07) ?config ?budgets ~name (c : Circuit.t) : comparison =
-  let tr = run_trasyn ~epsilon ?config ?budgets c in
+(* Run both workflows on one benchmark circuit.  [deadline] is absolute
+   and shared: whatever remains after the TRASYN pass bounds the
+   GRIDSYNTH pass. *)
+let compare_workflows ?(epsilon = 0.07) ?config ?budgets ?deadline ?rotation_budget ~name
+    (c : Circuit.t) : comparison =
+  let tr = run_trasyn ~epsilon ?config ?budgets ?deadline ?rotation_budget c in
   let u3_rot = Circuit.nontrivial_rotation_count tr.transpiled in
   let _, rz_pre = Settings.best_for Settings.Rz_ir c in
   let rz_rot = Circuit.nontrivial_rotation_count rz_pre in
   let gs_eps = scaled_gridsynth_epsilon ~epsilon ~u3_rotations:u3_rot ~rz_rotations:rz_rot in
-  let gs = run_gridsynth ~epsilon:gs_eps c in
+  let gs = run_gridsynth ~epsilon:gs_eps ?deadline ?rotation_budget c in
   {
     name;
     trasyn = tr;

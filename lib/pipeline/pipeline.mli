@@ -4,7 +4,26 @@
 
     The U3 workflow pairs the U3 IR (which merges adjacent rotations)
     with TRASYN; the Rz workflow pairs the Rz IR with GRIDSYNTH — the
-    comparison at the heart of RQ2/RQ3/RQ4. *)
+    comparison at the heart of RQ2/RQ3/RQ4.
+
+    Per-rotation synthesis is routed through {!Robust}: each word is
+    re-verified against its target before entering the circuit, a
+    failing backend falls back down a ladder ending in Solovay–Kitaev,
+    and deadlines propagate to every rung.  The direct-style entry
+    points raise {!Robust.Failure_exn} when a rotation cannot be
+    synthesized at all; the [_result] variants return the structured
+    failure instead. *)
+
+type degradation = {
+  gate : string;  (** the IR rotation, e.g. ["rz(0.7853981634)"] *)
+  backend : string;  (** the rung that finally produced the word *)
+  fallbacks : int;  (** rungs that failed before it *)
+  achieved : float;  (** guard-verified distance *)
+  requested : float;  (** the workflow's per-rotation threshold *)
+}
+(** One rotation that did not go down the happy path: it needed at
+    least one fallback, or its accepted word sits above the requested
+    threshold (e.g. a Solovay–Kitaev last resort). *)
 
 type synthesized = {
   circuit : Circuit.t;  (** pure Clifford+T output *)
@@ -13,16 +32,51 @@ type synthesized = {
   rotations_synthesized : int;  (** nontrivial rotations sent to synthesis *)
   total_synth_error : float;  (** sum of per-rotation distances (an upper
                                   bound on accumulated synthesis error) *)
+  degraded : degradation list;  (** rotations that fell back or overshot;
+                                    empty on a fully clean run *)
 }
 
-val run_gridsynth : ?epsilon:float -> Circuit.t -> synthesized
+val run_gridsynth :
+  ?epsilon:float ->
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
+  ?transpile:bool ->
+  Circuit.t ->
+  synthesized
 (** Rz IR + GRIDSYNTH at [epsilon] (default 0.07) per rotation; trivial
-    (π/4-multiple) rotations are replaced by exact words. *)
+    (π/4-multiple) rotations are replaced by exact words.  [deadline]
+    (absolute, monotonic clock) bounds the whole run; [rotation_budget]
+    (seconds) additionally bounds each rotation.  [transpile:false]
+    skips transpilation and treats the input as Rz IR directly — a
+    non-Rz rotation then surfaces as a [Backend_error].
+    @raise Robust.Failure_exn when a rotation cannot be synthesized. *)
+
+val run_gridsynth_result :
+  ?epsilon:float ->
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
+  ?transpile:bool ->
+  Circuit.t ->
+  (synthesized, Robust.failure) result
+(** As {!run_gridsynth}, returning the structured failure. *)
 
 val gridsynth_rz_word : epsilon:float -> float -> Ctgate.t list * float
 (** The memoized word-level entry point of the Rz workflow: the
-    Clifford+T word and achieved distance for Rz(θ) at [epsilon],
-    served from the gridsynth cache when the rounded angle repeats. *)
+    guard-verified Clifford+T word and achieved distance for Rz(θ) at
+    [epsilon], served from the gridsynth cache when the rounded angle
+    repeats.
+    @raise Robust.Failure_exn when the fallback chain fails. *)
+
+val gridsynth_rz_attempt :
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
+  epsilon:float ->
+  float ->
+  (Robust.attempt, Robust.failure) result
+(** Structured variant of {!gridsynth_rz_word}: the full
+    {!Robust.attempt} (word, verified distance, winning backend,
+    fallback count).  Successes are cached; failures never are, since
+    a timeout is relative to the caller's deadline. *)
 
 val clear_caches : unit -> unit
 (** Empty both synthesis memo caches (gridsynth Rz words and TRASYN U3
@@ -38,8 +92,28 @@ val set_cache_capacity : int -> unit
     @raise Invalid_argument when the capacity is < 1. *)
 
 val run_trasyn :
-  ?epsilon:float -> ?config:Trasyn.config -> ?budgets:int list -> Circuit.t -> synthesized
-(** U3 IR + TRASYN in Eq. (4) mode at [epsilon] (default 0.07). *)
+  ?epsilon:float ->
+  ?config:Trasyn.config ->
+  ?budgets:int list ->
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
+  ?transpile:bool ->
+  Circuit.t ->
+  synthesized
+(** U3 IR + TRASYN in Eq. (4) mode at [epsilon] (default 0.07), with
+    the same deadline semantics as {!run_gridsynth}.
+    @raise Robust.Failure_exn when a rotation cannot be synthesized. *)
+
+val run_trasyn_result :
+  ?epsilon:float ->
+  ?config:Trasyn.config ->
+  ?budgets:int list ->
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
+  ?transpile:bool ->
+  Circuit.t ->
+  (synthesized, Robust.failure) result
+(** As {!run_trasyn}, returning the structured failure. *)
 
 type comparison = {
   name : string;
@@ -54,12 +128,17 @@ val compare_workflows :
   ?epsilon:float ->
   ?config:Trasyn.config ->
   ?budgets:int list ->
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
   name:string ->
   Circuit.t ->
   comparison
 (** Run both workflows on one circuit.  Following §4.2, GRIDSYNTH's
     per-rotation threshold is [epsilon] scaled by the U3:Rz rotation
-    ratio so both workflows land at comparable circuit-level error. *)
+    ratio so both workflows land at comparable circuit-level error.
+    [deadline] is absolute and shared across both passes;
+    [rotation_budget] bounds each rotation in either pass.
+    @raise Robust.Failure_exn when either workflow fails outright. *)
 
 val scaled_gridsynth_epsilon : epsilon:float -> u3_rotations:int -> rz_rotations:int -> float
 (** The §4.2 threshold scaling rule, exposed for tests. *)

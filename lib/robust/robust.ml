@@ -1,0 +1,367 @@
+(* See robust.mli for the contract.  The chain runner is the one place
+   where backend exceptions, deadlines, fault injection, and the guard
+   meet; everything else here is small and pure. *)
+
+type failure =
+  | Timeout
+  | Budget_exhausted
+  | Verification_failed
+  | Backend_error of string
+
+exception Failure_exn of failure
+
+let fail f = raise (Failure_exn f)
+
+let failure_to_string = function
+  | Timeout -> "timeout: wall-clock budget exhausted before synthesis finished"
+  | Budget_exhausted -> "budget exhausted: no backend met its error threshold"
+  | Verification_failed -> "verification failed: a synthesized word does not match its target"
+  | Backend_error msg -> "backend error: " ^ msg
+
+(* Observability handles (interned once). *)
+let c_guard_checked = Obs.counter "robust.guard.checked"
+let c_guard_rejected = Obs.counter "robust.guard.rejected"
+let c_retries = Obs.counter "robust.retries"
+let c_faults = Obs.counter "robust.faults.injected"
+let c_deadline = Obs.counter "robust.deadline.expired"
+let c_chain_failed = Obs.counter "robust.chain.failed"
+
+(* ------------------------------------------------------------------ *)
+(* The guard                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let verify ?(tol = 1e-6) ~target ~epsilon ~claimed word =
+  Obs.incr c_guard_checked;
+  let d = Mat2.distance target (Ctgate.seq_to_mat2 word) in
+  if Float.abs (d -. claimed) > tol then begin
+    Obs.incr c_guard_rejected;
+    Error Verification_failed
+  end
+  (* The small slack mirrors gridsynth's own acceptance test: the
+     distance formula has a ~sqrt(ulp) floor near zero. *)
+  else if d > epsilon +. 1e-12 then Error Budget_exhausted
+  else Ok d
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic fault injection                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Fault = struct
+  type mode = Fail | Stall of float | Corrupt
+
+  type spec = { backend : string; mode : mode; prob : float }
+
+  (* A spec targets a rung by exact name, by "*", or as a dotted
+     prefix: "trasyn" also covers "trasyn.retry". *)
+  let matches spec name =
+    spec.backend = "*" || spec.backend = name
+    ||
+    let pl = String.length spec.backend in
+    String.length name > pl && String.sub name 0 pl = spec.backend && name.[pl] = '.'
+
+  let parse_clause clause =
+    match String.index_opt clause '=' with
+    | None -> Error (Printf.sprintf "clause %S has no '='" clause)
+    | Some i -> (
+        let backend = String.trim (String.sub clause 0 i) in
+        let action = String.trim (String.sub clause (i + 1) (String.length clause - i - 1)) in
+        if backend = "" then Error (Printf.sprintf "clause %S has an empty backend" clause)
+        else if backend = "seed" then
+          match int_of_string_opt action with
+          | Some s -> Ok (`Seed s)
+          | None -> Error (Printf.sprintf "bad seed %S" action)
+        else begin
+          let action, prob =
+            match String.index_opt action '@' with
+            | None -> (action, Ok 1.0)
+            | Some j ->
+                let p = String.sub action (j + 1) (String.length action - j - 1) in
+                ( String.sub action 0 j,
+                  match float_of_string_opt p with
+                  | Some p when p >= 0.0 && p <= 1.0 -> Ok p
+                  | _ -> Error (Printf.sprintf "bad probability %S" p) )
+          in
+          let mode =
+            match String.index_opt action ':' with
+            | None -> (
+                match action with
+                | "fail" -> Ok Fail
+                | "corrupt" -> Ok Corrupt
+                | "stall" -> Ok (Stall 0.05)
+                | a -> Error (Printf.sprintf "unknown fault action %S" a))
+            | Some j -> (
+                let head = String.sub action 0 j in
+                let arg = String.sub action (j + 1) (String.length action - j - 1) in
+                match (head, float_of_string_opt arg) with
+                | "stall", Some s when s >= 0.0 -> Ok (Stall s)
+                | "stall", _ -> Error (Printf.sprintf "bad stall duration %S" arg)
+                | a, _ -> Error (Printf.sprintf "unknown fault action %S" a))
+          in
+          match (mode, prob) with
+          | Ok mode, Ok prob -> Ok (`Spec { backend; mode; prob })
+          | Error e, _ | _, Error e -> Error e
+        end)
+
+  let parse s =
+    let clauses =
+      String.split_on_char ',' s |> List.map String.trim |> List.filter (fun c -> c <> "")
+    in
+    let rec go seed specs = function
+      | [] -> Ok (seed, List.rev specs)
+      | c :: rest -> (
+          match parse_clause c with
+          | Ok (`Seed s) -> go (Some s) specs rest
+          | Ok (`Spec sp) -> go seed (sp :: specs) rest
+          | Error e -> Error e)
+    in
+    go None [] clauses
+
+  type state = { seed : int; specs : spec list; streams : (string, Random.State.t) Hashtbl.t }
+
+  (* None = never configured (consult TGATES_FAULTS on first draw);
+     Some with empty specs = explicitly cleared. *)
+  let state : state option ref = ref None
+
+  let make_state seed specs = { seed; specs; streams = Hashtbl.create 8 }
+
+  let configure ?(seed = 0) specs = state := Some (make_state seed specs)
+
+  let clear () = state := Some (make_state 0 [])
+
+  let ensure () =
+    match !state with
+    | Some s -> s
+    | None ->
+        let s =
+          match Sys.getenv_opt "TGATES_FAULTS" with
+          | None -> make_state 0 []
+          | Some v when String.trim v = "" -> make_state 0 []
+          | Some v -> (
+              match parse v with
+              | Ok (seed, specs) -> make_state (Option.value seed ~default:0) specs
+              | Error e -> invalid_arg ("TGATES_FAULTS: " ^ e))
+        in
+        state := Some s;
+        s
+
+  let active () = (ensure ()).specs <> []
+
+  (* Each rung name owns its own stream, seeded from the global seed and
+     the name, so one rung's draw sequence is independent of how calls
+     to other rungs interleave with it. *)
+  let stream st name =
+    match Hashtbl.find_opt st.streams name with
+    | Some r -> r
+    | None ->
+        let r = Random.State.make [| st.seed; Hashtbl.hash name |] in
+        Hashtbl.add st.streams name r;
+        r
+
+  let draw name =
+    let st = ensure () in
+    match List.find_opt (fun sp -> matches sp name) st.specs with
+    | None -> None
+    | Some sp ->
+        if Random.State.float (stream st name) 1.0 < sp.prob then Some sp.mode else None
+
+  let with_faults ?seed specs f =
+    let saved = !state in
+    configure ?seed specs;
+    Fun.protect ~finally:(fun () -> state := saved) f
+end
+
+(* ------------------------------------------------------------------ *)
+(* Fallback chains                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type rung = {
+  name : string;
+  rung_epsilon : float;
+  run : Obs.Deadline.t -> Ctgate.t list * float;
+}
+
+type attempt = {
+  word : Ctgate.t list;
+  distance : float;
+  backend : string;
+  fallbacks : int;
+  rung_epsilon : float;
+}
+
+(* Prepending an X changes the word's unitary by a full Pauli while
+   leaving the claimed distance untouched — exactly the kind of wrong
+   output only the guard can catch. *)
+let corrupt_word word = Ctgate.X :: word
+
+let run_chain ?(deadline = Obs.Deadline.none) ~target rungs =
+  let timeout () =
+    Obs.incr c_deadline;
+    Obs.incr c_chain_failed;
+    Error Timeout
+  in
+  let rec go idx last_failure = function
+    | [] ->
+        Obs.incr c_chain_failed;
+        Error (match last_failure with Some f -> f | None -> Backend_error "empty fallback chain")
+    | (rung : rung) :: rest ->
+        if Obs.Deadline.expired deadline then timeout ()
+        else begin
+          if idx > 0 then Obs.incr c_retries;
+          let injected = Fault.draw rung.name in
+          (match injected with
+          | Some (Fault.Stall s) ->
+              Obs.incr c_faults;
+              Unix.sleepf s
+          | _ -> ());
+          if Obs.Deadline.expired deadline then timeout ()
+          else begin
+            let outcome =
+              match injected with
+              | Some Fault.Fail ->
+                  Obs.incr c_faults;
+                  Error (Backend_error (rung.name ^ ": injected failure"))
+              | _ -> (
+                  match rung.run deadline with
+                  | word, claimed ->
+                      let word =
+                        match injected with
+                        | Some Fault.Corrupt ->
+                            Obs.incr c_faults;
+                            corrupt_word word
+                        | _ -> word
+                      in
+                      verify ~target ~epsilon:rung.rung_epsilon ~claimed word
+                      |> Result.map (fun d -> (word, d))
+                  | exception Gridsynth.Synthesis_failed msg -> Error (Backend_error msg)
+                  | exception Invalid_argument msg ->
+                      Error (Backend_error (rung.name ^ ": " ^ msg))
+                  | exception Failure msg -> Error (Backend_error (rung.name ^ ": " ^ msg)))
+            in
+            match outcome with
+            | Ok (word, d) ->
+                if idx > 0 then Obs.incr (Obs.counter ("robust.fallback." ^ rung.name));
+                Ok { word; distance = d; backend = rung.name; fallbacks = idx;
+                     rung_epsilon = rung.rung_epsilon }
+            | Error _ when Obs.Deadline.expired deadline ->
+                (* Whatever the rung reported, the budget is gone: stop
+                   burning rungs and report the deadline. *)
+                timeout ()
+            | Error f -> go (idx + 1) (Some f) rest
+          end
+        end
+  in
+  go 0 None rungs
+
+(* ------------------------------------------------------------------ *)
+(* The standard ladders                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Below ~0.45 a word is meaningfully closer to the target than a
+   random unitary; the SK last resort accepts anything under it (and
+   reports the achieved distance) rather than failing the rotation. *)
+let sk_floor = 0.45
+
+(* The sampled search is reliable down to ~1e-2 at fallback budgets;
+   asking it for less just burns its budget before SK runs. *)
+let trasyn_floor = 0.01
+
+let default_budgets = [ 10; 10; 8 ]
+
+let sk_rung ~epsilon target =
+  let eps = Float.max epsilon sk_floor in
+  {
+    name = "sk";
+    rung_epsilon = eps;
+    run =
+      (fun _deadline ->
+        let r = Solovay_kitaev.synthesize_to ~epsilon:eps target in
+        (r.Solovay_kitaev.seq, r.Solovay_kitaev.distance));
+  }
+
+let u3_ladder ?(config = Trasyn.default_config) ?(budgets = default_budgets) ~epsilon target =
+  let trasyn_run ~attempts cfg _deadline =
+    let r =
+      Trasyn.to_error ~config:cfg ~attempts ~selection:`Min_t ~t_slack:2 ~target ~budgets ~epsilon
+        ()
+    in
+    (r.Trasyn.seq, r.Trasyn.distance)
+  in
+  let theta, phi, lam = Mat2.to_u3_angles target in
+  [
+    { name = "trasyn"; rung_epsilon = epsilon; run = trasyn_run ~attempts:1 config };
+    {
+      name = "trasyn.retry";
+      rung_epsilon = epsilon;
+      (* Reseed and double the sample budget: a miss at k samples is
+         often a hit at 2k with a fresh stream. *)
+      run =
+        trasyn_run ~attempts:2
+          { config with Trasyn.seed = config.Trasyn.seed lxor 0x2b5d; samples = config.Trasyn.samples * 2 };
+    };
+    {
+      name = "gridsynth";
+      rung_epsilon = epsilon;
+      run =
+        (fun deadline ->
+          let r = Gridsynth.u3 ~deadline ~theta ~phi ~lam ~epsilon () in
+          (r.Gridsynth.seq, r.Gridsynth.distance));
+    };
+    sk_rung ~epsilon target;
+  ]
+
+let rz_ladder ?(gs_scale = 2.0) ~epsilon theta =
+  let target = Mat2.rz theta in
+  let scaled = epsilon *. gs_scale in
+  let trasyn_eps = Float.max epsilon trasyn_floor in
+  [
+    {
+      name = "gridsynth";
+      rung_epsilon = epsilon;
+      run =
+        (fun deadline ->
+          let r = Gridsynth.rz ~deadline ~theta ~epsilon () in
+          (r.Gridsynth.seq, r.Gridsynth.distance));
+    };
+    {
+      name = "gridsynth.retry";
+      rung_epsilon = scaled;
+      run =
+        (fun deadline ->
+          let r =
+            Gridsynth.rz ~deadline ~max_extra_n:60 ~candidates_per_n:128 ~theta ~epsilon:scaled ()
+          in
+          (r.Gridsynth.seq, r.Gridsynth.distance));
+    };
+    {
+      name = "trasyn";
+      rung_epsilon = trasyn_eps;
+      run =
+        (fun _deadline ->
+          let r =
+            Trasyn.to_error ~attempts:2 ~selection:`Min_t ~t_slack:2 ~target
+              ~budgets:default_budgets ~epsilon:trasyn_eps ()
+          in
+          (r.Trasyn.seq, r.Trasyn.distance));
+    };
+    sk_rung ~epsilon target;
+  ]
+
+let synthesize_u3 ?deadline ?config ?budgets ~epsilon target =
+  run_chain ?deadline ~target (u3_ladder ?config ?budgets ~epsilon target)
+
+let synthesize_rz ?deadline ~epsilon theta =
+  run_chain ?deadline ~target:(Mat2.rz theta) (rz_ladder ~epsilon theta)
+
+(* ------------------------------------------------------------------ *)
+(* CLI boundary                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let guarded f =
+  match f () with
+  | v -> Ok v
+  | exception Failure_exn fl -> Error ("error: " ^ failure_to_string fl)
+  | exception Qasm_reader.Parse_error (file, line, msg) ->
+      Error (Printf.sprintf "error: %s:%d: %s" file line msg)
+  | exception Gridsynth.Synthesis_failed msg -> Error ("error: synthesis failed: " ^ msg)
+  | exception Sys_error msg -> Error ("error: " ^ msg)
+  | exception Invalid_argument msg -> Error ("error: invalid argument: " ^ msg)

@@ -1,0 +1,182 @@
+(** Hardening layer for the synthesis pipeline: structured failures, a
+    verification guard on every synthesized word, per-rotation fallback
+    ladders with deadline propagation, and deterministic seeded fault
+    injection.
+
+    Design:
+
+    - {b Structured errors, not exceptions.}  Every per-rotation
+      synthesis goes through {!run_chain}, which returns
+      [('a, failure) result]; raw backend exceptions
+      ([Gridsynth.Synthesis_failed], [Invalid_argument], [Failure]) are
+      converted to {!Backend_error} at the rung boundary.  The only
+      exception crossing module boundaries is {!Failure_exn}, used by
+      direct-style wrappers and caught by {!guarded} in the CLIs.
+    - {b Trust nothing.}  A rung's output is never accepted on its own
+      claim: the guard recomputes the word's unitary and checks both
+      that the claimed distance is honest and that the rung's threshold
+      is met before the word enters a circuit.
+    - {b Guaranteed landing.}  Ladders end in Solovay–Kitaev depth
+      escalation, which always terminates (Dawson–Nielsen), so a chain
+      only fails outright when every rung misbehaves or the deadline
+      expires.
+    - {b Testable end to end.}  The fault layer ({!Fault}) can force
+      any rung to fail, stall, or emit a corrupted word — seeded and
+      deterministic — via the [TGATES_FAULTS] environment variable or
+      the programmatic API.
+
+    Observability (through {!Obs}): [robust.guard.checked] /
+    [robust.guard.rejected], [robust.retries],
+    [robust.fallback.<rung>], [robust.faults.injected],
+    [robust.deadline.expired], [robust.chain.failed]. *)
+
+(** {1 Failure taxonomy} *)
+
+type failure =
+  | Timeout  (** a per-rotation or whole-circuit deadline expired *)
+  | Budget_exhausted
+      (** every rung returned honestly but none met its error threshold *)
+  | Verification_failed
+      (** a rung's word, re-verified against the target, does not match
+          the distance the rung claimed — a corrupted or wrong output *)
+  | Backend_error of string  (** a rung raised instead of returning *)
+
+exception Failure_exn of failure
+(** Carrier for direct-style wrappers ({!Pipeline.run_trasyn} etc.);
+    caught by {!guarded} at the CLI boundary. *)
+
+val fail : failure -> 'a
+(** [raise (Failure_exn f)]. *)
+
+val failure_to_string : failure -> string
+(** One-line, human-readable, stable across releases — what the CLIs
+    print to stderr. *)
+
+(** {1 The guard} *)
+
+val verify :
+  ?tol:float ->
+  target:Mat2.t ->
+  epsilon:float ->
+  claimed:float ->
+  Ctgate.t list ->
+  (float, failure) result
+(** Recompute the word's unitary and its distance [d] to [target].
+    [Error Verification_failed] when [d] disagrees with [claimed] by
+    more than [tol] (default 1e-6) — the backend lied or the word was
+    corrupted; [Error Budget_exhausted] when the word is honest but
+    [d > epsilon]; [Ok d] otherwise.  Every call bumps
+    [robust.guard.checked], every [Verification_failed] bumps
+    [robust.guard.rejected]. *)
+
+(** {1 Deterministic fault injection} *)
+
+module Fault : sig
+  type mode =
+    | Fail  (** the rung raises instead of returning *)
+    | Stall of float  (** sleep that many seconds before the rung runs *)
+    | Corrupt  (** the rung's word is altered after it returns, so only
+                   the guard can catch it *)
+
+  type spec = {
+    backend : string;
+        (** rung name to target: ["trasyn"], ["gridsynth"], ["sk"], …;
+            ["*"] matches every rung; a name matches its sub-rungs too
+            (["trasyn"] also hits ["trasyn.retry"]) *)
+    mode : mode;
+    prob : float;  (** per-call firing probability in \[0, 1\] *)
+  }
+
+  val parse : string -> (int option * spec list, string) result
+  (** The [TGATES_FAULTS] grammar: comma-separated clauses, each either
+      [seed=INT] or [backend=action], where action is [fail], [corrupt]
+      or [stall:SECONDS], optionally suffixed [@PROB].  Examples:
+      ["trasyn=fail"], ["*=corrupt@0.25,seed=7"],
+      ["gridsynth=stall:0.2,sk=fail"]. *)
+
+  val configure : ?seed:int -> spec list -> unit
+  (** Install the spec list (replacing any active set, including one
+      armed from the environment).  Draws are deterministic given
+      [seed] (default 0) and the per-rung call sequence: each rung name
+      owns an independent RNG stream, so interleaving of different
+      rungs cannot change an individual rung's fate. *)
+
+  val clear : unit -> unit
+  (** Remove all faults (and stop consulting [TGATES_FAULTS]). *)
+
+  val active : unit -> bool
+
+  val draw : string -> mode option
+  (** Consult the fault table for one call of the named rung.  On first
+      use, if {!configure} was never called, [TGATES_FAULTS] is parsed
+      and armed ([Invalid_argument] on a malformed value).  Exposed for
+      tests; the chain calls it once per rung attempt. *)
+
+  val with_faults : ?seed:int -> spec list -> (unit -> 'a) -> 'a
+  (** Scoped {!configure}/{!clear} pair restoring the previous state —
+      what tests should use. *)
+end
+
+(** {1 Fallback chains} *)
+
+type rung = {
+  name : string;  (** counter suffix and fault-injection key *)
+  rung_epsilon : float;  (** guard acceptance threshold for this rung *)
+  run : Obs.Deadline.t -> Ctgate.t list * float;
+      (** produce (word, claimed distance); may raise — converted to
+          {!Backend_error} by the chain *)
+}
+
+type attempt = {
+  word : Ctgate.t list;
+  distance : float;  (** guard-verified distance, not the rung's claim *)
+  backend : string;  (** name of the rung that produced the word *)
+  fallbacks : int;  (** rungs that failed before this one *)
+  rung_epsilon : float;  (** the threshold the word was accepted under *)
+}
+
+val run_chain :
+  ?deadline:Obs.Deadline.t -> target:Mat2.t -> rung list -> (attempt, failure) result
+(** Try each rung in order; the first whose output passes the guard
+    wins.  The deadline is checked before each rung and after each
+    failure: on expiry the chain stops with [Error Timeout] rather than
+    burning further rungs.  When every rung fails, the last rung's
+    failure is returned.  Rung attempts after the first count as
+    [robust.retries]; a rung succeeding at position > 0 counts as
+    [robust.fallback.<name>]. *)
+
+val u3_ladder :
+  ?config:Trasyn.config -> ?budgets:int list -> epsilon:float -> Mat2.t -> rung list
+(** The U3-workflow ladder: TRASYN → reseeded TRASYN retry (doubled
+    samples) → GRIDSYNTH (Eq. (1) decomposition at ε) → Solovay–Kitaev
+    last resort at a relaxed threshold (max ε 0.45 — always lands, may
+    be degraded). *)
+
+val rz_ladder : ?gs_scale:float -> epsilon:float -> float -> rung list
+(** The Rz-workflow ladder for Rz(θ): GRIDSYNTH → GRIDSYNTH retry at
+    scaled ε ([gs_scale]·ε, default 2×, with a deeper candidate search)
+    → TRASYN (threshold floored at 0.01, the sampled search's reliable
+    range) → Solovay–Kitaev last resort. *)
+
+val synthesize_u3 :
+  ?deadline:Obs.Deadline.t ->
+  ?config:Trasyn.config ->
+  ?budgets:int list ->
+  epsilon:float ->
+  Mat2.t ->
+  (attempt, failure) result
+(** [run_chain] over {!u3_ladder}. *)
+
+val synthesize_rz :
+  ?deadline:Obs.Deadline.t -> epsilon:float -> float -> (attempt, failure) result
+(** [run_chain] over {!rz_ladder}. *)
+
+(** {1 CLI boundary} *)
+
+val guarded : (unit -> 'a) -> ('a, string) result
+(** Run [f], converting the expected failure modes of a compilation run
+    into a one-line error message (no backtrace): {!Failure_exn},
+    [Qasm_reader.Parse_error], [Gridsynth.Synthesis_failed],
+    [Sys_error] (missing input files), and [Invalid_argument] (bad
+    arguments, malformed [TGATES_FAULTS]).  Anything else — a genuine
+    bug — still propagates with its backtrace. *)

@@ -154,3 +154,18 @@ let synthesize ?(base_t = 4) ?(depth = 3) target =
   let table = Ma_table.get base_t in
   let r = synthesize_depth table target depth in
   { r with distance = Mat2.distance target r.mat }
+
+(* Escalate the recursion depth until the threshold is met (or
+   [max_depth] is reached), returning the best result seen.  Depth
+   escalation always terminates and every level contracts the error, so
+   this is the guaranteed-landing rung of a fallback ladder: it may
+   come back above [epsilon], but it always comes back. *)
+let synthesize_to ?(base_t = 4) ?(max_depth = 4) ~epsilon target =
+  let table = Ma_table.get base_t in
+  let rec go depth best =
+    let r = synthesize_depth table target depth in
+    let r = { r with distance = Mat2.distance target r.mat } in
+    let best = match best with Some b when b.distance <= r.distance -> b | _ -> r in
+    if best.distance <= epsilon || depth >= max_depth then best else go (depth + 1) (Some best)
+  in
+  go 0 None

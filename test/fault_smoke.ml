@@ -1,0 +1,77 @@
+(* End-to-end fault-injection smoke, wired into @runtest: drive
+   compile_cli from the outside with TGATES_FAULTS and check the two
+   contracts the hardening layer makes at the process boundary:
+
+   1. With TRASYN forced to fail, the fallback chain still delivers a
+      verified Clifford+T circuit, the process exits 0, and the run
+      reports which backend rescued each rotation (also visible as
+      robust.* counters in the trace).
+   2. With every backend forced to fail, the process exits nonzero with
+      a one-line structured error on stderr — never a backtrace. *)
+
+let failf fmt = Printf.ksprintf (fun s -> prerr_endline ("fault_smoke: FAIL: " ^ s); exit 1) fmt
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let () =
+  if Array.length Sys.argv < 2 then failf "usage: fault_smoke COMPILE_CLI";
+  let cli = Sys.argv.(1) in
+  let qasm = Filename.temp_file "fault_smoke" ".qasm" in
+  let out_qasm = Filename.temp_file "fault_smoke_out" ".qasm" in
+  let stdout_f = Filename.temp_file "fault_smoke" ".out" in
+  let stderr_f = Filename.temp_file "fault_smoke" ".err" in
+  let trace_f = Filename.temp_file "fault_smoke" ".jsonl" in
+  let cleanup () = List.iter (fun f -> try Sys.remove f with Sys_error _ -> ()) [ qasm; out_qasm; stdout_f; stderr_f; trace_f ] in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let oc = open_out qasm in
+  output_string oc "OPENQASM 2.0;\nqreg q[1];\nh q[0];\nrz(0.37) q[0];\n";
+  close_out oc;
+  let run faults extra =
+    Unix.putenv "TGATES_FAULTS" faults;
+    Sys.command
+      (Printf.sprintf "%s --input %s --workflow trasyn --epsilon 0.05 %s > %s 2> %s"
+         (Filename.quote cli) (Filename.quote qasm) extra (Filename.quote stdout_f)
+         (Filename.quote stderr_f))
+  in
+
+  (* Gate 1: dead TRASYN, chain recovers, exit 0, fallbacks reported. *)
+  let code =
+    run "trasyn=fail,seed=1"
+      (Printf.sprintf "--output %s --trace %s" (Filename.quote out_qasm) (Filename.quote trace_f))
+  in
+  if code <> 0 then failf "fallback run exited %d (stderr: %s)" code (read_file stderr_f);
+  let out = read_file stdout_f in
+  if not (contains out "degraded") then failf "fallback run did not report degradation:\n%s" out;
+  if not (contains out "fallback") then failf "fallback run did not report fallback counts:\n%s" out;
+  (* The rescued output must still be a pure Clifford+T circuit. *)
+  let compiled = Qasm_reader.of_file out_qasm in
+  if Circuit.nontrivial_rotation_count compiled <> 0 then
+    failf "rescued circuit still contains rotations";
+  if Circuit.t_count compiled = 0 then failf "rescued circuit has no T gates";
+  (* And the robust counters must show the chain at work in the trace. *)
+  let trace = read_file trace_f in
+  List.iter
+    (fun c -> if not (contains trace c) then failf "trace is missing counter %s" c)
+    [ "robust.retries"; "robust.guard.checked"; "robust.faults.injected"; "robust.fallback." ];
+
+  (* Gate 2: everything dead — nonzero exit, structured error, no
+     backtrace. *)
+  let code = run "*=fail" "" in
+  if code = 0 then failf "all-backends-dead run exited 0";
+  let err = read_file stderr_f in
+  if not (contains err "error:") then failf "stderr is not a structured error: %s" err;
+  if contains err "Raised at" || contains err "Fatal error" || contains err "Backtrace" then
+    failf "stderr contains a backtrace: %s" err;
+
+  Unix.putenv "TGATES_FAULTS" "";
+  print_endline "fault_smoke: OK"

@@ -246,3 +246,46 @@ let rounding_tests =
   ]
 
 let suite = suite @ rounding_tests
+
+(* The failure frontier: GRIDSYNTH must fail loudly and promptly, not
+   loop, when asked for the impossible. *)
+let frontier_tests =
+  [
+    Alcotest.test_case "an expired deadline aborts the search" `Quick (fun () ->
+        match Gridsynth.rz ~deadline:(Obs.Deadline.at 0.0) ~theta:0.61 ~epsilon:1e-3 () with
+        | exception Gridsynth.Synthesis_failed msg ->
+            Alcotest.(check bool) "mentions the deadline" true
+              (let n = String.length msg in
+               let rec go i = i + 8 <= n && (String.sub msg i 8 = "deadline" || go (i + 1)) in
+               go 0)
+        | _ -> Alcotest.fail "should not have synthesized");
+    Alcotest.test_case "deadline abort is counted" `Quick (fun () ->
+        let was = Obs.enabled () in
+        Obs.set_enabled true;
+        Fun.protect ~finally:(fun () -> Obs.set_enabled was) @@ fun () ->
+        let c = Obs.counter "gridsynth.deadline_expired" in
+        let v0 = Obs.counter_value c in
+        (try ignore (Gridsynth.rz ~deadline:(Obs.Deadline.at 0.0) ~theta:0.61 ~epsilon:1e-3 ())
+         with Gridsynth.Synthesis_failed _ -> ());
+        Alcotest.(check bool) "counter bumped" true (Obs.counter_value c > v0));
+    Alcotest.test_case "a starved search fails rather than looping" `Quick (fun () ->
+        (* One candidate at the starting level only: deterministic miss
+           for a tight epsilon, and it must return promptly. *)
+        let t0 = Unix.gettimeofday () in
+        (match Gridsynth.rz ~max_extra_n:0 ~candidates_per_n:1 ~theta:0.5234 ~epsilon:1e-6 () with
+        | exception Gridsynth.Synthesis_failed _ -> ()
+        | r ->
+            (* If that single candidate does solve, the contract still
+               holds: the result must meet the threshold. *)
+            Alcotest.(check bool) "met epsilon" true (r.Gridsynth.distance <= 1e-6));
+        Alcotest.(check bool) "prompt" true (Unix.gettimeofday () -. t0 < 10.0));
+    Alcotest.test_case "u3 propagates the deadline to its rz calls" `Quick (fun () ->
+        match
+          Gridsynth.u3 ~deadline:(Obs.Deadline.at 0.0) ~theta:0.4 ~phi:1.1 ~lam:(-0.7)
+            ~epsilon:1e-2 ()
+        with
+        | exception Gridsynth.Synthesis_failed _ -> ()
+        | _ -> Alcotest.fail "should not have synthesized");
+  ]
+
+let suite = suite @ frontier_tests

@@ -16,4 +16,5 @@ let () =
       ("qasm", Test_qasm.suite);
       ("generators", Test_generators.suite);
       ("obs", Test_obs.suite);
+      ("robust", Test_robust.suite);
     ]

@@ -138,3 +138,68 @@ let synthetiq_tests =
   ]
 
 let suite = suite_tests @ pipeline_tests @ synthetiq_tests
+
+(* The hardened pipeline: structured failures, degradation reporting,
+   and deadline plumbing. *)
+let robustness_tests =
+  [
+    Alcotest.test_case "non-Rz rotation in a hand-fed Rz IR is a structured error" `Quick
+      (fun () ->
+        let c = Circuit.make 1 [ Circuit.instr (Qgate.U3 (0.3, 0.2, 0.1)) [| 0 |] ] in
+        match Pipeline.run_gridsynth_result ~transpile:false c with
+        | Error (Robust.Backend_error msg) ->
+            let n = String.length msg in
+            let rec go i = i + 6 <= n && (String.sub msg i 6 = "non-Rz" || go (i + 1)) in
+            Alcotest.(check bool) "names the bug" true (go 0)
+        | Ok _ -> Alcotest.fail "a U3 must not pass the Rz workflow unnoticed"
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+    Alcotest.test_case "degradation report captures forced fallbacks" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        Robust.Fault.with_faults
+          [ { Robust.Fault.backend = "trasyn"; mode = Robust.Fault.Fail; prob = 1.0 } ]
+          (fun () ->
+            let c = Circuit.make 1 [ Circuit.instr (Qgate.Rz 0.37) [| 0 |] ] in
+            let s = Pipeline.run_trasyn ~epsilon:0.05 c in
+            Alcotest.(check bool) "degraded nonempty" true (s.Pipeline.degraded <> []);
+            List.iter
+              (fun (d : Pipeline.degradation) ->
+                Alcotest.(check bool) "fell back" true (d.Pipeline.fallbacks > 0);
+                Alcotest.(check bool) "not trasyn" true (d.Pipeline.backend <> "trasyn"))
+              s.Pipeline.degraded;
+            (* The circuit is still pure Clifford+T. *)
+            Alcotest.(check int) "no rotations left" 0
+              (Circuit.nontrivial_rotation_count s.Pipeline.circuit)));
+    Alcotest.test_case "clean runs report no degradation" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        let c = Circuit.make 1 [ Circuit.instr (Qgate.Rz 0.37) [| 0 |] ] in
+        let s = Pipeline.run_gridsynth ~epsilon:0.05 c in
+        Alcotest.(check bool) "no degradation" true (s.Pipeline.degraded = []));
+    Alcotest.test_case "an expired circuit deadline aborts structurally" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        let c = Circuit.make 1 [ Circuit.instr (Qgate.Rz 0.37) [| 0 |] ] in
+        (match Pipeline.run_trasyn_result ~deadline:(Obs.Deadline.at 0.0) c with
+        | Error Robust.Timeout -> ()
+        | Ok _ -> Alcotest.fail "should have timed out"
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+        match Pipeline.run_gridsynth_result ~deadline:(Obs.Deadline.at 0.0) c with
+        | Error Robust.Timeout -> ()
+        | Ok _ -> Alcotest.fail "should have timed out"
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+    Alcotest.test_case "direct style raises Failure_exn on failure" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        let c = Circuit.make 1 [ Circuit.instr (Qgate.Rz 0.37) [| 0 |] ] in
+        match Pipeline.run_trasyn ~deadline:(Obs.Deadline.at 0.0) c with
+        | exception Robust.Failure_exn Robust.Timeout -> ()
+        | _ -> Alcotest.fail "expected Failure_exn Timeout");
+    Alcotest.test_case "successes are cached, failures are not" `Quick (fun () ->
+        Pipeline.clear_caches ();
+        let c = Circuit.make 1 [ Circuit.instr (Qgate.Rz 0.37) [| 0 |] ] in
+        (* A timed-out run must not poison the cache for the next one. *)
+        (match Pipeline.run_gridsynth_result ~deadline:(Obs.Deadline.at 0.0) c with
+        | Error Robust.Timeout -> ()
+        | _ -> Alcotest.fail "expected a timeout");
+        let s = Pipeline.run_gridsynth ~epsilon:0.05 c in
+        Alcotest.(check bool) "clean rerun" true (s.Pipeline.degraded = []));
+  ]
+
+let suite = suite @ robustness_tests

@@ -68,10 +68,46 @@ let suite =
         match List.map (fun (i : Circuit.instr) -> i.Circuit.gate) c.Circuit.instrs with
         | [ Qgate.Rz _; Qgate.U3 _ ] -> ()
         | _ -> Alcotest.fail "aliases not handled");
-    Alcotest.test_case "errors carry line numbers" `Quick (fun () ->
-        (match Qasm_reader.of_string "qreg q[1];\nfrobnicate q[0];\n" with
-        | exception Qasm_reader.Parse_error (2, _) -> ()
-        | exception Qasm_reader.Parse_error (l, m) ->
-            Alcotest.fail (Printf.sprintf "wrong location %d: %s" l m)
-        | _ -> Alcotest.fail "should have failed"));
+    Alcotest.test_case "errors carry file and line" `Quick (fun () ->
+        (match Qasm_reader.of_string ~file:"bad.qasm" "qreg q[1];\nfrobnicate q[0];\n" with
+        | exception Qasm_reader.Parse_error ("bad.qasm", 2, _) -> ()
+        | exception Qasm_reader.Parse_error (f, l, m) ->
+            Alcotest.fail (Printf.sprintf "wrong location %s:%d: %s" f l m)
+        | _ -> Alcotest.fail "should have failed");
+        (* Without an explicit file the placeholder is used. *)
+        match Qasm_reader.of_string "qreg q[1];\nfrobnicate q[0];\n" with
+        | exception Qasm_reader.Parse_error ("<string>", 2, _) -> ()
+        | exception Qasm_reader.Parse_error (f, _, _) -> Alcotest.fail ("wrong file " ^ f)
+        | _ -> Alcotest.fail "should have failed");
+    Alcotest.test_case "of_file errors carry the path" `Quick (fun () ->
+        let path = Filename.temp_file "tgates_bad" ".qasm" in
+        Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+        let oc = open_out path in
+        output_string oc "qreg q[2];\nh q[0];\nnope q[1];\n";
+        close_out oc;
+        match Qasm_reader.of_file path with
+        | exception Qasm_reader.Parse_error (f, 3, _) ->
+            Alcotest.(check string) "path in error" path f
+        | exception Qasm_reader.Parse_error (f, l, m) ->
+            Alcotest.fail (Printf.sprintf "wrong location %s:%d: %s" f l m)
+        | _ -> Alcotest.fail "should have failed");
+    Alcotest.test_case "malformed QASM is rejected with locations" `Quick (fun () ->
+        let expect_error ~what ~line text =
+          match Qasm_reader.of_string text with
+          | exception Qasm_reader.Parse_error (_, l, _) ->
+              Alcotest.(check int) (what ^ " line") line l
+          | _ -> Alcotest.fail (what ^ ": should have failed")
+        in
+        (* Truncated file: the last statement stops mid-expression. *)
+        expect_error ~what:"truncated expression" ~line:2 "qreg q[2];\nrz(0.5 q[0];\n";
+        expect_error ~what:"unbalanced paren" ~line:2 "qreg q[2];\nrz(0.5 q[0]\n";
+        (* Wrong arity, both ways. *)
+        expect_error ~what:"h with two qubits" ~line:2 "qreg q[2];\nh q[0],q[1];\n";
+        expect_error ~what:"cx with one qubit" ~line:3 "qreg q[2];\nh q[0];\ncx q[0];\n";
+        expect_error ~what:"rz without angle" ~line:2 "qreg q[2];\nrz q[0];\n";
+        (* Out-of-range and pre-declaration qubits. *)
+        expect_error ~what:"qubit out of range" ~line:2 "qreg q[2];\nh q[5];\n";
+        expect_error ~what:"gate before qreg" ~line:1 "h q[0];\nqreg q[2];\n";
+        expect_error ~what:"duplicate qubit" ~line:2 "qreg q[2];\ncx q[1],q[1];\n";
+        expect_error ~what:"zero-size qreg" ~line:1 "qreg q[0];\nh q[0];\n");
   ]

@@ -300,3 +300,42 @@ let timed_tests =
   ]
 
 let suite = suite @ timed_tests
+
+(* Deadline semantics of the timed wrapper: a zero/negative budget (or
+   an already-expired caller deadline) still runs exactly one attempt —
+   never zero, never a busy loop. *)
+let deadline_tests =
+  [
+    Alcotest.test_case "zero-second budget runs exactly one attempt" `Quick (fun () ->
+        let was = Obs.enabled () in
+        Obs.set_enabled true;
+        Fun.protect ~finally:(fun () -> Obs.set_enabled was) @@ fun () ->
+        let c = Obs.counter "trasyn.restarts" in
+        let v0 = Obs.counter_value c in
+        let target = Mat2.random_unitary (Random.State.make [| 62 |]) in
+        let config = { Trasyn.default_config with samples = 32; beam = 0 } in
+        let t0 = Unix.gettimeofday () in
+        let r = Trasyn.synthesize_timed ~config ~seconds:0.0 ~target ~budgets:[ 6 ] () in
+        Alcotest.(check bool) "prompt" true (Unix.gettimeofday () -. t0 < 5.0);
+        Alcotest.(check bool) "produced a result" true (r.Trasyn.distance < 2.0);
+        Alcotest.(check int) "no reseeds" v0 (Obs.counter_value c));
+    Alcotest.test_case "negative budget behaves like zero" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 63 |]) in
+        let config = { Trasyn.default_config with samples = 32; beam = 0 } in
+        let t0 = Unix.gettimeofday () in
+        let r = Trasyn.synthesize_timed ~config ~seconds:(-3.0) ~target ~budgets:[ 6 ] () in
+        Alcotest.(check bool) "prompt" true (Unix.gettimeofday () -. t0 < 5.0);
+        Alcotest.(check bool) "produced a result" true (r.Trasyn.distance < 2.0));
+    Alcotest.test_case "an expired caller deadline caps a generous budget" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 64 |]) in
+        let config = { Trasyn.default_config with samples = 32; beam = 0 } in
+        let t0 = Unix.gettimeofday () in
+        let r =
+          Trasyn.synthesize_timed ~config ~deadline:(Obs.Deadline.at 0.0) ~seconds:60.0 ~target
+            ~budgets:[ 6 ] ()
+        in
+        Alcotest.(check bool) "prompt despite 60s budget" true (Unix.gettimeofday () -. t0 < 5.0);
+        Alcotest.(check bool) "produced a result" true (r.Trasyn.distance < 2.0));
+  ]
+
+let suite = suite @ deadline_tests
