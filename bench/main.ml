@@ -19,6 +19,9 @@ let trajectories = ref 50
 let bench_limit = ref max_int
 let quick = ref false
 let bench_deadline = ref 0.0
+let suite = ref "exps"
+let suite_budget = ref 120.0
+let bench_out = ref ""
 
 let args =
   [
@@ -38,6 +41,16 @@ let args =
       "wall-clock seconds per benchmark in the circuit study (0 = unbounded); benchmarks that \
        time out are skipped, not fatal" );
     ("--quick", Arg.Set quick, "small smoke-test scale for everything");
+    ( "--suite",
+      Arg.Set_string suite,
+      "exps (default: the paper experiments) | perf (the fixed-seed perf harness that writes \
+       BENCH_<n>.json)" );
+    ( "--suite-budget",
+      Arg.Set_float suite_budget,
+      "wall-clock budget in seconds for --suite perf (default 120)" );
+    ( "--bench-out",
+      Arg.Set_string bench_out,
+      "output path for --suite perf (default: the next free BENCH_<n>.json here)" );
   ]
 
 let want id =
@@ -73,6 +86,14 @@ let () =
     trajectories := 20;
     if !bench_limit = max_int then bench_limit := 24
   end;
+  (match !suite with
+  | "exps" -> ()
+  | "perf" ->
+      Perf_suite.run
+        ?out:(if !bench_out = "" then None else Some !bench_out)
+        ~budget:!suite_budget ~smoke:!quick ();
+      exit 0
+  | s -> raise (Arg.Bad ("unknown --suite " ^ s ^ " (use exps | perf)")));
   let t_start = Obs.Clock.elapsed_s () in
   let benches =
     let all = Suite.all () in

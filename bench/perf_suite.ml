@@ -1,0 +1,195 @@
+(** The reproducible perf harness behind [bench/main.exe --suite perf]:
+    a fixed-seed workload — single rotations through GRIDSYNTH, random
+    unitaries through TRASYN, and small circuits through both pipeline
+    workflows — run under a wall budget, with per-item [Obs] spans.  The
+    result is one [tgates-bench/v1] JSON document (see EXPERIMENTS.md
+    for the schema) written to [BENCH_<n>.json] at the current
+    directory, the repo's machine-readable perf trajectory.  Diff two of
+    them with [tgates-trace diff --fail-above PCT].
+
+    Everything is deterministic given the seeds except the timings
+    themselves; [smoke] shrinks the workload to a couple of seconds for
+    CI. *)
+
+module J = Obs.Json
+
+let pi = 4.0 *. atan 1.0
+
+type phase_acc = {
+  pname : string;
+  mutable items : int;  (** work items completed *)
+  mutable t_count : int;  (** total T gates across completed items *)
+  mutable degraded : int;  (** degraded rotations (pipeline phases) *)
+  mutable truncated : bool;  (** the wall budget cut this phase short *)
+}
+
+(* Run [work] over [inputs] under [deadline], one "perf.<name>" span per
+   item; each [work] returns (t_count, degraded). *)
+let run_phase ~deadline name inputs work =
+  let acc = { pname = name; items = 0; t_count = 0; degraded = 0; truncated = false } in
+  List.iter
+    (fun input ->
+      if Obs.Deadline.expired deadline then acc.truncated <- true
+      else begin
+        let t, d = Obs.span ("perf." ^ name) (fun () -> work input) in
+        acc.items <- acc.items + 1;
+        acc.t_count <- acc.t_count + t;
+        acc.degraded <- acc.degraded + d
+      end)
+    inputs;
+  if acc.truncated then
+    Printf.printf "  [perf] %-20s truncated by the wall budget after %d items\n%!" name acc.items;
+  acc
+
+let cval name = Obs.counter_value (Obs.counter name)
+
+let hit_rate prefix =
+  let h = cval (prefix ^ ".hit") and m = cval (prefix ^ ".miss") in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)
+
+let phase_json acc =
+  let s = Obs.summarize (Obs.histogram ("perf." ^ acc.pname)) in
+  let q v = if Float.is_finite v then v else 0.0 in
+  ( acc.pname,
+    J.Obj
+      [
+        ("items", J.Num (float_of_int acc.items));
+        ("truncated", J.Bool acc.truncated);
+        ("wall_s", J.Num (q s.Obs.sum));
+        ("p50_s", J.Num (q s.Obs.p50));
+        ("p90_s", J.Num (q s.Obs.p90));
+        ("p99_s", J.Num (q s.Obs.p99));
+        ("t_count", J.Num (float_of_int acc.t_count));
+        ("degraded", J.Num (float_of_int acc.degraded));
+      ] )
+
+(* The first unused BENCH_<n>.json slot in [dir]. *)
+let next_bench_path dir =
+  let n =
+    Array.fold_left
+      (fun best f ->
+        match Filename.chop_suffix_opt ~suffix:".json" f with
+        | Some base when String.length base > 6 && String.sub base 0 6 = "BENCH_" -> (
+            match int_of_string_opt (String.sub base 6 (String.length base - 6)) with
+            | Some i -> max best (i + 1)
+            | None -> best)
+        | _ -> best)
+      0 (Sys.readdir dir)
+  in
+  Filename.concat dir (Printf.sprintf "BENCH_%d.json" n)
+
+let run ?out ~budget ~smoke () =
+  Util.header (Printf.sprintf "PERF SUITE (budget %gs%s)" budget (if smoke then ", smoke" else ""));
+  let was_enabled = Obs.enabled () in
+  Obs.reset ();
+  Obs.set_enabled true;
+  Pipeline.clear_caches ();
+  let deadline = Obs.Deadline.after budget in
+  let g0 = Gc.quick_stat () in
+  let t_start = Obs.Clock.elapsed_s () in
+
+  (* Fixed-seed workload. *)
+  let n_rz = if smoke then 6 else 40 in
+  let rz_eps = if smoke then 1e-2 else 1e-3 in
+  let rng_rz = Random.State.make [| 42 |] in
+  let angles = List.init n_rz (fun _ -> Random.State.float rng_rz (2.0 *. pi)) in
+
+  let n_u3 = if smoke then 3 else 12 in
+  let rng_u3 = Random.State.make [| 7 |] in
+  let targets = List.init n_u3 (fun _ -> Mat2.random_unitary rng_u3) in
+  let config = { Trasyn.default_config with samples = (if smoke then 128 else 512) } in
+  let budgets = if smoke then [ 6 ] else [ 8; 8 ] in
+
+  let circuits =
+    if smoke then [ Generators.qft 3 ]
+    else
+      [
+        Generators.qft 4;
+        Generators.tfim_evolution ~seed:2 ~n:4 ~steps:1;
+        Generators.qaoa ~seed:3 ~n:6 ~depth:1;
+      ]
+  in
+  let pipeline_eps = 0.07 in
+
+  let gs =
+    run_phase ~deadline "gridsynth_rz" angles (fun theta ->
+        let r = Gridsynth.rz ~deadline ~theta ~epsilon:rz_eps () in
+        (r.Gridsynth.t_count, 0))
+  in
+  let tr =
+    run_phase ~deadline "trasyn_u3" targets (fun target ->
+        let r = Trasyn.synthesize ~config ~target ~budgets () in
+        (r.Trasyn.t_count, 0))
+  in
+  let run_pipeline runner c =
+    match runner c with
+    | Ok (s : Pipeline.synthesized) ->
+        (Circuit.t_count s.Pipeline.circuit, List.length s.Pipeline.degraded)
+    | Error f -> raise (Robust.Failure_exn f)
+  in
+  let pt =
+    run_phase ~deadline "pipeline_trasyn" circuits
+      (run_pipeline (Pipeline.run_trasyn_result ~epsilon:pipeline_eps ~config ~deadline))
+  in
+  let pg =
+    run_phase ~deadline "pipeline_gridsynth" circuits
+      (run_pipeline (Pipeline.run_gridsynth_result ~epsilon:pipeline_eps ~deadline))
+  in
+
+  let wall = Obs.Clock.elapsed_s () -. t_start in
+  let g1 = Gc.quick_stat () in
+  let phases = [ gs; tr; pt; pg ] in
+  let doc =
+    J.Obj
+      [
+        ("schema", J.Str Trace_analysis.bench_schema);
+        ( "meta",
+          J.Obj
+            [
+              ("suite", J.Str "perf");
+              ("smoke", J.Bool smoke);
+              ("budget_s", J.Num budget);
+              ("rz_epsilon", J.Num rz_eps);
+              ("pipeline_epsilon", J.Num pipeline_eps);
+              ("trasyn_samples", J.Num (float_of_int config.Trasyn.samples));
+              ("truncated", J.Bool (List.exists (fun a -> a.truncated) phases));
+            ] );
+        ("wall_s", J.Num wall);
+        ("phases", J.Obj (List.map phase_json phases));
+        ( "cache",
+          J.Obj
+            [
+              ("gridsynth_hit_rate", J.Num (hit_rate "pipeline.gridsynth_cache"));
+              ("trasyn_hit_rate", J.Num (hit_rate "pipeline.trasyn_cache"));
+              ("evictions", J.Num (float_of_int (cval "pipeline.cache.evictions")));
+            ] );
+        ( "gc",
+          J.Obj
+            [
+              ("minor_words", J.Num (g1.Gc.minor_words -. g0.Gc.minor_words));
+              ("major_words", J.Num (g1.Gc.major_words -. g0.Gc.major_words));
+              ("promoted_words", J.Num (g1.Gc.promoted_words -. g0.Gc.promoted_words));
+              ("minor_collections", J.Num (float_of_int (g1.Gc.minor_collections - g0.Gc.minor_collections)));
+              ("major_collections", J.Num (float_of_int (g1.Gc.major_collections - g0.Gc.major_collections)));
+              ("heap_words_peak", J.Num (Obs.gauge_value (Obs.gauge "obs.heap.peak_words")));
+            ] );
+        ("degraded_rotations", J.Num (float_of_int (cval "pipeline.rotation.degraded")));
+      ]
+  in
+  let path = match out with Some p -> p | None -> next_bench_path "." in
+  let oc = open_out path in
+  output_string oc (J.pretty doc);
+  output_char oc '\n';
+  close_out oc;
+  List.iter
+    (fun a ->
+      let s = Obs.summarize (Obs.histogram ("perf." ^ a.pname)) in
+      Printf.printf "  %-20s %3d items  wall=%6.2fs  p50=%s p99=%s  T=%d%s\n" a.pname a.items
+        s.Obs.sum
+        (Printf.sprintf "%.3gs" s.Obs.p50)
+        (Printf.sprintf "%.3gs" s.Obs.p99)
+        a.t_count
+        (if a.degraded > 0 then Printf.sprintf "  degraded=%d" a.degraded else ""))
+    phases;
+  Printf.printf "  wall %.2fs; wrote %s\n%!" wall path;
+  if not was_enabled && not (Obs.tracing ()) then Obs.set_enabled false

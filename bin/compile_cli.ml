@@ -53,6 +53,9 @@ let run input output workflow epsilon optimize estimate trace deadline rotation_
         | Error e -> invalid_arg ("--faults: " ^ e)
         | Ok (seed, specs) -> Robust.Fault.configure ?seed specs));
     Obs.with_trace ?file:trace @@ fun () ->
+    (* One root span over the whole compilation, so trace analysis (and
+       the hotspots self-time accounting) sees a single-rooted tree. *)
+    Obs.span "cli.compile" @@ fun () ->
     let deadline =
       match deadline with None -> Obs.Deadline.none | Some s -> Obs.Deadline.after s
     in

@@ -8,6 +8,7 @@ let run theta epsilon trace =
   match
     Robust.guarded @@ fun () ->
     Obs.with_trace ?file:trace @@ fun () ->
+    Obs.span "cli.gridsynth" @@ fun () ->
     let r = Gridsynth.rz ~theta ~epsilon () in
     Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Gridsynth.seq);
     Printf.printf "T count  : %d\n" r.Gridsynth.t_count;

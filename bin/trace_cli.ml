@@ -1,0 +1,105 @@
+(* tgates-trace: turn Obs JSONL traces (and tgates-bench/v1 BENCH_*.json
+   baselines) into decisions.
+
+     dune exec bin/trace_cli.exe -- report trace.jsonl
+     dune exec bin/trace_cli.exe -- hotspots --top 15 trace.jsonl
+     dune exec bin/trace_cli.exe -- flame trace.jsonl | flamegraph.pl > out.svg
+     dune exec bin/trace_cli.exe -- diff --fail-above 10 BENCH_0.json BENCH_1.json
+     dune exec bin/trace_cli.exe -- validate BENCH_0.json
+
+   Exit codes: 0 ok; 1 unreadable/malformed input, invalid bench JSON,
+   or (for diff with --fail-above) a regression beyond the threshold. *)
+
+open Cmdliner
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("tgates-trace: " ^ s); 1) fmt
+
+let with_trace path k =
+  match Trace_analysis.load path with Error e -> fail "%s" e | Ok tr -> k tr
+
+let report_cmd =
+  let run path = with_trace path (fun tr -> Trace_analysis.render_report Format.std_formatter tr; 0) in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "report" ~doc:"per-metric table (counters, gauges, histogram summaries) of a trace")
+    Term.(const run $ path)
+
+let hotspots_cmd =
+  let run top path =
+    with_trace path (fun tr ->
+        Trace_analysis.render_hotspots ?top Format.std_formatter tr;
+        0)
+  in
+  let top =
+    Arg.(value & opt (some int) None & info [ "top" ] ~docv:"K" ~doc:"show only the top $(docv) spans")
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "hotspots"
+       ~doc:
+         "spans ranked by self-time (time not attributed to child spans), with inclusive time and \
+          minor-heap allocation; the self-times sum to the run's wall time")
+    Term.(const run $ top $ path)
+
+let flame_cmd =
+  let run path = with_trace path (fun tr -> Trace_analysis.render_flame Format.std_formatter tr; 0) in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "flame"
+       ~doc:
+         "folded-stacks output (span path, self-time in microseconds) for flamegraph.pl")
+    Term.(const run $ path)
+
+let diff_cmd =
+  let run fail_above before after =
+    match Trace_analysis.load_source before, Trace_analysis.load_source after with
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok b, Ok a ->
+        let deltas = Trace_analysis.diff ~before:b ~after:a in
+        Trace_analysis.render_diff ?fail_above Format.std_formatter deltas;
+        (match fail_above with
+        | Some pct when Trace_analysis.regressions ~fail_above:pct deltas <> [] -> 1
+        | _ -> 0)
+  in
+  let fail_above =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-above" ] ~docv:"PCT"
+          ~doc:
+            "exit nonzero when any time/T-count/GC series regressed by more than $(docv) percent \
+             — the CI gate")
+  in
+  let before = Arg.(required & pos 0 (some file) None & info [] ~docv:"BEFORE") in
+  let after = Arg.(required & pos 1 (some file) None & info [] ~docv:"AFTER") in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "compare two runs — JSONL traces or tgates-bench/v1 BENCH_*.json files — series by series")
+    Term.(const run $ fail_above $ before $ after)
+
+let validate_cmd =
+  let run path =
+    match Trace_analysis.load_source path with
+    | Error e -> fail "%s" e
+    | Ok (Trace_analysis.Trace _) -> fail "%s: not a %s document" path Trace_analysis.bench_schema
+    | Ok (Trace_analysis.Bench j) -> (
+        match Trace_analysis.validate_bench j with
+        | Ok () ->
+            Printf.printf "%s: valid %s\n" path Trace_analysis.bench_schema;
+            0
+        | Error errs ->
+            List.iter (fun e -> Printf.eprintf "tgates-trace: %s: %s\n" path e) errs;
+            1)
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BENCH_JSON") in
+  Cmd.v
+    (Cmd.info "validate" ~doc:"check a BENCH_*.json file against the tgates-bench/v1 schema")
+    Term.(const run $ path)
+
+let cmd =
+  Cmd.group
+    (Cmd.info "tgates-trace" ~doc:"analyze Obs JSONL traces and BENCH_*.json perf baselines")
+    [ report_cmd; hotspots_cmd; flame_cmd; diff_cmd; validate_cmd ]
+
+let () = exit (Cmd.eval' cmd)

@@ -8,6 +8,7 @@ let run theta phi lam epsilon budget sites samples trace =
   match
     Robust.guarded @@ fun () ->
     Obs.with_trace ?file:trace @@ fun () ->
+    Obs.span "cli.trasyn" @@ fun () ->
     let target = Mat2.u3 theta phi lam in
     let budgets = List.init sites (fun _ -> budget) in
     let config = { Trasyn.default_config with table_t = budget; samples } in

@@ -251,6 +251,45 @@ module Json = struct
     go j;
     Buffer.contents b
 
+  (* Two-space-indented rendering, for JSON meant to live in git
+     (BENCH_*.json): one line per scalar leaf keeps diffs reviewable. *)
+  let pretty j =
+    let b = Buffer.create 256 in
+    let pad n = Buffer.add_string b (String.make (2 * n) ' ') in
+    let scalar = function Null | Bool _ | Num _ | Str _ -> true | Arr _ | Obj _ -> false in
+    let rec go ind = function
+      | (Null | Bool _ | Num _ | Str _) as v -> Buffer.add_string b (to_string v)
+      | Arr xs when List.for_all scalar xs -> Buffer.add_string b (to_string (Arr xs))
+      | Arr xs ->
+          Buffer.add_string b "[\n";
+          List.iteri
+            (fun i x ->
+              if i > 0 then Buffer.add_string b ",\n";
+              pad (ind + 1);
+              go (ind + 1) x)
+            xs;
+          Buffer.add_char b '\n';
+          pad ind;
+          Buffer.add_char b ']'
+      | Obj [] -> Buffer.add_string b "{}"
+      | Obj kvs ->
+          Buffer.add_string b "{\n";
+          List.iteri
+            (fun i (k, v) ->
+              if i > 0 then Buffer.add_string b ",\n";
+              pad (ind + 1);
+              Buffer.add_char b '"';
+              add_escaped b k;
+              Buffer.add_string b "\": ";
+              go (ind + 1) v)
+            kvs;
+          Buffer.add_char b '\n';
+          pad ind;
+          Buffer.add_char b '}'
+    in
+    go 0 j;
+    Buffer.contents b
+
   exception Err of string * int
 
   let utf8_of_code b code =
@@ -415,7 +454,11 @@ end
 let out_lock = Mutex.create ()
 let trace_oc : out_channel option ref = ref None
 let trace_file : string option ref = ref None
-let at_exit_registered = ref false
+
+(* Set to false (under [out_lock]) after the first failed write.  Once a
+   line may have landed partially (disk full, closed fd), appending
+   anything more would corrupt the JSONL stream, so we stop writing. *)
+let trace_ok = ref true
 
 let tracing () = !trace_oc <> None
 let trace_path () = !trace_file
@@ -423,8 +466,12 @@ let trace_path () = !trace_file
 let emit_line line =
   Mutex.lock out_lock;
   (match !trace_oc with
-  | None -> ()
-  | Some oc -> ( try output_string oc line; output_char oc '\n' with Sys_error _ -> ()));
+  | Some oc when !trace_ok -> (
+      (* One [output_string] call per line (newline included) so a
+         concurrent exit path never observes a line without its
+         terminator in the channel buffer. *)
+      try output_string oc (line ^ "\n") with Sys_error _ -> trace_ok := false)
+  | Some _ | None -> ());
   Mutex.unlock out_lock
 
 (* ------------------------------------------------------------------ *)
@@ -434,12 +481,35 @@ let emit_line line =
 let depth_key = Domain.DLS.new_key (fun () -> ref 0)
 let span_depth () = !(Domain.DLS.get depth_key)
 
-let emit_span ~name ~t0 ~dur ~depth =
+(* Span identity: ids are process-unique (one atomic counter shared by
+   all domains, ids start at 1); the current parent is domain-local so
+   concurrent domains each build their own branch of the tree.  0 means
+   "no parent" and is emitted as JSON null. *)
+let span_id_ctr = Atomic.make 0
+let parent_key = Domain.DLS.new_key (fun () -> ref 0)
+let current_span_id () = !(Domain.DLS.get parent_key)
+
+(* Peak-heap gauge, sampled at span exit ([Gc.quick_stat] reads the
+   live counters without walking the heap). *)
+let g_peak_heap = lazy (gauge "obs.heap.peak_words")
+
+let emit_span ~name ~id ~parent ~t0 ~dur ~depth ~minor_w ~(g0 : Gc.stat) ~(g1 : Gc.stat) =
   if tracing () then begin
-    let b = Buffer.create 96 in
+    let b = Buffer.create 192 in
     Buffer.add_string b {|{"ev":"span","name":"|};
     Json.add_escaped b name;
-    Buffer.add_string b (Printf.sprintf {|","t0":%.9f,"dur":%.9f,"depth":%d}|} t0 dur depth);
+    Buffer.add_string b
+      (Printf.sprintf {|","id":%d,"parent":%s,"t0":%.9f,"dur":%.9f,"depth":%d|} id
+         (if parent = 0 then "null" else string_of_int parent)
+         t0 dur depth);
+    Buffer.add_string b
+      (Printf.sprintf
+         {|,"minor_w":%.0f,"major_w":%.0f,"promoted_w":%.0f,"minor_gc":%d,"major_gc":%d}|}
+         minor_w
+         (g1.Gc.major_words -. g0.Gc.major_words)
+         (g1.Gc.promoted_words -. g0.Gc.promoted_words)
+         (g1.Gc.minor_collections - g0.Gc.minor_collections)
+         (g1.Gc.major_collections - g0.Gc.major_collections));
     emit_line (Buffer.contents b)
   end
 
@@ -448,15 +518,29 @@ let span name f =
   else begin
     let h = histogram_k Span name in
     let depth = Domain.DLS.get depth_key in
-    let d0 = !depth in
+    let parent = Domain.DLS.get parent_key in
+    let d0 = !depth and p0 = !parent in
+    let id = 1 + Atomic.fetch_and_add span_id_ctr 1 in
     depth := d0 + 1;
+    parent := id;
+    (* [Gc.quick_stat] covers the major heap and collection counts, but
+       its minor_words only advances at collection boundaries (OCaml 5);
+       [Gc.minor_words] reads the live allocation pointer. *)
+    let g0 = Gc.quick_stat () in
+    let m0 = Gc.minor_words () in
     let t0 = Clock.elapsed_s () in
     Fun.protect
       ~finally:(fun () ->
-        depth := d0;
         let dur = Clock.elapsed_s () -. t0 in
+        let m1 = Gc.minor_words () in
+        let g1 = Gc.quick_stat () in
+        depth := d0;
+        parent := p0;
         observe h dur;
-        emit_span ~name ~t0 ~dur ~depth:d0)
+        let peak = Lazy.force g_peak_heap in
+        let hw = float_of_int g1.Gc.heap_words in
+        if hw > gauge_value peak then set_gauge peak hw;
+        emit_span ~name ~id ~parent:p0 ~t0 ~dur ~depth:d0 ~minor_w:(m1 -. m0) ~g0 ~g1)
       f
   end
 
@@ -526,10 +610,34 @@ let report oc =
   let hists = List.sort (fun a b -> compare a.hname b.hname) hists in
   let spans = List.filter (fun h -> h.hkind = Span) hists in
   let values = List.filter (fun h -> h.hkind = Value) hists in
+  (* Derived cache hit rates: every counter pair <p>.hit / <p>.miss
+     yields one hits/(hits+misses) line. *)
+  let hit_rates =
+    List.filter_map
+      (fun (n, hits) ->
+        match String.length n >= 4 && String.sub n (String.length n - 4) 4 = ".hit" with
+        | false -> None
+        | true -> (
+            let prefix = String.sub n 0 (String.length n - 4) in
+            match List.assoc_opt (prefix ^ ".miss") counters with
+            | Some misses when hits + misses > 0 ->
+                Some (prefix ^ ".hit_rate", hits, misses)
+            | Some _ | None -> None))
+      counters
+  in
   Printf.fprintf oc "== observability report ==========================================\n";
   if counters <> [] then begin
     Printf.fprintf oc "counters:\n";
     List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12d\n" n v) counters
+  end;
+  if hit_rates <> [] then begin
+    Printf.fprintf oc "cache hit rates:\n";
+    List.iter
+      (fun (n, hits, misses) ->
+        Printf.fprintf oc "  %-44s %11.1f%%  (%d/%d)\n" n
+          (100.0 *. float_of_int hits /. float_of_int (hits + misses))
+          hits (hits + misses))
+      hit_rates
   end;
   if gauges <> [] then begin
     Printf.fprintf oc "gauges:\n";
@@ -566,27 +674,30 @@ let finish () =
   match oc_opt with
   | None -> ()
   | Some oc ->
-      List.iter
-        (fun l ->
-          try
-            output_string oc l;
-            output_char oc '\n'
-          with Sys_error _ -> ())
-        (metrics_jsonl ());
+      if !trace_ok then
+        List.iter
+          (fun l -> try output_string oc (l ^ "\n") with Sys_error _ -> ())
+          (metrics_jsonl ());
+      (try flush oc with Sys_error _ -> ());
       close_out_noerr oc;
       report stderr
+
+(* [finish] runs on every [Stdlib.exit] — including Cmdliner's argument
+   -error exits, which never unwind through [with_trace]'s Fun.protect —
+   so a trace armed via TGATES_TRACE (or opened and then abandoned by an
+   [exit] inside the traced function) is still flushed, closed, and
+   complete.  Registered unconditionally at module init: it is a no-op
+   when no trace is open, and idempotent after a normal [finish]. *)
+let () = at_exit finish
 
 let trace_to_file path =
   let oc = open_out path in
   locked out_lock (fun () ->
       (match !trace_oc with Some old -> close_out_noerr old | None -> ());
       trace_oc := Some oc;
+      trace_ok := true;
       trace_file := Some path);
   set_enabled true;
-  if not !at_exit_registered then begin
-    at_exit_registered := true;
-    at_exit finish
-  end;
   emit_line
     (Printf.sprintf {|{"ev":"meta","version":1,"clock":"monotonic","t0":%.9f}|} (Clock.elapsed_s ()))
 

@@ -138,10 +138,23 @@ val span : string -> (unit -> 'a) -> 'a
     duration into the histogram [name] (kind "span", time buckets), and
     emits a JSONL event when tracing.  Nesting is tracked per domain.
     When {!enabled} is false this is exactly [f ()].  The duration is
-    recorded even if [f] raises. *)
+    recorded even if [f] raises.
+
+    Span events form a tree: each carries a process-unique [id] and the
+    [parent] id of the enclosing span (JSON [null] at the root), so a
+    trace can be reassembled into a call tree and self-times computed
+    (see [Trace_analysis]).  Each event also carries the span's GC
+    attribution — [minor_w]/[major_w]/[promoted_w] words allocated and
+    [minor_gc]/[major_gc] collections, measured as [Gc.quick_stat]
+    deltas and inclusive of children — and span exit samples the
+    ["obs.heap.peak_words"] gauge (max heap words seen). *)
 
 val span_depth : unit -> int
 (** Current span nesting depth in this domain (0 outside any span). *)
+
+val current_span_id : unit -> int
+(** Id of the innermost open span in this domain; 0 outside any span.
+    The value that the next child span will record as its parent. *)
 
 (** {1 Trace export} *)
 
@@ -168,7 +181,10 @@ val metrics_jsonl : unit -> string list
     and span summaries), sorted by name. *)
 
 val report : out_channel -> unit
-(** Human-readable end-of-run report of every registered metric. *)
+(** Human-readable end-of-run report of every registered metric.  Every
+    counter pair [<p>.hit] / [<p>.miss] with at least one event also
+    gets a derived [<p>.hit_rate] line (hits/(hits+misses)) — the
+    pipeline memo caches read directly as percentages. *)
 
 val reset : unit -> unit
 (** Zero every registered metric (handles stay valid) — for tests and
@@ -187,6 +203,12 @@ module Json : sig
 
   val parse : string -> (t, string) result
   val to_string : t -> string
+
+  val pretty : t -> string
+  (** Two-space-indented multi-line rendering (scalar-only arrays stay
+      on one line) — for JSON files meant to live in git, where one
+      leaf per line keeps diffs reviewable.  No trailing newline. *)
+
   val member : string -> t -> t option
   (** Field lookup on [Obj]; [None] otherwise. *)
 end

@@ -1,0 +1,445 @@
+(* See trace_analysis.mli.  Everything here is pure: load a trace (or a
+   bench JSON) into memory once, then run cheap analyses over it. *)
+
+module J = Obs.Json
+
+type gc = {
+  minor_w : float;
+  major_w : float;
+  promoted_w : float;
+  minor_gc : int;
+  major_gc : int;
+}
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  t0 : float;
+  dur : float;
+  depth : int;
+  gc : gc option;
+}
+
+type hist = { kind : string; count : float; sum : float; p50 : float; p90 : float; p99 : float }
+type metric = Counter of float | Gauge of float | Hist of hist
+type t = { spans : span list; metrics : (string * metric) list }
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let num ?(default = nan) key j = match J.member key j with Some (J.Num f) -> f | _ -> default
+let str key j = match J.member key j with Some (J.Str s) -> Some s | _ -> None
+
+let read_lines path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let lines = ref [] in
+  (try
+     while true do
+       let l = input_line ic in
+       if String.trim l <> "" then lines := l :: !lines
+     done
+   with End_of_file -> ());
+  List.rev !lines
+
+let parse_span j =
+  let gc =
+    match J.member "minor_w" j with
+    | Some (J.Num _) ->
+        Some
+          {
+            minor_w = num "minor_w" ~default:0.0 j;
+            major_w = num "major_w" ~default:0.0 j;
+            promoted_w = num "promoted_w" ~default:0.0 j;
+            minor_gc = int_of_float (num "minor_gc" ~default:0.0 j);
+            major_gc = int_of_float (num "major_gc" ~default:0.0 j);
+          }
+    | _ -> None
+  in
+  {
+    id = int_of_float (num "id" ~default:0.0 j);
+    parent = (match J.member "parent" j with Some (J.Num f) -> int_of_float f | _ -> 0);
+    name = Option.value ~default:"?" (str "name" j);
+    t0 = num "t0" ~default:0.0 j;
+    dur = num "dur" ~default:0.0 j;
+    depth = int_of_float (num "depth" ~default:0.0 j);
+    gc;
+  }
+
+let parse_metric j =
+  match str "name" j, str "ev" j with
+  | Some name, Some "counter" -> Some (name, Counter (num "value" j))
+  | Some name, Some "gauge" -> Some (name, Gauge (num "value" j))
+  | Some name, Some "hist" ->
+      Some
+        ( name,
+          Hist
+            {
+              kind = Option.value ~default:"value" (str "kind" j);
+              count = num "count" ~default:0.0 j;
+              sum = num "sum" j;
+              p50 = num "p50" j;
+              p90 = num "p90" j;
+              p99 = num "p99" j;
+            } )
+  | _ -> None
+
+let load path =
+  match read_lines path with
+  | exception Sys_error e -> Error e
+  | lines -> (
+      let spans = ref [] and metrics = ref [] in
+      let bad = ref None in
+      List.iteri
+        (fun i l ->
+          if !bad = None then
+            match J.parse l with
+            | Error e -> bad := Some (Printf.sprintf "%s:%d: %s" path (i + 1) e)
+            | Ok j -> (
+                match str "ev" j with
+                | Some "span" -> spans := parse_span j :: !spans
+                | Some ("counter" | "gauge" | "hist") -> (
+                    match parse_metric j with Some m -> metrics := m :: !metrics | None -> ())
+                | _ -> ()))
+        lines;
+      match !bad with
+      | Some e -> Error e
+      | None ->
+          (* Pre-tree traces carry no ids: give those spans fresh ids
+             above every real one, parentless, so they become roots. *)
+          let max_id = List.fold_left (fun m (s : span) -> max m s.id) 0 !spans in
+          let next = ref max_id in
+          let fix (s : span) =
+            if s.id > 0 then s
+            else begin
+              incr next;
+              { s with id = !next; parent = 0 }
+            end
+          in
+          Ok
+            {
+              spans = List.rev_map fix !spans |> List.rev;
+              metrics = List.sort (fun (a, _) (b, _) -> compare a b) (List.rev !metrics);
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Span tree                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type node = { span : span; children : node list; self : float }
+
+let tree { spans; _ } =
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun (s : span) -> Hashtbl.replace by_id s.id s) spans;
+  let kids = Hashtbl.create 256 in
+  let roots = ref [] in
+  List.iter
+    (fun (s : span) ->
+      (* A child's id is always greater than its parent's (ids are
+         allocated at span entry), so requiring [parent < id] both
+         rejects cycles in corrupt traces and keeps recursion well
+         -founded.  A parent that never closed (process exited inside
+         it) is absent from the trace; its children become roots. *)
+      if s.parent > 0 && s.parent < s.id && Hashtbl.mem by_id s.parent then
+        Hashtbl.replace kids s.parent (s :: Option.value ~default:[] (Hashtbl.find_opt kids s.parent))
+      else roots := s :: !roots)
+    spans;
+  let rec build (s : span) =
+    let children =
+      Hashtbl.find_opt kids s.id |> Option.value ~default:[]
+      |> List.sort (fun (a : span) b -> compare a.t0 b.t0)
+      |> List.map build
+    in
+    let child_time = List.fold_left (fun acc n -> acc +. n.span.dur) 0.0 children in
+    { span = s; children; self = Float.max 0.0 (s.dur -. child_time) }
+  in
+  !roots |> List.sort (fun (a : span) b -> compare a.t0 b.t0) |> List.map build
+
+let total_wall tr = List.fold_left (fun acc n -> acc +. n.span.dur) 0.0 (tree tr)
+
+let rec fold_nodes f acc nodes =
+  List.fold_left (fun acc n -> fold_nodes f (f acc n) n.children) acc nodes
+
+(* ------------------------------------------------------------------ *)
+(* Analyses                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type hotspot = {
+  hot_name : string;
+  calls : int;
+  total_s : float;
+  self_s : float;
+  minor_words : float;
+}
+
+let hotspots tr =
+  let tbl = Hashtbl.create 64 in
+  fold_nodes
+    (fun () n ->
+      let h =
+        Option.value
+          ~default:{ hot_name = n.span.name; calls = 0; total_s = 0.0; self_s = 0.0; minor_words = 0.0 }
+          (Hashtbl.find_opt tbl n.span.name)
+      in
+      Hashtbl.replace tbl n.span.name
+        {
+          h with
+          calls = h.calls + 1;
+          total_s = h.total_s +. n.span.dur;
+          self_s = h.self_s +. n.self;
+          minor_words = h.minor_words +. (match n.span.gc with Some g -> g.minor_w | None -> 0.0);
+        })
+    () (tree tr);
+  Hashtbl.fold (fun _ h acc -> h :: acc) tbl []
+  |> List.sort (fun a b -> compare (b.self_s, b.hot_name) (a.self_s, a.hot_name))
+
+let folded_stacks tr =
+  let tbl = Hashtbl.create 64 in
+  let rec walk path n =
+    let path = if path = "" then n.span.name else path ^ ";" ^ n.span.name in
+    Hashtbl.replace tbl path (n.self +. Option.value ~default:0.0 (Hashtbl.find_opt tbl path));
+    List.iter (walk path) n.children
+  in
+  List.iter (walk "") (tree tr);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_s s =
+  if not (Float.is_finite s) then "-"
+  else if s < 1e-6 then Printf.sprintf "%.0fns" (s *. 1e9)
+  else if s < 1e-3 then Printf.sprintf "%.1fus" (s *. 1e6)
+  else if s < 1.0 then Printf.sprintf "%.1fms" (s *. 1e3)
+  else Printf.sprintf "%.2fs" s
+
+let fmt_words w =
+  if w >= 1e9 then Printf.sprintf "%.2fGw" (w /. 1e9)
+  else if w >= 1e6 then Printf.sprintf "%.2fMw" (w /. 1e6)
+  else if w >= 1e3 then Printf.sprintf "%.1fkw" (w /. 1e3)
+  else Printf.sprintf "%.0fw" w
+
+let render_report fmt tr =
+  let roots = tree tr in
+  Format.fprintf fmt "trace: %d spans, %d roots, wall %s@." (List.length tr.spans)
+    (List.length roots) (fmt_s (total_wall tr));
+  let pick f = List.filter_map f tr.metrics in
+  let counters = pick (function n, Counter v -> Some (n, v) | _ -> None) in
+  let gauges = pick (function n, Gauge v -> Some (n, v) | _ -> None) in
+  let hists = pick (function n, Hist h -> Some (n, h) | _ -> None) in
+  if counters <> [] then begin
+    Format.fprintf fmt "counters:@.";
+    List.iter (fun (n, v) -> Format.fprintf fmt "  %-44s %14.0f@." n v) counters
+  end;
+  if gauges <> [] then begin
+    Format.fprintf fmt "gauges:@.";
+    List.iter (fun (n, v) -> Format.fprintf fmt "  %-44s %14g@." n v) gauges
+  end;
+  if hists <> [] then begin
+    Format.fprintf fmt "histograms:%36s %8s %8s %8s %8s@." "" "count" "sum" "p50" "p99";
+    List.iter
+      (fun (n, h) ->
+        if h.kind = "span" then
+          Format.fprintf fmt "  %-44s %8.0f %8s %8s %8s@." n h.count (fmt_s h.sum) (fmt_s h.p50)
+            (fmt_s h.p99)
+        else Format.fprintf fmt "  %-44s %8.0f %8.3g %8.3g %8.3g@." n h.count h.sum h.p50 h.p99)
+      hists
+  end
+
+let render_hotspots ?top fmt tr =
+  let hs = hotspots tr in
+  let wall = total_wall tr in
+  let shown = match top with None -> hs | Some k -> List.filteri (fun i _ -> i < k) hs in
+  Format.fprintf fmt "%-44s %6s %9s %9s %6s %10s@." "span" "calls" "self" "total" "self%" "alloc";
+  List.iter
+    (fun h ->
+      Format.fprintf fmt "%-44s %6d %9s %9s %5.1f%% %10s@." h.hot_name h.calls (fmt_s h.self_s)
+        (fmt_s h.total_s)
+        (if wall > 0.0 then 100.0 *. h.self_s /. wall else 0.0)
+        (fmt_words h.minor_words))
+    shown;
+  let self_sum = List.fold_left (fun a h -> a +. h.self_s) 0.0 hs in
+  Format.fprintf fmt "%-44s %6s %9s %9s@." "(total)" "" (fmt_s self_sum) (fmt_s wall)
+
+let render_flame fmt tr =
+  List.iter
+    (fun (path, self) ->
+      let us = Float.round (self *. 1e6) in
+      if us >= 1.0 then Format.fprintf fmt "%s %.0f@." path us)
+    (folded_stacks tr)
+
+(* ------------------------------------------------------------------ *)
+(* Diffing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type source = Trace of t | Bench of J.t
+
+let bench_schema = "tgates-bench/v1"
+
+let load_source path =
+  let whole =
+    try
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+      Ok (really_input_string ic (in_channel_length ic))
+    with Sys_error e -> Error e
+  in
+  match whole with
+  | Error e -> Error e
+  | Ok contents -> (
+      match J.parse (String.trim contents) with
+      | Ok (J.Obj _ as j) when J.member "schema" j = Some (J.Str bench_schema) -> Ok (Bench j)
+      | _ -> Result.map (fun tr -> Trace tr) (load path))
+
+let flatten = function
+  | Trace tr ->
+      List.concat_map
+        (fun (name, m) ->
+          match m with
+          | Counter v -> [ (name, v) ]
+          | Gauge v -> [ (name, v) ]
+          | Hist h ->
+              [
+                (name ^ ".count", h.count);
+                (name ^ ".sum", h.sum);
+                (name ^ ".p50", h.p50);
+                (name ^ ".p90", h.p90);
+                (name ^ ".p99", h.p99);
+              ])
+        tr.metrics
+      |> List.filter (fun (_, v) -> Float.is_finite v)
+  | Bench j ->
+      let acc = ref [] in
+      let rec walk prefix = function
+        | J.Num v -> if Float.is_finite v then acc := (prefix, v) :: !acc
+        | J.Obj kvs ->
+            List.iter
+              (fun (k, v) ->
+                (* The header identifies the run; only the measurements
+                   below it are comparable across runs. *)
+                if not (prefix = "" && (k = "schema" || k = "meta")) then
+                  walk (if prefix = "" then k else prefix ^ "." ^ k) v)
+              kvs
+        | J.Arr xs -> List.iteri (fun i v -> walk (Printf.sprintf "%s.%d" prefix i) v) xs
+        | J.Null | J.Bool _ | J.Str _ -> ()
+      in
+      walk "" j;
+      List.sort compare !acc
+
+type delta = { key : string; before : float option; after : float option; pct : float }
+
+let diff ~before ~after =
+  let b = flatten before and a = flatten after in
+  let keys = List.sort_uniq compare (List.map fst b @ List.map fst a) in
+  List.map
+    (fun key ->
+      let before = List.assoc_opt key b and after = List.assoc_opt key a in
+      let pct =
+        match before, after with
+        | Some x, Some y when x <> 0.0 -> (y -. x) /. x *. 100.0
+        | Some 0.0, Some y -> if y = 0.0 then 0.0 else infinity
+        | _ -> nan
+      in
+      { key; before; after; pct })
+    keys
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let ends_with s suf =
+  let n = String.length s and m = String.length suf in
+  n >= m && String.sub s (n - m) m = suf
+
+let regression_key key =
+  contains key "wall_s" || contains key "dur" || contains key "t_count"
+  || contains key "degraded" || contains key "gc" || contains key "heap"
+  || ends_with key ".sum" || ends_with key ".p50" || ends_with key ".p90"
+  || ends_with key ".p99" || ends_with key "_s"
+
+let regressions ~fail_above deltas =
+  List.filter
+    (fun d ->
+      regression_key d.key
+      && (match d.before, d.after with Some _, Some _ -> true | _ -> false)
+      && d.pct > fail_above)
+    deltas
+
+let render_diff ?fail_above fmt deltas =
+  let changed = List.filter (fun d -> d.before <> d.after) deltas in
+  if changed = [] then Format.fprintf fmt "no differences (%d series compared)@." (List.length deltas)
+  else begin
+    Format.fprintf fmt "%9s  %-52s %14s %14s@." "delta" "series" "before" "after";
+    List.iter
+      (fun d ->
+        match d.before, d.after with
+        | Some b, Some a -> Format.fprintf fmt "%+8.1f%%  %-52s %14g %14g@." d.pct d.key b a
+        | None, Some a -> Format.fprintf fmt "%9s  %-52s %14s %14g@." "added" d.key "-" a
+        | Some b, None -> Format.fprintf fmt "%9s  %-52s %14g %14s@." "removed" d.key b "-"
+        | None, None -> ())
+      changed
+  end;
+  match fail_above with
+  | None -> ()
+  | Some pct -> (
+      match regressions ~fail_above:pct deltas with
+      | [] -> Format.fprintf fmt "OK: no regression above %g%%@." pct
+      | rs ->
+          Format.fprintf fmt "FAIL: %d series regressed more than %g%%:@." (List.length rs) pct;
+          List.iter (fun d -> Format.fprintf fmt "  %+8.1f%%  %s@." d.pct d.key) rs)
+
+(* ------------------------------------------------------------------ *)
+(* Bench JSON validation                                               *)
+(* ------------------------------------------------------------------ *)
+
+let validate_bench j =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+  let mem k = J.member k j in
+  (match mem "schema" with
+  | Some (J.Str s) when s = bench_schema -> ()
+  | Some (J.Str s) -> err "schema is %S, expected %S" s bench_schema
+  | _ -> err "missing \"schema\" field");
+  (match mem "meta" with Some (J.Obj _) -> () | _ -> err "missing \"meta\" object");
+  (match mem "wall_s" with
+  | Some (J.Num v) when Float.is_finite v && v >= 0.0 -> ()
+  | _ -> err "missing or non-numeric \"wall_s\"");
+  (match mem "degraded_rotations" with
+  | Some (J.Num _) -> ()
+  | _ -> err "missing or non-numeric \"degraded_rotations\"");
+  (match mem "cache" with
+  | Some (J.Obj kvs) ->
+      List.iter
+        (fun (k, v) -> match v with J.Num _ -> () | _ -> err "cache.%s is not a number" k)
+        kvs
+  | _ -> err "missing \"cache\" object");
+  (match mem "gc" with
+  | Some (J.Obj _ as g) ->
+      List.iter
+        (fun k ->
+          match J.member k g with
+          | Some (J.Num _) -> ()
+          | _ -> err "missing or non-numeric \"gc.%s\"" k)
+        [ "minor_words"; "major_words"; "promoted_words"; "minor_collections"; "major_collections" ]
+  | _ -> err "missing \"gc\" object");
+  (match mem "phases" with
+  | Some (J.Obj []) -> err "\"phases\" is empty"
+  | Some (J.Obj phases) ->
+      List.iter
+        (fun (pname, p) ->
+          match p with
+          | J.Obj _ ->
+              List.iter
+                (fun k ->
+                  match J.member k p with
+                  | Some (J.Num _) -> ()
+                  | _ -> err "missing or non-numeric \"phases.%s.%s\"" pname k)
+                [ "items"; "wall_s"; "p50_s"; "p90_s"; "p99_s"; "t_count" ]
+          | _ -> err "phases.%s is not an object" pname)
+        phases
+  | _ -> err "missing \"phases\" object");
+  match !errs with [] -> Ok () | es -> Error (List.rev es)

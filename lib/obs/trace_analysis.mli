@@ -1,0 +1,153 @@
+(** Consumer side of the [Obs] JSONL traces: reassemble span events into
+    a call tree, attribute self-time and GC work, fold stacks for flame
+    graphs, diff two runs, and validate/flatten the [tgates-bench/v1]
+    perf-baseline JSON emitted by [bench/main.exe --suite perf].
+
+    The analyses are pure functions over a loaded {!t}; the rendering
+    functions produce exactly what the [tgates-trace] CLI prints, so
+    tests can drive them without a subprocess. *)
+
+(** {1 Loading} *)
+
+type gc = {
+  minor_w : float;
+  major_w : float;
+  promoted_w : float;
+  minor_gc : int;
+  major_gc : int;
+}
+
+type span = {
+  id : int;
+  parent : int;  (** 0 = root (emitted as JSON null) *)
+  name : string;
+  t0 : float;
+  dur : float;
+  depth : int;
+  gc : gc option;  (** [None] for traces from before GC attribution *)
+}
+
+type hist = {
+  kind : string;  (** "span" or "value" *)
+  count : float;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type metric = Counter of float | Gauge of float | Hist of hist
+
+type t = {
+  spans : span list;  (** in emission order (children close first) *)
+  metrics : (string * metric) list;  (** sorted by name *)
+}
+
+val load : string -> (t, string) result
+(** Read a JSONL trace file.  Unknown event kinds are skipped; a
+    malformed line or an unreadable file is an [Error].  Span events
+    missing [id] (pre-tree traces) are assigned fresh ids with no
+    parent, so every downstream analysis still works, treating each
+    span as its own root. *)
+
+(** {1 The span tree} *)
+
+type node = {
+  span : span;
+  children : node list;  (** by start time *)
+  self : float;  (** [dur] minus children's [dur], clamped at 0 *)
+}
+
+val tree : t -> node list
+(** The span forest: nodes whose parent is 0 or absent from the trace
+    (e.g. still open when the process exited) become roots; children
+    are ordered by start time. *)
+
+val total_wall : t -> float
+(** Sum of the root spans' durations. *)
+
+(** {1 Analyses} *)
+
+type hotspot = {
+  hot_name : string;
+  calls : int;
+  total_s : float;  (** inclusive *)
+  self_s : float;  (** exclusive: time in this span, not its children *)
+  minor_words : float;  (** inclusive minor allocation, 0 if untracked *)
+}
+
+val hotspots : t -> hotspot list
+(** Per span {i name}: call count, inclusive and self time, minor
+    allocation — sorted by self time, descending.  The self times of
+    all hotspots sum to {!total_wall} (up to clamping of measurement
+    jitter), so the table accounts for the whole run. *)
+
+val folded_stacks : t -> (string * float) list
+(** Flamegraph folded-stacks form: ["root;child;leaf", self seconds]
+    aggregated over identical paths, sorted by path.  Render with
+    [flamegraph.pl] after scaling seconds to integer microseconds
+    (done by {!render_flame}). *)
+
+(** {1 Rendering (what the CLI prints)} *)
+
+val render_report : Format.formatter -> t -> unit
+val render_hotspots : ?top:int -> Format.formatter -> t -> unit
+
+val render_flame : Format.formatter -> t -> unit
+(** One folded-stack line per path, self time in integer microseconds;
+    paths with 0µs self time are dropped. *)
+
+(** {1 Diffing two runs} *)
+
+type source = Trace of t | Bench of Obs.Json.t
+(** A diffable artifact: a JSONL trace or a [tgates-bench/v1] JSON. *)
+
+val load_source : string -> (source, string) result
+(** Sniff the file: a single-object JSON file with
+    [schema = "tgates-bench/v1"] loads as [Bench]; anything else is
+    treated as a JSONL trace. *)
+
+val flatten : source -> (string * float) list
+(** Comparable numeric series.  For a trace: every counter and gauge
+    under its own name, every histogram as [name.sum] / [name.p50] /
+    [name.p90] / [name.p99] / [name.count].  For a bench JSON: every
+    numeric leaf as its dotted path (arrays indexed), minus the
+    [schema] / [meta] header. *)
+
+type delta = {
+  key : string;
+  before : float option;  (** [None] = key only in the after run *)
+  after : float option;  (** [None] = key only in the before run *)
+  pct : float;  (** (after-before)/before × 100; [nan] unless both sides
+                    are present and before ≠ 0 *)
+}
+
+val diff : before:source -> after:source -> delta list
+(** Union of both key sets, sorted by key. *)
+
+val regression_key : string -> bool
+(** Whether an increase in this series is a slowdown for CI purposes:
+    time series (keys containing ["wall_s"] or ["dur"], or ending in
+    [".sum"]/[".p50"]/[".p90"]/[".p99"]/["_s"]), T-counts, degraded
+    -rotation counts, and GC totals.  Counters where more is better or
+    neutral (cache hits, attempt counts) are excluded. *)
+
+val regressions : fail_above:float -> delta list -> delta list
+(** The deltas that fail a CI gate: {!regression_key}s whose [pct]
+    exceeds [fail_above] (a key newly appearing does not fail). *)
+
+val render_diff : ?fail_above:float -> Format.formatter -> delta list -> unit
+(** The diff table (changed keys, then added/removed); with
+    [fail_above], a trailing verdict section listing the
+    {!regressions}. *)
+
+(** {1 Bench JSON (tgates-bench/v1)} *)
+
+val bench_schema : string
+(** ["tgates-bench/v1"] — the [schema] field of BENCH_*.json. *)
+
+val validate_bench : Obs.Json.t -> (unit, string list) result
+(** Structural check of a BENCH_*.json document: schema tag, required
+    top-level fields ([meta], [wall_s], [phases], [cache], [gc],
+    [degraded_rotations]), per-phase required numeric fields, and
+    numeric-type sanity.  [Error] carries one message per problem. *)

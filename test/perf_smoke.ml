@@ -1,0 +1,106 @@
+(* CI gate for the perf-trajectory layer, wired into @runtest:
+
+   1. run the perf suite in smoke mode (tiny budgets) and check the
+      emitted JSON validates against tgates-bench/v1 via tgates-trace;
+   2. `tgates-trace diff --fail-above 10` of the result against itself
+      must exit 0 (zero regressions);
+   3. a doctored copy with every wall time doubled must make the same
+      diff exit nonzero — the regression gate actually fires;
+   4. a compile_cli --trace run must yield a trace whose hotspot
+      self-times sum to within 5% of the root span's wall time.
+
+   The executables arrive as argv: BENCH_MAIN TRACE_CLI COMPILE_CLI. *)
+
+let failf fmt = Printf.ksprintf (fun s -> prerr_endline ("perf_smoke: FAIL: " ^ s); exit 1) fmt
+let command cmd = Sys.command cmd
+
+let run_ok what cmd =
+  let code = command cmd in
+  if code <> 0 then failf "%s: exit %d: %s" what code cmd
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+(* Double every "wall_s" (and per-phase quantile) leaf — the doctored
+   2x-slower run of the acceptance criterion. *)
+let rec slow_down = function
+  | Obs.Json.Obj kvs ->
+      Obs.Json.Obj
+        (List.map
+           (fun (k, v) ->
+             match v with
+             | Obs.Json.Num f
+               when k = "wall_s" || k = "p50_s" || k = "p90_s" || k = "p99_s" ->
+                 (k, Obs.Json.Num (2.0 *. f))
+             | _ -> (k, slow_down v))
+           kvs)
+  | Obs.Json.Arr xs -> Obs.Json.Arr (List.map slow_down xs)
+  | j -> j
+
+let () =
+  if Array.length Sys.argv < 4 then failf "usage: perf_smoke BENCH_MAIN TRACE_CLI COMPILE_CLI";
+  let bench_main = Sys.argv.(1) and trace_cli = Sys.argv.(2) and compile_cli = Sys.argv.(3) in
+  let q = Filename.quote in
+
+  (* Gate 1: smoke perf run emits schema-valid JSON. *)
+  let bench_json = Filename.temp_file "perf_smoke" ".json" in
+  run_ok "perf suite"
+    (Printf.sprintf "%s --suite perf --quick --suite-budget 20 --bench-out %s >/dev/null 2>/dev/null"
+       (q bench_main) (q bench_json));
+  run_ok "validate" (Printf.sprintf "%s validate %s >/dev/null" (q trace_cli) (q bench_json));
+
+  (* Gate 2: self-diff with the CI threshold is clean. *)
+  run_ok "self diff"
+    (Printf.sprintf "%s diff --fail-above 10 %s %s >/dev/null" (q trace_cli) (q bench_json)
+       (q bench_json));
+
+  (* Gate 3: the doctored 2x-slower copy trips the gate. *)
+  let doctored = Filename.temp_file "perf_smoke_slow" ".json" in
+  (match Obs.Json.parse (String.trim (read_file bench_json)) with
+  | Error e -> failf "emitted JSON does not re-parse: %s" e
+  | Ok j ->
+      let oc = open_out doctored in
+      output_string oc (Obs.Json.pretty (slow_down j));
+      output_char oc '\n';
+      close_out oc);
+  let code =
+    command
+      (Printf.sprintf "%s diff --fail-above 10 %s %s >/dev/null" (q trace_cli) (q bench_json)
+         (q doctored))
+  in
+  if code = 0 then failf "diff against the 2x-slower copy exited 0; the regression gate is inert";
+
+  (* Gate 4: hotspot self-times on a real compile trace account for the
+     root span's wall time. *)
+  let qasm = Filename.temp_file "perf_smoke" ".qasm" in
+  let oc = open_out qasm in
+  output_string oc
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\nrz(0.37) q[0];\ncx q[0],q[1];\nrz(1.1) q[1];\n";
+  close_out oc;
+  let trace = Filename.temp_file "perf_smoke" ".jsonl" in
+  run_ok "compile"
+    (Printf.sprintf "%s --input %s --trace %s >/dev/null 2>/dev/null" (q compile_cli) (q qasm)
+       (q trace));
+  run_ok "hotspots renders" (Printf.sprintf "%s hotspots --top 5 %s >/dev/null" (q trace_cli) (q trace));
+  (match Trace_analysis.load trace with
+  | Error e -> failf "compile trace does not load: %s" e
+  | Ok tr ->
+      (match Trace_analysis.tree tr with
+      | [ root ] ->
+          if root.Trace_analysis.span.Trace_analysis.name <> "cli.compile" then
+            failf "root span is %S, expected cli.compile" root.Trace_analysis.span.Trace_analysis.name
+      | roots -> failf "expected a single root span, got %d" (List.length roots));
+      let wall = Trace_analysis.total_wall tr in
+      let self_sum =
+        List.fold_left
+          (fun a h -> a +. h.Trace_analysis.self_s)
+          0.0 (Trace_analysis.hotspots tr)
+      in
+      if Float.abs (self_sum -. wall) > 0.05 *. wall then
+        failf "hotspot self-times sum to %.6fs but the root spans %.6fs (off by more than 5%%)"
+          self_sum wall);
+  List.iter Sys.remove [ bench_json; doctored; qasm; trace ];
+  print_endline "perf_smoke: OK"

@@ -58,4 +58,30 @@ let () =
     ~expect:
       [ "gridsynth.rz"; "gridsynth.grid_problem"; "gridsynth.candidates"; "gridsynth.diophantine.attempts" ];
   Sys.remove t2;
+  (* Gate 3: a Cmdliner argument-error exit (Stdlib.exit without
+     unwinding through with_trace) must still flush and close the trace
+     armed via TGATES_TRACE — every line complete JSON, final metrics
+     appended. *)
+  let t3 = Filename.temp_file "smoke_badflag" ".jsonl" in
+  Unix.putenv "TGATES_TRACE" t3;
+  let code =
+    Sys.command
+      (Printf.sprintf "%s --no-such-flag >/dev/null 2>/dev/null" (Filename.quote gridsynth))
+  in
+  Unix.putenv "TGATES_TRACE" "";
+  if code = 0 then failf "gridsynth_cli accepted --no-such-flag";
+  check_jsonl ~what:"cmdliner error exit" t3 ~expect:[];
+  let has_metrics =
+    List.exists
+      (fun l ->
+        match Obs.Json.parse l with
+        | Ok j -> (
+            match Obs.Json.member "ev" j with
+            | Some (Obs.Json.Str ("counter" | "gauge" | "hist")) -> true
+            | _ -> false)
+        | Error _ -> false)
+      (List.filter (fun l -> String.trim l <> "") (read_lines t3))
+  in
+  if not has_metrics then failf "cmdliner error exit: final metrics missing from trace";
+  Sys.remove t3;
   print_endline "smoke_trace: OK"

@@ -16,5 +16,6 @@ let () =
       ("qasm", Test_qasm.suite);
       ("generators", Test_generators.suite);
       ("obs", Test_obs.suite);
+      ("trace", Test_trace.suite);
       ("robust", Test_robust.suite);
     ]

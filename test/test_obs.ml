@@ -103,6 +103,35 @@ let span_tests =
           (Obs.summarize (Obs.histogram "test.span.disabled")).Obs.count);
   ]
 
+let deadline_tests =
+  [
+    Alcotest.test_case "none never expires" `Quick (fun () ->
+        Alcotest.(check bool) "is_none" true (Obs.Deadline.is_none Obs.Deadline.none);
+        Alcotest.(check bool) "not expired" false (Obs.Deadline.expired Obs.Deadline.none);
+        Alcotest.(check bool) "remaining inf" true
+          (Obs.Deadline.remaining_s Obs.Deadline.none = infinity));
+    Alcotest.test_case "at: absolute instants" `Quick (fun () ->
+        let past = Obs.Deadline.at (Obs.Clock.elapsed_s () -. 1.0) in
+        Alcotest.(check bool) "past expired" true (Obs.Deadline.expired past);
+        Alcotest.(check (float 1e-9)) "past remaining clamped" 0.0 (Obs.Deadline.remaining_s past);
+        let future = Obs.Deadline.at (Obs.Clock.elapsed_s () +. 3600.0) in
+        Alcotest.(check bool) "future not expired" false (Obs.Deadline.expired future);
+        Alcotest.(check bool) "future remaining > 0" true (Obs.Deadline.remaining_s future > 0.0));
+    Alcotest.test_case "after: non-positive spans are already expired" `Quick (fun () ->
+        Alcotest.(check bool) "zero" true (Obs.Deadline.expired (Obs.Deadline.after 0.0));
+        Alcotest.(check bool) "negative" true (Obs.Deadline.expired (Obs.Deadline.after (-5.0))));
+    Alcotest.test_case "after: non-finite spans behave like none" `Quick (fun () ->
+        Alcotest.(check bool) "nan" true (Obs.Deadline.is_none (Obs.Deadline.after nan));
+        Alcotest.(check bool) "inf" true (Obs.Deadline.is_none (Obs.Deadline.after infinity)));
+    Alcotest.test_case "earliest picks the tighter deadline" `Quick (fun () ->
+        let tight = Obs.Deadline.after 1.0 and loose = Obs.Deadline.after 100.0 in
+        let e = Obs.Deadline.earliest tight loose in
+        Alcotest.(check bool) "tight wins" true
+          (Obs.Deadline.remaining_s e <= Obs.Deadline.remaining_s tight +. 1e-9);
+        Alcotest.(check bool) "none is neutral" true
+          (Obs.Deadline.earliest Obs.Deadline.none tight = tight));
+  ]
+
 let json_tests =
   [
     Alcotest.test_case "parser round-trips the serializer" `Quick (fun () ->
@@ -120,13 +149,69 @@ let json_tests =
         match Obs.Json.parse (Obs.Json.to_string j) with
         | Error e -> Alcotest.failf "parse error: %s" e
         | Ok j' -> Alcotest.(check bool) "round trip" true (j = j'));
+    Alcotest.test_case "parser round-trips nested structures" `Quick (fun () ->
+        let deep =
+          Obs.Json.Obj
+            [
+              ( "outer",
+                Obs.Json.Arr
+                  [
+                    Obs.Json.Obj
+                      [ ("a", Obs.Json.Arr [ Obs.Json.Arr []; Obs.Json.Obj []; Obs.Json.Null ]) ];
+                    Obs.Json.Num (-0.125);
+                    Obs.Json.Bool false;
+                  ] );
+              ("empty", Obs.Json.Obj []);
+            ]
+        in
+        match Obs.Json.parse (Obs.Json.to_string deep) with
+        | Error e -> Alcotest.failf "parse error: %s" e
+        | Ok j' -> Alcotest.(check bool) "round trip" true (deep = j'));
+    Alcotest.test_case "string escapes: control chars and \\u round-trip" `Quick (fun () ->
+        let s = "ctl\x01\x1f quote\" back\\ slash/ tab\t nl\n" in
+        (match Obs.Json.parse (Obs.Json.to_string (Obs.Json.Str s)) with
+        | Ok (Obs.Json.Str s') -> Alcotest.(check string) "escape round trip" s s'
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "parse error: %s" e);
+        (* \u escapes decode to UTF-8 (BMP). *)
+        match Obs.Json.parse {|"\u0041\u00e9\u20ac"|} with
+        | Ok (Obs.Json.Str s') -> Alcotest.(check string) "unicode" "A\xc3\xa9\xe2\x82\xac" s'
+        | Ok _ -> Alcotest.fail "not a string"
+        | Error e -> Alcotest.failf "unicode parse error: %s" e);
+    Alcotest.test_case "non-finite numbers serialize as null" `Quick (fun () ->
+        Alcotest.(check string) "nan" "null" (Obs.Json.to_string (Obs.Json.Num nan));
+        Alcotest.(check string) "inf" "null" (Obs.Json.to_string (Obs.Json.Num infinity)));
+    Alcotest.test_case "pretty output re-parses to the same value" `Quick (fun () ->
+        let j =
+          Obs.Json.Obj
+            [
+              ("scalars", Obs.Json.Arr [ Obs.Json.Num 1.0; Obs.Json.Num 2.5 ]);
+              ("nested", Obs.Json.Obj [ ("k", Obs.Json.Str "v\n"); ("e", Obs.Json.Obj []) ]);
+            ]
+        in
+        match Obs.Json.parse (Obs.Json.pretty j) with
+        | Ok j' -> Alcotest.(check bool) "round trip" true (j = j')
+        | Error e -> Alcotest.failf "parse error: %s" e);
     Alcotest.test_case "parser rejects malformed input" `Quick (fun () ->
         List.iter
           (fun s ->
             match Obs.Json.parse s with
             | Ok _ -> Alcotest.failf "accepted malformed %S" s
             | Error _ -> ())
-          [ "{"; "{\"a\":}"; "[1,]"; "\"unterminated"; "{} trailing"; "nul" ]);
+          [
+            "{";
+            "{\"a\":}";
+            "[1,]";
+            "\"unterminated";
+            "{} trailing";
+            "nul";
+            "{\"a\" 1}";
+            "[1 2]";
+            "\"bad \\u12\"";
+            "\"bad \\q\"";
+            "";
+            "--3";
+          ]);
     Alcotest.test_case "metrics export is valid JSONL with correct values" `Quick (fun () ->
         Obs.reset ();
         let c = Obs.counter "test.export.counter" in
@@ -198,6 +283,88 @@ let trace_tests =
         Alcotest.(check bool) "span event" true (has "span" (Some "test.trace.work"));
         Alcotest.(check bool) "span summary" true (has "hist" (Some "test.trace.work"));
         Alcotest.(check bool) "finish is idempotent" true (Obs.finish () = ()));
+    Alcotest.test_case "span events carry tree ids and GC attribution" `Quick (fun () ->
+        let path = Filename.temp_file "tgates_obs_tree" ".jsonl" in
+        Obs.trace_to_file path;
+        Alcotest.(check int) "no open span" 0 (Obs.current_span_id ());
+        Obs.span "test.tree.outer" (fun () ->
+            Alcotest.(check bool) "inside a span" true (Obs.current_span_id () > 0);
+            Obs.span "test.tree.inner" (fun () ->
+                (* Many small blocks: large ones go straight to the
+                   major heap and would leave minor_w at 0. *)
+                for _ = 1 to 200 do
+                  ignore (Sys.opaque_identity (List.init 32 Fun.id))
+                done));
+        Obs.finish ();
+        Obs.set_enabled false;
+        let ic = open_in path in
+        let lines = ref [] in
+        (try
+           while true do
+             lines := input_line ic :: !lines
+           done
+         with End_of_file -> close_in ic);
+        Sys.remove path;
+        let parsed = List.rev_map (fun l -> Result.get_ok (Obs.Json.parse l)) !lines in
+        let span_named n =
+          List.find_opt
+            (fun j ->
+              Obs.Json.member "ev" j = Some (Obs.Json.Str "span")
+              && Obs.Json.member "name" j = Some (Obs.Json.Str n))
+            parsed
+        in
+        let num k j =
+          match Obs.Json.member k j with Some (Obs.Json.Num f) -> f | _ -> Alcotest.failf "no %s" k
+        in
+        match span_named "test.tree.outer", span_named "test.tree.inner" with
+        | Some outer, Some inner ->
+            Alcotest.(check bool) "outer is a root" true
+              (Obs.Json.member "parent" outer = Some Obs.Json.Null);
+            Alcotest.(check (float 1e-9)) "inner's parent is outer" (num "id" outer)
+              (num "parent" inner);
+            Alcotest.(check bool) "distinct ids" true (num "id" outer <> num "id" inner);
+            Alcotest.(check bool) "inner allocated minor words" true (num "minor_w" inner > 0.0);
+            Alcotest.(check bool) "outer includes inner's allocation" true
+              (num "minor_w" outer >= num "minor_w" inner);
+            List.iter
+              (fun k -> ignore (num k inner))
+              [ "major_w"; "promoted_w"; "minor_gc"; "major_gc"; "t0"; "dur"; "depth" ];
+            let peak =
+              List.find_opt
+                (fun j ->
+                  Obs.Json.member "ev" j = Some (Obs.Json.Str "gauge")
+                  && Obs.Json.member "name" j = Some (Obs.Json.Str "obs.heap.peak_words"))
+                parsed
+            in
+            Alcotest.(check bool) "peak-heap gauge sampled" true
+              (match peak with Some p -> num "value" p > 0.0 | None -> false)
+        | _ -> Alcotest.fail "span events missing");
   ]
 
-let suite = counter_tests @ histogram_tests @ span_tests @ json_tests @ trace_tests
+let report_tests =
+  [
+    Alcotest.test_case "report derives cache hit-rate lines" `Quick (fun () ->
+        Obs.reset ();
+        Obs.incr ~by:3 (Obs.counter "test.report_cache.hit");
+        Obs.incr ~by:1 (Obs.counter "test.report_cache.miss");
+        let path = Filename.temp_file "tgates_report" ".txt" in
+        let oc = open_out path in
+        Obs.report oc;
+        close_out oc;
+        let ic = open_in path in
+        let contents = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        Sys.remove path;
+        let contains sub =
+          let n = String.length contents and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub contents i m = sub || go (i + 1)) in
+          go 0
+        in
+        Alcotest.(check bool) "hit_rate line present" true (contains "test.report_cache.hit_rate");
+        Alcotest.(check bool) "75% rate" true (contains "75.0%");
+        Alcotest.(check bool) "ratio shown" true (contains "(3/4)"));
+  ]
+
+let suite =
+  counter_tests @ histogram_tests @ span_tests @ deadline_tests @ json_tests @ trace_tests
+  @ report_tests
