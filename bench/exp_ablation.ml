@@ -4,8 +4,14 @@
 
 let targets n = Array.init n (fun i -> Mat2.random_unitary (Random.State.make [| 99; i |]))
 
+(* TRASYN through the registry in pure budget mode (ε = 0 is never met,
+   so the full per-site budget is spent); a structured failure here
+   would mean the adapter itself broke, so surface it loudly. *)
 let run_one ~config ~budgets target =
-  Trasyn.synthesize ~config ~target ~budgets ()
+  let module B = (val Synth.find_exn "trasyn") in
+  match B.synthesize (Synth.Unitary target) (Synth.config ~trasyn:config ~budgets ~epsilon:0.0 ()) with
+  | Ok (seq, distance) -> (seq, distance)
+  | Error f -> Robust.fail f
 
 let postproc ~unitaries () =
   Util.header "ABL — step 3 post-processing on/off";
@@ -22,9 +28,9 @@ let postproc ~unitaries () =
              ts)
       in
       Printf.printf "abl-postproc post=%b medianT=%.0f medianC=%.0f medianDist=%.2e\n" post
-        (Util.median (List.map (fun r -> float_of_int r.Trasyn.t_count) results))
-        (Util.median (List.map (fun r -> float_of_int r.Trasyn.clifford_count) results))
-        (Util.median (List.map (fun r -> r.Trasyn.distance) results)))
+        (Util.median (List.map (fun (seq, _) -> float_of_int (Ctgate.t_count seq)) results))
+        (Util.median (List.map (fun (seq, _) -> float_of_int (Ctgate.clifford_count seq)) results))
+        (Util.median (List.map (fun (_, d) -> d) results)))
     [ false; true ]
 
 let sites ~unitaries () =
@@ -35,8 +41,8 @@ let sites ~unitaries () =
       let config = { Trasyn.default_config with table_t } in
       let results = Array.to_list (Array.map (run_one ~config ~budgets) ts) in
       Printf.printf "abl-sites %-12s medianT=%.0f medianDist=%.2e\n" label
-        (Util.median (List.map (fun r -> float_of_int r.Trasyn.t_count) results))
-        (Util.median (List.map (fun r -> r.Trasyn.distance) results)))
+        (Util.median (List.map (fun (seq, _) -> float_of_int (Ctgate.t_count seq)) results))
+        (Util.median (List.map (fun (_, d) -> d) results)))
     [ ("l=1,m=8", [ 8 ], 8); ("l=2,m=8", [ 8; 8 ], 8); ("l=3,m=6", [ 6; 6; 6 ], 6); ("l=4,m=4", [ 4; 4; 4; 4 ], 4) ]
 
 let samples ~unitaries () =
@@ -49,8 +55,8 @@ let samples ~unitaries () =
         Util.time_it (fun () -> Array.to_list (Array.map (run_one ~config ~budgets:[ 8; 8 ]) ts))
       in
       Printf.printf "abl-samples k=%-5d medianT=%.0f medianDist=%.2e time/call=%.2fs\n" k
-        (Util.median (List.map (fun r -> float_of_int r.Trasyn.t_count) results))
-        (Util.median (List.map (fun r -> r.Trasyn.distance) results))
+        (Util.median (List.map (fun (seq, _) -> float_of_int (Ctgate.t_count seq)) results))
+        (Util.median (List.map (fun (_, d) -> d) results))
         (dt /. float_of_int unitaries))
     [ 64; 256; 1024; 4096 ]
 
@@ -65,37 +71,21 @@ let baselines ~unitaries () =
       (Util.median (List.map (fun (_, d, _) -> d) results))
       (Util.median (List.map (fun (_, _, l) -> float_of_int l) results))
   in
-  summarize "trasyn"
-    (Array.to_list
-       (Array.map
-          (fun t ->
-            let r = Trasyn.synthesize ~target:t ~budgets:[ 8; 8 ] () in
-            (r.Trasyn.t_count, r.Trasyn.distance, List.length r.Trasyn.seq))
-          ts));
-  summarize "gridsynth"
-    (Array.to_list
-       (Array.map
-          (fun t ->
-            let theta, phi, lam = Mat2.to_u3_angles t in
-            let r = Gridsynth.u3 ~theta ~phi ~lam ~epsilon:1e-2 () in
-            (r.Gridsynth.t_count, r.Gridsynth.distance, List.length r.Gridsynth.seq))
-          ts));
-  summarize "sk"
-    (Array.to_list
-       (Array.map
-          (fun t ->
-            let r = Solovay_kitaev.synthesize ~depth:3 t in
-            (Ctgate.t_count r.Solovay_kitaev.seq, r.Solovay_kitaev.distance,
-             List.length r.Solovay_kitaev.seq))
-          ts));
+  let via tool cfg =
+    let module B = (val Synth.find_exn tool) in
+    Array.to_list
+      (Array.map
+         (fun t ->
+           match B.synthesize (Synth.Unitary t) cfg with
+           | Ok (seq, d) -> (Ctgate.t_count seq, d, List.length seq)
+           | Error _ -> (0, infinity, 0))
+         ts)
+  in
+  summarize "trasyn" (via "trasyn" (Synth.config ~budgets:[ 8; 8 ] ~epsilon:0.0 ()));
+  summarize "gridsynth" (via "gridsynth" (Synth.config ~epsilon:1e-2 ()));
+  summarize "sk" (via "sk" { (Synth.config ~epsilon:1e-2 ()) with Synth.sk_max_depth = Some 3 });
   summarize "synthetiq"
-    (Array.to_list
-       (Array.map
-          (fun t ->
-            let r = Synthetiq.synthesize ~time_limit:1.0 ~target:t ~epsilon:1e-2 () in
-            (r.Synthetiq.t_count, r.Synthetiq.distance,
-             match r.Synthetiq.seq with Some s -> List.length s | None -> 0))
-          ts))
+    (via "synthetiq" { (Synth.config ~epsilon:1e-2 ()) with Synth.synthetiq_seconds = 1.0 })
 
 let greedy ~unitaries () =
   Util.header "ABL — stochastic sampling vs deterministic beam";
@@ -105,8 +95,8 @@ let greedy ~unitaries () =
       let config = { Trasyn.default_config with samples; beam } in
       let results = Array.to_list (Array.map (run_one ~config ~budgets:[ 8; 8 ]) ts) in
       Printf.printf "abl-greedy %-14s medianT=%.0f medianDist=%.2e\n" label
-        (Util.median (List.map (fun r -> float_of_int r.Trasyn.t_count) results))
-        (Util.median (List.map (fun r -> r.Trasyn.distance) results)))
+        (Util.median (List.map (fun (seq, _) -> float_of_int (Ctgate.t_count seq)) results))
+        (Util.median (List.map (fun (_, d) -> d) results)))
     [ ("sample-only", 1024, 0); ("beam-only", 1, 64); ("hybrid", 1024, 64) ]
 
 (* The probabilistic-mixing extension (§5 related work): quadratic

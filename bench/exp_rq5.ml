@@ -16,11 +16,14 @@ let run ~rotations () =
   let rng = Random.State.make [| 5150 |] in
   let angles = List.init rotations (fun _ -> Random.State.float rng (2.0 *. Float.pi) -. Float.pi) in
   (* Synthesize each angle at each threshold once. *)
+  let rz_word theta eps =
+    let module B = (val Synth.find_exn "gridsynth") in
+    match B.synthesize (Synth.Rz theta) (Synth.config ~epsilon:eps ()) with
+    | Ok (seq, _) -> seq
+    | Error f -> Robust.fail f
+  in
   let words =
-    List.map
-      (fun theta ->
-        (theta, List.map (fun eps -> (eps, (Gridsynth.rz ~theta ~epsilon:eps ()).Gridsynth.seq)) thresholds))
-      angles
+    List.map (fun theta -> (theta, List.map (fun eps -> (eps, rz_word theta eps)) thresholds)) angles
   in
   (* Mean process infidelity per (threshold, logical rate). *)
   let table =

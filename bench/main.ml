@@ -22,6 +22,7 @@ let bench_deadline = ref 0.0
 let suite = ref "exps"
 let suite_budget = ref 120.0
 let bench_out = ref ""
+let jobs = ref 0
 
 let args =
   [
@@ -51,6 +52,9 @@ let args =
     ( "--bench-out",
       Arg.Set_string bench_out,
       "output path for --suite perf (default: the next free BENCH_<n>.json here)" );
+    ( "--jobs",
+      Arg.Set_int jobs,
+      "planner worker domains for the perf suite's pipeline phases (0 = runtime default)" );
   ]
 
 let want id =
@@ -61,16 +65,20 @@ let kernels () =
   Util.header "KERNEL MICROBENCHMARKS (Bechamel)";
   let target = Mat2.random_unitary (Random.State.make [| 3 |]) in
   let table = Ma_table.get 8 in
+  let module Tr = (val Synth.find_exn "trasyn") in
+  let module Gs = (val Synth.find_exn "gridsynth") in
+  let trasyn_cfg =
+    Synth.config
+      ~trasyn:{ Trasyn.default_config with samples = 256 }
+      ~budgets:[ 8 ] ~epsilon:0.0 ()
+  in
   Util.bechamel_kernels ~name:"synthesis"
     [
-      ( "trasyn-1site-k256",
-        fun () ->
-          ignore
-            (Trasyn.synthesize
-               ~config:{ Trasyn.default_config with samples = 256 }
-               ~target ~budgets:[ 8 ] ()) );
-      ("gridsynth-rz-1e-2", fun () -> ignore (Gridsynth.rz ~theta:0.61 ~epsilon:1e-2 ()));
-      ("gridsynth-rz-1e-4", fun () -> ignore (Gridsynth.rz ~theta:0.61 ~epsilon:1e-4 ()));
+      ("trasyn-1site-k256", fun () -> ignore (Tr.synthesize (Synth.Unitary target) trasyn_cfg));
+      ( "gridsynth-rz-1e-2",
+        fun () -> ignore (Gs.synthesize (Synth.Rz 0.61) (Synth.config ~epsilon:1e-2 ())) );
+      ( "gridsynth-rz-1e-4",
+        fun () -> ignore (Gs.synthesize (Synth.Rz 0.61) (Synth.config ~epsilon:1e-4 ())) );
       ( "postprocess-window",
         fun () -> ignore (Postprocess.run table Ctgate.[ T; T; H; T; S; T; H; T; T; H; S; T ]) );
       ("exact-mul", fun () -> ignore (Exact_u.mul Exact_u.gate_h Exact_u.gate_t));
@@ -91,6 +99,7 @@ let () =
   | "perf" ->
       Perf_suite.run
         ?out:(if !bench_out = "" then None else Some !bench_out)
+        ?jobs:(if !jobs > 0 then Some !jobs else None)
         ~budget:!suite_budget ~smoke:!quick ();
       exit 0
   | s -> raise (Arg.Bad ("unknown --suite " ^ s ^ " (use exps | perf)")));

@@ -43,7 +43,8 @@ let report_degraded (ds : Pipeline.degradation list) =
       Printf.printf "  ... and %d more\n" (List.length ds - max_degraded_lines)
   end
 
-let run input output workflow epsilon optimize estimate trace deadline rotation_deadline faults =
+let run input output workflow epsilon optimize estimate trace deadline rotation_deadline faults
+    jobs backend_chain =
   match
     Robust.guarded @@ fun () ->
     (match faults with
@@ -52,6 +53,14 @@ let run input output workflow epsilon optimize estimate trace deadline rotation_
         match Robust.Fault.parse s with
         | Error e -> invalid_arg ("--faults: " ^ e)
         | Ok (seed, specs) -> Robust.Fault.configure ?seed specs));
+    let chain =
+      match backend_chain with
+      | None -> None
+      | Some s -> (
+          match Synth.parse_chain s with
+          | Ok c -> Some c
+          | Error e -> invalid_arg ("--backend-chain: " ^ e))
+    in
     Obs.with_trace ?file:trace @@ fun () ->
     (* One root span over the whole compilation, so trace analysis (and
        the hotspots self-time accounting) sees a single-rooted tree. *)
@@ -66,13 +75,14 @@ let run input output workflow epsilon optimize estimate trace deadline rotation_
       (Circuit.nontrivial_rotation_count circuit);
     let synthesized =
       match workflow with
-      | "trasyn" -> Pipeline.run_trasyn ~epsilon ~deadline ?rotation_budget circuit
-      | "gridsynth" -> Pipeline.run_gridsynth ~epsilon ~deadline ?rotation_budget circuit
+      | "trasyn" -> Pipeline.run_trasyn ~epsilon ~deadline ?rotation_budget ?jobs ?chain circuit
+      | "gridsynth" ->
+          Pipeline.run_gridsynth ~epsilon ~deadline ?rotation_budget ?jobs ?chain circuit
       | "compare" ->
           (* Run both workflows (the paper's RQ2-RQ4 comparison), report
              the ratios, and continue with the TRASYN output. *)
           let cmp =
-            Pipeline.compare_workflows ~epsilon ~deadline ?rotation_budget
+            Pipeline.compare_workflows ~epsilon ~deadline ?rotation_budget ?jobs ?chain
               ~name:(Filename.basename input) circuit
           in
           Printf.printf "compare  : T ratio=%.2f  Tdepth ratio=%.2f  Clifford ratio=%.2f (gridsynth/trasyn)\n"
@@ -149,11 +159,27 @@ let faults =
         ~doc:"inject deterministic faults, e.g. 'trasyn=fail' or '*=corrupt\\@0.25,seed=7'; \
               same grammar as the TGATES_FAULTS environment variable")
 
+let jobs =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:"planner worker domains for rotation synthesis (default: the runtime's recommended \
+              domain count); output is bit-identical whatever the value")
+
+let backend_chain =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "backend-chain" ] ~docv:"NAMES"
+        ~doc:"comma-separated synthesis fallback chain built from the backend registry, e.g. \
+              'trasyn,gridsynth,sk'; default: the workflow's standard ladder")
+
 let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
     Term.(
       const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace $ deadline
-      $ rotation_deadline $ faults)
+      $ rotation_deadline $ faults $ jobs $ backend_chain)
 
 let () = exit (Cmd.eval' cmd)

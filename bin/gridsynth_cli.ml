@@ -1,4 +1,5 @@
-(* Command-line GRIDSYNTH: approximate Rz(θ) over Clifford+T.
+(* Command-line GRIDSYNTH: approximate Rz(θ) over Clifford+T, routed
+   through the synthesis-backend registry.
 
    dune exec bin/gridsynth_cli.exe -- --theta 0.61 --epsilon 1e-4 *)
 
@@ -9,11 +10,14 @@ let run theta epsilon trace =
     Robust.guarded @@ fun () ->
     Obs.with_trace ?file:trace @@ fun () ->
     Obs.span "cli.gridsynth" @@ fun () ->
-    let r = Gridsynth.rz ~theta ~epsilon () in
-    Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Gridsynth.seq);
-    Printf.printf "T count  : %d\n" r.Gridsynth.t_count;
-    Printf.printf "Cliffords: %d\n" r.Gridsynth.clifford_count;
-    Printf.printf "distance : %.4e\n" r.Gridsynth.distance
+    let module B = (val Synth.find_exn "gridsynth") in
+    match B.synthesize (Synth.Rz theta) (Synth.config ~epsilon ()) with
+    | Error f -> Robust.fail f
+    | Ok (seq, distance) ->
+        Printf.printf "sequence : %s\n" (Ctgate.seq_to_string seq);
+        Printf.printf "T count  : %d\n" (Ctgate.t_count seq);
+        Printf.printf "Cliffords: %d\n" (Ctgate.clifford_count seq);
+        Printf.printf "distance : %.4e\n" distance
   with
   | Ok () -> 0
   | Error msg ->

@@ -1,4 +1,5 @@
-(* Command-line TRASYN: synthesize U3(θ,φ,λ) into a Clifford+T word.
+(* Command-line TRASYN: synthesize U3(θ,φ,λ) into a Clifford+T word,
+   routed through the synthesis-backend registry.
 
    dune exec bin/trasyn_cli.exe -- --theta 0.4 --phi 1.1 --lam -0.7 --epsilon 0.01 *)
 
@@ -9,23 +10,26 @@ let run theta phi lam epsilon budget sites samples trace =
     Robust.guarded @@ fun () ->
     Obs.with_trace ?file:trace @@ fun () ->
     Obs.span "cli.trasyn" @@ fun () ->
-    let target = Mat2.u3 theta phi lam in
+    let target = Synth.Unitary (Mat2.u3 theta phi lam) in
     let budgets = List.init sites (fun _ -> budget) in
-    let config = { Trasyn.default_config with table_t = budget; samples } in
-    let r =
-      match epsilon with
-      | Some eps -> Trasyn.to_error ~config ~target ~budgets ~epsilon:eps ()
-      | None -> Trasyn.synthesize ~config ~target ~budgets ()
-    in
-    Printf.printf "sequence : %s\n" (Ctgate.seq_to_string r.Trasyn.seq);
-    Printf.printf "T count  : %d\n" r.Trasyn.t_count;
-    Printf.printf "Cliffords: %d\n" r.Trasyn.clifford_count;
-    Printf.printf "distance : %.4e\n" r.Trasyn.distance;
-    match epsilon with
-    | Some eps when r.Trasyn.distance > eps ->
-        prerr_endline "warning: threshold not met; raise --sites or --budget";
-        1
-    | _ -> 0
+    let trasyn = { Trasyn.default_config with table_t = budget; samples } in
+    (* No --epsilon means best effort: ε = 0 is never met, so the
+       backend burns the full budget and reports the best word seen. *)
+    let eps = Option.value epsilon ~default:0.0 in
+    let cfg = Synth.config ~trasyn ~budgets ~epsilon:eps () in
+    let module B = (val Synth.find_exn "trasyn") in
+    match B.synthesize target cfg with
+    | Error f -> Robust.fail f
+    | Ok (seq, distance) -> (
+        Printf.printf "sequence : %s\n" (Ctgate.seq_to_string seq);
+        Printf.printf "T count  : %d\n" (Ctgate.t_count seq);
+        Printf.printf "Cliffords: %d\n" (Ctgate.clifford_count seq);
+        Printf.printf "distance : %.4e\n" distance;
+        match epsilon with
+        | Some e when distance > e ->
+            prerr_endline "warning: threshold not met; raise --sites or --budget";
+            1
+        | _ -> 0)
   with
   | Ok code -> code
   | Error msg ->

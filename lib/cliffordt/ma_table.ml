@@ -95,16 +95,24 @@ let build max_t =
   done;
   { max_t; entries; lookup; offsets }
 
-(* Tables are expensive to build once max_t grows; share them. *)
+(* Tables are expensive to build once max_t grows; share them.  The
+   cache is consulted from planner worker domains, so it is mutex
+   -guarded; holding the lock across [build] also means concurrent
+   requests for the same depth build the table once, not N times. *)
 let cache : (int, t) Hashtbl.t = Hashtbl.create 4
+let cache_lock = Mutex.create ()
 
 let get max_t =
-  match Hashtbl.find_opt cache max_t with
-  | Some t -> t
-  | None ->
-      let t = build max_t in
-      Hashtbl.add cache max_t t;
-      t
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      match Hashtbl.find_opt cache max_t with
+      | Some t -> t
+      | None ->
+          let t = build max_t in
+          Hashtbl.add cache max_t t;
+          t)
 
 let lookup_best table u =
   match Exact_u.Table.find_opt table.lookup (Exact_u.key (Exact_u.canonicalize u)) with

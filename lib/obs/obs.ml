@@ -26,7 +26,11 @@ end
 (* ------------------------------------------------------------------ *)
 
 type counter = { cname : string; cell : int Atomic.t }
-type gauge = { gname : string; mutable gval : float }
+
+(* Gauges hold a boxed float behind an [Atomic] so planner worker
+   domains can update them without a data race (satellite of the
+   multicore refactor: every metric cell is Atomic or mutex-guarded). *)
+type gauge = { gname : string; gcell : float Atomic.t }
 type hkind = Span | Value
 
 type histogram = {
@@ -71,13 +75,22 @@ let gauge name =
       match Hashtbl.find_opt gauges_tbl name with
       | Some g -> g
       | None ->
-          let g = { gname = name; gval = 0.0 } in
+          let g = { gname = name; gcell = Atomic.make 0.0 } in
           Hashtbl.add gauges_tbl name g;
           g)
 
-let set_gauge g v = g.gval <- v
-let add_gauge g v = g.gval <- g.gval +. v
-let gauge_value g = g.gval
+let set_gauge g v = Atomic.set g.gcell v
+
+let rec add_gauge g v =
+  let cur = Atomic.get g.gcell in
+  if not (Atomic.compare_and_set g.gcell cur (cur +. v)) then add_gauge g v
+
+(* CAS loop so concurrent maxima never regress the gauge. *)
+let rec max_gauge g v =
+  let cur = Atomic.get g.gcell in
+  if v > cur && not (Atomic.compare_and_set g.gcell cur v) then max_gauge g v
+
+let gauge_value g = Atomic.get g.gcell
 
 let default_time_buckets =
   (* 100ns .. 1000s, three buckets per decade. *)
@@ -173,7 +186,7 @@ let summarize h =
 let reset () =
   locked reg_lock (fun () ->
       Hashtbl.iter (fun _ c -> Atomic.set c.cell 0) counters_tbl;
-      Hashtbl.iter (fun _ g -> g.gval <- 0.0) gauges_tbl;
+      Hashtbl.iter (fun _ g -> Atomic.set g.gcell 0.0) gauges_tbl;
       Hashtbl.iter
         (fun _ h ->
           locked h.hlock (fun () ->
@@ -489,11 +502,29 @@ let span_id_ctr = Atomic.make 0
 let parent_key = Domain.DLS.new_key (fun () -> ref 0)
 let current_span_id () = !(Domain.DLS.get parent_key)
 
+(* Attributes of the innermost open span in this domain, set by
+   {!set_span_attr} and emitted when the span closes.  [span] swaps the
+   list per nesting level, so an attribute always lands on the span
+   that was open when it was set. *)
+let attrs_key = Domain.DLS.new_key (fun () : (string * string) list ref -> ref [])
+
+let set_span_attr key value =
+  if Atomic.get enabled_flag then begin
+    let attrs = Domain.DLS.get attrs_key in
+    attrs := (key, value) :: List.remove_assoc key !attrs
+  end
+
+let with_span_parent id f =
+  let parent = Domain.DLS.get parent_key in
+  let p0 = !parent in
+  parent := id;
+  Fun.protect ~finally:(fun () -> parent := p0) f
+
 (* Peak-heap gauge, sampled at span exit ([Gc.quick_stat] reads the
    live counters without walking the heap). *)
 let g_peak_heap = lazy (gauge "obs.heap.peak_words")
 
-let emit_span ~name ~id ~parent ~t0 ~dur ~depth ~minor_w ~(g0 : Gc.stat) ~(g1 : Gc.stat) =
+let emit_span ~name ~id ~parent ~t0 ~dur ~depth ~attrs ~minor_w ~(g0 : Gc.stat) ~(g1 : Gc.stat) =
   if tracing () then begin
     let b = Buffer.create 192 in
     Buffer.add_string b {|{"ev":"span","name":"|};
@@ -502,6 +533,20 @@ let emit_span ~name ~id ~parent ~t0 ~dur ~depth ~minor_w ~(g0 : Gc.stat) ~(g1 : 
       (Printf.sprintf {|","id":%d,"parent":%s,"t0":%.9f,"dur":%.9f,"depth":%d|} id
          (if parent = 0 then "null" else string_of_int parent)
          t0 dur depth);
+    (match attrs with
+    | [] -> ()
+    | attrs ->
+        Buffer.add_string b {|,"attrs":{|};
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_char b '"';
+            Json.add_escaped b k;
+            Buffer.add_string b "\":\"";
+            Json.add_escaped b v;
+            Buffer.add_char b '"')
+          (List.rev attrs);
+        Buffer.add_char b '}');
     Buffer.add_string b
       (Printf.sprintf
          {|,"minor_w":%.0f,"major_w":%.0f,"promoted_w":%.0f,"minor_gc":%d,"major_gc":%d}|}
@@ -519,10 +564,12 @@ let span name f =
     let h = histogram_k Span name in
     let depth = Domain.DLS.get depth_key in
     let parent = Domain.DLS.get parent_key in
-    let d0 = !depth and p0 = !parent in
+    let attrs = Domain.DLS.get attrs_key in
+    let d0 = !depth and p0 = !parent and a0 = !attrs in
     let id = 1 + Atomic.fetch_and_add span_id_ctr 1 in
     depth := d0 + 1;
     parent := id;
+    attrs := [];
     (* [Gc.quick_stat] covers the major heap and collection counts, but
        its minor_words only advances at collection boundaries (OCaml 5);
        [Gc.minor_words] reads the live allocation pointer. *)
@@ -534,13 +581,15 @@ let span name f =
         let dur = Clock.elapsed_s () -. t0 in
         let m1 = Gc.minor_words () in
         let g1 = Gc.quick_stat () in
+        let my_attrs = !attrs in
         depth := d0;
         parent := p0;
+        attrs := a0;
         observe h dur;
         let peak = Lazy.force g_peak_heap in
-        let hw = float_of_int g1.Gc.heap_words in
-        if hw > gauge_value peak then set_gauge peak hw;
-        emit_span ~name ~id ~parent:p0 ~t0 ~dur ~depth:d0 ~minor_w:(m1 -. m0) ~g0 ~g1)
+        max_gauge peak (float_of_int g1.Gc.heap_words);
+        emit_span ~name ~id ~parent:p0 ~t0 ~dur ~depth:d0 ~attrs:my_attrs ~minor_w:(m1 -. m0)
+          ~g0 ~g1)
       f
   end
 
@@ -570,7 +619,8 @@ let metrics_jsonl () =
   List.iter
     (fun (g : gauge) ->
       lines :=
-        (g.gname, Json.Obj [ ("ev", Str "gauge"); ("name", Str g.gname); ("value", opt_num g.gval) ])
+        ( g.gname,
+          Json.Obj [ ("ev", Str "gauge"); ("name", Str g.gname); ("value", opt_num (gauge_value g)) ] )
         :: !lines)
     gauges;
   List.iter

@@ -94,6 +94,11 @@ val counter_value : counter -> int
 val gauge : string -> gauge
 val set_gauge : gauge -> float -> unit
 val add_gauge : gauge -> float -> unit
+
+val max_gauge : gauge -> float -> unit
+(** Raise the gauge to [v] if [v] is larger — a CAS loop, so concurrent
+    maxima from several domains never regress the value. *)
+
 val gauge_value : gauge -> float
 
 (** {1 Histograms} *)
@@ -155,6 +160,21 @@ val span_depth : unit -> int
 val current_span_id : unit -> int
 (** Id of the innermost open span in this domain; 0 outside any span.
     The value that the next child span will record as its parent. *)
+
+val set_span_attr : string -> string -> unit
+(** Attach a string attribute to the innermost open span in this domain;
+    emitted in the span's JSONL event as ["attrs":{...}].  Setting the
+    same key twice keeps the last value.  No-op when {!enabled} is false
+    or outside any span.  The planner tags its worker spans with a
+    ["backend"] attribute so [tgates-trace hotspots] can group per-span
+    self-time by winning backend. *)
+
+val with_span_parent : int -> (unit -> 'a) -> 'a
+(** Run [f] with the domain-local span parent forced to [id], restoring
+    it afterwards.  The parent id is domain-local state, so a freshly
+    spawned worker domain starts parentless: workers wrap their work in
+    [with_span_parent caller_id] to graft their spans onto the caller's
+    branch of the trace tree instead of creating orphan roots. *)
 
 (** {1 Trace export} *)
 

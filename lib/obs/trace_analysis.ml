@@ -18,6 +18,7 @@ type span = {
   t0 : float;
   dur : float;
   depth : int;
+  attrs : (string * string) list;
   gc : gc option;
 }
 
@@ -58,6 +59,12 @@ let parse_span j =
           }
     | _ -> None
   in
+  let attrs =
+    match J.member "attrs" j with
+    | Some (J.Obj kvs) ->
+        List.filter_map (fun (k, v) -> match v with J.Str s -> Some (k, s) | _ -> None) kvs
+    | _ -> []
+  in
   {
     id = int_of_float (num "id" ~default:0.0 j);
     parent = (match J.member "parent" j with Some (J.Num f) -> int_of_float f | _ -> 0);
@@ -65,6 +72,7 @@ let parse_span j =
     t0 = num "t0" ~default:0.0 j;
     dur = num "dur" ~default:0.0 j;
     depth = int_of_float (num "depth" ~default:0.0 j);
+    attrs;
     gc;
   }
 
@@ -174,16 +182,25 @@ type hotspot = {
   minor_words : float;
 }
 
+(* Grouping key: the span name, refined by the [backend] attribute when
+   present — planner worker spans all share one name, and per-backend
+   self-time is the interesting axis post-registry. *)
+let hotspot_key (s : span) =
+  match List.assoc_opt "backend" s.attrs with
+  | Some b -> s.name ^ "[" ^ b ^ "]"
+  | None -> s.name
+
 let hotspots tr =
   let tbl = Hashtbl.create 64 in
   fold_nodes
     (fun () n ->
+      let key = hotspot_key n.span in
       let h =
         Option.value
-          ~default:{ hot_name = n.span.name; calls = 0; total_s = 0.0; self_s = 0.0; minor_words = 0.0 }
-          (Hashtbl.find_opt tbl n.span.name)
+          ~default:{ hot_name = key; calls = 0; total_s = 0.0; self_s = 0.0; minor_words = 0.0 }
+          (Hashtbl.find_opt tbl key)
       in
-      Hashtbl.replace tbl n.span.name
+      Hashtbl.replace tbl key
         {
           h with
           calls = h.calls + 1;

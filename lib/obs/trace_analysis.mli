@@ -24,6 +24,8 @@ type span = {
   t0 : float;
   dur : float;
   depth : int;
+  attrs : (string * string) list;
+      (** string attributes ([Obs.set_span_attr]); empty when absent *)
   gc : gc option;  (** [None] for traces from before GC attribution *)
 }
 
@@ -78,9 +80,11 @@ type hotspot = {
 
 val hotspots : t -> hotspot list
 (** Per span {i name}: call count, inclusive and self time, minor
-    allocation — sorted by self time, descending.  The self times of
-    all hotspots sum to {!total_wall} (up to clamping of measurement
-    jitter), so the table accounts for the whole run. *)
+    allocation — sorted by self time, descending.  Spans carrying a
+    ["backend"] attribute are grouped under ["name\[backend\]"], so
+    planner worker spans split into one row per winning backend.  The
+    self times of all hotspots sum to {!total_wall} (up to clamping of
+    measurement jitter), so the table accounts for the whole run. *)
 
 val folded_stacks : t -> (string * float) list
 (** Flamegraph folded-stacks form: ["root;child;leaf", self seconds]

@@ -7,16 +7,21 @@
     §4.2: TRASYN synthesizes each U3 at ε₀; GRIDSYNTH gets ε₀ scaled by
     the U3:Rz rotation-count ratio so the two circuits land at a
     comparable circuit-level error.  Trivial rotations (π/4 multiples)
-    are synthesized exactly in both workflows.  Synthesis results are
-    memoized on rounded angles — repeated angles are ubiquitous in QFT
-    and Hamiltonian circuits.
+    are synthesized exactly in both workflows.
 
-    Every per-rotation synthesis goes through {!Robust}: the word is
-    re-verified against its target before it enters the circuit, failed
-    backends fall back down a ladder (ending in Solovay–Kitaev, which
-    always lands), and deadlines are honored between and inside rungs.
-    Rotations that needed a fallback or landed above the requested
-    threshold are reported in [degraded]. *)
+    Synthesis is planned, not inlined: a workflow scans the IR circuit,
+    canonicalizes every rotation angle, serves repeats from the memo
+    cache, and hands the rest to {!Planner} — which dedupes occurrences
+    into unique jobs and executes them across N domains — before an
+    emission pass splices the words back in circuit order.
+
+    Every per-rotation synthesis goes through a {!Synth} chain on top
+    of {!Robust}: the word is re-verified against its target before it
+    enters the circuit, failed backends fall back down the chain
+    (ending in Solovay–Kitaev, which always lands), and deadlines are
+    honored between and inside rungs.  Rotations that needed a fallback
+    or landed above the requested threshold are reported in
+    [degraded]. *)
 
 type degradation = {
   gate : string;
@@ -36,7 +41,16 @@ type synthesized = {
       (** rotations that fell back or overshot their threshold *)
 }
 
-let angle_key a = Printf.sprintf "%.10f" (Basis.norm_angle a)
+(* [Basis.norm_angle] already wraps into (−π, π] and snaps π/4
+   multiples, but leaves −0.0 alone — whose "%.10f" key ("-0.0000…")
+   differs from 0.0's, a spurious cache/dedup miss.  Synthesis uses the
+   same canonical angle as the key, so one job's word serves every
+   occurrence that shares the key. *)
+let canonical_angle a =
+  let a = Basis.norm_angle a in
+  if a = 0.0 then 0.0 else a
+
+let angle_key a = Printf.sprintf "%.10f" (canonical_angle a)
 
 (* Clifford+T words are written in matrix order (leftmost factor applied
    last); circuit instruction lists run in time order, so splicing a
@@ -71,7 +85,9 @@ let exact_word_of_trivial g =
    otherwise retain every word ever synthesized.  Flush-all beats LRU
    here because hits are dominated by repeats *within* one circuit.
    Only verified successes are cached: failures are deadline-relative
-   (a timeout now says nothing about the next run's budget). *)
+   (a timeout now says nothing about the next run's budget).  The
+   caches are touched only on the workflow's calling domain — planner
+   workers never see them. *)
 let cache_capacity = ref 65_536
 
 let set_cache_capacity n =
@@ -104,15 +120,38 @@ let rotation_deadline deadline rotation_budget =
    closure; caught at the workflow boundary and returned as [Error]. *)
 exception Abort of Robust.failure
 
+(* Default synthesis chains (built once from the registry) and their
+   cache-key fingerprints.  A memo key carries the chain id so words
+   from a custom --backend-chain never serve a default-chain run. *)
+let rz_default_chain = Synth.rz_chain ()
+let u3_default_chain = Synth.u3_chain
+let rz_default_tag = "rz-default"
+let u3_default_tag = "u3-default"
+
+let rz_key ~epsilon ~tag theta = Printf.sprintf "%s@%.6g|%s" (angle_key theta) epsilon tag
+
+let u3_key ~epsilon ~tag (theta, phi, lam) =
+  Printf.sprintf "%s/%s/%s@%.6g|%s" (angle_key theta) (angle_key phi) (angle_key lam) epsilon
+    tag
+
 (* ------------------------------------------------------------------ *)
-(* GRIDSYNTH (Rz) workflow                                             *)
+(* Memo caches and the word-level entry points                         *)
 (* ------------------------------------------------------------------ *)
 
 let gridsynth_cache : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
+let trasyn_cache : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
+
+let clear_caches () =
+  Hashtbl.reset gridsynth_cache;
+  Hashtbl.reset trasyn_cache
+
+let default_budgets = Synth.default_budgets
+let default_config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 }
 
 let gridsynth_rz_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~epsilon theta :
     (Robust.attempt, Robust.failure) result =
-  let key = Printf.sprintf "%s@%.6g" (angle_key theta) epsilon in
+  let theta = canonical_angle theta in
+  let key = rz_key ~epsilon ~tag:rz_default_tag theta in
   match Hashtbl.find_opt gridsynth_cache key with
   | Some a ->
       Obs.incr c_gs_hit;
@@ -122,7 +161,8 @@ let gridsynth_rz_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~epsil
       let deadline = rotation_deadline deadline rotation_budget in
       let r =
         Obs.span "pipeline.synthesize_rotation" (fun () ->
-            Robust.synthesize_rz ~deadline ~epsilon theta)
+            Synth.run_chain ~deadline ~config:(Synth.config ~epsilon ()) rz_default_chain
+              (Synth.Rz theta))
       in
       Result.iter
         (fun (a : Robust.attempt) ->
@@ -136,94 +176,12 @@ let gridsynth_rz_word ~epsilon theta =
   | Ok a -> (a.Robust.word, a.Robust.distance)
   | Error f -> Robust.fail f
 
-(* Shared workflow skeleton: transpile (or take the circuit as IR),
-   synthesize every nontrivial rotation through [synth], collect the
-   degradation report.  [requested] is the per-rotation threshold the
-   degradation report judges achieved distances against. *)
-let run_workflow ~span ~ir ~transpile ~requested ~synth (c : Circuit.t) :
-    (synthesized, Robust.failure) result =
-  Obs.span span @@ fun () ->
-  let setting, transpiled =
-    if transpile then Settings.best_for ir c
-    else ({ Settings.ir; level = 0; commutation = false }, c)
-  in
-  let total_err = ref 0.0 and nsynth = ref 0 in
-  let degraded = ref [] in
-  let synth_gate g =
-    match exact_word_of_trivial g with
-    | Some word -> word_to_gates word
-    | None -> (
-        incr nsynth;
-        match synth g with
-        | Error f -> raise (Abort f)
-        | Ok (a : Robust.attempt) ->
-            total_err := !total_err +. a.Robust.distance;
-            if a.Robust.fallbacks > 0 || a.Robust.distance > requested then begin
-              Obs.incr c_degraded;
-              degraded :=
-                {
-                  gate = Qgate.to_string g;
-                  backend = a.Robust.backend;
-                  fallbacks = a.Robust.fallbacks;
-                  achieved = a.Robust.distance;
-                  requested;
-                }
-                :: !degraded
-            end;
-            word_to_gates a.Robust.word)
-  in
-  match Circuit.map_rotations synth_gate transpiled with
-  | circuit ->
-      Ok
-        {
-          circuit;
-          transpiled;
-          setting;
-          rotations_synthesized = !nsynth;
-          total_synth_error = !total_err;
-          degraded = List.rev !degraded;
-        }
-  | exception Abort f -> Error f
-
-let run_gridsynth_result ?(epsilon = 0.07) ?(deadline = Obs.Deadline.none) ?rotation_budget
-    ?(transpile = true) (c : Circuit.t) : (synthesized, Robust.failure) result =
-  run_workflow ~span:"pipeline.run_gridsynth" ~ir:Settings.Rz_ir ~transpile ~requested:epsilon
-    ~synth:(fun g ->
-      match g with
-      | Qgate.Rz theta -> gridsynth_rz_attempt ~deadline ?rotation_budget ~epsilon theta
-      | _ ->
-          (* The Rz IR only leaves Rz rotations; anything else is a
-             transpiler bug (or a hand-fed IR), surfaced structurally
-             rather than as Invalid_argument. *)
-          Error
-            (Robust.Backend_error
-               (Printf.sprintf "Pipeline.run_gridsynth: non-Rz rotation %s in Rz IR"
-                  (Qgate.to_string g))))
-    c
-
-let run_gridsynth ?epsilon ?deadline ?rotation_budget ?transpile (c : Circuit.t) : synthesized =
-  match run_gridsynth_result ?epsilon ?deadline ?rotation_budget ?transpile c with
-  | Ok s -> s
-  | Error f -> Robust.fail f
-
-(* ------------------------------------------------------------------ *)
-(* TRASYN (U3) workflow                                                *)
-(* ------------------------------------------------------------------ *)
-
-let trasyn_cache : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
-
-let clear_caches () =
-  Hashtbl.reset gridsynth_cache;
-  Hashtbl.reset trasyn_cache
-
-let default_budgets = [ 10; 10; 8 ]
-let default_config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 }
-
 let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~budgets ~epsilon
     (theta, phi, lam) : (Robust.attempt, Robust.failure) result =
-  let key =
-    Printf.sprintf "%s/%s/%s@%.6g" (angle_key theta) (angle_key phi) (angle_key lam) epsilon
-  in
+  let theta = canonical_angle theta
+  and phi = canonical_angle phi
+  and lam = canonical_angle lam in
+  let key = u3_key ~epsilon ~tag:u3_default_tag (theta, phi, lam) in
   match Hashtbl.find_opt trasyn_cache key with
   | Some a ->
       Obs.incr c_tr_hit;
@@ -233,7 +191,10 @@ let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~
       let deadline = rotation_deadline deadline rotation_budget in
       let r =
         Obs.span "pipeline.synthesize_rotation" (fun () ->
-            Robust.synthesize_u3 ~deadline ~config ~budgets ~epsilon (Mat2.u3 theta phi lam))
+            Synth.run_chain ~deadline
+              ~config:(Synth.config ~trasyn:config ~budgets ~epsilon ())
+              u3_default_chain
+              (Synth.Unitary (Mat2.u3 theta phi lam)))
       in
       Result.iter
         (fun (a : Robust.attempt) ->
@@ -242,18 +203,200 @@ let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~
         r;
       r
 
-let run_trasyn_result ?(epsilon = 0.07) ?(config = default_config) ?(budgets = default_budgets)
-    ?(deadline = Obs.Deadline.none) ?rotation_budget ?(transpile = true) (c : Circuit.t) :
-    (synthesized, Robust.failure) result =
-  run_workflow ~span:"pipeline.run_trasyn" ~ir:Settings.U3_ir ~transpile ~requested:epsilon
-    ~synth:(fun g ->
-      let theta, phi, lam = Mat2.to_u3_angles (Qgate.to_mat2 g) in
-      trasyn_u3_attempt ~deadline ?rotation_budget ~config ~budgets ~epsilon (theta, phi, lam))
+(* ------------------------------------------------------------------ *)
+(* The planned workflow skeleton                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Scan → memo-consult → plan → execute → emit.
+
+   [classify] maps a nontrivial IR rotation to its canonical cache key
+   and synthesis target; [run_target] synthesizes one unique target
+   (called on planner worker domains).  Occurrences whose key is
+   already memoized are served on the calling domain (counted as cache
+   hits); the rest — repeats included — go to the planner, which
+   dedupes them into unique jobs.  The emission pass then rebuilds the
+   circuit in order with the same per-occurrence degradation
+   bookkeeping the sequential pipeline used to do, so outputs are
+   bit-identical whatever the domain count. *)
+let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budget ~cache ~c_hit
+    ~c_miss ~classify ~run_target (c : Circuit.t) : (synthesized, Robust.failure) result =
+  Obs.span span @@ fun () ->
+  let setting, transpiled =
+    if transpile then Settings.best_for ir c
+    else ({ Settings.ir; level = 0; commutation = false }, c)
+  in
+  let occs = ref [] in
+  let scan g =
+    (match exact_word_of_trivial g with
+    | Some _ -> ()
+    | None -> occs := classify g :: !occs);
+    [ g ]
+  in
+  ignore (Circuit.map_rotations scan transpiled : Circuit.t);
+  let occs = List.rev !occs in
+  match List.find_map (function Error f -> Some f | Ok _ -> None) occs with
+  | Some f -> Error f
+  | None ->
+      let occs = List.filter_map Result.to_option occs in
+      let local : (string, (Robust.attempt, Robust.failure) result) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      let missed = Hashtbl.create 64 in
+      let planned = ref [] in
+      List.iter
+        (fun (key, target) ->
+          match Hashtbl.find_opt cache key with
+          | Some a ->
+              Obs.incr c_hit;
+              if not (Hashtbl.mem local key) then Hashtbl.add local key (Ok a)
+          | None ->
+              if not (Hashtbl.mem missed key) then begin
+                Hashtbl.add missed key ();
+                Obs.incr c_miss
+              end;
+              planned := (key, target) :: !planned)
+        occs;
+      let plan = Planner.plan (List.rev !planned) in
+      let results =
+        Planner.execute ?jobs ~deadline ?job_budget:rotation_budget ~run:run_target plan
+      in
+      Array.iter
+        (fun (j : _ Planner.job) ->
+          match Hashtbl.find_opt results j.Planner.key with
+          | Some (Ok a as r) ->
+              Obs.observe h_rot_tcount (float_of_int (Ctgate.t_count a.Robust.word));
+              cache_put cache j.Planner.key a;
+              Hashtbl.replace local j.Planner.key r
+          | Some (Error _ as r) -> Hashtbl.replace local j.Planner.key r
+          | None -> ())
+        plan.Planner.jobs;
+      let total_err = ref 0.0 and nsynth = ref 0 in
+      let degraded = ref [] in
+      let emit g =
+        match exact_word_of_trivial g with
+        | Some word -> word_to_gates word
+        | None -> (
+            incr nsynth;
+            let key =
+              match classify g with Ok (key, _) -> key | Error f -> raise (Abort f)
+            in
+            match Hashtbl.find_opt local key with
+            | Some (Ok (a : Robust.attempt)) ->
+                total_err := !total_err +. a.Robust.distance;
+                if a.Robust.fallbacks > 0 || a.Robust.distance > requested then begin
+                  Obs.incr c_degraded;
+                  degraded :=
+                    {
+                      gate = Qgate.to_string g;
+                      backend = a.Robust.backend;
+                      fallbacks = a.Robust.fallbacks;
+                      achieved = a.Robust.distance;
+                      requested;
+                    }
+                    :: !degraded
+                end;
+                word_to_gates a.Robust.word
+            | Some (Error f) -> raise (Abort f)
+            | None ->
+                raise (Abort (Robust.Backend_error ("pipeline: no planner result for " ^ key))))
+      in
+      (match Circuit.map_rotations emit transpiled with
+      | circuit ->
+          Ok
+            {
+              circuit;
+              transpiled;
+              setting;
+              rotations_synthesized = !nsynth;
+              total_synth_error = !total_err;
+              degraded = List.rev !degraded;
+            }
+      | exception Abort f -> Error f)
+
+(* Wrap one unique target's synthesis for the planner: the timing span
+   closes before the attribute is set, so the ["backend"] tag lands on
+   the enclosing [planner.job] span (what hotspots groups by). *)
+let make_run_target ~config ~chain () ~deadline target =
+  let r =
+    Obs.span "pipeline.synthesize_rotation" (fun () ->
+        Synth.run_chain ~deadline ~config chain target)
+  in
+  (match r with
+  | Ok (a : Robust.attempt) -> Obs.set_span_attr "backend" a.Robust.backend
+  | Error _ -> ());
+  r
+
+(* ------------------------------------------------------------------ *)
+(* GRIDSYNTH (Rz) workflow                                             *)
+(* ------------------------------------------------------------------ *)
+
+let run_gridsynth_result ?(epsilon = 0.07) ?(deadline = Obs.Deadline.none) ?rotation_budget
+    ?(transpile = true) ?jobs ?chain (c : Circuit.t) : (synthesized, Robust.failure) result =
+  let chain_rungs, tag =
+    match chain with
+    | None -> (rz_default_chain, rz_default_tag)
+    | Some ch -> (ch, Synth.chain_id ch)
+  in
+  let classify g =
+    match g with
+    | Qgate.Rz theta ->
+        let theta = canonical_angle theta in
+        Ok (rz_key ~epsilon ~tag theta, Synth.Rz theta)
+    | _ ->
+        (* The Rz IR only leaves Rz rotations; anything else is a
+           transpiler bug (or a hand-fed IR), surfaced structurally
+           rather than as Invalid_argument. *)
+        Error
+          (Robust.Backend_error
+             (Printf.sprintf "Pipeline.run_gridsynth: non-Rz rotation %s in Rz IR"
+                (Qgate.to_string g)))
+  in
+  run_workflow ~span:"pipeline.run_gridsynth" ~ir:Settings.Rz_ir ~transpile ~requested:epsilon
+    ~jobs ~deadline ~rotation_budget ~cache:gridsynth_cache ~c_hit:c_gs_hit ~c_miss:c_gs_miss
+    ~classify
+    ~run_target:(make_run_target ~config:(Synth.config ~epsilon ()) ~chain:chain_rungs ())
     c
 
-let run_trasyn ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile (c : Circuit.t) :
+let run_gridsynth ?epsilon ?deadline ?rotation_budget ?transpile ?jobs ?chain (c : Circuit.t) :
     synthesized =
-  match run_trasyn_result ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile c with
+  match run_gridsynth_result ?epsilon ?deadline ?rotation_budget ?transpile ?jobs ?chain c with
+  | Ok s -> s
+  | Error f -> Robust.fail f
+
+(* ------------------------------------------------------------------ *)
+(* TRASYN (U3) workflow                                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_trasyn_result ?(epsilon = 0.07) ?(config = default_config) ?(budgets = default_budgets)
+    ?(deadline = Obs.Deadline.none) ?rotation_budget ?(transpile = true) ?jobs ?chain
+    (c : Circuit.t) : (synthesized, Robust.failure) result =
+  let chain_rungs, tag =
+    match chain with
+    | None -> (u3_default_chain, u3_default_tag)
+    | Some ch -> (ch, Synth.chain_id ch)
+  in
+  let classify g =
+    let theta, phi, lam = Mat2.to_u3_angles (Qgate.to_mat2 g) in
+    let theta = canonical_angle theta
+    and phi = canonical_angle phi
+    and lam = canonical_angle lam in
+    Ok (u3_key ~epsilon ~tag (theta, phi, lam), Synth.Unitary (Mat2.u3 theta phi lam))
+  in
+  run_workflow ~span:"pipeline.run_trasyn" ~ir:Settings.U3_ir ~transpile ~requested:epsilon
+    ~jobs ~deadline ~rotation_budget ~cache:trasyn_cache ~c_hit:c_tr_hit ~c_miss:c_tr_miss
+    ~classify
+    ~run_target:
+      (make_run_target
+         ~config:(Synth.config ~trasyn:config ~budgets ~epsilon ())
+         ~chain:chain_rungs ())
+    c
+
+let run_trasyn ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile ?jobs ?chain
+    (c : Circuit.t) : synthesized =
+  match
+    run_trasyn_result ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile ?jobs
+      ?chain c
+  with
   | Ok s -> s
   | Error f -> Robust.fail f
 
@@ -281,14 +424,14 @@ let ratio a b =
 (* Run both workflows on one benchmark circuit.  [deadline] is absolute
    and shared: whatever remains after the TRASYN pass bounds the
    GRIDSYNTH pass. *)
-let compare_workflows ?(epsilon = 0.07) ?config ?budgets ?deadline ?rotation_budget ~name
-    (c : Circuit.t) : comparison =
-  let tr = run_trasyn ~epsilon ?config ?budgets ?deadline ?rotation_budget c in
+let compare_workflows ?(epsilon = 0.07) ?config ?budgets ?deadline ?rotation_budget ?jobs
+    ?chain ~name (c : Circuit.t) : comparison =
+  let tr = run_trasyn ~epsilon ?config ?budgets ?deadline ?rotation_budget ?jobs ?chain c in
   let u3_rot = Circuit.nontrivial_rotation_count tr.transpiled in
   let _, rz_pre = Settings.best_for Settings.Rz_ir c in
   let rz_rot = Circuit.nontrivial_rotation_count rz_pre in
   let gs_eps = scaled_gridsynth_epsilon ~epsilon ~u3_rotations:u3_rot ~rz_rotations:rz_rot in
-  let gs = run_gridsynth ~epsilon:gs_eps ?deadline ?rotation_budget c in
+  let gs = run_gridsynth ~epsilon:gs_eps ?deadline ?rotation_budget ?jobs ?chain c in
   {
     name;
     trasyn = tr;

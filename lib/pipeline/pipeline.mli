@@ -6,13 +6,21 @@
     with TRASYN; the Rz workflow pairs the Rz IR with GRIDSYNTH — the
     comparison at the heart of RQ2/RQ3/RQ4.
 
-    Per-rotation synthesis is routed through {!Robust}: each word is
-    re-verified against its target before entering the circuit, a
-    failing backend falls back down a ladder ending in Solovay–Kitaev,
-    and deadlines propagate to every rung.  The direct-style entry
-    points raise {!Robust.Failure_exn} when a rotation cannot be
-    synthesized at all; the [_result] variants return the structured
-    failure instead. *)
+    Synthesis is planned rather than inlined: a workflow scans the IR
+    circuit, canonicalizes every rotation angle ({!canonical_angle}),
+    serves repeats from the memo cache, and hands the rest to
+    [Planner], which dedupes occurrences into unique jobs and executes
+    them across [jobs] domains with per-job deadlines; an emission pass
+    then splices the words back in circuit order.  The output is
+    bit-identical whatever the domain count.
+
+    Per-rotation synthesis runs a [Synth] chain through [Robust]: each
+    word is re-verified against its target before entering the circuit,
+    a failing backend falls back down the chain ending in
+    Solovay–Kitaev, and deadlines propagate to every rung.  The
+    direct-style entry points raise {!Robust.Failure_exn} when a
+    rotation cannot be synthesized at all; the [_result] variants
+    return the structured failure instead. *)
 
 type degradation = {
   gate : string;  (** the IR rotation, e.g. ["rz(0.7853981634)"] *)
@@ -36,19 +44,36 @@ type synthesized = {
                                     empty on a fully clean run *)
 }
 
+val canonical_angle : float -> float
+(** The angle identity under which rotations are cached and deduped:
+    [Basis.norm_angle] (wrap into (−π, π], snap π/4 multiples) with
+    −0.0 mapped to 0.0.  Synthesis targets are built from the canonical
+    angle too, so rz(θ) and rz(θ+2π) share one synthesis, one cache
+    entry, and one planner job. *)
+
+val angle_key : float -> string
+(** ["%.10f"] of {!canonical_angle} — the memo/dedup key component. *)
+
 val run_gridsynth :
   ?epsilon:float ->
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
   ?transpile:bool ->
+  ?jobs:int ->
+  ?chain:Synth.rung_spec list ->
   Circuit.t ->
   synthesized
-(** Rz IR + GRIDSYNTH at [epsilon] (default 0.07) per rotation; trivial
-    (π/4-multiple) rotations are replaced by exact words.  [deadline]
-    (absolute, monotonic clock) bounds the whole run; [rotation_budget]
-    (seconds) additionally bounds each rotation.  [transpile:false]
-    skips transpilation and treats the input as Rz IR directly — a
-    non-Rz rotation then surfaces as a [Backend_error].
+(** Rz IR + GRIDSYNTH-first chain at [epsilon] (default 0.07) per
+    rotation; trivial (π/4-multiple) rotations are replaced by exact
+    words.  [deadline] (absolute, monotonic clock) bounds the whole
+    run; [rotation_budget] (seconds) additionally bounds each planner
+    job.  [transpile:false] skips transpilation and treats the input as
+    Rz IR directly — a non-Rz rotation then surfaces as a
+    [Backend_error].  [jobs] is the planner domain count (default
+    [Domain.recommended_domain_count ()]); [chain] overrides the
+    default [Synth.rz_chain] (e.g. from [Synth.parse_chain]) — memo
+    keys carry the chain id, so words synthesized under different
+    chains never mix.
     @raise Robust.Failure_exn when a rotation cannot be synthesized. *)
 
 val run_gridsynth_result :
@@ -56,6 +81,8 @@ val run_gridsynth_result :
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
   ?transpile:bool ->
+  ?jobs:int ->
+  ?chain:Synth.rung_spec list ->
   Circuit.t ->
   (synthesized, Robust.failure) result
 (** As {!run_gridsynth}, returning the structured failure. *)
@@ -63,7 +90,7 @@ val run_gridsynth_result :
 val gridsynth_rz_word : epsilon:float -> float -> Ctgate.t list * float
 (** The memoized word-level entry point of the Rz workflow: the
     guard-verified Clifford+T word and achieved distance for Rz(θ) at
-    [epsilon], served from the gridsynth cache when the rounded angle
+    [epsilon], served from the gridsynth cache when the canonical angle
     repeats.
     @raise Robust.Failure_exn when the fallback chain fails. *)
 
@@ -76,7 +103,22 @@ val gridsynth_rz_attempt :
 (** Structured variant of {!gridsynth_rz_word}: the full
     {!Robust.attempt} (word, verified distance, winning backend,
     fallback count).  Successes are cached; failures never are, since
-    a timeout is relative to the caller's deadline. *)
+    a timeout is relative to the caller's deadline.  Shares cache
+    entries with default-chain {!run_gridsynth} runs at the same
+    [epsilon]. *)
+
+val trasyn_u3_attempt :
+  ?deadline:Obs.Deadline.t ->
+  ?rotation_budget:float ->
+  config:Trasyn.config ->
+  budgets:int list ->
+  epsilon:float ->
+  float * float * float ->
+  (Robust.attempt, Robust.failure) result
+(** U3-workflow counterpart of {!gridsynth_rz_attempt}: the memoized
+    default-chain synthesis of U3(θ,φ,λ), keyed on the canonical angle
+    triple.  Shares cache entries with default-chain {!run_trasyn}
+    runs at the same [epsilon]. *)
 
 val clear_caches : unit -> unit
 (** Empty both synthesis memo caches (gridsynth Rz words and TRASYN U3
@@ -84,7 +126,8 @@ val clear_caches : unit -> unit
     cache-cold.  Hit/miss/eviction counts are exported through {!Obs}
     as [pipeline.gridsynth_cache.hit]/[.miss],
     [pipeline.trasyn_cache.hit]/[.miss], and
-    [pipeline.cache.evictions]. *)
+    [pipeline.cache.evictions]; a hit counts once per served
+    occurrence, a miss once per unique key sent to the planner. *)
 
 val set_cache_capacity : int -> unit
 (** Bound each memo cache to that many entries (default 65536); a full
@@ -98,10 +141,13 @@ val run_trasyn :
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
   ?transpile:bool ->
+  ?jobs:int ->
+  ?chain:Synth.rung_spec list ->
   Circuit.t ->
   synthesized
-(** U3 IR + TRASYN in Eq. (4) mode at [epsilon] (default 0.07), with
-    the same deadline semantics as {!run_gridsynth}.
+(** U3 IR + TRASYN-first chain in Eq. (4) mode at [epsilon] (default
+    0.07), with the same deadline/planner semantics as
+    {!run_gridsynth}.
     @raise Robust.Failure_exn when a rotation cannot be synthesized. *)
 
 val run_trasyn_result :
@@ -111,6 +157,8 @@ val run_trasyn_result :
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
   ?transpile:bool ->
+  ?jobs:int ->
+  ?chain:Synth.rung_spec list ->
   Circuit.t ->
   (synthesized, Robust.failure) result
 (** As {!run_trasyn}, returning the structured failure. *)
@@ -130,6 +178,8 @@ val compare_workflows :
   ?budgets:int list ->
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
+  ?jobs:int ->
+  ?chain:Synth.rung_spec list ->
   name:string ->
   Circuit.t ->
   comparison
@@ -137,7 +187,8 @@ val compare_workflows :
     per-rotation threshold is [epsilon] scaled by the U3:Rz rotation
     ratio so both workflows land at comparable circuit-level error.
     [deadline] is absolute and shared across both passes;
-    [rotation_budget] bounds each rotation in either pass.
+    [rotation_budget] bounds each rotation in either pass; [jobs] and
+    [chain] apply to both.
     @raise Robust.Failure_exn when either workflow fails outright. *)
 
 val scaled_gridsynth_epsilon : epsilon:float -> u3_rotations:int -> rz_rotations:int -> float

@@ -119,16 +119,27 @@ module Fault = struct
   type state = { seed : int; specs : spec list; streams : (string, Random.State.t) Hashtbl.t }
 
   (* None = never configured (consult TGATES_FAULTS on first draw);
-     Some with empty specs = explicitly cleared. *)
+     Some with empty specs = explicitly cleared.  The state (and the
+     per-rung RNG streams inside it — [Random.State] is not thread
+     -safe) is shared by every planner worker domain, so all access
+     goes through [lock].  Per-rung streams keep one rung's draw
+     sequence independent of scheduling across domains as long as that
+     rung's own calls stay ordered (always true at prob 1.0, where
+     every draw fires regardless of order). *)
+  let lock = Mutex.create ()
   let state : state option ref = ref None
+
+  let locked f =
+    Mutex.lock lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
 
   let make_state seed specs = { seed; specs; streams = Hashtbl.create 8 }
 
-  let configure ?(seed = 0) specs = state := Some (make_state seed specs)
+  let configure ?(seed = 0) specs = locked (fun () -> state := Some (make_state seed specs))
 
-  let clear () = state := Some (make_state 0 [])
+  let clear () = locked (fun () -> state := Some (make_state 0 []))
 
-  let ensure () =
+  let ensure_unlocked () =
     match !state with
     | Some s -> s
     | None ->
@@ -144,7 +155,7 @@ module Fault = struct
         state := Some s;
         s
 
-  let active () = (ensure ()).specs <> []
+  let active () = locked (fun () -> (ensure_unlocked ()).specs <> [])
 
   (* Each rung name owns its own stream, seeded from the global seed and
      the name, so one rung's draw sequence is independent of how calls
@@ -158,16 +169,17 @@ module Fault = struct
         r
 
   let draw name =
-    let st = ensure () in
-    match List.find_opt (fun sp -> matches sp name) st.specs with
-    | None -> None
-    | Some sp ->
-        if Random.State.float (stream st name) 1.0 < sp.prob then Some sp.mode else None
+    locked (fun () ->
+        let st = ensure_unlocked () in
+        match List.find_opt (fun sp -> matches sp name) st.specs with
+        | None -> None
+        | Some sp ->
+            if Random.State.float (stream st name) 1.0 < sp.prob then Some sp.mode else None)
 
   let with_faults ?seed specs f =
-    let saved = !state in
+    let saved = locked (fun () -> !state) in
     configure ?seed specs;
-    Fun.protect ~finally:(fun () -> state := saved) f
+    Fun.protect ~finally:(fun () -> locked (fun () -> state := saved)) f
 end
 
 (* ------------------------------------------------------------------ *)
@@ -232,6 +244,7 @@ let run_chain ?(deadline = Obs.Deadline.none) ~target rungs =
                       in
                       verify ~target ~epsilon:rung.rung_epsilon ~claimed word
                       |> Result.map (fun d -> (word, d))
+                  | exception Failure_exn f -> Error f
                   | exception Gridsynth.Synthesis_failed msg -> Error (Backend_error msg)
                   | exception Invalid_argument msg ->
                       Error (Backend_error (rung.name ^ ": " ^ msg))
@@ -251,106 +264,6 @@ let run_chain ?(deadline = Obs.Deadline.none) ~target rungs =
         end
   in
   go 0 None rungs
-
-(* ------------------------------------------------------------------ *)
-(* The standard ladders                                                *)
-(* ------------------------------------------------------------------ *)
-
-(* Below ~0.45 a word is meaningfully closer to the target than a
-   random unitary; the SK last resort accepts anything under it (and
-   reports the achieved distance) rather than failing the rotation. *)
-let sk_floor = 0.45
-
-(* The sampled search is reliable down to ~1e-2 at fallback budgets;
-   asking it for less just burns its budget before SK runs. *)
-let trasyn_floor = 0.01
-
-let default_budgets = [ 10; 10; 8 ]
-
-let sk_rung ~epsilon target =
-  let eps = Float.max epsilon sk_floor in
-  {
-    name = "sk";
-    rung_epsilon = eps;
-    run =
-      (fun _deadline ->
-        let r = Solovay_kitaev.synthesize_to ~epsilon:eps target in
-        (r.Solovay_kitaev.seq, r.Solovay_kitaev.distance));
-  }
-
-let u3_ladder ?(config = Trasyn.default_config) ?(budgets = default_budgets) ~epsilon target =
-  let trasyn_run ~attempts cfg _deadline =
-    let r =
-      Trasyn.to_error ~config:cfg ~attempts ~selection:`Min_t ~t_slack:2 ~target ~budgets ~epsilon
-        ()
-    in
-    (r.Trasyn.seq, r.Trasyn.distance)
-  in
-  let theta, phi, lam = Mat2.to_u3_angles target in
-  [
-    { name = "trasyn"; rung_epsilon = epsilon; run = trasyn_run ~attempts:1 config };
-    {
-      name = "trasyn.retry";
-      rung_epsilon = epsilon;
-      (* Reseed and double the sample budget: a miss at k samples is
-         often a hit at 2k with a fresh stream. *)
-      run =
-        trasyn_run ~attempts:2
-          { config with Trasyn.seed = config.Trasyn.seed lxor 0x2b5d; samples = config.Trasyn.samples * 2 };
-    };
-    {
-      name = "gridsynth";
-      rung_epsilon = epsilon;
-      run =
-        (fun deadline ->
-          let r = Gridsynth.u3 ~deadline ~theta ~phi ~lam ~epsilon () in
-          (r.Gridsynth.seq, r.Gridsynth.distance));
-    };
-    sk_rung ~epsilon target;
-  ]
-
-let rz_ladder ?(gs_scale = 2.0) ~epsilon theta =
-  let target = Mat2.rz theta in
-  let scaled = epsilon *. gs_scale in
-  let trasyn_eps = Float.max epsilon trasyn_floor in
-  [
-    {
-      name = "gridsynth";
-      rung_epsilon = epsilon;
-      run =
-        (fun deadline ->
-          let r = Gridsynth.rz ~deadline ~theta ~epsilon () in
-          (r.Gridsynth.seq, r.Gridsynth.distance));
-    };
-    {
-      name = "gridsynth.retry";
-      rung_epsilon = scaled;
-      run =
-        (fun deadline ->
-          let r =
-            Gridsynth.rz ~deadline ~max_extra_n:60 ~candidates_per_n:128 ~theta ~epsilon:scaled ()
-          in
-          (r.Gridsynth.seq, r.Gridsynth.distance));
-    };
-    {
-      name = "trasyn";
-      rung_epsilon = trasyn_eps;
-      run =
-        (fun _deadline ->
-          let r =
-            Trasyn.to_error ~attempts:2 ~selection:`Min_t ~t_slack:2 ~target
-              ~budgets:default_budgets ~epsilon:trasyn_eps ()
-          in
-          (r.Trasyn.seq, r.Trasyn.distance));
-    };
-    sk_rung ~epsilon target;
-  ]
-
-let synthesize_u3 ?deadline ?config ?budgets ~epsilon target =
-  run_chain ?deadline ~target (u3_ladder ?config ?budgets ~epsilon target)
-
-let synthesize_rz ?deadline ~epsilon theta =
-  run_chain ?deadline ~target:(Mat2.rz theta) (rz_ladder ~epsilon theta)
 
 (* ------------------------------------------------------------------ *)
 (* CLI boundary                                                        *)

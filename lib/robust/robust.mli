@@ -16,7 +16,8 @@
       claim: the guard recomputes the word's unitary and checks both
       that the claimed distance is honest and that the rung's threshold
       is met before the word enters a circuit.
-    - {b Guaranteed landing.}  Ladders end in Solovay–Kitaev depth
+    - {b Guaranteed landing.}  The standard ladders (built in [Synth]
+      from the backend registry) end in Solovay–Kitaev depth
       escalation, which always terminates (Dawson–Nielsen), so a chain
       only fails outright when every rung misbehaves or the deadline
       expires.
@@ -141,35 +142,14 @@ val run_chain :
     wins.  The deadline is checked before each rung and after each
     failure: on expiry the chain stops with [Error Timeout] rather than
     burning further rungs.  When every rung fails, the last rung's
-    failure is returned.  Rung attempts after the first count as
-    [robust.retries]; a rung succeeding at position > 0 counts as
-    [robust.fallback.<name>]. *)
+    failure is returned.  A rung raising {!Failure_exn} fails with that
+    failure verbatim (how [Synth] adapters report structured errors).
+    Rung attempts after the first count as [robust.retries]; a rung
+    succeeding at position > 0 counts as [robust.fallback.<name>].
 
-val u3_ladder :
-  ?config:Trasyn.config -> ?budgets:int list -> epsilon:float -> Mat2.t -> rung list
-(** The U3-workflow ladder: TRASYN → reseeded TRASYN retry (doubled
-    samples) → GRIDSYNTH (Eq. (1) decomposition at ε) → Solovay–Kitaev
-    last resort at a relaxed threshold (max ε 0.45 — always lands, may
-    be degraded). *)
-
-val rz_ladder : ?gs_scale:float -> epsilon:float -> float -> rung list
-(** The Rz-workflow ladder for Rz(θ): GRIDSYNTH → GRIDSYNTH retry at
-    scaled ε ([gs_scale]·ε, default 2×, with a deeper candidate search)
-    → TRASYN (threshold floored at 0.01, the sampled search's reliable
-    range) → Solovay–Kitaev last resort. *)
-
-val synthesize_u3 :
-  ?deadline:Obs.Deadline.t ->
-  ?config:Trasyn.config ->
-  ?budgets:int list ->
-  epsilon:float ->
-  Mat2.t ->
-  (attempt, failure) result
-(** [run_chain] over {!u3_ladder}. *)
-
-val synthesize_rz :
-  ?deadline:Obs.Deadline.t -> epsilon:float -> float -> (attempt, failure) result
-(** [run_chain] over {!rz_ladder}. *)
+    The standard ladders (and convenience wrappers over them) live in
+    [Synth], the backend registry — this module only provides the
+    generic chain machinery. *)
 
 (** {1 CLI boundary} *)
 

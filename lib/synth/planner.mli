@@ -1,0 +1,54 @@
+(** Deduplicating multicore rotation planner.
+
+    Pipeline workflows scan the IR circuit, canonicalize every rotation
+    angle, and hand the resulting (key, target) occurrence list to
+    {!plan}, which collapses repeats into unique jobs (first-appearance
+    order).  {!execute} runs the jobs across N domains with per-job
+    deadlines and collects the results into a key-indexed table the
+    emission pass reads back — so a circuit with 120 rotations but 12
+    distinct canonical angles pays for 12 syntheses.
+
+    Observability: [obs.planner.jobs] (unique jobs executed),
+    [obs.planner.dedup_hits] (occurrences folded away),
+    [obs.planner.domains] (worker domains started, accumulated);
+    each job runs in a ["planner.job"] span carrying a ["backend"]
+    attribute (the winning rung's name, or ["failed"]) that
+    [tgates-trace hotspots] groups by, all grafted under the caller's
+    ["planner.execute"] span via [Obs.with_span_parent]. *)
+
+type 'a job = { key : string; target : 'a }
+
+type 'a plan = {
+  jobs : 'a job array;  (** unique targets, in first-appearance order *)
+  occurrences : int;  (** input length *)
+  dedup_hits : int;  (** [occurrences - Array.length jobs] *)
+}
+
+val plan : (string * 'a) list -> 'a plan
+(** Dedupe by key; the first occurrence's target wins (keys are built
+    from canonicalized angles, so later targets are equal anyway). *)
+
+val execute :
+  ?jobs:int ->
+  ?deadline:Obs.Deadline.t ->
+  ?job_budget:float ->
+  run:(deadline:Obs.Deadline.t -> 'a -> ('b, Robust.failure) result) ->
+  'a plan ->
+  (string, ('b, Robust.failure) result) Hashtbl.t
+(** Run every job and return results keyed by job key.
+
+    [jobs] is the requested domain count (default
+    [Domain.recommended_domain_count ()]), clamped to \[1, #jobs\];
+    the calling domain is one of the workers, so [jobs:1] spawns no
+    domain at all.  Each job's deadline is the tighter of [deadline]
+    and [job_budget] seconds from the job's start.  [run] failures
+    (returned or raised, including [Robust.Failure_exn]) are stored as
+    that job's [Error] — a worker domain never dies mid-plan.  The
+    result table is independent of domain count and scheduling order,
+    so [--jobs N] output is bit-identical to [--jobs 1].
+
+    While a multi-domain plan runs, every participating domain is
+    given a roomier minor heap (allocation-heavy synthesis at the
+    default size makes the stop-all-domains minor-GC barrier the
+    bottleneck); the calling domain's GC settings are restored on
+    return. *)

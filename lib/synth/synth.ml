@@ -1,0 +1,336 @@
+(* See synth.mli for the contract.  This module is the one place that
+   names the concrete backends; everything above it (pipeline, CLIs,
+   bench) speaks only registry entries and chains. *)
+
+type capability = Rz_only | Full_u3
+
+type target = Rz of float | Unitary of Mat2.t
+
+let target_mat2 = function Rz theta -> Mat2.rz theta | Unitary m -> m
+
+(* ------------------------------------------------------------------ *)
+(* Per-call configuration                                              *)
+(* ------------------------------------------------------------------ *)
+
+let default_budgets = [ 10; 10; 8 ]
+
+type config = {
+  epsilon : float;
+  deadline : Obs.Deadline.t;
+  trasyn : Trasyn.config;
+  trasyn_budgets : int list;
+  trasyn_attempts : int;
+  gs_max_extra_n : int option;
+  gs_candidates_per_n : int option;
+  synthetiq_seconds : float;
+  synthetiq_seed : int;
+  sk_base_t : int option;
+  sk_max_depth : int option;
+}
+
+let config ?(deadline = Obs.Deadline.none) ?(trasyn = Trasyn.default_config)
+    ?(budgets = default_budgets) ~epsilon () =
+  {
+    epsilon;
+    deadline;
+    trasyn;
+    trasyn_budgets = budgets;
+    trasyn_attempts = 1;
+    gs_max_extra_n = None;
+    gs_candidates_per_n = None;
+    synthetiq_seconds = 10.0;
+    synthetiq_seed = 0;
+    sk_base_t = None;
+    sk_max_depth = None;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* The backend signature and the four adapters                         *)
+(* ------------------------------------------------------------------ *)
+
+module type BACKEND = sig
+  val name : string
+  val capability : capability
+  val synthesize : target -> config -> (Ctgate.t list * float, Robust.failure) result
+end
+
+type backend = (module BACKEND)
+
+let backend_name (b : backend) =
+  let module B = (val b) in
+  B.name
+
+let backend_capability (b : backend) =
+  let module B = (val b) in
+  B.capability
+
+(* Convert the backends' native exception vocabulary to the structured
+   taxonomy right at the adapter boundary, mirroring what run_chain
+   catches for raw rungs. *)
+let wrap name f =
+  match f () with
+  | word, distance -> Ok (word, distance)
+  | exception Robust.Failure_exn fl -> Error fl
+  | exception Gridsynth.Synthesis_failed msg -> Error (Robust.Backend_error msg)
+  | exception Invalid_argument msg -> Error (Robust.Backend_error (name ^ ": " ^ msg))
+  | exception Failure msg -> Error (Robust.Backend_error (name ^ ": " ^ msg))
+
+module Trasyn_backend : BACKEND = struct
+  let name = "trasyn"
+
+  let capability = Full_u3
+
+  let synthesize target cfg =
+    let m = target_mat2 target in
+    wrap name (fun () ->
+        let r =
+          Trasyn.to_error ~config:cfg.trasyn ~attempts:cfg.trasyn_attempts ~selection:`Min_t
+            ~t_slack:2 ~target:m ~budgets:cfg.trasyn_budgets ~epsilon:cfg.epsilon ()
+        in
+        (r.Trasyn.seq, r.Trasyn.distance))
+end
+
+module Gridsynth_backend : BACKEND = struct
+  let name = "gridsynth"
+
+  (* Native domain is a single Rz word; [Unitary] targets still work,
+     routed through the Eq. (1) Euler-angle decomposition (three Rz
+     syntheses at ε/3) inside [Gridsynth.u3]. *)
+  let capability = Rz_only
+
+  let synthesize target cfg =
+    wrap name (fun () ->
+        match target with
+        | Rz theta ->
+            let r =
+              Gridsynth.rz ?max_extra_n:cfg.gs_max_extra_n
+                ?candidates_per_n:cfg.gs_candidates_per_n ~deadline:cfg.deadline ~theta
+                ~epsilon:cfg.epsilon ()
+            in
+            (r.Gridsynth.seq, r.Gridsynth.distance)
+        | Unitary m ->
+            let theta, phi, lam = Mat2.to_u3_angles m in
+            let r =
+              Gridsynth.u3 ?max_extra_n:cfg.gs_max_extra_n ~deadline:cfg.deadline ~theta ~phi
+                ~lam ~epsilon:cfg.epsilon ()
+            in
+            (r.Gridsynth.seq, r.Gridsynth.distance))
+end
+
+module Synthetiq_backend : BACKEND = struct
+  let name = "synthetiq"
+
+  let capability = Full_u3
+
+  let synthesize target cfg =
+    let m = target_mat2 target in
+    wrap name (fun () ->
+        let time_limit =
+          Float.min cfg.synthetiq_seconds (Obs.Deadline.remaining_s cfg.deadline)
+        in
+        let r =
+          Synthetiq.synthesize ~seed:cfg.synthetiq_seed ~time_limit ~target:m
+            ~epsilon:cfg.epsilon ()
+        in
+        match r.Synthetiq.seq with
+        | Some seq -> (seq, r.Synthetiq.distance)
+        | None -> Robust.fail Robust.Budget_exhausted)
+end
+
+module Sk_backend : BACKEND = struct
+  let name = "sk"
+
+  let capability = Full_u3
+
+  let synthesize target cfg =
+    let m = target_mat2 target in
+    wrap name (fun () ->
+        let r =
+          Solovay_kitaev.synthesize_to ?base_t:cfg.sk_base_t ?max_depth:cfg.sk_max_depth
+            ~epsilon:cfg.epsilon m
+        in
+        (r.Solovay_kitaev.seq, r.Solovay_kitaev.distance))
+end
+
+(* ------------------------------------------------------------------ *)
+(* The registry                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let reg_lock = Mutex.create ()
+
+let reg : (string * backend) list ref = ref []
+
+let locked f =
+  Mutex.lock reg_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock reg_lock) f
+
+let register (b : backend) =
+  let name = backend_name b in
+  locked (fun () ->
+      if List.mem_assoc name !reg then
+        invalid_arg ("Synth.register: duplicate backend " ^ name)
+      else reg := !reg @ [ (name, b) ])
+
+let find name = locked (fun () -> List.assoc_opt name !reg)
+
+let find_exn name =
+  match find name with
+  | Some b -> b
+  | None -> invalid_arg ("Synth.find_exn: unknown backend " ^ name)
+
+let all () = locked (fun () -> List.map snd !reg)
+
+let () =
+  List.iter register
+    [
+      (module Trasyn_backend : BACKEND);
+      (module Gridsynth_backend : BACKEND);
+      (module Synthetiq_backend : BACKEND);
+      (module Sk_backend : BACKEND);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Chains: fallback ladders as data                                    *)
+(* ------------------------------------------------------------------ *)
+
+type rung_spec = {
+  rung_name : string;
+  backend : backend;
+  eps_scale : float;
+  eps_floor : float;
+  tweak : config -> config;
+}
+
+let rung ?name ?(eps_scale = 1.0) ?(eps_floor = 0.0) ?(tweak = Fun.id) backend =
+  let rung_name = match name with Some n -> n | None -> backend_name backend in
+  { rung_name; backend; eps_scale; eps_floor; tweak }
+
+let chain_id chain = String.concat "," (List.map (fun s -> s.rung_name) chain)
+
+(* Below ~0.45 a word is meaningfully closer to the target than a
+   random unitary; the SK last resort accepts anything under it (and
+   reports the achieved distance) rather than failing the rotation. *)
+let sk_floor = 0.45
+
+(* The sampled search is reliable down to ~1e-2 at fallback budgets;
+   asking it for less just burns its budget before SK runs. *)
+let trasyn_floor = 0.01
+
+let trasyn_backend = find_exn "trasyn"
+
+let gridsynth_backend = find_exn "gridsynth"
+
+let sk_rung = rung ~eps_floor:sk_floor (find_exn "sk")
+
+let u3_chain =
+  [
+    rung trasyn_backend;
+    (* Reseed and double the sample budget: a miss at k samples is
+       often a hit at 2k with a fresh stream. *)
+    rung ~name:"trasyn.retry"
+      ~tweak:(fun c ->
+        {
+          c with
+          trasyn =
+            {
+              c.trasyn with
+              Trasyn.seed = c.trasyn.Trasyn.seed lxor 0x2b5d;
+              samples = c.trasyn.Trasyn.samples * 2;
+            };
+          trasyn_attempts = 2;
+        })
+      trasyn_backend;
+    rung gridsynth_backend;
+    sk_rung;
+  ]
+
+let rz_chain ?(gs_scale = 2.0) () =
+  [
+    rung gridsynth_backend;
+    rung ~name:"gridsynth.retry" ~eps_scale:gs_scale
+      ~tweak:(fun c -> { c with gs_max_extra_n = Some 60; gs_candidates_per_n = Some 128 })
+      gridsynth_backend;
+    rung ~eps_floor:trasyn_floor
+      ~tweak:(fun c ->
+        {
+          c with
+          trasyn = Trasyn.default_config;
+          trasyn_budgets = default_budgets;
+          trasyn_attempts = 2;
+        })
+      trasyn_backend;
+    sk_rung;
+  ]
+
+let parse_chain s =
+  let names =
+    String.split_on_char ',' s |> List.map String.trim |> List.filter (fun n -> n <> "")
+  in
+  if names = [] then Error "empty backend chain"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | n :: rest -> (
+          match find n with
+          | Some b ->
+              (* A user-specified sk entry keeps its relaxed floor so
+                 hand-built chains still land like the standard ones. *)
+              let spec = if n = "sk" then rung ~eps_floor:sk_floor b else rung b in
+              go (spec :: acc) rest
+          | None ->
+              Error
+                (Printf.sprintf "unknown backend %S (known: %s)" n
+                   (String.concat ", " (List.map backend_name (all ())))))
+    in
+    go [] names
+
+(* ------------------------------------------------------------------ *)
+(* Running a chain                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rung_of_spec ~config:base ~target spec : Robust.rung =
+  let eps = Float.max (base.epsilon *. spec.eps_scale) spec.eps_floor in
+  {
+    Robust.name = spec.rung_name;
+    rung_epsilon = eps;
+    run =
+      (fun deadline ->
+        (* The chain runner owns deadline composition; the adapter just
+           honours whatever it is handed. *)
+        let cfg = spec.tweak { base with epsilon = eps; deadline } in
+        let module B = (val spec.backend) in
+        match B.synthesize target cfg with
+        | Ok (word, distance) -> (word, distance)
+        | Error f -> Robust.fail f);
+  }
+
+let run_chain ?deadline ~config:cfg chain target =
+  let deadline =
+    match deadline with
+    | Some d -> Obs.Deadline.earliest d cfg.deadline
+    | None -> cfg.deadline
+  in
+  Robust.run_chain ~deadline ~target:(target_mat2 target)
+    (List.map (rung_of_spec ~config:cfg ~target) chain)
+
+let synthesize_u3 ?deadline ?(config = Trasyn.default_config) ?(budgets = default_budgets)
+    ~epsilon target =
+  let cfg =
+    {
+      epsilon;
+      deadline = Obs.Deadline.none;
+      trasyn = config;
+      trasyn_budgets = budgets;
+      trasyn_attempts = 1;
+      gs_max_extra_n = None;
+      gs_candidates_per_n = None;
+      synthetiq_seconds = 10.0;
+      synthetiq_seed = 0;
+      sk_base_t = None;
+      sk_max_depth = None;
+    }
+  in
+  run_chain ?deadline ~config:cfg u3_chain (Unitary target)
+
+let synthesize_rz ?deadline ?gs_scale ~epsilon theta =
+  run_chain ?deadline ~config:(config ~epsilon ()) (rz_chain ?gs_scale ()) (Rz theta)

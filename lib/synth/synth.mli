@@ -1,0 +1,164 @@
+(** Unified synthesis-backend registry: every per-rotation synthesis in
+    the compiler goes through here.
+
+    The four concrete engines (TRASYN, GRIDSYNTH, SYNTHETIQ,
+    Solovay–Kitaev) are wrapped as first-class modules of one
+    {!BACKEND} signature and interned in a string-keyed registry
+    ({!find} / {!all}), so the pipeline, the CLIs, and the benches
+    never name a backend module — they name registry entries, and a
+    [--backend-chain trasyn,gridsynth,sk] flag can rebuild any ladder
+    at run time ({!parse_chain}).
+
+    Fallback ladders are plain data: a chain is a [rung_spec list]
+    (registry entry + per-rung ε policy + config tweak), executed by
+    {!run_chain} on top of [Robust.run_chain], so guard verification,
+    deadline propagation, retry/fallback counters, and fault injection
+    all apply unchanged.  {!u3_chain} and {!rz_chain} reproduce the
+    ladders the robust layer used to hard-wire, constant for
+    constant. *)
+
+(** {1 Targets and capability} *)
+
+type capability =
+  | Rz_only
+      (** the engine natively synthesizes a single Rz word; [Unitary]
+          targets are still accepted, routed through the Eq. (1)
+          Euler-angle decomposition (three Rz syntheses at ε/3) *)
+  | Full_u3  (** the engine hits an arbitrary SU(2) target directly *)
+
+type target = Rz of float | Unitary of Mat2.t
+
+val target_mat2 : target -> Mat2.t
+
+(** {1 Per-call configuration} *)
+
+type config = {
+  epsilon : float;  (** requested unitary-distance threshold *)
+  deadline : Obs.Deadline.t;
+  trasyn : Trasyn.config;
+  trasyn_budgets : int list;  (** per-MPS-site T budgets *)
+  trasyn_attempts : int;  (** reseeded tries per budget prefix *)
+  gs_max_extra_n : int option;  (** [None] = backend default *)
+  gs_candidates_per_n : int option;
+  synthetiq_seconds : float;  (** anneal wall budget (tightened by [deadline]) *)
+  synthetiq_seed : int;
+  sk_base_t : int option;
+  sk_max_depth : int option;
+}
+
+val default_budgets : int list
+(** [\[10; 10; 8\]] — the standard ladder's TRASYN budgets. *)
+
+val config :
+  ?deadline:Obs.Deadline.t ->
+  ?trasyn:Trasyn.config ->
+  ?budgets:int list ->
+  epsilon:float ->
+  unit ->
+  config
+(** Smart constructor with the standard defaults (no deadline,
+    [Trasyn.default_config], {!default_budgets}, 1 attempt, backend
+    -default gridsynth search, 10 s / seed 0 synthetiq, default SK
+    escalation). *)
+
+(** {1 The backend signature} *)
+
+module type BACKEND = sig
+  val name : string
+  (** registry key, counter suffix, fault-injection key *)
+
+  val capability : capability
+
+  val synthesize : target -> config -> (Ctgate.t list * float, Robust.failure) result
+  (** Produce (word, claimed distance) or a structured failure.  The
+      claim is {e not} trusted: {!run_chain} re-verifies every word
+      through [Robust.verify] before accepting it. *)
+end
+
+type backend = (module BACKEND)
+
+val backend_name : backend -> string
+
+val backend_capability : backend -> capability
+
+(** {1 Registry} *)
+
+val register : backend -> unit
+(** Add a backend under its [name].
+    @raise Invalid_argument on a duplicate name. *)
+
+val find : string -> backend option
+
+val find_exn : string -> backend
+(** @raise Invalid_argument on an unknown name. *)
+
+val all : unit -> backend list
+(** In registration order; the four built-ins ([trasyn], [gridsynth],
+    [synthetiq], [sk]) are registered at module initialization. *)
+
+(** {1 Chains as data} *)
+
+type rung_spec = {
+  rung_name : string;  (** counter / fault key; defaults to the backend name *)
+  backend : backend;
+  eps_scale : float;  (** rung threshold = max(ε·scale, floor) … *)
+  eps_floor : float;  (** … so retry rungs can relax and last resorts floor *)
+  tweak : config -> config;  (** per-rung config adjustment (reseeds etc.) *)
+}
+
+val rung :
+  ?name:string -> ?eps_scale:float -> ?eps_floor:float -> ?tweak:(config -> config) ->
+  backend -> rung_spec
+(** [eps_scale] defaults to 1, [eps_floor] to 0, [tweak] to identity. *)
+
+val chain_id : rung_spec list -> string
+(** Comma-joined rung names — the chain's cache-key fingerprint. *)
+
+val u3_chain : rung_spec list
+(** TRASYN → reseeded TRASYN retry (doubled samples) → GRIDSYNTH
+    (Eq. (1) decomposition at ε) → Solovay–Kitaev last resort at a
+    relaxed threshold (max ε 0.45 — always lands, may be degraded). *)
+
+val rz_chain : ?gs_scale:float -> unit -> rung_spec list
+(** GRIDSYNTH → GRIDSYNTH retry at scaled ε ([gs_scale]·ε, default 2×,
+    with a deeper candidate search) → TRASYN (threshold floored at
+    0.01, the sampled search's reliable range) → Solovay–Kitaev last
+    resort. *)
+
+val parse_chain : string -> (rung_spec list, string) result
+(** Parse a [--backend-chain] value: comma-separated registry names,
+    e.g. ["trasyn,gridsynth,sk"].  Each name becomes a plain rung at
+    the chain ε (an [sk] entry keeps its 0.45 floor so hand-built
+    chains still land).  [Error] names the unknown backend and lists
+    the known ones. *)
+
+(** {1 Running a chain} *)
+
+val run_chain :
+  ?deadline:Obs.Deadline.t ->
+  config:config ->
+  rung_spec list ->
+  target ->
+  (Robust.attempt, Robust.failure) result
+(** Execute the chain through [Robust.run_chain]: first rung whose
+    guard-verified word meets its threshold wins.  The effective
+    deadline is the tighter of [deadline] and [config.deadline]; each
+    rung sees it in its [config]. *)
+
+val synthesize_u3 :
+  ?deadline:Obs.Deadline.t ->
+  ?config:Trasyn.config ->
+  ?budgets:int list ->
+  epsilon:float ->
+  Mat2.t ->
+  (Robust.attempt, Robust.failure) result
+(** {!run_chain} over {!u3_chain} (same contract the robust layer's
+    [synthesize_u3] used to offer). *)
+
+val synthesize_rz :
+  ?deadline:Obs.Deadline.t ->
+  ?gs_scale:float ->
+  epsilon:float ->
+  float ->
+  (Robust.attempt, Robust.failure) result
+(** {!run_chain} over {!rz_chain} on Rz(θ). *)

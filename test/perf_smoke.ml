@@ -1,6 +1,7 @@
 (* CI gate for the perf-trajectory layer, wired into @runtest:
 
-   1. run the perf suite in smoke mode (tiny budgets) and check the
+   1. run the perf suite in smoke mode (tiny budgets, --jobs 2 so the
+      planner's multi-domain path is exercised in CI) and check the
       emitted JSON validates against tgates-bench/v1 via tgates-trace;
    2. `tgates-trace diff --fail-above 10` of the result against itself
       must exit 0 (zero regressions);
@@ -48,7 +49,8 @@ let () =
   (* Gate 1: smoke perf run emits schema-valid JSON. *)
   let bench_json = Filename.temp_file "perf_smoke" ".json" in
   run_ok "perf suite"
-    (Printf.sprintf "%s --suite perf --quick --suite-budget 20 --bench-out %s >/dev/null 2>/dev/null"
+    (Printf.sprintf
+       "%s --suite perf --quick --suite-budget 20 --jobs 2 --bench-out %s >/dev/null 2>/dev/null"
        (q bench_main) (q bench_json));
   run_ok "validate" (Printf.sprintf "%s validate %s >/dev/null" (q trace_cli) (q bench_json));
 
@@ -74,7 +76,9 @@ let () =
   if code = 0 then failf "diff against the 2x-slower copy exited 0; the regression gate is inert";
 
   (* Gate 4: hotspot self-times on a real compile trace account for the
-     root span's wall time. *)
+     root span's wall time.  --jobs 1 keeps synthesis on the calling
+     domain: with worker domains the planner's job spans overlap in
+     wall time and a self-time sum is no longer comparable to it. *)
   let qasm = Filename.temp_file "perf_smoke" ".qasm" in
   let oc = open_out qasm in
   output_string oc
@@ -82,8 +86,8 @@ let () =
   close_out oc;
   let trace = Filename.temp_file "perf_smoke" ".jsonl" in
   run_ok "compile"
-    (Printf.sprintf "%s --input %s --trace %s >/dev/null 2>/dev/null" (q compile_cli) (q qasm)
-       (q trace));
+    (Printf.sprintf "%s --input %s --jobs 1 --trace %s >/dev/null 2>/dev/null" (q compile_cli)
+       (q qasm) (q trace));
   run_ok "hotspots renders" (Printf.sprintf "%s hotspots --top 5 %s >/dev/null" (q trace_cli) (q trace));
   (match Trace_analysis.load trace with
   | Error e -> failf "compile trace does not load: %s" e

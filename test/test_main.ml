@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
       ("robust", Test_robust.suite);
+      ("synth", Test_synth.suite);
     ]

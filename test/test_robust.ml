@@ -237,10 +237,13 @@ let chain_tests =
             Alcotest.(check int) "guard rejected it" 1 rejected));
   ]
 
+(* The standard ladders now live in Synth as data-built chains; these
+   tests pin down that the registry-built chains keep the exact
+   fallback semantics the robust layer used to hard-wire. *)
 let ladder_tests =
   [
     Alcotest.test_case "rz happy path takes the first rung" `Quick (fun () ->
-        match Robust.synthesize_rz ~epsilon:1e-2 0.61 with
+        match Synth.synthesize_rz ~epsilon:1e-2 0.61 with
         | Ok a ->
             Alcotest.(check string) "backend" "gridsynth" a.Robust.backend;
             Alcotest.(check int) "no fallbacks" 0 a.Robust.fallbacks;
@@ -248,7 +251,7 @@ let ladder_tests =
         | Error f -> Alcotest.fail (Robust.failure_to_string f));
     Alcotest.test_case "u3 ladder survives a dead TRASYN" `Quick (fun () ->
         Robust.Fault.with_faults [ fault "trasyn" Robust.Fault.Fail ] (fun () ->
-            match Robust.synthesize_u3 ~epsilon:0.05 (Mat2.u3 0.4 1.1 (-0.7)) with
+            match Synth.synthesize_u3 ~epsilon:0.05 (Mat2.u3 0.4 1.1 (-0.7)) with
             | Ok a ->
                 Alcotest.(check string) "rescued by gridsynth" "gridsynth" a.Robust.backend;
                 Alcotest.(check int) "two dead rungs" 2 a.Robust.fallbacks;
@@ -258,7 +261,7 @@ let ladder_tests =
         Robust.Fault.with_faults
           [ fault "trasyn" Robust.Fault.Fail; fault "gridsynth" Robust.Fault.Fail ]
           (fun () ->
-            match Robust.synthesize_u3 ~epsilon:0.05 (Mat2.u3 0.4 1.1 (-0.7)) with
+            match Synth.synthesize_u3 ~epsilon:0.05 (Mat2.u3 0.4 1.1 (-0.7)) with
             | Ok a ->
                 Alcotest.(check string) "backend" "sk" a.Robust.backend;
                 (* SK lands under its relaxed floor; the degradation is
@@ -267,7 +270,7 @@ let ladder_tests =
             | Error f -> Alcotest.fail (Robust.failure_to_string f)));
     Alcotest.test_case "all backends dead means a structured failure" `Quick (fun () ->
         Robust.Fault.with_faults [ fault "*" Robust.Fault.Fail ] (fun () ->
-            match Robust.synthesize_rz ~epsilon:1e-2 0.61 with
+            match Synth.synthesize_rz ~epsilon:1e-2 0.61 with
             | Error (Robust.Backend_error msg) ->
                 Alcotest.(check bool) "last rung named" true (contains msg "sk")
             | Ok _ -> Alcotest.fail "nothing should succeed"

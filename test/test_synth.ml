@@ -1,0 +1,237 @@
+(* Tests for the synthesis-backend registry and the deduplicating
+   multicore rotation planner: adapter round-trips for all four
+   engines, chain parsing, fault injection through registry-built
+   chains, planner dedup/execution semantics, the canonical-angle
+   memo keying, and --jobs determinism end to end. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let with_obs f =
+  let was = Obs.enabled () in
+  Obs.set_enabled true;
+  Fun.protect ~finally:(fun () -> Obs.set_enabled was) f
+
+let counter_delta name f =
+  let c = Obs.counter name in
+  let v0 = Obs.counter_value c in
+  let r = f () in
+  (r, Obs.counter_value c - v0)
+
+let fault ?(prob = 1.0) backend mode = { Robust.Fault.backend; mode; prob }
+let u3_target = Mat2.u3 0.4 1.1 (-0.7)
+
+(* The adapter's claimed distance must match the word it returned — the
+   registry's contract is (word, honest distance), independently of the
+   run_chain guard re-checking it. *)
+let check_roundtrip ~target ~slack (seq, claimed) =
+  let actual = Mat2.distance (Ctgate.seq_to_mat2 seq) target in
+  Alcotest.(check bool)
+    (Printf.sprintf "claimed %.3e vs actual %.3e" claimed actual)
+    true
+    (Float.abs (actual -. claimed) <= slack)
+
+let registry_tests =
+  [
+    Alcotest.test_case "the four built-ins are registered in order" `Quick (fun () ->
+        let names = List.map Synth.backend_name (Synth.all ()) in
+        List.iter
+          (fun n -> Alcotest.(check bool) n true (List.mem n names))
+          [ "trasyn"; "gridsynth"; "synthetiq"; "sk" ]);
+    Alcotest.test_case "find and find_exn agree" `Quick (fun () ->
+        (match Synth.find "gridsynth" with
+        | Some b -> Alcotest.(check string) "name" "gridsynth" (Synth.backend_name b)
+        | None -> Alcotest.fail "gridsynth must be registered");
+        Alcotest.(check bool) "unknown" true (Synth.find "bogus" = None);
+        match Synth.find_exn "bogus" with
+        | exception Invalid_argument _ -> ()
+        | _ -> Alcotest.fail "find_exn must raise on an unknown name");
+    Alcotest.test_case "capabilities match the engines" `Quick (fun () ->
+        let cap n = Synth.backend_capability (Synth.find_exn n) in
+        Alcotest.(check bool) "gridsynth is Rz-native" true (cap "gridsynth" = Synth.Rz_only);
+        List.iter
+          (fun n -> Alcotest.(check bool) n true (cap n = Synth.Full_u3))
+          [ "trasyn"; "synthetiq"; "sk" ]);
+    Alcotest.test_case "duplicate registration is rejected" `Quick (fun () ->
+        match Synth.register (Synth.find_exn "sk") with
+        | exception Invalid_argument _ -> ()
+        | () -> Alcotest.fail "registering sk twice must raise");
+  ]
+
+let adapter_tests =
+  [
+    Alcotest.test_case "trasyn round-trips a U3 target" `Quick (fun () ->
+        let cfg =
+          Synth.config
+            ~trasyn:{ Trasyn.default_config with samples = 128; table_t = 6 }
+            ~budgets:[ 6 ] ~epsilon:0.0 ()
+        in
+        let module B = (val Synth.find_exn "trasyn") in
+        match B.synthesize (Synth.Unitary u3_target) cfg with
+        | Ok r -> check_roundtrip ~target:u3_target ~slack:1e-6 r
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+    Alcotest.test_case "gridsynth round-trips an Rz target" `Quick (fun () ->
+        let module B = (val Synth.find_exn "gridsynth") in
+        match B.synthesize (Synth.Rz 0.61) (Synth.config ~epsilon:1e-2 ()) with
+        | Ok ((_, d) as r) ->
+            Alcotest.(check bool) "meets epsilon" true (d <= 1e-2);
+            check_roundtrip ~target:(Mat2.rz 0.61) ~slack:1e-6 r
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+    Alcotest.test_case "gridsynth serves a Unitary target via Eq. (1)" `Quick (fun () ->
+        let module B = (val Synth.find_exn "gridsynth") in
+        match B.synthesize (Synth.Unitary u3_target) (Synth.config ~epsilon:0.1 ()) with
+        | Ok ((_, d) as r) ->
+            Alcotest.(check bool) "meets epsilon" true (d <= 0.1);
+            check_roundtrip ~target:u3_target ~slack:1e-6 r
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+    Alcotest.test_case "synthetiq round-trips at a loose threshold" `Quick (fun () ->
+        let cfg = { (Synth.config ~epsilon:0.3 ()) with Synth.synthetiq_seconds = 5.0 } in
+        let module B = (val Synth.find_exn "synthetiq") in
+        match B.synthesize (Synth.Unitary u3_target) cfg with
+        | Ok r -> check_roundtrip ~target:u3_target ~slack:1e-6 r
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+    Alcotest.test_case "sk round-trips a U3 target" `Quick (fun () ->
+        let module B = (val Synth.find_exn "sk") in
+        match B.synthesize (Synth.Unitary u3_target) (Synth.config ~epsilon:0.45 ()) with
+        | Ok ((_, d) as r) ->
+            Alcotest.(check bool) "under the SK floor" true (d <= 0.45);
+            check_roundtrip ~target:u3_target ~slack:1e-6 r
+        | Error f -> Alcotest.fail (Robust.failure_to_string f));
+  ]
+
+let chain_tests =
+  [
+    Alcotest.test_case "parse_chain builds rungs in order" `Quick (fun () ->
+        match Synth.parse_chain "trasyn, gridsynth,sk" with
+        | Ok rungs ->
+            Alcotest.(check string) "chain id" "trasyn,gridsynth,sk" (Synth.chain_id rungs);
+            let sk = List.nth rungs 2 in
+            Alcotest.(check bool) "sk keeps its floor" true (sk.Synth.eps_floor = 0.45)
+        | Error e -> Alcotest.fail e);
+    Alcotest.test_case "parse_chain names the unknown backend" `Quick (fun () ->
+        (match Synth.parse_chain "gridsynth,warp" with
+        | Error e -> Alcotest.(check bool) "names it" true (contains e "warp")
+        | Ok _ -> Alcotest.fail "warp is not a backend");
+        match Synth.parse_chain "" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "an empty chain is an error");
+    Alcotest.test_case "a fault falls through a registry-built chain" `Quick (fun () ->
+        let chain =
+          match Synth.parse_chain "gridsynth,sk" with Ok c -> c | Error e -> Alcotest.fail e
+        in
+        Robust.Fault.with_faults [ fault "gridsynth" Robust.Fault.Fail ] (fun () ->
+            match
+              Synth.run_chain ~config:(Synth.config ~epsilon:1e-2 ()) chain (Synth.Rz 0.61)
+            with
+            | Ok a ->
+                Alcotest.(check string) "sk rescued it" "sk" a.Robust.backend;
+                Alcotest.(check int) "one dead rung" 1 a.Robust.fallbacks
+            | Error f -> Alcotest.fail (Robust.failure_to_string f)));
+  ]
+
+let planner_tests =
+  [
+    Alcotest.test_case "plan dedupes on key, first appearance wins" `Quick (fun () ->
+        let p = Planner.plan [ ("a", 1); ("b", 2); ("a", 3); ("b", 4); ("a", 5) ] in
+        Alcotest.(check int) "occurrences" 5 p.Planner.occurrences;
+        Alcotest.(check int) "dedup hits" 3 p.Planner.dedup_hits;
+        Alcotest.(check (list string)) "job order" [ "a"; "b" ]
+          (Array.to_list (Array.map (fun j -> j.Planner.key) p.Planner.jobs));
+        Alcotest.(check (list int)) "first target wins" [ 1; 2 ]
+          (Array.to_list (Array.map (fun j -> j.Planner.target) p.Planner.jobs)));
+    Alcotest.test_case "execute collects results under any domain count" `Quick (fun () ->
+        let p = Planner.plan (List.init 9 (fun i -> (string_of_int (i mod 3), i mod 3))) in
+        List.iter
+          (fun jobs ->
+            let t = Planner.execute ~jobs ~run:(fun ~deadline:_ x -> Ok (x * 10)) p in
+            Alcotest.(check int) "table size" 3 (Hashtbl.length t);
+            List.iter
+              (fun k ->
+                match Hashtbl.find_opt t (string_of_int k) with
+                | Some (Ok v) -> Alcotest.(check int) "value" (k * 10) v
+                | _ -> Alcotest.fail "missing result")
+              [ 0; 1; 2 ])
+          [ 1; 4 ]);
+    Alcotest.test_case "a raising job fails alone, not the plan" `Quick (fun () ->
+        let p = Planner.plan [ ("bad", 0); ("ok", 1) ] in
+        let t =
+          Planner.execute ~jobs:2
+            ~run:(fun ~deadline:_ x -> if x = 0 then failwith "kaboom" else Ok x)
+            p
+        in
+        (match Hashtbl.find_opt t "bad" with
+        | Some (Error (Robust.Backend_error msg)) ->
+            Alcotest.(check bool) "cause kept" true (contains msg "kaboom")
+        | _ -> Alcotest.fail "the raising job must store a Backend_error");
+        match Hashtbl.find_opt t "ok" with
+        | Some (Ok 1) -> ()
+        | _ -> Alcotest.fail "the healthy job must still land");
+    Alcotest.test_case "planner counters account for the work" `Quick (fun () ->
+        with_obs @@ fun () ->
+        let p = Planner.plan (List.init 8 (fun i -> (string_of_int (i mod 2), i))) in
+        let _, jobs =
+          counter_delta "obs.planner.jobs" (fun () ->
+              Planner.execute ~jobs:1 ~run:(fun ~deadline:_ _ -> Ok ()) p)
+        in
+        Alcotest.(check int) "unique jobs" 2 jobs;
+        let _, hits =
+          counter_delta "obs.planner.dedup_hits" (fun () ->
+              Planner.execute ~jobs:1 ~run:(fun ~deadline:_ _ -> Ok ()) p)
+        in
+        Alcotest.(check int) "dedup hits" 6 hits);
+  ]
+
+let canonical_tests =
+  [
+    Alcotest.test_case "angle keys identify equivalent rotations" `Quick (fun () ->
+        let two_pi = 8.0 *. atan 1.0 in
+        Alcotest.(check string) "negative zero" (Pipeline.angle_key 0.0) (Pipeline.angle_key (-0.0));
+        Alcotest.(check string) "wraparound"
+          (Pipeline.angle_key 0.61)
+          (Pipeline.angle_key (0.61 +. two_pi));
+        Alcotest.(check string) "double wraparound"
+          (Pipeline.angle_key (-0.61))
+          (Pipeline.angle_key ((-0.61) -. two_pi)));
+    Alcotest.test_case "rz(theta+2pi) is a memo hit, same word" `Quick (fun () ->
+        with_obs @@ fun () ->
+        Pipeline.clear_caches ();
+        let two_pi = 8.0 *. atan 1.0 in
+        let w1, _ = Pipeline.gridsynth_rz_word ~epsilon:1e-2 0.61 in
+        let (w2, _), hits =
+          counter_delta "pipeline.gridsynth_cache.hit" (fun () ->
+              Pipeline.gridsynth_rz_word ~epsilon:1e-2 (0.61 +. two_pi))
+        in
+        Alcotest.(check int) "served from cache" 1 hits;
+        Alcotest.(check string) "identical word" (Ctgate.seq_to_string w1) (Ctgate.seq_to_string w2));
+  ]
+
+let determinism_tests =
+  [
+    Alcotest.test_case "gridsynth workflow: --jobs 4 output == --jobs 1" `Slow (fun () ->
+        let c = Generators.qft 3 in
+        Pipeline.clear_caches ();
+        let s1 = Pipeline.run_gridsynth ~epsilon:0.07 ~jobs:1 c in
+        Pipeline.clear_caches ();
+        let s4 = Pipeline.run_gridsynth ~epsilon:0.07 ~jobs:4 c in
+        Alcotest.(check string) "bit-identical QASM"
+          (Qasm.to_string s1.Pipeline.circuit)
+          (Qasm.to_string s4.Pipeline.circuit));
+    Alcotest.test_case "trasyn workflow: --jobs 4 output == --jobs 1" `Slow (fun () ->
+        let c = Generators.qft 3 in
+        let config = { Trasyn.default_config with samples = 64; table_t = 6; beam = 4 } in
+        let budgets = [ 6 ] in
+        Pipeline.clear_caches ();
+        let s1 = Pipeline.run_trasyn ~epsilon:0.2 ~config ~budgets ~jobs:1 c in
+        Pipeline.clear_caches ();
+        let s4 = Pipeline.run_trasyn ~epsilon:0.2 ~config ~budgets ~jobs:4 c in
+        Pipeline.clear_caches ();
+        Alcotest.(check string) "bit-identical QASM"
+          (Qasm.to_string s1.Pipeline.circuit)
+          (Qasm.to_string s4.Pipeline.circuit));
+  ]
+
+let suite =
+  registry_tests @ adapter_tests @ chain_tests @ planner_tests @ canonical_tests
+  @ determinism_tests
