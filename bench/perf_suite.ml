@@ -156,6 +156,71 @@ let planner_phase ~deadline ~smoke ~par_jobs =
         ("speedup", J.Num (seq_wall /. par_wall));
       ] )
 
+(* The chain-reuse phase: what acquiring a ready-to-sample MPS costs
+   with and without the canonicalized-chain machinery, isolated from
+   sampling.  Per target, "cold" is the old regime — build every site
+   and run the full right-to-left sweep — while "warm" grafts a fresh
+   first site onto one shared canonicalized interior (the warm wall
+   includes building that interior once).  Both paths must yield
+   bit-identical MPS, proven here by comparing fixed-seed draws.
+   End-to-end impact on synthesis shows up in the trasyn_u3 phase,
+   whose escalation loop hits the chain cache; this phase pins down the
+   kernel-level ratio behind that win.  The configuration mirrors the
+   pipeline's regime: depth-10 table, three sites. *)
+let chain_reuse_phase ~deadline ~smoke =
+  let n = if smoke then 4 else 12 in
+  let rng = Random.State.make [| 23 |] in
+  let targets = List.init n (fun _ -> Mat2.random_unitary rng) in
+  let table = Ma_table.get 10 in
+  let banks = Array.init 3 (fun _ -> Sitebank.of_table table ~lo:0 ~hi:6) in
+  let cold_wall = ref 0.0 and warm_wall = ref 0.0 in
+  let timed acc f =
+    let t0 = Obs.Clock.elapsed_s () in
+    let r = f () in
+    acc := !acc +. (Obs.Clock.elapsed_s () -. t0);
+    r
+  in
+  let chain = timed warm_wall (fun () -> Mps.canonical_chain banks) in
+  let identical = ref true in
+  List.iter
+    (fun target ->
+      let cold =
+        timed cold_wall (fun () ->
+            Obs.span "perf.chain_reuse" (fun () ->
+                let m = Mps.build ~target banks in
+                Mps.canonicalize m;
+                m))
+      in
+      let warm = timed warm_wall (fun () -> Mps.instantiate ~target chain) in
+      (* Fixed-seed draws from both instances must agree bit-for-bit
+         (indices, amplitudes, multiplicities). *)
+      if compare (Mps.sample cold ~k:16) (Mps.sample warm ~k:16) <> 0 then identical := false)
+    targets;
+  let cold_wall = !cold_wall and warm_wall = !warm_wall in
+  let s = Obs.summarize (Obs.histogram "perf.chain_reuse") in
+  let q v = if Float.is_finite v then v else 0.0 in
+  Printf.printf
+    "  %-20s %3d targets  cold=%.3fs warm=%.3fs (incl. one chain build)  speedup=%.2fx%s\n%!"
+    "chain_reuse" n cold_wall warm_wall
+    (cold_wall /. warm_wall)
+    (if !identical then "" else "  [MISMATCH]");
+  ( "chain_reuse",
+    J.Obj
+      [
+        ("items", J.Num (float_of_int n));
+        ("truncated", J.Bool (Obs.Deadline.expired deadline));
+        ("wall_s", J.Num (q s.Obs.sum));
+        ("p50_s", J.Num (q s.Obs.p50));
+        ("p90_s", J.Num (q s.Obs.p90));
+        ("p99_s", J.Num (q s.Obs.p99));
+        ("t_count", J.Num 0.0);
+        ("degraded", J.Num 0.0);
+        ("cold_wall_s", J.Num cold_wall);
+        ("warm_wall_s", J.Num warm_wall);
+        ("reuse_speedup", J.Num (cold_wall /. warm_wall));
+        ("identical", J.Bool !identical);
+      ] )
+
 let run ?out ?jobs ~budget ~smoke () =
   Util.header (Printf.sprintf "PERF SUITE (budget %gs%s)" budget (if smoke then ", smoke" else ""));
   let was_enabled = Obs.enabled () in
@@ -215,6 +280,7 @@ let run ?out ?jobs ~budget ~smoke () =
         (Circuit.t_count s.Pipeline.circuit, List.length s.Pipeline.degraded)
     | Error f -> raise (Robust.Failure_exn f)
   in
+  let chain_reuse = chain_reuse_phase ~deadline ~smoke in
   let pt =
     run_phase ~deadline "pipeline_trasyn" circuits
       (run_pipeline (Pipeline.run_trasyn_result ~epsilon:pipeline_eps ~config ~deadline ?jobs))
@@ -242,13 +308,15 @@ let run ?out ?jobs ~budget ~smoke () =
               ("truncated", J.Bool (List.exists (fun a -> a.truncated) phases));
             ] );
         ("wall_s", J.Num wall);
-        ("phases", J.Obj (List.map phase_json phases @ [ planner ]));
+        ("phases", J.Obj (List.map phase_json phases @ [ chain_reuse; planner ]));
         ( "cache",
           J.Obj
             [
               ("gridsynth_hit_rate", J.Num (hit_rate "pipeline.gridsynth_cache"));
               ("trasyn_hit_rate", J.Num (hit_rate "pipeline.trasyn_cache"));
               ("evictions", J.Num (float_of_int (cval "pipeline.cache.evictions")));
+              ("chain_hit_rate", J.Num (hit_rate "mps.chain_cache"));
+              ("chain_evictions", J.Num (float_of_int (cval "mps.chain_cache.evictions")));
             ] );
         ( "gc",
           J.Obj

@@ -56,9 +56,12 @@ let mixed_infidelity ~target p v1 v2 =
   1.0 -. Ptm.process_fidelity ru (mixed_ptm p (Ptm.of_mat2 v1) (Ptm.of_mat2 v2))
 
 (* Best mixing probability for a fixed pair by golden-section search
-   (the norm distance is smooth and unimodal in p). *)
-let optimize_p ~target v1 v2 =
-  let f p = mixed_norm_distance ~target p v1 v2 in
+   (the norm distance is smooth and unimodal in p).  Works on
+   precomputed PTMs: the search evaluates its objective ~100 times and
+   the Mat2→PTM conversion of target and candidates must not be paid
+   per evaluation. *)
+let optimize_p_ptm ru r1 r2 =
+  let f p = ptm_distance ru (mixed_ptm p r1 r2) in
   let phi = (Float.sqrt 5.0 -. 1.0) /. 2.0 in
   let a = ref 0.0 and b = ref 1.0 in
   for _ = 1 to 50 do
@@ -97,19 +100,23 @@ let synthesize ?(config = Trasyn.default_config) ?(pool = 6) ~target ~budgets ()
   in
   let det_norm = mixed_norm_distance ~target 1.0 best_single.mat best_single.mat in
   let det_infid = mixed_infidelity ~target 1.0 best_single.mat best_single.mat in
+  (* One PTM per distinct candidate (and one for the target), shared by
+     every pair's golden-section search. *)
+  let ru = Ptm.of_mat2 target in
+  let with_ptm = List.map (fun c -> (c, Ptm.of_mat2 c.mat)) distinct in
   let best = ref None in
   List.iteri
-    (fun i c1 ->
+    (fun i (c1, r1) ->
       List.iteri
-        (fun j c2 ->
+        (fun j (c2, r2) ->
           if j > i then begin
-            let p, dist = optimize_p ~target c1.mat c2.mat in
+            let p, dist = optimize_p_ptm ru r1 r2 in
             match !best with
             | Some (_, _, _, bd) when bd <= dist -> ()
             | _ -> best := Some (c1, c2, p, dist)
           end)
-        distinct)
-    distinct;
+        with_ptm)
+    with_ptm;
   match !best with
   | Some (first, second, p, norm_distance) when norm_distance < det_norm ->
       {

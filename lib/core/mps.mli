@@ -6,7 +6,12 @@
     form, after which index tuples (gate sequences) are sampled from
     p ∝ |trace|² via the chain rule, each conditional computed locally.
     Every sample's trace value falls out of the final contraction for
-    free — the "error-aware" property the paper leans on. *)
+    free — the "error-aware" property the paper leans on.
+
+    All hot-path kernels (construction fills, the LQ sweep, the batched
+    sampler) operate directly on the flat float planes with small
+    preallocated scratch: no per-element boxing, per-sample allocation
+    is O(k) words total. *)
 
 type site = {
   dl : int;  (** left bond dimension *)
@@ -38,18 +43,64 @@ val trace_of_indices : t -> int array -> Cplx.t
 (** Direct exact evaluation of one index tuple (tests, verification). *)
 
 val canonicalize : t -> unit
-(** Right-to-left LQ sweep; sites 1..l−1 become right-isometric. *)
+(** Right-to-left LQ sweep; sites 1..l−1 become right-isometric.
+    Mutates the site tensors in place — never call this on an MPS
+    obtained from {!instantiate}, whose interior sites are shared. *)
 
 val right_canonical_error : site -> float
 (** ‖Σ_s A[s]A[s]† − I‖_F — zero (to float precision) after
     {!canonicalize}. *)
 
+(** {1 Reusable canonicalized chains}
+
+    Only the first site of the MPS depends on the target (it folds in
+    U†); sites 2..l are [M⊗δ] tensors of the operator banks alone, and
+    the right-to-left sweep reaches the first site last.  A {!chain}
+    captures everything target-independent — banks, the canonicalized
+    interior, and the boundary L factor from the sweep's final LQ — so
+    synthesizing against a new target only fills one fresh first site
+    and absorbs the saved boundary, instead of rebuilding and
+    re-canonicalizing the whole chain.
+
+    The interior sites are {e shared} between the chain and every MPS
+    it instantiates: they are read-only after {!canonical_chain}
+    returns (sampling and beam search only read site tensors), which is
+    what makes one chain safe to reuse concurrently from many domains. *)
+
+type chain = {
+  banks : Sitebank.t array;
+  interior : site array;  (** canonicalized sites 1..l−1; empty when l = 1 *)
+  bl_re : float array;  (** boundary L from site 1's LQ (row-major, bl_d×bl_d) *)
+  bl_im : float array;
+  bl_d : int;  (** boundary dimension; 0 when l = 1 *)
+}
+
+val canonical_chain : Sitebank.t array -> chain
+(** Build and canonicalize the target-independent part of the MPS once.
+    @raise Invalid_argument on zero sites. *)
+
+val instantiate : target:Mat2.t -> chain -> t
+(** Graft a target-folded first site onto the shared interior.  The
+    result is fully canonicalized (do {e not} call {!canonicalize} on
+    it) and bit-identical to [build] + [canonicalize] on the same banks
+    and target: both paths run the same fill, LQ, and absorb kernels on
+    the same values in the same order. *)
+
+(** {1 Sampling} *)
+
+val default_rng_seed : int
+(** Seed behind [sample]'s default rng: callers that do not pass [~rng]
+    get reproducible draws. *)
+
 val sample : ?rng:Random.State.t -> ?argmax_last:bool -> t -> k:int -> sample list
 (** Draw [k] sequences from the Born distribution of the canonicalized
-    MPS.  With [argmax_last] (default), each distinct sampled prefix
-    also contributes the best completion of the final site — the
-    conditional weights there are exactly the per-sequence trace values
-    and have already been computed. *)
+    MPS in one batched pass: all draws advance through the chain
+    together, so per-level work scales with the number of distinct
+    prefixes (≤ k), not with k·l.  With [argmax_last] (default), each
+    distinct sampled prefix also contributes the best completion of the
+    final site — the conditional weights there are exactly the
+    per-sequence trace values and have already been computed.  Without
+    [~rng], draws come from a fixed-seed state ({!default_rng_seed}). *)
 
 val beam_search : t -> beam:int -> sample list
 (** Deterministic alternative: keep the [beam] highest-weight partial

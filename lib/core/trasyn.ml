@@ -12,15 +12,128 @@ type config = {
   beam : int;  (** extra deterministic beam width, 0 to disable *)
   post_process : bool;  (** run step 3 *)
   seed : int;
+  reuse_chains : bool;  (** reuse canonicalized interiors across calls *)
 }
 
-let default_config = { table_t = 8; samples = 1024; beam = 32; post_process = true; seed = 0x7a51 }
+let default_config =
+  {
+    table_t = 8;
+    samples = 1024;
+    beam = 32;
+    post_process = true;
+    seed = 0x7a51;
+    reuse_chains = true;
+  }
 
 (* Observability handles (interned once; see lib/obs). *)
 let c_attempts = Obs.counter "trasyn.attempts"
 let c_restarts = Obs.counter "trasyn.restarts"
 let c_escalations = Obs.counter "trasyn.budget_escalations"
 let h_tcount = Obs.histogram ~buckets:(Array.init 33 (fun i -> float_of_int (4 * i))) "trasyn.t_count"
+
+(* ------------------------------------------------------------------ *)
+(* Chain cache                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Only the first MPS site depends on the target; everything else —
+   banks and the canonicalized interior — is a pure function of
+   (table_t, per-site T ranges).  Both of TRASYN's outer loops hammer
+   the same few keys: [to_error] escalates through growing prefixes of
+   one budget list, and [synthesize_timed] reseeds the very same
+   budgets over and over.  Caching the canonicalized chain turns every
+   repeat into "fill one site + absorb one 4×4 boundary factor".
+
+   The cache is shared across domains (the Planner calls [synthesize]
+   concurrently), hence the mutex; cached interiors are read-only after
+   publication, so handing the same chain to several domains is safe.
+   The chain is computed while holding the lock — concurrent requests
+   for the same key then dedup instead of racing.  FIFO eviction keeps
+   at most [chain_capacity] chains alive (a chain at table_t = 10 is a
+   few MB of bank + site floats). *)
+
+let c_chain_hit = Obs.counter "mps.chain_cache.hit"
+let c_chain_miss = Obs.counter "mps.chain_cache.miss"
+let c_chain_evict = Obs.counter "mps.chain_cache.evictions"
+
+type chain_key = int * (int * int) list
+
+type chain_entry = {
+  chain : Mps.chain;
+  (* Reseed memo: [synthesize_timed] re-instantiates the same target
+     dozens of times; one slot catches that without keying the cache by
+     target.  Comparison is bitwise — [=] on floats would equate 0.0
+     with -0.0 and diverge on NaN payloads, breaking the bit-identity
+     guarantee. *)
+  mutable last_target : Mat2.t option;
+  mutable last_mps : Mps.t option;
+}
+
+let chain_capacity = 16
+let chain_cache : (chain_key, chain_entry) Hashtbl.t = Hashtbl.create chain_capacity
+let chain_order : chain_key Queue.t = Queue.create ()
+let chain_lock = Mutex.create ()
+
+let clear_chain_cache () =
+  Mutex.lock chain_lock;
+  Hashtbl.reset chain_cache;
+  Queue.clear chain_order;
+  Mutex.unlock chain_lock
+
+let cplx_bits_equal (a : Cplx.t) (b : Cplx.t) =
+  Int64.bits_of_float a.Cplx.re = Int64.bits_of_float b.Cplx.re
+  && Int64.bits_of_float a.Cplx.im = Int64.bits_of_float b.Cplx.im
+
+let mat2_bits_equal (a : Mat2.t) (b : Mat2.t) =
+  cplx_bits_equal a.Mat2.m00 b.Mat2.m00
+  && cplx_bits_equal a.Mat2.m01 b.Mat2.m01
+  && cplx_bits_equal a.Mat2.m10 b.Mat2.m10
+  && cplx_bits_equal a.Mat2.m11 b.Mat2.m11
+
+(* [clamped] has been validated and clamped to the table depth. *)
+let banks_of config clamped =
+  let table = Ma_table.get config.table_t in
+  Array.of_list (List.map (fun (lo, hi) -> Sitebank.of_table table ~lo ~hi) clamped)
+
+(* A ready-to-sample MPS for the target.  The cached path and the cold
+   path run the same fill/LQ/absorb kernels on the same values in the
+   same order, so their outputs are bit-identical (gated in runtest). *)
+let mps_for config ~target clamped =
+  if not config.reuse_chains then begin
+    let mps = Mps.build ~target (banks_of config clamped) in
+    Mps.canonicalize mps;
+    mps
+  end
+  else begin
+    let key = (config.table_t, clamped) in
+    Mutex.lock chain_lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock chain_lock) @@ fun () ->
+    let entry =
+      match Hashtbl.find_opt chain_cache key with
+      | Some e ->
+          Obs.incr c_chain_hit;
+          e
+      | None ->
+          Obs.incr c_chain_miss;
+          if Hashtbl.length chain_cache >= chain_capacity then begin
+            let oldest = Queue.pop chain_order in
+            Hashtbl.remove chain_cache oldest;
+            Obs.incr c_chain_evict
+          end;
+          let e =
+            { chain = Mps.canonical_chain (banks_of config clamped); last_target = None; last_mps = None }
+          in
+          Hashtbl.replace chain_cache key e;
+          Queue.push key chain_order;
+          e
+    in
+    match (entry.last_mps, entry.last_target) with
+    | Some m, Some t when mat2_bits_equal t target -> m
+    | _ ->
+        let m = Mps.instantiate ~target entry.chain in
+        entry.last_target <- Some target;
+        entry.last_mps <- Some m;
+        m
+  end
 
 type result = {
   seq : Ctgate.t list;
@@ -45,12 +158,15 @@ let result_of_seq ~target ~sites ~samples seq =
     samples_used = samples;
   }
 
-(* Concatenate the per-site sequences of one sampled index tuple. *)
+(* Concatenate the per-site sequences of one sampled index tuple —
+   a right-to-left fold over the index array, no intermediate lists. *)
 let seq_of_sample (mps : Mps.t) (s : Mps.sample) =
-  List.concat
-    (List.mapi
-       (fun i phys -> Sitebank.sequence mps.Mps.sites.(i).Mps.bank phys)
-       (Array.to_list s.Mps.indices))
+  let indices = s.Mps.indices in
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (Sitebank.sequence mps.Mps.sites.(i).Mps.bank indices.(i) @ acc)
+  in
+  go (Array.length indices - 1) []
 
 (* [epsilon] switches the selection rule from Eq. (3) (minimize error)
    to Eq. (4) (among solutions meeting the threshold, minimize T).
@@ -61,17 +177,14 @@ let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target
   if ranges = [] then invalid_arg "Trasyn.synthesize: empty budget list";
   Obs.span "trasyn.synthesize" @@ fun () ->
   Obs.incr c_attempts;
-  let table = Ma_table.get config.table_t in
-  let banks =
-    Array.of_list
-      (List.map
-         (fun (lo, hi) ->
-           if lo > hi || lo < 0 then invalid_arg "Trasyn.synthesize_ranges: bad range";
-           Sitebank.of_table table ~lo ~hi:(min hi config.table_t))
-         ranges)
+  let clamped =
+    List.map
+      (fun (lo, hi) ->
+        if lo > hi || lo < 0 then invalid_arg "Trasyn.synthesize_ranges: bad range";
+        (lo, min hi config.table_t))
+      ranges
   in
-  let mps = Mps.build ~target banks in
-  Mps.canonicalize mps;
+  let mps = mps_for config ~target clamped in
   let rng = Random.State.make [| config.seed |] in
   let sampled = Mps.sample ~rng mps ~k:config.samples in
   let beamed = if config.beam > 0 then Mps.beam_search mps ~beam:config.beam else [] in
@@ -82,12 +195,11 @@ let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target
   let free_stats (s : Mps.sample) =
     let tv = Cplx.norm s.Mps.amplitude /. 2.0 in
     let dist = Float.sqrt (Float.max 0.0 (1.0 -. (tv *. tv))) in
-    let t_est =
-      Array.to_list s.Mps.indices
-      |> List.mapi (fun i phys -> Sitebank.tcount mps.Mps.sites.(i).Mps.bank phys)
-      |> List.fold_left ( + ) 0
-    in
-    (dist, t_est)
+    let t_est = ref 0 in
+    Array.iteri
+      (fun i phys -> t_est := !t_est + Sitebank.tcount mps.Mps.sites.(i).Mps.bank phys)
+      s.Mps.indices;
+    (dist, !t_est)
   in
   let free_key =
     match epsilon with
@@ -96,12 +208,15 @@ let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target
         fun (dist, t_est) ->
           if dist <= eps then (0, float_of_int t_est, dist) else (1, dist, float_of_int t_est)
   in
+  (* Decorate-sort-undecorate: each sample's stats are a fold over every
+     site, so compute them once per sample, not once per comparison. *)
   let scored =
-    List.sort
-      (fun a b -> compare (free_key (free_stats a)) (free_key (free_stats b)))
-      (sampled @ beamed)
+    List.map (fun s -> (free_key (free_stats s), s)) (sampled @ beamed)
+    |> List.sort (fun (ka, _) (kb, _) -> compare ka kb)
+    |> List.map snd
   in
   let top = List.filteri (fun i _ -> i < 16) scored in
+  let table = Ma_table.get config.table_t in
   let l = Array.length mps.Mps.sites in
   let candidates =
     List.map

@@ -143,7 +143,8 @@ let trasyn_cache : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
 
 let clear_caches () =
   Hashtbl.reset gridsynth_cache;
-  Hashtbl.reset trasyn_cache
+  Hashtbl.reset trasyn_cache;
+  Trasyn.clear_chain_cache ()
 
 let default_budgets = Synth.default_budgets
 let default_config = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 }

@@ -122,8 +122,9 @@ val trasyn_u3_attempt :
 
 val clear_caches : unit -> unit
 (** Empty both synthesis memo caches (gridsynth Rz words and TRASYN U3
-    words).  Use between unrelated runs, or to make timing measurements
-    cache-cold.  Hit/miss/eviction counts are exported through {!Obs}
+    words) and TRASYN's canonicalized-chain cache
+    ({!Trasyn.clear_chain_cache}).  Use between unrelated runs, or to
+    make timing measurements cache-cold.  Hit/miss/eviction counts are exported through {!Obs}
     as [pipeline.gridsynth_cache.hit]/[.miss],
     [pipeline.trasyn_cache.hit]/[.miss], and
     [pipeline.cache.evictions]; a hit counts once per served

@@ -8,7 +8,11 @@
    3. a doctored copy with every wall time doubled must make the same
       diff exit nonzero — the regression gate actually fires;
    4. a compile_cli --trace run must yield a trace whose hotspot
-      self-times sum to within 5% of the root span's wall time.
+      self-times sum to within 5% of the root span's wall time;
+   5. a second, independent quick-suite run diffed against the first
+      must pass a lenient regression threshold — the exact plumbing a
+      real perf gate uses (two separate processes, two JSON files),
+      exercised end-to-end in CI.
 
    The executables arrive as argv: BENCH_MAIN TRACE_CLI COMPILE_CLI. *)
 
@@ -106,5 +110,20 @@ let () =
       if Float.abs (self_sum -. wall) > 0.05 *. wall then
         failf "hotspot self-times sum to %.6fs but the root spans %.6fs (off by more than 5%%)"
           self_sum wall);
-  List.iter Sys.remove [ bench_json; doctored; qasm; trace ];
+  (* Gate 5: fresh run vs its own re-run through the regression gate.
+     The threshold is deliberately loose (300%): smoke phases last
+     milliseconds and their bucketed quantiles can jump a bucket or two
+     between runs on a loaded machine; what this gate proves is that
+     two honest runs of the same workload pass while the plumbing
+     (flatten, key filter, exit code) runs end-to-end on real files. *)
+  let bench_json2 = Filename.temp_file "perf_smoke_rerun" ".json" in
+  run_ok "perf suite re-run"
+    (Printf.sprintf
+       "%s --suite perf --quick --suite-budget 20 --jobs 2 --bench-out %s >/dev/null 2>/dev/null"
+       (q bench_main) (q bench_json2));
+  run_ok "re-run diff"
+    (Printf.sprintf "%s diff --fail-above 300 %s %s >/dev/null" (q trace_cli) (q bench_json)
+       (q bench_json2));
+
+  List.iter Sys.remove [ bench_json; bench_json2; doctored; qasm; trace ];
   print_endline "perf_smoke: OK"

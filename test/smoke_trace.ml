@@ -47,7 +47,19 @@ let () =
     (Printf.sprintf "%s --theta 0.4 --phi 1.1 --samples 64 --budget 6 --sites 2 --trace %s >/dev/null 2>/dev/null"
        (Filename.quote trasyn) (Filename.quote t1));
   check_jsonl ~what:"trasyn_cli --trace" t1
-    ~expect:[ "trasyn.synthesize"; "mps.sample"; "mps.canonicalize"; "sitebank.lookups"; "trasyn.t_count" ];
+    ~expect:
+      [
+        "trasyn.synthesize";
+        "mps.sample";
+        (* The chain cache is empty in a fresh process: the first
+           synthesis builds and canonicalizes the interior
+           (mps.chain_build) and grafts the target onto it
+           (mps.instantiate). *)
+        "mps.chain_build";
+        "mps.instantiate";
+        "sitebank.lookups";
+        "trasyn.t_count";
+      ];
   Sys.remove t1;
   (* Gate 2: the TGATES_TRACE environment variable. *)
   let t2 = Filename.temp_file "smoke_gridsynth" ".jsonl" in

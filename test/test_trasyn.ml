@@ -339,3 +339,107 @@ let deadline_tests =
   ]
 
 let suite = suite @ deadline_tests
+
+(* Chain reuse: the cached-chain path must be bit-identical to a cold
+   rebuild (same fill/LQ/absorb kernels, same values, same order), and
+   the cache counters must account exactly for the traffic.  This is
+   the acceptance gate for the canonicalized-chain cache. *)
+
+let check_bits_identical what (a : Trasyn.result) (b : Trasyn.result) =
+  Alcotest.(check string) (what ^ ": same sequence")
+    (Ctgate.seq_to_string a.Trasyn.seq)
+    (Ctgate.seq_to_string b.Trasyn.seq);
+  Alcotest.(check bool) (what ^ ": distance bits") true
+    (Int64.bits_of_float a.Trasyn.distance = Int64.bits_of_float b.Trasyn.distance);
+  Alcotest.(check bool) (what ^ ": trace_value bits") true
+    (Int64.bits_of_float a.Trasyn.trace_value = Int64.bits_of_float b.Trasyn.trace_value);
+  Alcotest.(check bool) (what ^ ": whole record") true (compare a b = 0)
+
+let chain_reuse_tests =
+  [
+    Alcotest.test_case "cached chains are bit-identical to cold rebuilds" `Quick (fun () ->
+        Trasyn.clear_chain_cache ();
+        let c_hit = Obs.counter "mps.chain_cache.hit" in
+        let c_miss = Obs.counter "mps.chain_cache.miss" in
+        let h0 = Obs.counter_value c_hit and m0 = Obs.counter_value c_miss in
+        let trng = Random.State.make [| 4242 |] in
+        List.iter
+          (fun budgets ->
+            (* One target per budget list, several seeds: reseeding the
+               same target must reuse both the chain and the memoized
+               instantiated MPS without changing any bit. *)
+            let target = Mat2.random_unitary trng in
+            List.iter
+              (fun seed ->
+                let cfg reuse =
+                  {
+                    Trasyn.default_config with
+                    table_t = 4;
+                    samples = 128;
+                    beam = 8;
+                    seed;
+                    reuse_chains = reuse;
+                  }
+                in
+                let cold = Trasyn.synthesize ~config:(cfg false) ~target ~budgets () in
+                let warm = Trasyn.synthesize ~config:(cfg true) ~target ~budgets () in
+                check_bits_identical
+                  (Printf.sprintf "budgets=%s seed=%d"
+                     (String.concat "," (List.map string_of_int budgets))
+                     seed)
+                  cold warm)
+              [ 11; 12; 13 ])
+          [ [ 5 ]; [ 5; 5 ]; [ 4; 4; 4 ] ];
+        (* 3 distinct (table_t, ranges) keys, 3 warm calls each: first
+           is a miss, the rest hit.  Cold calls never touch the cache. *)
+        Alcotest.(check int) "misses" 3 (Obs.counter_value c_miss - m0);
+        Alcotest.(check int) "hits" 6 (Obs.counter_value c_hit - h0));
+    Alcotest.test_case "to_error escalation is bit-identical with chain reuse" `Quick (fun () ->
+        Trasyn.clear_chain_cache ();
+        let target = Mat2.random_unitary (Random.State.make [| 71 |]) in
+        let cfg reuse =
+          { Trasyn.default_config with samples = 96; beam = 4; reuse_chains = reuse }
+        in
+        (* A tight epsilon forces the outer loop through every budget
+           prefix — the cache's bread-and-butter access pattern. *)
+        let cold =
+          Trasyn.to_error ~config:(cfg false) ~target ~budgets:[ 4; 4; 4 ] ~epsilon:1e-9 ()
+        in
+        let warm =
+          Trasyn.to_error ~config:(cfg true) ~target ~budgets:[ 4; 4; 4 ] ~epsilon:1e-9 ()
+        in
+        check_bits_identical "to_error" cold warm);
+    Alcotest.test_case "chain cache evicts FIFO beyond capacity" `Quick (fun () ->
+        Trasyn.clear_chain_cache ();
+        let c_miss = Obs.counter "mps.chain_cache.miss" in
+        let c_evict = Obs.counter "mps.chain_cache.evictions" in
+        let m0 = Obs.counter_value c_miss and e0 = Obs.counter_value c_evict in
+        let target = Mat2.random_unitary (Random.State.make [| 505 |]) in
+        let config =
+          { Trasyn.default_config with table_t = 2; samples = 16; beam = 0; post_process = false }
+        in
+        (* 17 distinct budget lists against a 16-entry cache: all
+           misses, and exactly one FIFO eviction. *)
+        for i = 0 to 16 do
+          let budgets = [ i mod 3; i / 3 mod 3; i / 9 mod 3 ] in
+          ignore (Trasyn.synthesize ~config ~target ~budgets ())
+        done;
+        Alcotest.(check int) "all misses" 17 (Obs.counter_value c_miss - m0);
+        Alcotest.(check int) "one eviction" 1 (Obs.counter_value c_evict - e0);
+        (* The first-inserted key was the one evicted: using it again
+           misses. *)
+        ignore (Trasyn.synthesize ~config ~target ~budgets:[ 0; 0; 0 ] ());
+        Alcotest.(check int) "evicted key misses again" 18 (Obs.counter_value c_miss - m0));
+    Alcotest.test_case "Mps.sample without ~rng is reproducible" `Quick (fun () ->
+        let target = Mat2.random_unitary (Random.State.make [| 404 |]) in
+        let banks = small_banks 2 in
+        let mps = Mps.build ~target banks in
+        Mps.canonicalize mps;
+        let s1 = Mps.sample mps ~k:32 in
+        let s2 = Mps.sample mps ~k:32 in
+        Alcotest.(check bool) "two default-rng runs agree" true (compare s1 s2 = 0);
+        let s3 = Mps.sample ~rng:(Random.State.make [| Mps.default_rng_seed |]) mps ~k:32 in
+        Alcotest.(check bool) "equals the documented fixed seed" true (compare s1 s3 = 0));
+  ]
+
+let suite = suite @ chain_reuse_tests
