@@ -22,6 +22,7 @@ let bench_deadline = ref 0.0
 let suite = ref "exps"
 let suite_budget = ref 120.0
 let bench_out = ref ""
+let metrics_out = ref ""
 let jobs = ref 0
 
 let args =
@@ -52,6 +53,10 @@ let args =
     ( "--bench-out",
       Arg.Set_string bench_out,
       "output path for --suite perf (default: the next free BENCH_<n>.json here)" );
+    ( "--metrics-out",
+      Arg.Set_string metrics_out,
+      "stream live tgates-metrics/v1 snapshots (JSONL) here during --suite perf; the bench doc \
+       then carries the sampler's snapshot count and overhead" );
     ( "--jobs",
       Arg.Set_int jobs,
       "planner worker domains for the perf suite's pipeline phases (0 = runtime default)" );
@@ -100,6 +105,7 @@ let () =
       Perf_suite.run
         ?out:(if !bench_out = "" then None else Some !bench_out)
         ?jobs:(if !jobs > 0 then Some !jobs else None)
+        ?metrics_out:(if !metrics_out = "" then None else Some !metrics_out)
         ~budget:!suite_budget ~smoke:!quick ();
       exit 0
   | s -> raise (Arg.Bad ("unknown --suite " ^ s ^ " (use exps | perf)")));

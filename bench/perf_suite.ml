@@ -60,6 +60,7 @@ let phase_json acc =
         ("wall_s", J.Num (q s.Obs.sum));
         ("p50_s", J.Num (q s.Obs.p50));
         ("p90_s", J.Num (q s.Obs.p90));
+        ("p95_s", J.Num (q s.Obs.p95));
         ("p99_s", J.Num (q s.Obs.p99));
         ("t_count", J.Num (float_of_int acc.t_count));
         ("degraded", J.Num (float_of_int acc.degraded));
@@ -144,6 +145,7 @@ let planner_phase ~deadline ~smoke ~par_jobs =
         ("wall_s", J.Num (q s.Obs.sum));
         ("p50_s", J.Num (q s.Obs.p50));
         ("p90_s", J.Num (q s.Obs.p90));
+        ("p95_s", J.Num (q s.Obs.p95));
         ("p99_s", J.Num (q s.Obs.p99));
         ("t_count", J.Num (float_of_int t_count));
         ("degraded", J.Num 0.0);
@@ -212,6 +214,7 @@ let chain_reuse_phase ~deadline ~smoke =
         ("wall_s", J.Num (q s.Obs.sum));
         ("p50_s", J.Num (q s.Obs.p50));
         ("p90_s", J.Num (q s.Obs.p90));
+        ("p95_s", J.Num (q s.Obs.p95));
         ("p99_s", J.Num (q s.Obs.p99));
         ("t_count", J.Num 0.0);
         ("degraded", J.Num 0.0);
@@ -221,12 +224,20 @@ let chain_reuse_phase ~deadline ~smoke =
         ("identical", J.Bool !identical);
       ] )
 
-let run ?out ?jobs ~budget ~smoke () =
+let run ?out ?jobs ?metrics_out ~budget ~smoke () =
   Util.header (Printf.sprintf "PERF SUITE (budget %gs%s)" budget (if smoke then ", smoke" else ""));
   let was_enabled = Obs.enabled () in
   Obs.reset ();
   Obs.set_enabled true;
   Pipeline.clear_caches ();
+  (* The live sampler rides along when asked, so the bench doc can carry
+     its own overhead figure.  Smoke runs sample a little faster to
+     catch several snapshots inside a couple of seconds, but not so
+     fast that tick cost (a registry walk is ~1ms) eats into the ≤2%
+     overhead budget the perf gate holds the sampler to. *)
+  (match metrics_out with
+  | None -> ()
+  | Some p -> Metrics.start ~interval:(if smoke then 0.2 else 0.25) ~stream:p ());
   let deadline = Obs.Deadline.after budget in
   let g0 = Gc.quick_stat () in
   let t_start = Obs.Clock.elapsed_s () in
@@ -291,10 +302,28 @@ let run ?out ?jobs ~budget ~smoke () =
   in
   let wall = Obs.Clock.elapsed_s () -. t_start in
   let g1 = Gc.quick_stat () in
+  (* Final tick + join before we read the sampler's own counters. *)
+  let metrics_section =
+    match metrics_out with
+    | None -> []
+    | Some p ->
+        Metrics.stop ();
+        let sampler_wall = Obs.gauge_value (Obs.gauge "obs.metrics.sampler_wall_s") in
+        [
+          ( "metrics",
+            J.Obj
+              [
+                ("stream", J.Str p);
+                ("snapshots", J.Num (float_of_int (cval "obs.metrics.snapshots")));
+                ("sampler_wall_s", J.Num sampler_wall);
+                ("overhead_pct", J.Num (if wall > 0.0 then 100.0 *. sampler_wall /. wall else 0.0));
+              ] );
+        ]
+  in
   let phases = [ gs; tr; pt; pg ] in
   let doc =
     J.Obj
-      [
+      ([
         ("schema", J.Str Trace_analysis.bench_schema);
         ( "meta",
           J.Obj
@@ -330,6 +359,7 @@ let run ?out ?jobs ~budget ~smoke () =
             ] );
         ("degraded_rotations", J.Num (float_of_int (cval "pipeline.rotation.degraded")));
       ]
+      @ metrics_section)
   in
   let path = match out with Some p -> p | None -> next_bench_path "." in
   let oc = open_out path in

@@ -43,8 +43,8 @@ let report_degraded (ds : Pipeline.degradation list) =
       Printf.printf "  ... and %d more\n" (List.length ds - max_degraded_lines)
   end
 
-let run input output workflow epsilon optimize estimate trace deadline rotation_deadline faults
-    jobs backend_chain =
+let run input output workflow epsilon optimize estimate trace metrics_out metrics_interval
+    prom_out ledger_out deadline rotation_deadline faults jobs backend_chain =
   match
     Robust.guarded @@ fun () ->
     (match faults with
@@ -61,6 +61,12 @@ let run input output workflow epsilon optimize estimate trace deadline rotation_
           | Ok c -> Some c
           | Error e -> invalid_arg ("--backend-chain: " ^ e))
     in
+    (* Arm the provenance ledger and the live sampler before any
+       synthesis runs; both flush themselves at_exit. *)
+    (match ledger_out with Some p -> Ledger.to_file p | None -> ());
+    (match (metrics_out, prom_out) with
+    | None, None -> ()
+    | stream, prom -> Metrics.start ?interval:metrics_interval ?stream ?prom ());
     Obs.with_trace ?file:trace @@ fun () ->
     (* One root span over the whole compilation, so trace analysis (and
        the hotspots self-time accounting) sees a single-rooted tree. *)
@@ -100,6 +106,12 @@ let run input output workflow epsilon optimize estimate trace deadline rotation_
     Printf.printf "synth err: %.4f summed over %d rotations\n"
       synthesized.Pipeline.total_synth_error synthesized.Pipeline.rotations_synthesized;
     report_degraded synthesized.Pipeline.degraded;
+    (match Ledger.path () with
+    | Some p ->
+        Printf.printf "ledger   : %d records -> %s\n"
+          (Obs.counter_value (Obs.counter "obs.ledger.records"))
+          p
+    | None -> ());
     if estimate then begin
       let e = Surface_code.estimate compiled in
       Format.printf "resources: %a@." Surface_code.pp e
@@ -136,6 +148,37 @@ let trace =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
               environment variable does the same")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:"stream live tgates-metrics/v1 snapshots (JSONL) to $(docv) from a background \
+              sampler; the TGATES_METRICS environment variable does the same")
+
+let metrics_interval =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "metrics-interval" ] ~docv:"SECONDS"
+        ~doc:"sampler interval for --metrics-out / --prom-out (default 0.25)")
+
+let prom_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "prom-out" ] ~docv:"FILE"
+        ~doc:"write a Prometheus text exposition of every metric to $(docv), atomically \
+              replaced on each sampler tick")
+
+let ledger_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"append one tgates-ledger/v1 provenance record (JSONL) per synthesized rotation \
+              to $(docv); the TGATES_LEDGER environment variable does the same")
 
 let deadline =
   Arg.(
@@ -179,7 +222,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
     Term.(
-      const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace $ deadline
-      $ rotation_deadline $ faults $ jobs $ backend_chain)
+      const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace $ metrics_out
+      $ metrics_interval $ prom_out $ ledger_out $ deadline $ rotation_deadline $ faults $ jobs
+      $ backend_chain)
 
 let () = exit (Cmd.eval' cmd)

@@ -5,13 +5,54 @@
 
 open Cmdliner
 
-let run theta epsilon trace =
+(* One provenance record for the direct (chainless) backend call. *)
+let record_direct ~target ~eps_req ~wall_s result =
+  if Ledger.enabled () then
+    let base =
+      {
+        Ledger.target = Synth.target_id target;
+        chain = "gridsynth";
+        eps_req;
+        rung_eps = eps_req;
+        distance = nan;
+        backend = "failed";
+        fallbacks = 0;
+        attempts = 1;
+        t_count = 0;
+        word_len = 0;
+        wall_s;
+        degraded = true;
+        cached = false;
+        ok = false;
+        failure = None;
+      }
+    in
+    Ledger.record
+      (match result with
+      | Ok (seq, distance) ->
+          {
+            base with
+            Ledger.distance;
+            backend = "gridsynth";
+            t_count = Ctgate.t_count seq;
+            word_len = List.length seq;
+            degraded = distance > eps_req;
+            ok = true;
+          }
+      | Error f -> { base with Ledger.failure = Some (Synth.failure_tag f) })
+
+let run theta epsilon trace ledger_out =
   match
     Robust.guarded @@ fun () ->
+    (match ledger_out with Some p -> Ledger.to_file p | None -> ());
     Obs.with_trace ?file:trace @@ fun () ->
     Obs.span "cli.gridsynth" @@ fun () ->
     let module B = (val Synth.find_exn "gridsynth") in
-    match B.synthesize (Synth.Rz theta) (Synth.config ~epsilon ()) with
+    let target = Synth.Rz theta in
+    let t0 = Obs.Clock.elapsed_s () in
+    let result = B.synthesize target (Synth.config ~epsilon ()) in
+    record_direct ~target ~eps_req:epsilon ~wall_s:(Obs.Clock.elapsed_s () -. t0) result;
+    match result with
     | Error f -> Robust.fail f
     | Ok (seq, distance) ->
         Printf.printf "sequence : %s\n" (Ctgate.seq_to_string seq);
@@ -35,9 +76,17 @@ let trace =
         ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
               environment variable does the same")
 
+let ledger_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"append a tgates-ledger/v1 provenance record (JSONL) to $(docv); the TGATES_LEDGER \
+              environment variable does the same")
+
 let cmd =
   Cmd.v
     (Cmd.info "gridsynth" ~doc:"Ross-Selinger Clifford+T approximation of z-rotations")
-    Term.(const run $ theta $ epsilon $ trace)
+    Term.(const run $ theta $ epsilon $ trace $ ledger_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -55,6 +55,9 @@ let diff_cmd =
     match Trace_analysis.load_source before, Trace_analysis.load_source after with
     | Error e, _ | _, Error e -> fail "%s" e
     | Ok b, Ok a ->
+        (* Name the inputs: BENCH_<n>.json vs BENCH_<n>_rerun.json mixups
+           are invisible once the numbers are on screen. *)
+        Format.printf "diff: before=%s after=%s@." before after;
         let deltas = Trace_analysis.diff ~before:b ~after:a in
         Trace_analysis.render_diff ?fail_above Format.std_formatter deltas;
         (match fail_above with
@@ -97,9 +100,82 @@ let validate_cmd =
     (Cmd.info "validate" ~doc:"check a BENCH_*.json file against the tgates-bench/v1 schema")
     Term.(const run $ path)
 
+let metrics_cmd =
+  let run max_overhead require path =
+    match Metrics.load_stream path with
+    | Error e -> fail "%s" e
+    | Ok snaps -> (
+        Metrics.render_stream Format.std_formatter snaps;
+        let names = Metrics.series_names snaps in
+        let missing = List.filter (fun n -> not (List.mem n names)) require in
+        if missing <> [] then fail "missing series: %s" (String.concat ", " missing)
+        else
+          match max_overhead with
+          | Some pct when Metrics.overhead_pct snaps > pct ->
+              fail "sampler overhead %.3f%% exceeds the %.3f%% gate" (Metrics.overhead_pct snaps)
+                pct
+          | _ -> 0)
+  in
+  let max_overhead =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "max-overhead-pct" ] ~docv:"PCT"
+          ~doc:
+            "exit nonzero when the sampler's self-time exceeds $(docv) percent of the stream's \
+             covered wall time — the CI gate on sampler overhead")
+  in
+  let require =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "require-series" ] ~docv:"NAME"
+          ~doc:"exit nonzero unless the stream carries this series (repeatable)")
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"METRICS_JSONL") in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "validate and render a tgates-metrics/v1 stream: snapshot timeline (rotations/sec, heap, \
+          planner utilization), torn/duplicate-line detection, sampler-overhead gating")
+    Term.(const run $ max_overhead $ require $ path)
+
+let ledger_cmd =
+  let run expect paths =
+    let loaded = List.map (fun p -> (p, Ledger.load p)) paths in
+    match List.find_map (function p, Error e -> Some (p, e) | _, Ok _ -> None) loaded with
+    | Some (p, e) -> fail "%s: %s" p e
+    | None -> (
+        let records =
+          List.concat_map (function _, Ok rs -> rs | _, Error _ -> []) loaded
+        in
+        Ledger.render_stats Format.std_formatter records;
+        match expect with
+        | Some n when List.length records <> n ->
+            fail "expected %d records, found %d" n (List.length records)
+        | _ -> 0)
+  in
+  let expect =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-records" ] ~docv:"N"
+          ~doc:
+            "exit nonzero unless the ledger(s) hold exactly $(docv) records — the completeness \
+             gate (one record per synthesized rotation)")
+  in
+  let paths = Arg.(non_empty & pos_all file [] & info [] ~docv:"LEDGER_JSONL") in
+  Cmd.v
+    (Cmd.info "ledger"
+       ~doc:
+         "aggregate tgates-ledger/v1 provenance files into per-backend T-count/ε distributions; \
+          deterministic output (wall-time lines excepted), so --jobs 1 and --jobs N runs compare \
+          bit-identically")
+    Term.(const run $ expect $ paths)
+
 let cmd =
   Cmd.group
     (Cmd.info "tgates-trace" ~doc:"analyze Obs JSONL traces and BENCH_*.json perf baselines")
-    [ report_cmd; hotspots_cmd; flame_cmd; diff_cmd; validate_cmd ]
+    [ report_cmd; hotspots_cmd; flame_cmd; diff_cmd; validate_cmd; metrics_cmd; ledger_cmd ]
 
 let () = exit (Cmd.eval' cmd)

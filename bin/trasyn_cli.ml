@@ -5,9 +5,47 @@
 
 open Cmdliner
 
-let run theta phi lam epsilon budget sites samples trace =
+(* One provenance record for a direct (chainless) backend call; the
+   rotation still "exits Synth", it just never went through a ladder. *)
+let record_direct ~backend ~target ~eps_req ~wall_s outcome =
+  if Ledger.enabled () then
+    let base =
+      {
+        Ledger.target = Synth.target_id target;
+        chain = backend;
+        eps_req;
+        rung_eps = eps_req;
+        distance = nan;
+        backend = "failed";
+        fallbacks = 0;
+        attempts = 1;
+        t_count = 0;
+        word_len = 0;
+        wall_s;
+        degraded = true;
+        cached = false;
+        ok = false;
+        failure = None;
+      }
+    in
+    Ledger.record
+      (match outcome with
+      | Ok (seq, distance, degraded) ->
+          {
+            base with
+            Ledger.distance;
+            backend;
+            t_count = Ctgate.t_count seq;
+            word_len = List.length seq;
+            degraded;
+            ok = true;
+          }
+      | Error f -> { base with Ledger.failure = Some (Synth.failure_tag f) })
+
+let run theta phi lam epsilon budget sites samples trace ledger_out =
   match
     Robust.guarded @@ fun () ->
+    (match ledger_out with Some p -> Ledger.to_file p | None -> ());
     Obs.with_trace ?file:trace @@ fun () ->
     Obs.span "cli.trasyn" @@ fun () ->
     let target = Synth.Unitary (Mat2.u3 theta phi lam) in
@@ -18,7 +56,15 @@ let run theta phi lam epsilon budget sites samples trace =
     let eps = Option.value epsilon ~default:0.0 in
     let cfg = Synth.config ~trasyn ~budgets ~epsilon:eps () in
     let module B = (val Synth.find_exn "trasyn") in
-    match B.synthesize target cfg with
+    let t0 = Obs.Clock.elapsed_s () in
+    let result = B.synthesize target cfg in
+    let wall_s = Obs.Clock.elapsed_s () -. t0 in
+    record_direct ~backend:"trasyn" ~target ~eps_req:eps ~wall_s
+      (Result.map
+         (fun (seq, d) ->
+           (seq, d, match epsilon with Some e -> d > e | None -> false))
+         result);
+    match result with
     | Error f -> Robust.fail f
     | Ok (seq, distance) -> (
         Printf.printf "sequence : %s\n" (Ctgate.seq_to_string seq);
@@ -52,9 +98,17 @@ let trace =
         ~doc:"write an observability trace (spans + metrics, JSONL) to $(docv); the TGATES_TRACE \
               environment variable does the same")
 
+let ledger_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:"append a tgates-ledger/v1 provenance record (JSONL) to $(docv); the TGATES_LEDGER \
+              environment variable does the same")
+
 let cmd =
   Cmd.v
     (Cmd.info "trasyn" ~doc:"Tensor-network synthesis of single-qubit unitaries over Clifford+T")
-    Term.(const run $ theta $ phi $ lam $ epsilon $ budget $ sites $ samples $ trace)
+    Term.(const run $ theta $ phi $ lam $ epsilon $ budget $ sites $ samples $ trace $ ledger_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,291 @@
+(* See ledger.mli.  One process-global ledger, same philosophy as the
+   Obs registry: producers anywhere in the stack and exporters in the
+   CLIs agree on a single instance. *)
+
+let schema = "tgates-ledger/v1"
+
+type record = {
+  target : string;
+  chain : string;
+  eps_req : float;
+  rung_eps : float;
+  distance : float;
+  backend : string;
+  fallbacks : int;
+  attempts : int;
+  t_count : int;
+  word_len : int;
+  wall_s : float;
+  degraded : bool;
+  cached : bool;
+  ok : bool;
+  failure : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Producer side                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Ring, sink, and capacity share one lock: records are appended from
+   planner worker domains concurrently, and each JSONL line must hit
+   the channel exactly once and in one piece. *)
+let lock = Mutex.create ()
+let ring : record Queue.t = Queue.create ()
+let capacity = ref 65536
+let sink : out_channel option ref = ref None
+let sink_path : string option ref = ref None
+
+(* Same stop-on-first-failure discipline as the Obs trace channel: once
+   a write may have landed partially, appending more would corrupt the
+   stream. *)
+let sink_ok = ref true
+let c_records = Obs.counter "obs.ledger.records"
+let c_dropped = Obs.counter "obs.ledger.dropped"
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let set_capacity n = locked (fun () -> capacity := max 1 n)
+let path () = locked (fun () -> !sink_path)
+let size () = locked (fun () -> Queue.length ring)
+let records () = locked (fun () -> List.of_seq (Queue.to_seq ring))
+
+let reset () =
+  locked (fun () -> Queue.clear ring)
+
+let close () =
+  let oc_opt =
+    locked (fun () ->
+        let o = !sink in
+        sink := None;
+        sink_path := None;
+        o)
+  in
+  match oc_opt with
+  | None -> ()
+  | Some oc ->
+      (try flush oc with Sys_error _ -> ());
+      close_out_noerr oc
+
+let opt_num f = if Float.is_finite f then Obs.Json.Num f else Obs.Json.Null
+
+let record_to_json r =
+  let open Obs.Json in
+  Obj
+    ([
+       ("ev", Str "rotation");
+       ("target", Str r.target);
+       ("chain", Str r.chain);
+       ("eps_req", opt_num r.eps_req);
+       ("rung_eps", opt_num r.rung_eps);
+       ("distance", opt_num r.distance);
+       ("backend", Str r.backend);
+       ("fallbacks", Num (float_of_int r.fallbacks));
+       ("attempts", Num (float_of_int r.attempts));
+       ("t_count", Num (float_of_int r.t_count));
+       ("word_len", Num (float_of_int r.word_len));
+       ("wall_s", Num r.wall_s);
+       ("degraded", Bool r.degraded);
+       ("cached", Bool r.cached);
+       ("ok", Bool r.ok);
+     ]
+    @ match r.failure with Some f -> [ ("failure", Str f) ] | None -> [])
+
+let record r =
+  if Atomic.get enabled_flag then begin
+    Obs.incr c_records;
+    let line = Obs.Json.to_string (record_to_json r) in
+    locked (fun () ->
+        if Queue.length ring >= !capacity then begin
+          ignore (Queue.pop ring);
+          Obs.incr c_dropped
+        end;
+        Queue.push r ring;
+        match !sink with
+        | Some oc when !sink_ok -> (
+            (* One [output_string] per line, newline included, so a
+               concurrent exit never sees a torn line. *)
+            try output_string oc (line ^ "\n") with Sys_error _ -> sink_ok := false)
+        | Some _ | None -> ())
+  end
+
+let to_file p =
+  let oc = open_out p in
+  locked (fun () ->
+      (match !sink with Some old -> close_out_noerr old | None -> ());
+      sink := Some oc;
+      sink_path := Some p;
+      sink_ok := true;
+      try
+        output_string oc
+          (Printf.sprintf {|{"ev":"meta","schema":"%s","t0":%.9f}|} schema (Obs.Clock.elapsed_s ())
+          ^ "\n")
+      with Sys_error _ -> sink_ok := false);
+  set_enabled true
+
+(* Flush on every exit path, including Cmdliner argument-error exits
+   that never unwind through the CLI body.  No-op when no sink is open. *)
+let () = at_exit close
+
+(* Environment gate, mirroring TGATES_TRACE. *)
+let () =
+  match Sys.getenv_opt "TGATES_LEDGER" with
+  | Some p when String.trim p <> "" -> to_file p
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Consumer side                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let load path =
+  let module J = Obs.Json in
+  let num ?(default = nan) k j =
+    match J.member k j with Some (J.Num f) -> f | Some J.Null -> nan | _ -> default
+  in
+  let str k j = match J.member k j with Some (J.Str s) -> Some s | _ -> None in
+  let boolean k j = match J.member k j with Some (J.Bool b) -> b | _ -> false in
+  let parse_record lineno j =
+    match (str "target" j, str "chain" j, str "backend" j) with
+    | Some target, Some chain, Some backend ->
+        Ok
+          {
+            target;
+            chain;
+            backend;
+            eps_req = num "eps_req" j;
+            rung_eps = num "rung_eps" j;
+            distance = num "distance" j;
+            fallbacks = int_of_float (num ~default:0.0 "fallbacks" j);
+            attempts = int_of_float (num ~default:0.0 "attempts" j);
+            t_count = int_of_float (num ~default:0.0 "t_count" j);
+            word_len = int_of_float (num ~default:0.0 "word_len" j);
+            wall_s = num ~default:0.0 "wall_s" j;
+            degraded = boolean "degraded" j;
+            cached = boolean "cached" j;
+            ok = boolean "ok" j;
+            failure = str "failure" j;
+          }
+    | _ -> Error (Printf.sprintf "line %d: rotation event missing target/chain/backend" lineno)
+  in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          let err = ref None in
+          let saw_meta = ref false in
+          let lineno = ref 0 in
+          (try
+             while !err = None do
+               let line = input_line ic in
+               Stdlib.incr lineno;
+               if String.trim line <> "" then
+                 match J.parse line with
+                 | Error e -> err := Some (Printf.sprintf "line %d: %s" !lineno e)
+                 | Ok j -> (
+                     match J.member "ev" j with
+                     | Some (J.Str "meta") ->
+                         (match str "schema" j with
+                         | Some s when s = schema -> saw_meta := true
+                         | Some s ->
+                             err :=
+                               Some
+                                 (Printf.sprintf "line %d: schema %S, expected %S" !lineno s schema)
+                         | None -> err := Some (Printf.sprintf "line %d: meta without schema" !lineno))
+                     | Some (J.Str "rotation") -> (
+                         match parse_record !lineno j with
+                         | Ok r -> acc := r :: !acc
+                         | Error e -> err := Some e)
+                     | _ -> err := Some (Printf.sprintf "line %d: unknown event" !lineno))
+             done
+           with End_of_file -> ());
+          match !err with
+          | Some e -> Error e
+          | None ->
+              if not !saw_meta then Error (Printf.sprintf "%s: no %s meta line" path schema)
+              else Ok (List.rev !acc))
+
+type backend_stats = {
+  bs_backend : string;
+  bs_records : int;
+  bs_cached : int;
+  bs_degraded : int;
+  bs_failed : int;
+  bs_t_sum : int;
+  bs_t_mean : float;
+  bs_dist_mean : float;
+  bs_len_mean : float;
+}
+
+(* Wall-time-free ordering: with --jobs N the planner finishes chains in
+   a nondeterministic order, so records arrive shuffled and differ in
+   wall_s; everything else is bit-identical to the --jobs 1 run (the
+   planner guarantees identical results).  Sorting on the record with
+   wall_s zeroed makes every float accumulation below order-independent. *)
+let deterministic_order rs =
+  List.sort (fun a b -> compare { a with wall_s = 0.0 } { b with wall_s = 0.0 }) rs
+
+let stats rs =
+  let rs = deterministic_order rs in
+  let tbl : (string, record list ref) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      match Hashtbl.find_opt tbl r.backend with
+      | Some l -> l := r :: !l
+      | None -> Hashtbl.add tbl r.backend (ref [ r ]))
+    rs;
+  let backends = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
+  List.map
+    (fun b ->
+      let group = List.rev !(Hashtbl.find tbl b) in
+      let n = List.length group in
+      let count p = List.length (List.filter p group) in
+      let t_sum = List.fold_left (fun a r -> a + r.t_count) 0 group in
+      let len_sum = List.fold_left (fun a r -> a + r.word_len) 0 group in
+      let dists = List.filter_map (fun r -> if Float.is_finite r.distance then Some r.distance else None) group in
+      let dist_sum = List.fold_left ( +. ) 0.0 dists in
+      let nd = List.length dists in
+      {
+        bs_backend = b;
+        bs_records = n;
+        bs_cached = count (fun r -> r.cached);
+        bs_degraded = count (fun r -> r.degraded);
+        bs_failed = count (fun r -> not r.ok);
+        bs_t_sum = t_sum;
+        bs_t_mean = (if n = 0 then nan else float_of_int t_sum /. float_of_int n);
+        bs_dist_mean = (if nd = 0 then nan else dist_sum /. float_of_int nd);
+        bs_len_mean = (if n = 0 then nan else float_of_int len_sum /. float_of_int n);
+      })
+    backends
+
+let render_stats ppf rs =
+  let total = List.length rs in
+  let count p = List.length (List.filter p rs) in
+  let cached = count (fun r -> r.cached) in
+  Format.fprintf ppf "ledger: %d records (%d fresh, %d cached), %d degraded, %d failed@." total
+    (total - cached) cached
+    (count (fun r -> r.degraded))
+    (count (fun r -> not r.ok));
+  let fg f = if Float.is_finite f then Printf.sprintf "%10.4g" f else Printf.sprintf "%10s" "-" in
+  Format.fprintf ppf "%-16s %8s %8s %8s %8s %10s %10s %10s %10s@." "backend" "records" "cached"
+    "degraded" "failed" "T.sum" "T.mean" "dist.mean" "len.mean";
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-16s %8d %8d %8d %8d %10d %s %s %s@." s.bs_backend s.bs_records
+        s.bs_cached s.bs_degraded s.bs_failed s.bs_t_sum (fg s.bs_t_mean) (fg s.bs_dist_mean)
+        (fg s.bs_len_mean))
+    (stats rs);
+  (* Wall timing is run-dependent; keep it on its own "wall"-prefixed
+     lines so deterministic comparisons can filter it out. *)
+  let fresh = List.filter (fun r -> not r.cached) rs in
+  let wall_sum = List.fold_left (fun a r -> a +. r.wall_s) 0.0 fresh in
+  let wall_max = List.fold_left (fun a r -> Float.max a r.wall_s) 0.0 fresh in
+  Format.fprintf ppf "wall: sum %.4fs  max %.4fs  (over %d fresh records)@." wall_sum wall_max
+    (List.length fresh)

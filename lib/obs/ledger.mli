@@ -1,0 +1,106 @@
+(** Per-rotation provenance ledger.
+
+    Every rotation that exits the synthesis stack appends one structured
+    {!record} — canonical target, requested and achieved ε, the backend
+    that won, fallback depth, T-count, word length, verification
+    distance, wall time, degraded flag — to a bounded in-memory ring
+    that is flushed to a JSONL file ([tgates-ledger/v1]).  The ledger is
+    the accounting substrate for the T-count/accuracy trade-off claims:
+    post-mortem traces say where time went; the ledger says what quality
+    each rotation actually achieved.
+
+    Writers: [Synth.run_chain] appends one {e fresh} record per chain
+    execution (success or failure), and the pipelines append {e cached}
+    replay records for rotation occurrences served by the planner dedup
+    or the memo caches — so a workflow run's ledger has exactly one
+    record per rotation occurrence, including degraded and failed ones.
+
+    Armed by {!to_file} (the CLIs' [--ledger FILE] flag) or the
+    [TGATES_LEDGER] env var.  When disarmed, {!record} costs one atomic
+    load.  Thread/domain-safe: the ring and the sink share one mutex;
+    each JSONL line is written with a single [output_string]. *)
+
+val schema : string
+(** ["tgates-ledger/v1"] *)
+
+type record = {
+  target : string;  (** canonical target id, e.g. ["rz(0.3700000000)"] *)
+  chain : string;  (** chain id (or backend name for direct CLI calls) *)
+  eps_req : float;  (** requested ε *)
+  rung_eps : float;  (** ε of the winning rung ([nan] on failure) *)
+  distance : float;  (** guard-verified operator distance ([nan] on failure) *)
+  backend : string;  (** winning backend, or ["failed"] *)
+  fallbacks : int;  (** rungs exhausted before the winner *)
+  attempts : int;  (** rungs tried, winner included *)
+  t_count : int;
+  word_len : int;
+  wall_s : float;  (** synthesis wall time; [0.] for cached replays *)
+  degraded : bool;  (** fallback taken or distance above requested ε *)
+  cached : bool;  (** replay of a deduplicated / memoized execution *)
+  ok : bool;
+  failure : string option;  (** failure tag when [not ok] *)
+}
+
+(** {1 Producer side} *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val set_capacity : int -> unit
+(** Ring capacity (default 65536).  When full, the oldest in-memory
+    record is dropped (and ["obs.ledger.dropped"] incremented) — records
+    already flushed to the JSONL sink are unaffected. *)
+
+val to_file : string -> unit
+(** Open [path] as the JSONL sink, write the meta line, enable the
+    ledger, and register flush-and-close [at_exit].  Replaces any
+    previously open sink. *)
+
+val path : unit -> string option
+
+val record : record -> unit
+(** Append to the ring and, when a sink is open, write one JSONL line.
+    No-op when {!enabled} is false.  Increments ["obs.ledger.records"]. *)
+
+val records : unit -> record list
+(** In-memory ring contents, oldest first. *)
+
+val size : unit -> int
+
+val close : unit -> unit
+(** Flush and close the sink.  Idempotent; no-op when no sink is open. *)
+
+val reset : unit -> unit
+(** Clear the ring (for tests; the sink, if any, is left open). *)
+
+(** {1 Consumer side} *)
+
+val record_to_json : record -> Obs.Json.t
+
+val load : string -> (record list, string) result
+(** Parse a ledger JSONL file: meta line checked against {!schema}, one
+    record per ["rotation"] event.  Errors carry the line number. *)
+
+type backend_stats = {
+  bs_backend : string;
+  bs_records : int;
+  bs_cached : int;
+  bs_degraded : int;
+  bs_failed : int;
+  bs_t_sum : int;
+  bs_t_mean : float;  (** mean T-count per record; [nan] when empty *)
+  bs_dist_mean : float;  (** mean verified distance over ok records; [nan] when none *)
+  bs_len_mean : float;  (** mean word length; [nan] when empty *)
+}
+
+val stats : record list -> backend_stats list
+(** Per-backend aggregates, sorted by backend name.  Records are
+    re-sorted on a wall-time-free key before folding, so float
+    accumulations are independent of arrival order — the aggregate is
+    bit-identical across [--jobs 1] and [--jobs N] runs of the same
+    workload. *)
+
+val render_stats : Format.formatter -> record list -> unit
+(** Human-readable per-backend table plus totals.  Wall-time figures
+    are confined to lines starting with ["wall"], so deterministic
+    comparisons can filter them out. *)

@@ -1,0 +1,523 @@
+(* See metrics.mli.  The sampler is a single dedicated domain; it is
+   the only writer of both the JSONL stream and the exposition file, so
+   no output lock is needed — stop() joins the domain before closing
+   anything. *)
+
+let schema = "tgates-metrics/v1"
+
+(* The sampler's own footprint, kept in the registry it samples. *)
+let c_snapshots = Obs.counter "obs.metrics.snapshots"
+let g_sampler_wall = Obs.gauge "obs.metrics.sampler_wall_s"
+let g_heap_words = Obs.gauge "obs.heap.words"
+let g_heap_top = Obs.gauge "obs.heap.top_words"
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus text exposition                                          *)
+(* ------------------------------------------------------------------ *)
+
+let prom_name n =
+  let b = Buffer.create (String.length n + 8) in
+  Buffer.add_string b "tgates_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    n;
+  Buffer.contents b
+
+let prom_num f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+let exposition () =
+  let b = Buffer.create 2048 in
+  List.iter
+    (fun (name, v) ->
+      let pn = prom_name name in
+      match v with
+      | Obs.Counter_value c ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s counter\n%s %d\n" pn pn c)
+      | Obs.Gauge_value g ->
+          if Float.is_finite g then
+            Buffer.add_string b (Printf.sprintf "# TYPE %s gauge\n%s %s\n" pn pn (prom_num g))
+      | Obs.Hist_value (_, s) ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s summary\n" pn);
+          List.iter
+            (fun (q, v) ->
+              if Float.is_finite v then
+                Buffer.add_string b (Printf.sprintf "%s{quantile=\"%s\"} %s\n" pn q (prom_num v)))
+            [ ("0.5", s.Obs.p50); ("0.9", s.Obs.p90); ("0.95", s.Obs.p95); ("0.99", s.Obs.p99) ];
+          Buffer.add_string b
+            (Printf.sprintf "%s_sum %s\n%s_count %d\n" pn
+               (prom_num (if Float.is_finite s.Obs.sum then s.Obs.sum else 0.0))
+               pn s.Obs.count))
+    (Obs.dump ());
+  Buffer.contents b
+
+(* Atomic replace: scrapers (and the smoke test) must never observe a
+   half-written exposition file. *)
+let write_prom path =
+  let tmp = path ^ ".tmp" in
+  try
+    let oc = open_out tmp in
+    output_string oc (exposition ());
+    close_out oc;
+    Sys.rename tmp path
+  with Sys_error _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Derived series                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let ends_with ~suffix s =
+  let ls = String.length s and lx = String.length suffix in
+  ls >= lx && String.sub s (ls - lx) lx = suffix
+
+let chop_suffix ~suffix s = String.sub s 0 (String.length s - String.length suffix)
+
+(* [prev] maps counter/gauge names to their value at the previous tick;
+   [dt] is the wall time since then. *)
+let derive ~dt ~dump ~(prev : (string, float) Hashtbl.t) =
+  let counters : (string, float) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (n, v) ->
+      match v with
+      | Obs.Counter_value c -> Hashtbl.replace counters n (float_of_int c)
+      | _ -> ())
+    dump;
+  let out = ref [] in
+  let rate name now =
+    match Hashtbl.find_opt prev name with
+    | Some before when dt > 0.0 -> out := (name ^ ".per_s", (now -. before) /. dt) :: !out
+    | _ -> ()
+  in
+  List.iter
+    (fun (n, v) ->
+      match v with
+      | Obs.Counter_value c ->
+          let c = float_of_int c in
+          (* Rolling throughput for the rotation pipeline. *)
+          if n = "synth.rotations" || n = "obs.ledger.records" then rate n c;
+          (* Cache hit rates from <p>.hit / <p>.miss counter pairs. *)
+          if ends_with ~suffix:".hit" n then begin
+            let prefix = chop_suffix ~suffix:".hit" n in
+            match Hashtbl.find_opt counters (prefix ^ ".miss") with
+            | Some m when c +. m > 0.0 -> out := (prefix ^ ".hit_rate", c /. (c +. m)) :: !out
+            | Some _ | None -> ()
+          end
+      | Obs.Gauge_value g ->
+          (* Planner per-domain utilization: busy-seconds accumulated per
+             worker domain, differentiated against wall time. *)
+          if starts_with ~prefix:"obs.planner.domain." n && ends_with ~suffix:".busy_s" n then begin
+            match Hashtbl.find_opt prev n with
+            | Some before when dt > 0.0 ->
+                let u = Float.max 0.0 (Float.min 1.0 ((g -. before) /. dt)) in
+                out := (chop_suffix ~suffix:".busy_s" n ^ ".utilization", u) :: !out
+            | _ -> ()
+          end
+      | Obs.Hist_value _ -> ())
+    dump;
+  List.sort compare !out
+
+(* ------------------------------------------------------------------ *)
+(* Sampler                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type sampler = {
+  interval : float;
+  stream_oc : out_channel option;
+  prom : string option;
+  mutable stream_ok : bool;  (* sampler domain only; stop-on-first-failure *)
+}
+
+let lock = Mutex.create ()
+let state : (sampler * bool Atomic.t * unit Domain.t) option ref = ref None
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let running () = locked (fun () -> !state <> None)
+let opt_num f = if Float.is_finite f then Obs.Json.Num f else Obs.Json.Null
+
+let snapshot_json ~seq ~t ~dump ~derived =
+  let open Obs.Json in
+  let counters =
+    List.filter_map
+      (function n, Obs.Counter_value c -> Some (n, Num (float_of_int c)) | _ -> None)
+      dump
+  in
+  let gauges =
+    List.filter_map (function n, Obs.Gauge_value g -> Some (n, opt_num g) | _ -> None) dump
+  in
+  let hists =
+    List.filter_map
+      (function
+        | n, Obs.Hist_value (_, s) when s.Obs.count > 0 ->
+            Some
+              ( n,
+                Obj
+                  [
+                    ("count", Num (float_of_int s.Obs.count));
+                    ("sum", opt_num s.Obs.sum);
+                    ("p50", opt_num s.Obs.p50);
+                    ("p90", opt_num s.Obs.p90);
+                    ("p95", opt_num s.Obs.p95);
+                    ("p99", opt_num s.Obs.p99);
+                  ] )
+        | _ -> None)
+      dump
+  in
+  Obj
+    [
+      ("ev", Str "snapshot");
+      ("seq", Num (float_of_int seq));
+      ("t", Num t);
+      ("counters", Obj counters);
+      ("gauges", Obj gauges);
+      ("hists", Obj hists);
+      ("derived", Obj (List.map (fun (n, v) -> (n, opt_num v)) derived));
+    ]
+
+let tick st ~seq ~prev_t ~prev =
+  let t = Obs.Clock.elapsed_s () in
+  let q = Gc.quick_stat () in
+  Obs.set_gauge g_heap_words (float_of_int q.Gc.heap_words);
+  Obs.set_gauge g_heap_top (float_of_int q.Gc.top_heap_words);
+  Obs.incr c_snapshots;
+  let dump = Obs.dump () in
+  let derived = derive ~dt:(t -. prev_t) ~dump ~prev in
+  (match st.stream_oc with
+  | Some oc when st.stream_ok -> (
+      try
+        (* One [output_string] per line (newline included): the stream
+           must never contain a torn line, even if the process dies
+           between ticks. *)
+        output_string oc (Obs.Json.to_string (snapshot_json ~seq ~t ~dump ~derived) ^ "\n");
+        flush oc
+      with Sys_error _ -> st.stream_ok <- false)
+  | Some _ | None -> ());
+  (match st.prom with Some p -> write_prom p | None -> ());
+  let next = Hashtbl.create 64 in
+  List.iter
+    (fun (n, v) ->
+      match v with
+      | Obs.Counter_value c -> Hashtbl.replace next n (float_of_int c)
+      | Obs.Gauge_value g -> Hashtbl.replace next n g
+      | Obs.Hist_value _ -> ())
+    dump;
+  Obs.add_gauge g_sampler_wall (Obs.Clock.elapsed_s () -. t);
+  (t, next)
+
+(* Sleep in short slices so stop() latency stays bounded regardless of
+   the configured interval (stdlib Condition has no timed wait). *)
+let rec nap remaining stop_flag =
+  if remaining > 0.0 && not (Atomic.get stop_flag) then begin
+    let slice = Float.min remaining 0.05 in
+    Unix.sleepf slice;
+    nap (remaining -. slice) stop_flag
+  end
+
+let loop st stop_flag =
+  (* Each tick allocates (registry dump, JSON line); at the default
+     minor-heap size the sampler's own minor collections become
+     stop-all-domains barriers that both stall busy workers and land in
+     sampler_wall.  A roomy minor heap makes sampler-triggered barriers
+     rare — same reasoning as the planner's worker domains. *)
+  (let g = Gc.get () in
+   let want = 4 * 1024 * 1024 in
+   if g.Gc.minor_heap_size < want then Gc.set { g with Gc.minor_heap_size = want });
+  let prev = ref (Hashtbl.create 64) in
+  let prev_t = ref (Obs.Clock.elapsed_s ()) in
+  let seq = ref 0 in
+  let tick_once () =
+    Stdlib.incr seq;
+    let t, next = tick st ~seq:!seq ~prev_t:!prev_t ~prev:!prev in
+    prev_t := t;
+    prev := next
+  in
+  tick_once ();
+  while not (Atomic.get stop_flag) do
+    nap st.interval stop_flag;
+    if not (Atomic.get stop_flag) then tick_once ()
+  done;
+  (* Final snapshot so the stream always reflects end-of-run values. *)
+  tick_once ()
+
+let start ?(interval = 0.25) ?stream ?prom () =
+  locked (fun () ->
+      match !state with
+      | Some _ -> ()
+      | None ->
+          let interval =
+            if Float.is_finite interval then Float.max 0.005 interval else 0.25
+          in
+          let stream_oc = Option.map open_out stream in
+          (match stream_oc with
+          | Some oc ->
+              output_string oc
+                (Printf.sprintf {|{"ev":"meta","schema":"%s","interval":%.6f,"t0":%.9f}|} schema
+                   interval (Obs.Clock.elapsed_s ())
+                ^ "\n");
+              flush oc
+          | None -> ());
+          let st = { interval; stream_oc; prom; stream_ok = true } in
+          let stop_flag = Atomic.make false in
+          let d = Domain.spawn (fun () -> loop st stop_flag) in
+          state := Some (st, stop_flag, d))
+
+let stop () =
+  let s =
+    locked (fun () ->
+        let s = !state in
+        state := None;
+        s)
+  in
+  match s with
+  | None -> ()
+  | Some (st, stop_flag, d) ->
+      Atomic.set stop_flag true;
+      Domain.join d;
+      (match st.stream_oc with
+      | Some oc ->
+          (try flush oc with Sys_error _ -> ());
+          close_out_noerr oc
+      | None -> ())
+
+(* Stop (and take the final snapshot) on every exit path; no-op when
+   the sampler never ran. *)
+let () = at_exit stop
+
+(* Environment gate, mirroring TGATES_TRACE: TGATES_METRICS=<stream>,
+   optional TGATES_METRICS_PROM and TGATES_METRICS_INTERVAL. *)
+let () =
+  match Sys.getenv_opt "TGATES_METRICS" with
+  | Some p when String.trim p <> "" ->
+      let interval =
+        Option.bind (Sys.getenv_opt "TGATES_METRICS_INTERVAL") float_of_string_opt
+      in
+      let prom =
+        match Sys.getenv_opt "TGATES_METRICS_PROM" with
+        | Some s when String.trim s <> "" -> Some s
+        | _ -> None
+      in
+      start ?interval ~stream:p ?prom ()
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Consumer side                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type hsnap = {
+  hs_count : int;
+  hs_sum : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+}
+
+type snapshot = {
+  seq : int;
+  t : float;
+  counters : (string * float) list;
+  gauges : (string * float) list;
+  hists : (string * hsnap) list;
+  derived : (string * float) list;
+}
+
+let load_stream path =
+  let module J = Obs.Json in
+  let nums = function
+    | Some (J.Obj kvs) ->
+        List.filter_map (fun (k, v) -> match v with J.Num f -> Some (k, f) | _ -> None) kvs
+    | _ -> []
+  in
+  let hnum k j = match J.member k j with Some (J.Num f) -> f | _ -> nan in
+  let parse_snapshot lineno j =
+    match (J.member "seq" j, J.member "t" j) with
+    | Some (J.Num seq), Some (J.Num t) ->
+        let hists =
+          match J.member "hists" j with
+          | Some (J.Obj kvs) ->
+              List.filter_map
+                (fun (k, v) ->
+                  match v with
+                  | J.Obj _ ->
+                      Some
+                        ( k,
+                          {
+                            hs_count = int_of_float (hnum "count" v);
+                            hs_sum = hnum "sum" v;
+                            hs_p50 = hnum "p50" v;
+                            hs_p90 = hnum "p90" v;
+                            hs_p95 = hnum "p95" v;
+                            hs_p99 = hnum "p99" v;
+                          } )
+                  | _ -> None)
+                kvs
+          | _ -> []
+        in
+        Ok
+          {
+            seq = int_of_float seq;
+            t;
+            counters = nums (J.member "counters" j);
+            gauges = nums (J.member "gauges" j);
+            hists;
+            derived = nums (J.member "derived" j);
+          }
+    | _ -> Error (Printf.sprintf "line %d: snapshot without seq/t" lineno)
+  in
+  match open_in path with
+  | exception Sys_error e -> Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let acc = ref [] in
+          let err = ref None in
+          let saw_meta = ref false in
+          let last_seq = ref 0 in
+          let lineno = ref 0 in
+          (try
+             while !err = None do
+               let line = input_line ic in
+               Stdlib.incr lineno;
+               if String.trim line <> "" then
+                 match J.parse line with
+                 | Error e -> err := Some (Printf.sprintf "line %d: %s" !lineno e)
+                 | Ok j -> (
+                     match J.member "ev" j with
+                     | Some (J.Str "meta") -> (
+                         match J.member "schema" j with
+                         | Some (J.Str s) when s = schema -> saw_meta := true
+                         | Some (J.Str s) ->
+                             err :=
+                               Some
+                                 (Printf.sprintf "line %d: schema %S, expected %S" !lineno s schema)
+                         | _ -> err := Some (Printf.sprintf "line %d: meta without schema" !lineno))
+                     | Some (J.Str "snapshot") -> (
+                         match parse_snapshot !lineno j with
+                         | Error e -> err := Some e
+                         | Ok s ->
+                             if s.seq <= !last_seq then
+                               err :=
+                                 Some
+                                   (Printf.sprintf
+                                      "line %d: seq %d after %d (duplicate or out-of-order \
+                                       snapshot)"
+                                      !lineno s.seq !last_seq)
+                             else begin
+                               last_seq := s.seq;
+                               acc := s :: !acc
+                             end)
+                     | _ -> err := Some (Printf.sprintf "line %d: unknown event" !lineno))
+             done
+           with End_of_file -> ());
+          match !err with
+          | Some e -> Error e
+          | None ->
+              if not !saw_meta then Error (Printf.sprintf "%s: no %s meta line" path schema)
+              else Ok (List.rev !acc))
+
+let series_names snaps =
+  let names = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) s.counters;
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) s.gauges;
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) s.hists;
+      List.iter (fun (n, _) -> Hashtbl.replace names n ()) s.derived)
+    snaps;
+  Hashtbl.fold (fun k () acc -> k :: acc) names [] |> List.sort compare
+
+let overhead_pct snaps =
+  match snaps with
+  | [] | [ _ ] -> 0.0
+  | first :: _ -> (
+      let last = List.nth snaps (List.length snaps - 1) in
+      let dt = last.t -. first.t in
+      match List.assoc_opt "obs.metrics.sampler_wall_s" last.gauges with
+      | Some w when dt > 0.0 -> 100.0 *. w /. dt
+      | _ -> 0.0)
+
+let render_stream ppf snaps =
+  let n = List.length snaps in
+  Format.fprintf ppf "metrics: %d snapshots, %d series, sampler overhead %.3f%%@." n
+    (List.length (series_names snaps))
+    (overhead_pct snaps);
+  Format.fprintf ppf "%6s %10s %10s %12s %8s@." "seq" "t" "rot/s" "heap_words" "util";
+  List.iter
+    (fun s ->
+      let fopt = function Some v -> Printf.sprintf "%10.1f" v | None -> Printf.sprintf "%10s" "-" in
+      let utils =
+        List.filter_map
+          (fun (k, v) -> if ends_with ~suffix:".utilization" k then Some v else None)
+          s.derived
+      in
+      let util =
+        match utils with
+        | [] -> Printf.sprintf "%8s" "-"
+        | _ ->
+            Printf.sprintf "%7.0f%%"
+              (100.0 *. List.fold_left ( +. ) 0.0 utils /. float_of_int (List.length utils))
+      in
+      Format.fprintf ppf "%6d %10.3f %s %12.0f %s@." s.seq s.t
+        (fopt (List.assoc_opt "synth.rotations.per_s" s.derived))
+        (Option.value ~default:0.0 (List.assoc_opt "obs.heap.words" s.gauges))
+        util)
+    snaps
+
+let parse_exposition text =
+  let err = ref None in
+  let samples = ref 0 in
+  let name_ok name =
+    name <> ""
+    && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true | _ -> false)
+    && String.for_all
+         (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+         name
+  in
+  List.iteri
+    (fun i raw ->
+      if !err = None then begin
+        let lineno = i + 1 in
+        let line = String.trim raw in
+        let fail fmt = Printf.ksprintf (fun m -> err := Some (Printf.sprintf "line %d: %s" lineno m)) fmt in
+        if line = "" then ()
+        else if line.[0] = '#' then begin
+          if not (starts_with ~prefix:"# TYPE " line || starts_with ~prefix:"# HELP " line) then
+            fail "comment is neither # TYPE nor # HELP"
+        end
+        else begin
+          let name_part, value_part =
+            match String.index_opt line '{' with
+            | Some b -> (
+                match String.rindex_opt line '}' with
+                | Some e when e > b ->
+                    (String.sub line 0 b, String.sub line (e + 1) (String.length line - e - 1))
+                | _ -> (line, "")
+                )
+            | None -> (
+                match String.index_opt line ' ' with
+                | Some sp -> (String.sub line 0 sp, String.sub line sp (String.length line - sp))
+                | None -> (line, ""))
+          in
+          (* Strip a trailing _sum/_count suffix check is unnecessary:
+             they are plain sample names and validate as such. *)
+          if not (name_ok name_part) then fail "invalid metric name %S" name_part
+          else
+            match float_of_string_opt (String.trim value_part) with
+            | Some _ -> Stdlib.incr samples
+            | None -> fail "sample without a numeric value"
+        end
+      end)
+    (String.split_on_char '\n' text);
+  match !err with
+  | Some e -> Error e
+  | None -> if !samples = 0 then Error "no samples in exposition" else Ok !samples

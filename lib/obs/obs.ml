@@ -168,6 +168,7 @@ type summary = {
   vmax : float;
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
@@ -180,6 +181,7 @@ let summarize h =
         vmax = h.hmax;
         p50 = quantile_unlocked h 0.5;
         p90 = quantile_unlocked h 0.9;
+        p95 = quantile_unlocked h 0.95;
         p99 = quantile_unlocked h 0.99;
       })
 
@@ -639,11 +641,40 @@ let metrics_jsonl () =
               ("max", opt_num s.vmax);
               ("p50", opt_num s.p50);
               ("p90", opt_num s.p90);
+              ("p95", opt_num s.p95);
               ("p99", opt_num s.p99);
             ] )
         :: !lines)
     hists;
   List.sort (fun (a, _) (b, _) -> compare a b) !lines |> List.map (fun (_, j) -> Json.to_string j)
+
+type metric_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Hist_value of string * summary
+
+(* Snapshot every registered metric.  Handles are collected under
+   [reg_lock] but histograms are summarized after it is released —
+   [summarize] takes each histogram's own lock, and holding the registry
+   lock across those would stall every interning call site while a
+   sampler tick walks the table. *)
+let dump () =
+  let counters, gauges, hists =
+    locked reg_lock (fun () ->
+        ( Hashtbl.fold (fun _ c acc -> c :: acc) counters_tbl [],
+          Hashtbl.fold (fun _ g acc -> g :: acc) gauges_tbl [],
+          Hashtbl.fold (fun _ h acc -> h :: acc) hists_tbl [] ))
+  in
+  let items =
+    List.map (fun (c : counter) -> (c.cname, Counter_value (counter_value c))) counters
+    @ List.map (fun (g : gauge) -> (g.gname, Gauge_value (gauge_value g))) gauges
+    @ List.map
+        (fun h ->
+          let kind = match h.hkind with Span -> "span" | Value -> "value" in
+          (h.hname, Hist_value (kind, summarize h)))
+        hists
+  in
+  List.sort (fun (a, _) (b, _) -> compare a b) items
 
 let fmt_seconds s =
   if not (Float.is_finite s) then "-"
@@ -694,22 +725,24 @@ let report oc =
     List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12g\n" n v) gauges
   end;
   if spans <> [] then begin
-    Printf.fprintf oc "spans:%40s %8s %8s %8s %8s %8s\n" "" "calls" "total" "p50" "p90" "p99";
+    Printf.fprintf oc "spans:%40s %8s %8s %8s %8s %8s %8s\n" "" "calls" "total" "p50" "p90" "p95"
+      "p99";
     List.iter
       (fun h ->
         let s = summarize h in
-        Printf.fprintf oc "  %-44s %8d %8s %8s %8s %8s\n" h.hname s.count (fmt_seconds s.sum)
-          (fmt_seconds s.p50) (fmt_seconds s.p90) (fmt_seconds s.p99))
+        Printf.fprintf oc "  %-44s %8d %8s %8s %8s %8s %8s\n" h.hname s.count (fmt_seconds s.sum)
+          (fmt_seconds s.p50) (fmt_seconds s.p90) (fmt_seconds s.p95) (fmt_seconds s.p99))
       spans
   end;
   if values <> [] then begin
-    Printf.fprintf oc "histograms:%35s %8s %10s %8s %8s %8s\n" "" "count" "mean" "p50" "p90" "p99";
+    Printf.fprintf oc "histograms:%35s %8s %10s %8s %8s %8s %8s\n" "" "count" "mean" "p50" "p90"
+      "p95" "p99";
     List.iter
       (fun h ->
         let s = summarize h in
         let mean = if s.count = 0 then nan else s.sum /. float_of_int s.count in
-        Printf.fprintf oc "  %-44s %8d %10.3g %8.3g %8.3g %8.3g\n" h.hname s.count mean s.p50 s.p90
-          s.p99)
+        Printf.fprintf oc "  %-44s %8d %10.3g %8.3g %8.3g %8.3g %8.3g\n" h.hname s.count mean s.p50
+          s.p90 s.p95 s.p99)
       values
   end;
   Printf.fprintf oc "==================================================================\n%!"

@@ -126,6 +126,7 @@ type summary = {
   vmax : float;  (** [neg_infinity] when empty *)
   p50 : float;
   p90 : float;
+  p95 : float;
   p99 : float;
 }
 
@@ -199,6 +200,22 @@ val with_trace : ?file:string -> (unit -> 'a) -> 'a
 val metrics_jsonl : unit -> string list
 (** One JSON object per registered metric (counters, gauges, histogram
     and span summaries), sorted by name. *)
+
+(** {1 Registry snapshot}
+
+    A point-in-time walk of every registered metric, sorted by name —
+    the primitive the live [Metrics] sampler is built on.  Counters and
+    gauges are single atomic reads; histograms are summarized under
+    their own lock.  The walk holds the registry lock only while
+    collecting handles, so concurrent interning and observation sites
+    are never stalled for the duration of a snapshot. *)
+
+type metric_value =
+  | Counter_value of int
+  | Gauge_value of float
+  | Hist_value of string * summary  (** kind ("span" or "value"), summary *)
+
+val dump : unit -> (string * metric_value) list
 
 val report : out_channel -> unit
 (** Human-readable end-of-run report of every registered metric.  Every

@@ -22,7 +22,15 @@ type span = {
   gc : gc option;
 }
 
-type hist = { kind : string; count : float; sum : float; p50 : float; p90 : float; p99 : float }
+type hist = {
+  kind : string;
+  count : float;
+  sum : float;
+  p50 : float;
+  p90 : float;
+  p95 : float;  (* nan in traces written before the p95 column existed *)
+  p99 : float;
+}
 type metric = Counter of float | Gauge of float | Hist of hist
 type t = { spans : span list; metrics : (string * metric) list }
 
@@ -90,6 +98,7 @@ let parse_metric j =
               sum = num "sum" j;
               p50 = num "p50" j;
               p90 = num "p90" j;
+              p95 = num "p95" j;
               p99 = num "p99" j;
             } )
   | _ -> None
@@ -324,6 +333,7 @@ let flatten = function
                 (name ^ ".sum", h.sum);
                 (name ^ ".p50", h.p50);
                 (name ^ ".p90", h.p90);
+                (name ^ ".p95", h.p95);
                 (name ^ ".p99", h.p99);
               ])
         tr.metrics
@@ -376,7 +386,7 @@ let regression_key key =
   contains key "wall_s" || contains key "dur" || contains key "t_count"
   || contains key "degraded" || contains key "gc" || contains key "heap"
   || ends_with key ".sum" || ends_with key ".p50" || ends_with key ".p90"
-  || ends_with key ".p99" || ends_with key "_s"
+  || ends_with key ".p95" || ends_with key ".p99" || ends_with key "_s"
 
 let regressions ~fail_above deltas =
   List.filter

@@ -35,6 +35,7 @@ type hist = {
   sum : float;
   p50 : float;
   p90 : float;
+  p95 : float;  (** [nan] in traces written before the p95 column existed *)
   p99 : float;
 }
 
@@ -114,7 +115,8 @@ val load_source : string -> (source, string) result
 val flatten : source -> (string * float) list
 (** Comparable numeric series.  For a trace: every counter and gauge
     under its own name, every histogram as [name.sum] / [name.p50] /
-    [name.p90] / [name.p99] / [name.count].  For a bench JSON: every
+    [name.p90] / [name.p95] / [name.p99] / [name.count].  For a bench
+    JSON: every
     numeric leaf as its dotted path (arrays indexed), minus the
     [schema] / [meta] header. *)
 
@@ -132,7 +134,7 @@ val diff : before:source -> after:source -> delta list
 val regression_key : string -> bool
 (** Whether an increase in this series is a slowdown for CI purposes:
     time series (keys containing ["wall_s"] or ["dur"], or ending in
-    [".sum"]/[".p50"]/[".p90"]/[".p99"]/["_s"]), T-counts, degraded
+    [".sum"]/[".p50"]/[".p90"]/[".p95"]/[".p99"]/["_s"]), T-counts, degraded
     -rotation counts, and GC totals.  Counters where more is better or
     neutral (cache hits, attempt counts) are excluded. *)
 

@@ -219,8 +219,34 @@ let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~
    circuit in order with the same per-occurrence degradation
    bookkeeping the sequential pipeline used to do, so outputs are
    bit-identical whatever the domain count. *)
+(* Cached-replay provenance: [Synth.run_chain] writes one fresh ledger
+   record per chain execution, but planner dedup and the memo caches
+   mean most rotation occurrences never reach it.  The emission pass
+   fills the gap — every occurrence served by a cache or by another
+   occurrence's execution gets a [cached] record — so a workflow run's
+   ledger holds exactly [rotations_synthesized] records. *)
+let replay_record ~chain ~requested target (a : Robust.attempt) =
+  {
+    Ledger.target = Synth.target_id target;
+    chain;
+    eps_req = requested;
+    rung_eps = a.Robust.rung_epsilon;
+    distance = a.Robust.distance;
+    backend = a.Robust.backend;
+    fallbacks = a.Robust.fallbacks;
+    attempts = a.Robust.fallbacks + 1;
+    t_count = Ctgate.t_count a.Robust.word;
+    word_len = List.length a.Robust.word;
+    wall_s = 0.0;
+    degraded = a.Robust.fallbacks > 0 || a.Robust.distance > requested;
+    cached = true;
+    ok = true;
+    failure = None;
+  }
+
 let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budget ~cache ~c_hit
-    ~c_miss ~classify ~run_target (c : Circuit.t) : (synthesized, Robust.failure) result =
+    ~c_miss ~ledger_chain ~classify ~run_target (c : Circuit.t) :
+    (synthesized, Robust.failure) result =
   Obs.span span @@ fun () ->
   let setting, transpiled =
     if transpile then Settings.best_for ir c
@@ -261,13 +287,18 @@ let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budge
       let results =
         Planner.execute ?jobs ~deadline ?job_budget:rotation_budget ~run:run_target plan
       in
+      (* Keys whose chain actually ran in this workflow: their first
+         emission occurrence is already covered by the fresh record
+         [Synth.run_chain] wrote on the worker domain. *)
+      let fresh = Hashtbl.create 64 in
       Array.iter
         (fun (j : _ Planner.job) ->
           match Hashtbl.find_opt results j.Planner.key with
           | Some (Ok a as r) ->
               Obs.observe h_rot_tcount (float_of_int (Ctgate.t_count a.Robust.word));
               cache_put cache j.Planner.key a;
-              Hashtbl.replace local j.Planner.key r
+              Hashtbl.replace local j.Planner.key r;
+              Hashtbl.replace fresh j.Planner.key ()
           | Some (Error _ as r) -> Hashtbl.replace local j.Planner.key r
           | None -> ())
         plan.Planner.jobs;
@@ -278,11 +309,16 @@ let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budge
         | Some word -> word_to_gates word
         | None -> (
             incr nsynth;
-            let key =
-              match classify g with Ok (key, _) -> key | Error f -> raise (Abort f)
+            let key, target =
+              match classify g with Ok kt -> kt | Error f -> raise (Abort f)
             in
             match Hashtbl.find_opt local key with
             | Some (Ok (a : Robust.attempt)) ->
+                (if Ledger.enabled () then
+                   match Hashtbl.find_opt fresh key with
+                   | Some () -> Hashtbl.remove fresh key
+                   | None ->
+                       Ledger.record (replay_record ~chain:ledger_chain ~requested target a));
                 total_err := !total_err +. a.Robust.distance;
                 if a.Robust.fallbacks > 0 || a.Robust.distance > requested then begin
                   Obs.incr c_degraded;
@@ -354,7 +390,7 @@ let run_gridsynth_result ?(epsilon = 0.07) ?(deadline = Obs.Deadline.none) ?rota
   in
   run_workflow ~span:"pipeline.run_gridsynth" ~ir:Settings.Rz_ir ~transpile ~requested:epsilon
     ~jobs ~deadline ~rotation_budget ~cache:gridsynth_cache ~c_hit:c_gs_hit ~c_miss:c_gs_miss
-    ~classify
+    ~ledger_chain:(Synth.chain_id chain_rungs) ~classify
     ~run_target:(make_run_target ~config:(Synth.config ~epsilon ()) ~chain:chain_rungs ())
     c
 
@@ -385,7 +421,7 @@ let run_trasyn_result ?(epsilon = 0.07) ?(config = default_config) ?(budgets = d
   in
   run_workflow ~span:"pipeline.run_trasyn" ~ir:Settings.U3_ir ~transpile ~requested:epsilon
     ~jobs ~deadline ~rotation_budget ~cache:trasyn_cache ~c_hit:c_tr_hit ~c_miss:c_tr_miss
-    ~classify
+    ~ledger_chain:(Synth.chain_id chain_rungs) ~classify
     ~run_target:
       (make_run_target
          ~config:(Synth.config ~trasyn:config ~budgets ~epsilon ())

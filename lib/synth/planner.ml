@@ -63,13 +63,20 @@ let execute ?jobs:requested ?(deadline = Obs.Deadline.none) ?job_budget ~run pla
   (* Work-stealing over a shared index: results land keyed by job key,
      so the merged table is identical whatever the domain count or
      scheduling order — the determinism the --jobs gate tests. *)
-  let worker parent () =
+  (* [idx] numbers the domains of this execution (0 = calling domain).
+     Each accumulates busy-seconds and a jobs counter under
+     obs.planner.domain.<idx>.*, the series the live Metrics sampler
+     differentiates into per-domain utilization. *)
+  let worker idx parent () =
     if domains > 1 then ignore (enlarge_minor_heap ());
+    let g_busy = Obs.gauge (Printf.sprintf "obs.planner.domain.%d.busy_s" idx) in
+    let c_done = Obs.counter (Printf.sprintf "obs.planner.domain.%d.jobs" idx) in
     Obs.with_span_parent parent (fun () ->
         let rec loop () =
           let i = Atomic.fetch_and_add next 1 in
           if i < n_jobs then begin
             let job = plan.jobs.(i) in
+            let jt0 = Obs.Clock.elapsed_s () in
             let jd =
               match job_budget with
               | None -> deadline
@@ -91,6 +98,8 @@ let execute ?jobs:requested ?(deadline = Obs.Deadline.none) ?job_budget ~run pla
                       Obs.set_span_attr "backend" "failed";
                       Error (Robust.Backend_error (Printexc.to_string e)))
             in
+            Obs.add_gauge g_busy (Obs.Clock.elapsed_s () -. jt0);
+            Obs.incr c_done;
             Mutex.lock results_lock;
             Hashtbl.replace results job.key res;
             Mutex.unlock results_lock;
@@ -102,7 +111,9 @@ let execute ?jobs:requested ?(deadline = Obs.Deadline.none) ?job_budget ~run pla
   Obs.span "planner.execute" (fun () ->
       let parent = Obs.current_span_id () in
       with_parent_heap domains (fun () ->
-          let helpers = List.init (domains - 1) (fun _ -> Domain.spawn (worker parent)) in
-          worker parent ();
+          let helpers =
+            List.init (domains - 1) (fun k -> Domain.spawn (worker (k + 1) parent))
+          in
+          worker 0 parent ();
           List.iter Domain.join helpers));
   results

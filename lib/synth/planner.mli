@@ -10,7 +10,11 @@
 
     Observability: [obs.planner.jobs] (unique jobs executed),
     [obs.planner.dedup_hits] (occurrences folded away),
-    [obs.planner.domains] (worker domains started, accumulated);
+    [obs.planner.domains] (worker domains started, accumulated), and
+    per-domain [obs.planner.domain.<i>.busy_s] /
+    [obs.planner.domain.<i>.jobs] (domain 0 is the calling domain) —
+    busy-seconds that the live [Metrics] sampler differentiates into
+    per-domain utilization series;
     each job runs in a ["planner.job"] span carrying a ["backend"]
     attribute (the winning rung's name, or ["failed"]) that
     [tgates-trace hotspots] groups by, all grafted under the caller's

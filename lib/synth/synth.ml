@@ -304,14 +304,76 @@ let rung_of_spec ~config:base ~target spec : Robust.rung =
         | Error f -> Robust.fail f);
   }
 
+(* Canonical target id for provenance: enough digits that two angles
+   the pipeline considers distinct never collide in a ledger. *)
+let target_id = function
+  | Rz theta -> Printf.sprintf "rz(%.10f)" theta
+  | Unitary m ->
+      let theta, phi, lam = Mat2.to_u3_angles m in
+      Printf.sprintf "u3(%.10f,%.10f,%.10f)" theta phi lam
+
+let failure_tag : Robust.failure -> string = function
+  | Robust.Timeout -> "timeout"
+  | Robust.Budget_exhausted -> "budget_exhausted"
+  | Robust.Verification_failed -> "verification_failed"
+  | Robust.Backend_error _ -> "backend_error"
+
+let c_rotations = Obs.counter "synth.rotations"
+
 let run_chain ?deadline ~config:cfg chain target =
   let deadline =
     match deadline with
     | Some d -> Obs.Deadline.earliest d cfg.deadline
     | None -> cfg.deadline
   in
-  Robust.run_chain ~deadline ~target:(target_mat2 target)
-    (List.map (rung_of_spec ~config:cfg ~target) chain)
+  Obs.incr c_rotations;
+  let t0 = Obs.Clock.elapsed_s () in
+  let result =
+    Robust.run_chain ~deadline ~target:(target_mat2 target)
+      (List.map (rung_of_spec ~config:cfg ~target) chain)
+  in
+  (* One fresh provenance record per chain execution, success or
+     failure; the pipelines add cached-replay records for occurrences
+     served by dedup or the memo caches. *)
+  if Ledger.enabled () then begin
+    let wall_s = Obs.Clock.elapsed_s () -. t0 in
+    let base =
+      {
+        Ledger.target = target_id target;
+        chain = chain_id chain;
+        eps_req = cfg.epsilon;
+        rung_eps = nan;
+        distance = nan;
+        backend = "failed";
+        fallbacks = List.length chain - 1;
+        attempts = List.length chain;
+        t_count = 0;
+        word_len = 0;
+        wall_s;
+        degraded = true;
+        cached = false;
+        ok = false;
+        failure = None;
+      }
+    in
+    Ledger.record
+      (match result with
+      | Ok (a : Robust.attempt) ->
+          {
+            base with
+            Ledger.rung_eps = a.Robust.rung_epsilon;
+            distance = a.Robust.distance;
+            backend = a.Robust.backend;
+            fallbacks = a.Robust.fallbacks;
+            attempts = a.Robust.fallbacks + 1;
+            t_count = Ctgate.t_count a.Robust.word;
+            word_len = List.length a.Robust.word;
+            degraded = a.Robust.fallbacks > 0 || a.Robust.distance > cfg.epsilon;
+            ok = true;
+          }
+      | Error f -> { base with Ledger.failure = Some (failure_tag f) })
+  end;
+  result
 
 let synthesize_u3 ?deadline ?(config = Trasyn.default_config) ?(budgets = default_budgets)
     ~epsilon target =

@@ -134,6 +134,16 @@ val parse_chain : string -> (rung_spec list, string) result
 
 (** {1 Running a chain} *)
 
+val target_id : target -> string
+(** Canonical provenance id: ["rz(%.10f)"] or ["u3(θ,φ,λ)"] via the
+    Euler decomposition — what {!run_chain} writes into [Ledger]
+    records. *)
+
+val failure_tag : Robust.failure -> string
+(** Short stable tag ("timeout", "budget_exhausted", ...) used in
+    ledger records; the human-readable form stays
+    [Robust.failure_to_string]. *)
+
 val run_chain :
   ?deadline:Obs.Deadline.t ->
   config:config ->
@@ -143,7 +153,13 @@ val run_chain :
 (** Execute the chain through [Robust.run_chain]: first rung whose
     guard-verified word meets its threshold wins.  The effective
     deadline is the tighter of [deadline] and [config.deadline]; each
-    rung sees it in its [config]. *)
+    rung sees it in its [config].
+
+    Every call bumps ["synth.rotations"], and when the provenance
+    ledger is armed ([Ledger.enabled]) appends one fresh record —
+    success or failure — carrying the canonical target, requested and
+    rung ε, guard-verified distance, winning backend, fallback depth,
+    T-count, word length, wall time, and degraded flag. *)
 
 val synthesize_u3 :
   ?deadline:Obs.Deadline.t ->

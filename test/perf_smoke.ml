@@ -12,7 +12,15 @@
    5. a second, independent quick-suite run diffed against the first
       must pass a lenient regression threshold — the exact plumbing a
       real perf gate uses (two separate processes, two JSON files),
-      exercised end-to-end in CI.
+      exercised end-to-end in CI;
+   6. a quick-suite run with the live metrics sampler attached must
+      stream a loadable tgates-metrics/v1 file whose sampler overhead
+      passes `tgates-trace metrics --max-overhead-pct 2` — the
+      acceptance bound on sampler cost;
+   7. compiling the same circuit with --ledger at --jobs 1 and --jobs 2
+      must give `tgates-trace ledger` outputs that are byte-identical
+      once wall-time lines are dropped — provenance aggregation is
+      deterministic across domain counts.
 
    The executables arrive as argv: BENCH_MAIN TRACE_CLI COMPILE_CLI. *)
 
@@ -38,7 +46,7 @@ let rec slow_down = function
            (fun (k, v) ->
              match v with
              | Obs.Json.Num f
-               when k = "wall_s" || k = "p50_s" || k = "p90_s" || k = "p99_s" ->
+               when k = "wall_s" || k = "p50_s" || k = "p90_s" || k = "p95_s" || k = "p99_s" ->
                  (k, Obs.Json.Num (2.0 *. f))
              | _ -> (k, slow_down v))
            kvs)
@@ -125,5 +133,56 @@ let () =
     (Printf.sprintf "%s diff --fail-above 300 %s %s >/dev/null" (q trace_cli) (q bench_json)
        (q bench_json2));
 
-  List.iter Sys.remove [ bench_json; bench_json2; doctored; qasm; trace ];
+  (* Gate 6: the sampler rides a quick suite and stays under the 2%
+     overhead bound.  The suite itself runs for seconds while each tick
+     walks a few dozen metrics, so the margin is wide; what the gate
+     pins down is that sampler self-time is measured and exported at
+     all, and that the stream survives the torn/duplicate-line checks
+     in Metrics.load_stream. *)
+  let metrics_jsonl = Filename.temp_file "perf_smoke_metrics" ".jsonl" in
+  run_ok "perf suite with sampler"
+    (Printf.sprintf
+       "%s --suite perf --quick --suite-budget 20 --jobs 2 --bench-out %s --metrics-out %s \
+        >/dev/null 2>/dev/null"
+       (q bench_main) (q bench_json2) (q metrics_jsonl));
+  run_ok "metrics overhead gate"
+    (Printf.sprintf
+       "%s metrics --max-overhead-pct 2 --require-series synth.rotations \
+        --require-series obs.heap.words %s >/dev/null"
+       (q trace_cli) (q metrics_jsonl));
+
+  (* Gate 7: per-backend ledger aggregates are bit-identical across
+     --jobs 1 and --jobs 2 once wall-time lines (the only
+     schedule-dependent figures) are dropped. *)
+  let qasm7 = Filename.temp_file "perf_smoke_ledger" ".qasm" in
+  let oc = open_out qasm7 in
+  output_string oc
+    "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nrz(0.37) q[0];\nrz(1.1) q[1];\nrz(0.37) q[1];\ncx q[0],q[1];\nrz(0.37) q[0];\nrz(2.3) q[1];\n";
+  close_out oc;
+  let ledger_stats jobs =
+    let ledger = Filename.temp_file (Printf.sprintf "perf_smoke_ledger_j%d" jobs) ".jsonl" in
+    let out = Filename.temp_file (Printf.sprintf "perf_smoke_ledger_j%d" jobs) ".txt" in
+    run_ok
+      (Printf.sprintf "ledger compile --jobs %d" jobs)
+      (Printf.sprintf "%s --input %s --jobs %d --ledger %s >/dev/null 2>/dev/null" (q compile_cli)
+         (q qasm7) jobs (q ledger));
+    run_ok
+      (Printf.sprintf "ledger stats --jobs %d" jobs)
+      (Printf.sprintf "%s ledger %s > %s" (q trace_cli) (q ledger) (q out));
+    let stats = read_file out in
+    List.iter Sys.remove [ ledger; out ];
+    (* Drop wall-time lines; everything else must match bit-for-bit. *)
+    String.split_on_char '\n' stats
+    |> List.filter (fun line ->
+           let t = String.trim line in
+           not (String.length t >= 4 && String.sub t 0 4 = "wall"))
+    |> String.concat "\n"
+  in
+  let stats1 = ledger_stats 1 and stats2 = ledger_stats 2 in
+  if stats1 <> stats2 then
+    failf "ledger aggregates differ between --jobs 1 and --jobs 2:\n--- jobs 1 ---\n%s\n--- jobs 2 ---\n%s"
+      stats1 stats2;
+  if stats1 = "" then failf "ledger aggregate output is empty";
+
+  List.iter Sys.remove [ bench_json; bench_json2; doctored; qasm; qasm7; trace; metrics_jsonl ];
   print_endline "perf_smoke: OK"

@@ -17,6 +17,7 @@ let () =
       ("generators", Test_generators.suite);
       ("obs", Test_obs.suite);
       ("trace", Test_trace.suite);
+      ("telemetry", Test_metrics.suite);
       ("robust", Test_robust.suite);
       ("synth", Test_synth.suite);
     ]

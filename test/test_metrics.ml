@@ -1,0 +1,191 @@
+(* The telemetry layer: provenance ledger (ring bound, JSONL round
+   trip, order-independent aggregation) and the live metrics sampler
+   (stream integrity under a multi-domain planner run, exposition
+   syntax). *)
+
+let mkrec ?(backend = "trasyn") ?(cached = false) ?(ok = true) ?(distance = 1e-3)
+    ?(wall_s = 0.01) ?(t_count = 12) i =
+  {
+    Ledger.target = Printf.sprintf "rz(%.10f)" (0.1 *. float_of_int i);
+    chain = "u3";
+    eps_req = 0.07;
+    rung_eps = 0.07;
+    distance;
+    backend;
+    fallbacks = 0;
+    attempts = 1;
+    t_count;
+    word_len = t_count * 2;
+    wall_s;
+    degraded = false;
+    cached;
+    ok;
+    failure = (if ok then None else Some "timeout");
+  }
+
+let ledger_tests =
+  [
+    Alcotest.test_case "ring drops oldest at capacity" `Quick (fun () ->
+        Ledger.reset ();
+        Ledger.set_capacity 4;
+        Ledger.set_enabled true;
+        let dropped0 = Obs.counter_value (Obs.counter "obs.ledger.dropped") in
+        Fun.protect
+          ~finally:(fun () ->
+            Ledger.set_enabled false;
+            Ledger.set_capacity 65536;
+            Ledger.reset ())
+          (fun () ->
+            for i = 1 to 10 do
+              Ledger.record (mkrec i)
+            done;
+            Alcotest.(check int) "ring size" 4 (Ledger.size ());
+            Alcotest.(check int)
+              "dropped counter" 6
+              (Obs.counter_value (Obs.counter "obs.ledger.dropped") - dropped0);
+            (* Oldest first, and the survivors are the newest four. *)
+            match Ledger.records () with
+            | [ a; _; _; d ] ->
+                Alcotest.(check string) "oldest survivor" (mkrec 7).Ledger.target a.Ledger.target;
+                Alcotest.(check string) "newest survivor" (mkrec 10).Ledger.target d.Ledger.target
+            | rs -> Alcotest.failf "expected 4 records, got %d" (List.length rs)));
+    Alcotest.test_case "JSONL sink round-trips" `Quick (fun () ->
+        let path = Filename.temp_file "test_ledger" ".jsonl" in
+        Ledger.reset ();
+        Ledger.to_file path;
+        Fun.protect
+          ~finally:(fun () ->
+            Ledger.set_enabled false;
+            Ledger.reset ();
+            Sys.remove path)
+          (fun () ->
+            let written =
+              [
+                mkrec 1;
+                mkrec ~backend:"gridsynth" ~cached:true ~wall_s:0.0 2;
+                (* Failed record: nan distance must survive the trip. *)
+                mkrec ~backend:"failed" ~ok:false ~distance:nan ~t_count:0 3;
+              ]
+            in
+            List.iter Ledger.record written;
+            Ledger.close ();
+            match Ledger.load path with
+            | Error e -> Alcotest.failf "load: %s" e
+            | Ok read ->
+                (* [compare] treats nan = nan, unlike [=]. *)
+                Alcotest.(check bool) "records round-trip" true (compare written read = 0)));
+    Alcotest.test_case "load rejects a file without the meta line" `Quick (fun () ->
+        let path = Filename.temp_file "test_ledger_nometa" ".jsonl" in
+        let oc = open_out path in
+        output_string oc (Obs.Json.to_string (Ledger.record_to_json (mkrec 1)) ^ "\n");
+        close_out oc;
+        Fun.protect
+          ~finally:(fun () -> Sys.remove path)
+          (fun () ->
+            match Ledger.load path with
+            | Error _ -> ()
+            | Ok _ -> Alcotest.fail "meta-less ledger loaded"));
+    Alcotest.test_case "stats are arrival-order independent" `Quick (fun () ->
+        (* The same multiset in two orders — what --jobs 1 and --jobs N
+           produce — must aggregate bit-identically, wall times and all
+           float accumulations included. *)
+        let rs =
+          List.init 20 (fun i ->
+              mkrec
+                ~backend:(if i mod 3 = 0 then "gridsynth" else "trasyn")
+                ~distance:(1e-4 *. float_of_int (i + 1))
+                ~wall_s:(0.001 *. float_of_int (i + 1))
+                ~t_count:(10 + i) i)
+        in
+        let shuffled =
+          let rng = Random.State.make [| 99 |] in
+          List.map (fun r -> (Random.State.bits rng, r)) rs
+          |> List.sort compare |> List.map snd
+        in
+        Alcotest.(check bool)
+          "same aggregates" true
+          (compare (Ledger.stats rs) (Ledger.stats shuffled) = 0);
+        Alcotest.(check int) "two backends" 2 (List.length (Ledger.stats rs)));
+  ]
+
+let metrics_tests =
+  [
+    Alcotest.test_case "sampler under a 2-domain planner run" `Quick (fun () ->
+        let stream = Filename.temp_file "test_metrics" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove stream)
+          (fun () ->
+            Metrics.start ~interval:0.01 ~stream ();
+            Alcotest.(check bool) "running" true (Metrics.running ());
+            (* 16 jobs x ~4ms across 2 domains: both workers stay busy
+               long enough for their busy_s gauges to accumulate. *)
+            let plan =
+              Planner.plan (List.init 16 (fun i -> (string_of_int i, ())))
+            in
+            let table =
+              Planner.execute ~jobs:2
+                ~run:(fun ~deadline:_ () ->
+                  Unix.sleepf 0.004;
+                  Ok ())
+                plan
+            in
+            Alcotest.(check int) "all jobs ran" 16 (Hashtbl.length table);
+            Metrics.stop ();
+            Alcotest.(check bool) "stopped" false (Metrics.running ());
+            Metrics.stop ();
+            (* load_stream rejects torn lines and duplicate/out-of-order
+               seq, so a clean Ok is the no-corruption proof. *)
+            match Metrics.load_stream stream with
+            | Error e -> Alcotest.failf "stream: %s" e
+            | Ok snaps ->
+                Alcotest.(check bool) "snapshots taken" true (List.length snaps >= 1);
+                let last = List.nth snaps (List.length snaps - 1) in
+                let busy i =
+                  match
+                    List.assoc_opt (Printf.sprintf "obs.planner.domain.%d.busy_s" i) last.Metrics.gauges
+                  with
+                  | Some v -> v
+                  | None -> Alcotest.failf "no busy_s gauge for domain %d" i
+                in
+                Alcotest.(check bool) "domain 0 was busy" true (busy 0 > 0.0);
+                Alcotest.(check bool) "domain 1 was busy" true (busy 1 > 0.0);
+                let names = Metrics.series_names snaps in
+                List.iter
+                  (fun n ->
+                    Alcotest.(check bool) (n ^ " present") true (List.mem n names))
+                  [ "obs.heap.words"; "obs.metrics.sampler_wall_s" ]));
+    Alcotest.test_case "derived utilization series appear across ticks" `Quick (fun () ->
+        let stream = Filename.temp_file "test_metrics_util" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove stream)
+          (fun () ->
+            (* The utilization series is a per-tick delta, so it needs
+               two snapshots with planner work in between. *)
+            Metrics.start ~interval:0.01 ~stream ();
+            let plan = Planner.plan (List.init 12 (fun i -> (string_of_int i, ()))) in
+            ignore
+              (Planner.execute ~jobs:2
+                 ~run:(fun ~deadline:_ () ->
+                   Unix.sleepf 0.01;
+                   Ok ())
+                 plan);
+            Unix.sleepf 0.03;
+            Metrics.stop ();
+            match Metrics.load_stream stream with
+            | Error e -> Alcotest.failf "stream: %s" e
+            | Ok snaps ->
+                let names = Metrics.series_names snaps in
+                Alcotest.(check bool)
+                  "domain 0 utilization series" true
+                  (List.mem "obs.planner.domain.0.utilization" names)));
+    Alcotest.test_case "exposition parses; garbage does not" `Quick (fun () ->
+        ignore (Obs.counter "test.metrics.exposition");
+        (match Metrics.parse_exposition (Metrics.exposition ()) with
+        | Error e -> Alcotest.failf "own exposition rejected: %s" e
+        | Ok n -> Alcotest.(check bool) "has samples" true (n > 0));
+        match Metrics.parse_exposition "tgates_x{ 1.0\nnot a line\n" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage exposition accepted");
+  ]
+
+let suite = ledger_tests @ metrics_tests

@@ -46,6 +46,7 @@ let histogram_tests =
         Alcotest.(check (float 1e-9)) "max" 10.0 s.Obs.vmax;
         Alcotest.(check (float 1e-9)) "p50" 5.0 s.Obs.p50;
         Alcotest.(check (float 1e-9)) "p90" 9.0 s.Obs.p90;
+        Alcotest.(check (float 1e-9)) "p95" 10.0 s.Obs.p95;
         Alcotest.(check (float 1e-9)) "p99" 10.0 s.Obs.p99);
     Alcotest.test_case "percentiles on a point mass" `Quick (fun () ->
         let h = Obs.histogram ~buckets:[| 1.0; 2.0; 4.0; 8.0 |] "test.hist.point" in
