@@ -224,6 +224,118 @@ let chain_reuse_phase ~deadline ~smoke =
         ("identical", J.Bool !identical);
       ] )
 
+(* The traffic-replay phase: the persistent store under a repeating
+   rotation stream.  A cold pass populates a fresh store (every target
+   is a miss and gets written back), then the store is closed — final
+   index snapshot — and reopened as a restarted server would, and the
+   same traffic replays against the warm store, where every rotation
+   should be an index hit served without synthesis.  Reported: walls
+   and rotations/sec for both passes, per-rotation p95 on the warm
+   pass, the store hit rate, and the cold vs warm open time.  All words
+   served warm are checked bit-identical to the cold pass — the
+   durability contract, not just a perf number. *)
+let store_replay_phase ~deadline ~smoke =
+  let n_occ = if smoke then 16 else 80 in
+  let n_uniq = if smoke then 4 else 10 in
+  let eps = if smoke then 0.3 else 0.2 in
+  let rng = Random.State.make [| 31 |] in
+  let uniq = Array.init n_uniq (fun _ -> Random.State.float rng (2.0 *. pi)) in
+  let thetas = List.init n_occ (fun i -> uniq.(i mod n_uniq)) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tgates-bench-store.%d" (Unix.getpid ()))
+  in
+  let rec rm_rf p =
+    match Unix.lstat p with
+    | exception Unix.Unix_error _ -> ()
+    | { Unix.st_kind = Unix.S_DIR; _ } ->
+        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+        (try Unix.rmdir p with Unix.Unix_error _ -> ())
+    | _ -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+  in
+  rm_rf dir;
+  let prev_store = Synth.store () in
+  let cfg =
+    Synth.config
+      ~trasyn:{ Trasyn.default_config with samples = (if smoke then 16 else 32); table_t = 10 }
+      ~budgets:[ 8 ] ~epsilon:eps ()
+  in
+  let open_timed () =
+    let t0 = Obs.Clock.elapsed_s () in
+    match Store.open_store dir with
+    | Error e -> failwith ("store_replay: " ^ e)
+    | Ok st -> (st, Obs.Clock.elapsed_s () -. t0)
+  in
+  let replay span_name =
+    let words = ref [] in
+    let t0 = Obs.Clock.elapsed_s () in
+    List.iter
+      (fun theta ->
+        let r =
+          Obs.span span_name (fun () ->
+              Synth.run_chain_sourced ~deadline ~config:cfg Synth.u3_chain (Synth.Rz theta))
+        in
+        match r with
+        | Ok (a, _) -> words := a.Robust.word :: !words
+        | Error f -> raise (Robust.Failure_exn f))
+      thetas;
+    (List.rev !words, Obs.Clock.elapsed_s () -. t0)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Synth.set_store prev_store;
+      rm_rf dir)
+    (fun () ->
+      let st, cold_open = open_timed () in
+      Synth.set_store (Some st);
+      let cold_words, cold_wall = replay "perf.store_cold" in
+      Store.close st;
+      (* Warm restart: reopen from the snapshot, as serve_cli does.
+         The hit rate is measured on this pass alone — after a restart
+         every rotation should be served from the index. *)
+      let st, warm_open = open_timed () in
+      Synth.set_store (Some st);
+      let hits0 = cval "synth.store.hit" and misses0 = cval "synth.store.miss" in
+      let warm_words, warm_wall = replay "perf.store_replay" in
+      let hits = cval "synth.store.hit" - hits0
+      and misses = cval "synth.store.miss" - misses0 in
+      let rate = if hits + misses = 0 then 0.0 else float_of_int hits /. float_of_int (hits + misses) in
+      let identical = List.for_all2 (fun a b -> compare a b = 0) cold_words warm_words in
+      Synth.set_store None;
+      Store.close st;
+      let s = Obs.summarize (Obs.histogram "perf.store_replay") in
+      let q v = if Float.is_finite v then v else 0.0 in
+      let rps wall = if wall > 0.0 then float_of_int n_occ /. wall else 0.0 in
+      Printf.printf
+        "  %-20s %3d rotations  cold=%.3fs (%.0f/s) warm=%.3fs (%.0f/s)  hit_rate=%.2f  open \
+         cold=%.4fs warm=%.4fs%s\n\
+         %!"
+        "store_replay" n_occ cold_wall (rps cold_wall) warm_wall (rps warm_wall) rate cold_open
+        warm_open
+        (if identical then "" else "  [MISMATCH]");
+      ( "store_replay",
+        J.Obj
+          [
+            ("items", J.Num (float_of_int n_occ));
+            ("truncated", J.Bool (Obs.Deadline.expired deadline));
+            ("wall_s", J.Num (q s.Obs.sum));
+            ("p50_s", J.Num (q s.Obs.p50));
+            ("p90_s", J.Num (q s.Obs.p90));
+            ("p95_s", J.Num (q s.Obs.p95));
+            ("p99_s", J.Num (q s.Obs.p99));
+            ("t_count", J.Num (float_of_int (List.fold_left (fun a w -> a + Ctgate.t_count w) 0 warm_words)));
+            ("degraded", J.Num 0.0);
+            ("unique_targets", J.Num (float_of_int n_uniq));
+            ("cold_wall_s", J.Num cold_wall);
+            ("warm_wall_s", J.Num warm_wall);
+            ("cold_rps", J.Num (rps cold_wall));
+            ("warm_rps", J.Num (rps warm_wall));
+            ("hit_rate", J.Num rate);
+            ("cold_open_s", J.Num cold_open);
+            ("warm_open_s", J.Num warm_open);
+            ("identical", J.Bool identical);
+          ] ))
+
 let run ?out ?jobs ?metrics_out ~budget ~smoke () =
   Util.header (Printf.sprintf "PERF SUITE (budget %gs%s)" budget (if smoke then ", smoke" else ""));
   let was_enabled = Obs.enabled () in
@@ -292,6 +404,7 @@ let run ?out ?jobs ?metrics_out ~budget ~smoke () =
     | Error f -> raise (Robust.Failure_exn f)
   in
   let chain_reuse = chain_reuse_phase ~deadline ~smoke in
+  let store_replay = store_replay_phase ~deadline ~smoke in
   let pt =
     run_phase ~deadline "pipeline_trasyn" circuits
       (run_pipeline (Pipeline.run_trasyn_result ~epsilon:pipeline_eps ~config ~deadline ?jobs))
@@ -337,7 +450,7 @@ let run ?out ?jobs ?metrics_out ~budget ~smoke () =
               ("truncated", J.Bool (List.exists (fun a -> a.truncated) phases));
             ] );
         ("wall_s", J.Num wall);
-        ("phases", J.Obj (List.map phase_json phases @ [ chain_reuse; planner ]));
+        ("phases", J.Obj (List.map phase_json phases @ [ chain_reuse; planner; store_replay ]));
         ( "cache",
           J.Obj
             [

@@ -44,7 +44,7 @@ let report_degraded (ds : Pipeline.degradation list) =
   end
 
 let run input output workflow epsilon optimize estimate trace metrics_out metrics_interval
-    prom_out ledger_out deadline rotation_deadline faults jobs backend_chain =
+    prom_out ledger_out deadline rotation_deadline faults jobs backend_chain store_dir =
   match
     Robust.guarded @@ fun () ->
     (match faults with
@@ -64,6 +64,20 @@ let run input output workflow epsilon optimize estimate trace metrics_out metric
     (* Arm the provenance ledger and the live sampler before any
        synthesis runs; both flush themselves at_exit. *)
     (match ledger_out with Some p -> Ledger.to_file p | None -> ());
+    (* Arm the persistent store: hits skip synthesis entirely, fresh
+       words are written back, and close writes the index snapshot. *)
+    (match store_dir with
+    | None -> ()
+    | Some d -> (
+        match Store.open_store d with
+        | Ok st ->
+            let r = Store.recovery st in
+            if r.Store.records_recovered + r.Store.records_quarantined + r.Store.torn_tails > 0 then
+              Printf.printf "store    : %s — %d records recovered, %d quarantined, %d torn tails\n"
+                d r.Store.records_recovered r.Store.records_quarantined r.Store.torn_tails;
+            Synth.set_store (Some st);
+            at_exit (fun () -> Store.close st)
+        | Error e -> invalid_arg ("--store: " ^ e)));
     (match (metrics_out, prom_out) with
     | None, None -> ()
     | stream, prom -> Metrics.start ?interval:metrics_interval ?stream ?prom ());
@@ -218,12 +232,21 @@ let backend_chain =
         ~doc:"comma-separated synthesis fallback chain built from the backend registry, e.g. \
               'trasyn,gridsynth,sk'; default: the workflow's standard ladder")
 
+let store_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:"persistent synthesis store directory (created if needed): stored words with \
+              verified distance <= epsilon are served without synthesis, and fresh words are \
+              written back for the next run")
+
 let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
     Term.(
       const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace $ metrics_out
       $ metrics_interval $ prom_out $ ledger_out $ deadline $ rotation_deadline $ faults $ jobs
-      $ backend_chain)
+      $ backend_chain $ store_dir)
 
 let () = exit (Cmd.eval' cmd)

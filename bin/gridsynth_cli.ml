@@ -23,6 +23,7 @@ let record_direct ~target ~eps_req ~wall_s result =
         wall_s;
         degraded = true;
         cached = false;
+        source = "fresh";
         ok = false;
         failure = None;
       }

@@ -24,6 +24,7 @@ let record_direct ~backend ~target ~eps_req ~wall_s outcome =
         wall_s;
         degraded = true;
         cached = false;
+        source = "fresh";
         ok = false;
         failure = None;
       }

@@ -4,17 +4,18 @@
     for compilation; unsupported statements raise with the source file
     name and line number. *)
 
-exception Parse_error of string * int * string
+exception Parse_error of string * int * int * string
 
-(* Every failure site knows the source file and line, so error messages
-   read like a compiler's: "circuit.qasm:17: unsupported gate foo/2". *)
-let fail file line msg = raise (Parse_error (file, line, msg))
+(* Every failure site knows the source file, line, and (1-based) column,
+   so error messages read like a compiler's:
+   "circuit.qasm:17:3: unsupported gate foo/2". *)
+let fail file line col msg = raise (Parse_error (file, line, col, msg))
 
 (* Arithmetic expressions in gate arguments: numbers, pi, + - * / and
    parentheses (recursive descent over a token list). *)
 type token = Num of float | Pi | Plus | Minus | Star | Slash | LParen | RParen
 
-let tokenize_expr file line s =
+let tokenize_expr file line col s =
   let n = String.length s in
   let tokens = ref [] in
   let i = ref 0 in
@@ -40,16 +41,16 @@ let tokenize_expr file line s =
       tokens := Num (float_of_string (String.sub s !i (!j - !i))) :: !tokens;
       i := !j
     end
-    else fail file line (Printf.sprintf "unexpected character %c in expression" c)
+    else fail file line col (Printf.sprintf "unexpected character %c in expression" c)
   done;
   List.rev !tokens
 
 (* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
    factor := ['-'] (number | pi | '(' expr ')') *)
-let parse_expr file line tokens =
+let parse_expr file line col tokens =
   let toks = ref tokens in
   let peek () = match !toks with [] -> None | t :: _ -> Some t in
-  let advance () = match !toks with [] -> fail file line "unexpected end of expression" | _ :: r -> toks := r in
+  let advance () = match !toks with [] -> fail file line col "unexpected end of expression" | _ :: r -> toks := r in
   let rec expr () =
     let v = ref (term ()) in
     let rec loop () =
@@ -98,26 +99,26 @@ let parse_expr file line tokens =
         let v = expr () in
         (match peek () with
         | Some RParen -> advance ()
-        | _ -> fail file line "expected )");
+        | _ -> fail file line col "expected )");
         v
-    | _ -> fail file line "malformed expression"
+    | _ -> fail file line col "malformed expression"
   in
   let v = expr () in
-  if !toks <> [] then fail file line "trailing tokens in expression";
+  if !toks <> [] then fail file line col "trailing tokens in expression";
   v
 
-let eval_expr file line s = parse_expr file line (tokenize_expr file line s)
+let eval_expr file line col s = parse_expr file line col (tokenize_expr file line col s)
 
 (* "q[3]" -> 3 (single register named q). *)
-let parse_qubit file line s =
+let parse_qubit file line col s =
   let s = String.trim s in
   match String.index_opt s '[' with
   | Some i when s.[String.length s - 1] = ']' ->
       let idx = String.sub s (i + 1) (String.length s - i - 2) in
-      (try int_of_string idx with _ -> fail file line ("bad qubit index " ^ idx))
-  | _ -> fail file line ("expected q[i], got " ^ s)
+      (try int_of_string idx with _ -> fail file line col ("bad qubit index " ^ idx))
+  | _ -> fail file line col ("expected q[i], got " ^ s)
 
-let gate_of_name file line name args =
+let gate_of_name file line col name args =
   match (name, args) with
   | "h", [] -> Qgate.H
   | "x", [] -> Qgate.X
@@ -137,7 +138,7 @@ let gate_of_name file line name args =
   | "swap", [] -> Qgate.Swap
   | ("ccx" | "toffoli"), [] -> Qgate.Ccx
   | _ ->
-      fail file line
+      fail file line col
         (Printf.sprintf "unsupported gate %s/%d" name (List.length args))
 
 let split_on_string sep s =
@@ -157,6 +158,16 @@ let of_string ?(file = "<string>") text =
         match String.index_opt raw '/' with
         | Some i when i + 1 < String.length raw && raw.[i + 1] = '/' -> String.sub raw 0 i
         | _ -> raw
+      in
+      (* 1-based column of the statement's first character, so error
+         messages point into indented lines correctly. *)
+      let col =
+        let i = ref 0 in
+        let n = String.length raw in
+        while !i < n && (raw.[!i] = ' ' || raw.[!i] = '\t') do
+          incr i
+        done;
+        !i + 1
       in
       let stmt = String.trim raw in
       if stmt = "" then ()
@@ -179,14 +190,14 @@ let of_string ?(file = "<string>") text =
               | Some n when n > 0 ->
                   saw_qreg := true;
                   n_qubits := n
-              | _ -> fail file line "malformed qreg")
-          | _ -> fail file line "malformed qreg"
+              | _ -> fail file line col "malformed qreg")
+          | _ -> fail file line col "malformed qreg"
         end
         else begin
           (* gate[(args)] q[i] [, q[j] ...] *)
           let name_args, operands =
             match String.index_opt stmt ' ' with
-            | None -> fail file line ("malformed statement: " ^ stmt)
+            | None -> fail file line col ("malformed statement: " ^ stmt)
             | Some i ->
                 (String.trim (String.sub stmt 0 i),
                  String.trim (String.sub stmt (i + 1) (String.length stmt - i - 1)))
@@ -198,26 +209,26 @@ let of_string ?(file = "<string>") text =
                 let close =
                   match String.rindex_opt name_args ')' with
                   | Some c -> c
-                  | None -> fail file line "unbalanced ("
+                  | None -> fail file line col "unbalanced ("
                 in
                 let inner = String.sub name_args (i + 1) (close - i - 1) in
                 ( String.sub name_args 0 i,
-                  List.map (eval_expr file line) (split_on_string ',' inner) )
+                  List.map (eval_expr file line col) (split_on_string ',' inner) )
           in
-          let qubits = List.map (parse_qubit file line) (split_on_string ',' operands) in
+          let qubits = List.map (parse_qubit file line col) (split_on_string ',' operands) in
           (* Range and arity problems are caught here, per statement,
              so the message points at the offending line instead of
              surfacing later as an Invalid_argument from Circuit. *)
           List.iter
             (fun q ->
-              if not !saw_qreg then fail file line "gate before qreg declaration"
+              if not !saw_qreg then fail file line col "gate before qreg declaration"
               else if q < 0 || q >= !n_qubits then
-                fail file line (Printf.sprintf "qubit %d out of range (qreg has %d)" q !n_qubits))
+                fail file line col (Printf.sprintf "qubit %d out of range (qreg has %d)" q !n_qubits))
             qubits;
-          let gate = gate_of_name file line (String.lowercase_ascii name) args in
+          let gate = gate_of_name file line col (String.lowercase_ascii name) args in
           let instr =
             try Circuit.instr gate (Array.of_list qubits)
-            with Invalid_argument msg -> fail file line msg
+            with Invalid_argument msg -> fail file line col msg
           in
           instrs := instr :: !instrs
         end

@@ -8,9 +8,11 @@
     and truncated expressions, which are all caught per line rather
     than surfacing later from circuit construction. *)
 
-exception Parse_error of string * int * string
+exception Parse_error of string * int * int * string
 (** Source file (["<string>"] for {!of_string} without [file]), line
-    number, and description of the offending statement. *)
+    number, 1-based column of the offending statement, and a
+    description — enough to render a compiler-style
+    ["file:line:col: message"]. *)
 
 val of_string : ?file:string -> string -> Circuit.t
 (** [file] (default ["<string>"]) is used only in error messages. *)

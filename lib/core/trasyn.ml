@@ -105,34 +105,50 @@ let mps_for config ~target clamped =
   end
   else begin
     let key = (config.table_t, clamped) in
-    Mutex.lock chain_lock;
-    Fun.protect ~finally:(fun () -> Mutex.unlock chain_lock) @@ fun () ->
+    let with_lock f =
+      Mutex.lock chain_lock;
+      Fun.protect ~finally:(fun () -> Mutex.unlock chain_lock) f
+    in
     let entry =
-      match Hashtbl.find_opt chain_cache key with
+      match with_lock (fun () -> Hashtbl.find_opt chain_cache key) with
       | Some e ->
           Obs.incr c_chain_hit;
           e
       | None ->
+          (* Build the chain outside the lock: the LQ sweep in
+             [canonical_chain] is the expensive part, and holding the
+             mutex across it would serialize every concurrent miss.
+             Double-check before inserting — another domain may have
+             built the same chain meanwhile; its entry wins so the
+             reseed memo stays unique per key. *)
           Obs.incr c_chain_miss;
-          if Hashtbl.length chain_cache >= chain_capacity then begin
-            let oldest = Queue.pop chain_order in
-            Hashtbl.remove chain_cache oldest;
-            Obs.incr c_chain_evict
-          end;
-          let e =
+          let fresh =
             { chain = Mps.canonical_chain (banks_of config clamped); last_target = None; last_mps = None }
           in
-          Hashtbl.replace chain_cache key e;
-          Queue.push key chain_order;
-          e
+          with_lock (fun () ->
+              match Hashtbl.find_opt chain_cache key with
+              | Some winner -> winner
+              | None ->
+                  if Hashtbl.length chain_cache >= chain_capacity then begin
+                    let oldest = Queue.pop chain_order in
+                    Hashtbl.remove chain_cache oldest;
+                    Obs.incr c_chain_evict
+                  end;
+                  Hashtbl.replace chain_cache key fresh;
+                  Queue.push key chain_order;
+                  fresh)
     in
-    match (entry.last_mps, entry.last_target) with
-    | Some m, Some t when mat2_bits_equal t target -> m
-    | _ ->
-        let m = Mps.instantiate ~target entry.chain in
-        entry.last_target <- Some target;
-        entry.last_mps <- Some m;
-        m
+    (* The reseed memo mutates the shared entry; keep it under the
+       lock so concurrent instantiations of different targets on the
+       same chain never tear the (target, mps) pair. *)
+    with_lock (fun () ->
+        match (entry.last_mps, entry.last_target) with
+        | Some m, Some t when mat2_bits_equal t target -> m
+        | _ ->
+            let m = Mps.instantiate ~target entry.chain in
+            entry.last_target <- Some target;
+            entry.last_mps <- Some m;
+            m)
   end
 
 type result = {

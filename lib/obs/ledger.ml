@@ -18,6 +18,7 @@ type record = {
   wall_s : float;
   degraded : bool;
   cached : bool;
+  source : string;
   ok : bool;
   failure : string option;
 }
@@ -92,6 +93,7 @@ let record_to_json r =
        ("wall_s", Num r.wall_s);
        ("degraded", Bool r.degraded);
        ("cached", Bool r.cached);
+       ("source", Str r.source);
        ("ok", Bool r.ok);
      ]
     @ match r.failure with Some f -> [ ("failure", Str f) ] | None -> [])
@@ -167,6 +169,11 @@ let load path =
             wall_s = num ~default:0.0 "wall_s" j;
             degraded = boolean "degraded" j;
             cached = boolean "cached" j;
+            (* Pre-source ledgers: infer from the cached flag. *)
+            source =
+              (match str "source" j with
+              | Some s -> s
+              | None -> if boolean "cached" j then "replay" else "fresh");
             ok = boolean "ok" j;
             failure = str "failure" j;
           }
@@ -269,8 +276,9 @@ let render_stats ppf rs =
   let total = List.length rs in
   let count p = List.length (List.filter p rs) in
   let cached = count (fun r -> r.cached) in
-  Format.fprintf ppf "ledger: %d records (%d fresh, %d cached), %d degraded, %d failed@." total
-    (total - cached) cached
+  let from_store = count (fun r -> r.source = "store") in
+  Format.fprintf ppf "ledger: %d records (%d fresh, %d cached, %d from store), %d degraded, %d failed@."
+    total (total - cached) cached from_store
     (count (fun r -> r.degraded))
     (count (fun r -> not r.ok));
   let fg f = if Float.is_finite f then Printf.sprintf "%10.4g" f else Printf.sprintf "%10s" "-" in

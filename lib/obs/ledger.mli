@@ -37,6 +37,11 @@ type record = {
   wall_s : float;  (** synthesis wall time; [0.] for cached replays *)
   degraded : bool;  (** fallback taken or distance above requested ε *)
   cached : bool;  (** replay of a deduplicated / memoized execution *)
+  source : string;
+      (** where the word came from: ["fresh"] (a chain execution),
+          ["replay"] (planner dedup / memo cache), or ["store"] (served
+          from the persistent store).  Loaders default pre-source
+          ledgers from [cached]. *)
   ok : bool;
   failure : string option;  (** failure tag when [not ok] *)
 }

@@ -240,6 +240,7 @@ let replay_record ~chain ~requested target (a : Robust.attempt) =
     wall_s = 0.0;
     degraded = a.Robust.fallbacks > 0 || a.Robust.distance > requested;
     cached = true;
+    source = "replay";
     ok = true;
     failure = None;
   }

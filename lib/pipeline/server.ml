@@ -1,0 +1,423 @@
+(* See server.mli.  One bounded queue, N worker threads, responses
+   serialized through the emit callback.  Synthesis itself is
+   Synth.run_chain_sourced, so the persistent store, the guard, the
+   fault layer, and the provenance ledger all apply unchanged. *)
+
+let c_requests = Obs.counter "server.requests"
+let c_served = Obs.counter "server.served"
+let c_failed = Obs.counter "server.failed"
+let c_shed = Obs.counter "server.shed"
+let c_retries = Obs.counter "server.retries"
+let c_batch = Obs.counter "server.batch.requests"
+let g_queue = Obs.gauge "server.queue.depth"
+
+type config = {
+  epsilon : float;
+  chain : Synth.rung_spec list;
+  workers : int;
+  queue_limit : int;
+  max_retries : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+  request_deadline_s : float option;
+  planner_jobs : int option;
+  seed : int;
+}
+
+let default_config =
+  {
+    epsilon = 0.07;
+    chain = Synth.rz_chain ();
+    workers = 1;
+    queue_limit = 64;
+    max_retries = 3;
+    backoff_base_s = 0.05;
+    backoff_cap_s = 1.0;
+    request_deadline_s = None;
+    planner_jobs = None;
+    seed = 0;
+  }
+
+(* One admitted unit of work: a single rotation, or a whole batch (a
+   batch occupies queue slots proportional to its size, so a giant
+   batch cannot sneak past the admission bound). *)
+type rotation = { id : Obs.Json.t; target : Synth.target; epsilon : float; deadline_s : float option }
+
+type work = Rotation of rotation | Batch of { id : Obs.Json.t; rotations : rotation list }
+
+type t = {
+  cfg : config;
+  store : Store.t option;
+  emit : string -> unit;
+  emit_mutex : Mutex.t;
+  queue : work Queue.t;
+  mutable queued_slots : int;
+  mutable in_flight : int;
+  mutable stopping : bool;
+  mutable drained : bool;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  idle : Condition.t;
+  rng : Random.State.t;  (* backoff jitter; guarded by [mutex] *)
+  mutable threads : Thread.t list;
+  (* per-server mirrors for stats_json *)
+  mutable n_requests : int;
+  mutable n_served : int;
+  mutable n_failed : int;
+  mutable n_shed : int;
+  mutable n_retries : int;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let emit_line t s =
+  Mutex.lock t.emit_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.emit_mutex) (fun () -> t.emit s)
+
+let respond t json = emit_line t (Obs.Json.to_string json)
+
+(* ------------------------------------------------------------------ *)
+(* Responses                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let error_response ?(extra = []) id tag message =
+  Obs.Json.Obj
+    ([ ("id", id); ("ok", Obs.Json.Bool false); ("error", Obs.Json.Str tag);
+       ("message", Obs.Json.Str message) ]
+    @ extra)
+
+let op_of_target = function Synth.Rz _ -> "rz" | Synth.Unitary _ -> "u3"
+
+let success_response (r : rotation) (a : Robust.attempt) source retries =
+  let open Obs.Json in
+  Obj
+    [
+      ("id", r.id);
+      ("ok", Bool true);
+      ("op", Str (op_of_target r.target));
+      ("target", Str (Synth.target_id r.target));
+      ("word", Str (Ctgate.seq_to_string a.Robust.word));
+      ("t_count", Num (float_of_int (Ctgate.t_count a.Robust.word)));
+      ("length", Num (float_of_int (List.length a.Robust.word)));
+      ("distance", Num a.Robust.distance);
+      ("backend", Str a.Robust.backend);
+      ("fallbacks", Num (float_of_int a.Robust.fallbacks));
+      ("retries", Num (float_of_int retries));
+      ("source", Str (match source with `Store -> "store" | `Fresh -> "fresh"));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Synthesis with retry/backoff                                        *)
+(* ------------------------------------------------------------------ *)
+
+let deadline_of t (r : rotation) =
+  match (r.deadline_s, t.cfg.request_deadline_s) with
+  | Some s, _ | None, Some s -> Obs.Deadline.after s
+  | None, None -> Obs.Deadline.none
+
+(* Transient failures are worth retrying: a Backend_error may be a
+   fault-injected or load-induced blip, a Timeout may have been a
+   rung-level stall while the request deadline still has room.
+   Budget_exhausted and Verification_failed are deterministic — the
+   same chain gives the same answer — so they fail fast. *)
+let transient = function
+  | Robust.Backend_error _ | Robust.Timeout -> true
+  | Robust.Budget_exhausted | Robust.Verification_failed -> false
+
+let synthesize_with_retries t (r : rotation) =
+  let deadline = deadline_of t r in
+  let cfg = Synth.config ~epsilon:r.epsilon () in
+  let rec attempt k =
+    match Synth.run_chain_sourced ~deadline ~config:cfg t.cfg.chain r.target with
+    | Ok (a, source) -> Ok (a, source, k)
+    | Error f
+      when transient f && k < t.cfg.max_retries && not (Obs.Deadline.expired deadline) ->
+        let back =
+          Float.min t.cfg.backoff_cap_s (t.cfg.backoff_base_s *. Float.pow 2.0 (float_of_int k))
+        in
+        (* Deterministic jitter in [0.5, 1.0] × backoff. *)
+        let jitter = locked t (fun () -> Random.State.float t.rng 1.0) in
+        Unix.sleepf (back *. (0.5 +. (0.5 *. jitter)));
+        Obs.incr c_retries;
+        locked t (fun () -> t.n_retries <- t.n_retries + 1);
+        attempt (k + 1)
+    | Error f -> Error (f, k)
+  in
+  attempt 0
+
+let rotation_response t (r : rotation) =
+  match synthesize_with_retries t r with
+  | Ok (a, source, retries) ->
+      Obs.incr c_served;
+      locked t (fun () -> t.n_served <- t.n_served + 1);
+      success_response r a source retries
+  | Error (f, retries) ->
+      Obs.incr c_failed;
+      locked t (fun () -> t.n_failed <- t.n_failed + 1);
+      error_response
+        ~extra:[ ("retries", Obs.Json.Num (float_of_int retries)) ]
+        r.id (Synth.failure_tag f) (Robust.failure_to_string f)
+
+(* A batch routes through the deduplicating multicore planner: repeated
+   angles synthesize once, distinct angles run across domains. *)
+let batch_response t id rotations =
+  let open Obs.Json in
+  let keyed =
+    List.map (fun r -> (Printf.sprintf "%s@%.17g" (Synth.target_id r.target) r.epsilon, r)) rotations
+  in
+  let plan = Planner.plan keyed in
+  let results =
+    Planner.execute ?jobs:t.cfg.planner_jobs
+      ~run:(fun ~deadline:_ r ->
+        match synthesize_with_retries t r with
+        | Ok (a, source, retries) -> Ok (a, source, retries)
+        | Error (f, _) -> Error f)
+      plan
+  in
+  let sub =
+    List.map
+      (fun (key, r) ->
+        match Hashtbl.find_opt results key with
+        | Some (Ok (a, source, retries)) ->
+            Obs.incr c_served;
+            locked t (fun () -> t.n_served <- t.n_served + 1);
+            success_response r a source retries
+        | Some (Error f) ->
+            Obs.incr c_failed;
+            locked t (fun () -> t.n_failed <- t.n_failed + 1);
+            error_response r.id (Synth.failure_tag f) (Robust.failure_to_string f)
+        | None ->
+            Obs.incr c_failed;
+            locked t (fun () -> t.n_failed <- t.n_failed + 1);
+            error_response r.id "internal" "planner returned no result for this job")
+      keyed
+  in
+  Obj [ ("id", id); ("ok", Bool true); ("op", Str "batch"); ("results", Arr sub) ]
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let slots_of = function Rotation _ -> 1 | Batch b -> max 1 (List.length b.rotations)
+
+let worker_loop t =
+  let rec loop () =
+    let item =
+      locked t (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.nonempty t.mutex
+          done;
+          if Queue.is_empty t.queue then None
+          else begin
+            let w = Queue.pop t.queue in
+            t.queued_slots <- t.queued_slots - slots_of w;
+            t.in_flight <- t.in_flight + 1;
+            Obs.set_gauge g_queue (float_of_int t.queued_slots);
+            Some w
+          end)
+    in
+    match item with
+    | None -> ()  (* stopping and empty *)
+    | Some w ->
+        let response =
+          match w with
+          | Rotation r -> (
+              try rotation_response t r
+              with e ->
+                Obs.incr c_failed;
+                error_response r.id "internal" (Printexc.to_string e))
+          | Batch b -> (
+              try batch_response t b.id b.rotations
+              with e ->
+                Obs.incr c_failed;
+                error_response b.id "internal" (Printexc.to_string e))
+        in
+        respond t response;
+        locked t (fun () ->
+            t.in_flight <- t.in_flight - 1;
+            if t.in_flight = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle);
+        loop ()
+  in
+  loop ()
+
+let create ?store ~emit cfg =
+  let t =
+    {
+      cfg = { cfg with workers = max 1 cfg.workers; queue_limit = max 1 cfg.queue_limit };
+      store;
+      emit;
+      emit_mutex = Mutex.create ();
+      queue = Queue.create ();
+      queued_slots = 0;
+      in_flight = 0;
+      stopping = false;
+      drained = false;
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      idle = Condition.create ();
+      rng = Random.State.make [| cfg.seed; 0x5e4e |];
+      threads = [];
+      n_requests = 0;
+      n_served = 0;
+      n_failed = 0;
+      n_shed = 0;
+      n_retries = 0;
+    }
+  in
+  t.threads <- List.init t.cfg.workers (fun _ -> Thread.create worker_loop t);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Request parsing                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let jid j = Option.value (Obs.Json.member "id" j) ~default:Obs.Json.Null
+
+let parse_rotation t j =
+  let open Obs.Json in
+  let num k = match member k j with Some (Num f) when Float.is_finite f -> Some f | _ -> None in
+  let epsilon = Option.value (num "epsilon") ~default:t.cfg.epsilon in
+  let deadline_s = num "deadline_s" in
+  if epsilon <= 0.0 then Error "epsilon must be positive"
+  else
+    match member "op" j with
+    | Some (Str "rz") -> (
+        match num "theta" with
+        | Some theta -> Ok { id = jid j; target = Synth.Rz theta; epsilon; deadline_s }
+        | None -> Error "rz needs a numeric theta")
+    | Some (Str "u3") -> (
+        match (num "theta", num "phi", num "lam") with
+        | Some th, Some ph, Some lm ->
+            Ok { id = jid j; target = Synth.Unitary (Mat2.u3 th ph lm); epsilon; deadline_s }
+        | _ -> Error "u3 needs numeric theta, phi, lam")
+    | _ -> Error "expected op rz or u3"
+
+let shed t id slots =
+  Obs.incr c_shed ~by:slots;
+  locked t (fun () -> t.n_shed <- t.n_shed + slots);
+  respond t
+    (error_response
+       ~extra:[ ("queue_limit", Obs.Json.Num (float_of_int t.cfg.queue_limit)) ]
+       id "overloaded" "admission queue full; retry later")
+
+(* Admission: shed when the queue (in slots) is full or the server is
+   draining; otherwise enqueue and wake a worker. *)
+let admit t work =
+  let id = match work with Rotation r -> r.id | Batch b -> b.id in
+  let slots = slots_of work in
+  let admitted =
+    locked t (fun () ->
+        if t.stopping || t.queued_slots + slots > t.cfg.queue_limit then false
+        else begin
+          Queue.push work t.queue;
+          t.queued_slots <- t.queued_slots + slots;
+          Obs.set_gauge g_queue (float_of_int t.queued_slots);
+          Condition.signal t.nonempty;
+          true
+        end)
+  in
+  if not admitted then shed t id slots
+
+let stats_json t =
+  let open Obs.Json in
+  let queued, in_flight, counts =
+    locked t (fun () ->
+        ( t.queued_slots,
+          t.in_flight,
+          (t.n_requests, t.n_served, t.n_failed, t.n_shed, t.n_retries) ))
+  in
+  let n_requests, n_served, n_failed, n_shed, n_retries = counts in
+  Obj
+    ([
+       ("schema", Str "tgates-server-stats/v1");
+       ("requests", Num (float_of_int n_requests));
+       ("served", Num (float_of_int n_served));
+       ("failed", Num (float_of_int n_failed));
+       ("shed", Num (float_of_int n_shed));
+       ("retries", Num (float_of_int n_retries));
+       ("queued", Num (float_of_int queued));
+       ("in_flight", Num (float_of_int in_flight));
+       ("workers", Num (float_of_int t.cfg.workers));
+       ("queue_limit", Num (float_of_int t.cfg.queue_limit));
+     ]
+    @ match t.store with Some st -> [ ("store", Store.stats_json st) ] | None -> [])
+
+let submit_line t line =
+  let open Obs.Json in
+  let line = String.trim line in
+  if line = "" then `Continue
+  else begin
+    Obs.incr c_requests;
+    locked t (fun () -> t.n_requests <- t.n_requests + 1);
+    match parse line with
+    | Error e ->
+        respond t (error_response Null "bad_request" ("unparseable request: " ^ e));
+        `Continue
+    | Ok j -> (
+        match member "op" j with
+        | Some (Str "ping") ->
+            respond t (Obj [ ("id", jid j); ("ok", Bool true); ("op", Str "ping") ]);
+            `Continue
+        | Some (Str "stats") ->
+            respond t
+              (Obj [ ("id", jid j); ("ok", Bool true); ("op", Str "stats"); ("stats", stats_json t) ]);
+            `Continue
+        | Some (Str "shutdown") ->
+            respond t (Obj [ ("id", jid j); ("ok", Bool true); ("op", Str "shutdown") ]);
+            `Stop
+        | Some (Str "batch") -> (
+            Obs.incr c_batch;
+            match member "requests" j with
+            | Some (Arr reqs) -> (
+                let parsed = List.map (parse_rotation t) reqs in
+                match List.find_opt Result.is_error parsed with
+                | Some (Error e) ->
+                    respond t (error_response (jid j) "bad_request" e);
+                    `Continue
+                | _ ->
+                    admit t
+                      (Batch
+                         {
+                           id = jid j;
+                           rotations = List.filter_map Result.to_option parsed;
+                         });
+                    `Continue)
+            | _ ->
+                respond t (error_response (jid j) "bad_request" "batch needs a requests array");
+                `Continue)
+        | Some (Str ("rz" | "u3")) -> (
+            match parse_rotation t j with
+            | Ok r ->
+                admit t (Rotation r);
+                `Continue
+            | Error e ->
+                respond t (error_response (jid j) "bad_request" e);
+                `Continue)
+        | Some (Str op) ->
+            respond t (error_response (jid j) "bad_request" ("unknown op " ^ op));
+            `Continue
+        | _ ->
+            respond t (error_response (jid j) "bad_request" "missing op");
+            `Continue)
+  end
+
+let drain t =
+  let join =
+    locked t (fun () ->
+        if t.drained then []
+        else begin
+          t.stopping <- true;
+          Condition.broadcast t.nonempty;
+          while not (Queue.is_empty t.queue && t.in_flight = 0) do
+            Condition.wait t.idle t.mutex
+          done;
+          t.drained <- true;
+          let th = t.threads in
+          t.threads <- [];
+          th
+        end)
+  in
+  List.iter Thread.join join;
+  match t.store with Some st -> Store.snapshot st | None -> ()

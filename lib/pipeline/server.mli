@@ -1,0 +1,84 @@
+(** Durable batch-synthesis server engine.
+
+    Speaks line-delimited JSON: each input line is one request, each
+    response is one JSON line handed to the [emit] callback the engine
+    was created with.  [bin/serve_cli.ml] wires this to stdin/stdout or
+    a Unix-domain socket; the engine itself is transport-agnostic (and
+    unit-testable without a process boundary).
+
+    {b Requests} (field [op] selects):
+
+    {v
+    {"op":"rz","id":1,"theta":0.37,"epsilon":0.01,"deadline_s":5.0}
+    {"op":"u3","id":2,"theta":0.3,"phi":1.1,"lam":-0.7,"epsilon":0.01}
+    {"op":"batch","id":3,"requests":[{"op":"rz",...},...]}
+    {"op":"ping"}   {"op":"stats"}   {"op":"shutdown"}
+    v}
+
+    [id] is echoed verbatim into the response (any JSON value);
+    [epsilon] and [deadline_s] default to the server config.
+
+    {b Responses}: [{"id":…,"ok":true,"op":"rz","target":"rz(…)",
+    "word":"THTS…","t_count":…,"length":…,"distance":…,"backend":…,
+    "fallbacks":…,"retries":…,"source":"store"|"fresh"}] on success;
+    [{"id":…,"ok":false,"error":TAG,"message":…}] on failure, where
+    [TAG] is ["overloaded"] (admission queue full — backpressure),
+    ["bad_request"], or a synthesis failure tag ([timeout],
+    [budget_exhausted], …).  A [batch] response carries its
+    sub-responses in-order under ["results"].
+
+    {b Durability & degradation}: misses run through [Synth.run_chain]
+    (store consultation included when [Synth.set_store] armed one);
+    transient failures ([Backend_error], [Timeout]) are retried with
+    exponential backoff + deterministic jitter while the per-request
+    deadline allows; the admission queue is bounded and sheds with a
+    structured [overloaded] response instead of queueing unboundedly;
+    {!drain} finishes in-flight work and writes a final store index
+    snapshot.
+
+    Observability: counters [server.requests], [server.served],
+    [server.failed], [server.shed], [server.retries],
+    [server.batch.requests]; gauge [server.queue.depth]. *)
+
+type config = {
+  epsilon : float;  (** default ε for requests that omit it *)
+  chain : Synth.rung_spec list;  (** fallback ladder for misses *)
+  workers : int;  (** worker threads consuming the queue (≥ 1) *)
+  queue_limit : int;  (** max queued work items before shedding *)
+  max_retries : int;  (** retry budget for transient failures *)
+  backoff_base_s : float;  (** first backoff; doubles per retry *)
+  backoff_cap_s : float;  (** backoff ceiling *)
+  request_deadline_s : float option;  (** default per-request deadline *)
+  planner_jobs : int option;  (** planner domains for [batch] ops *)
+  seed : int;  (** jitter RNG seed (deterministic backoff) *)
+}
+
+val default_config : config
+(** ε 0.07, the standard Rz ladder, 1 worker, queue 64, 3 retries,
+    base 0.05 s capped at 1 s, no default deadline, planner default
+    domains, seed 0. *)
+
+type t
+
+val create : ?store:Store.t -> emit:(string -> unit) -> config -> t
+(** Start the worker threads.  [emit] receives one complete response
+    line (no trailing newline) per request; calls are serialized by the
+    engine but may come from any worker thread.  [store] is only used
+    for the [stats] op and the final snapshot in {!drain} — arming
+    synthesis itself is [Synth.set_store]'s job. *)
+
+val submit_line : t -> string -> [ `Continue | `Stop ]
+(** Process one request line: control ops ([ping]/[stats]/[shutdown])
+    are answered synchronously; synthesis ops are enqueued (or shed
+    with [overloaded] when the queue is full).  Unparseable lines get a
+    [bad_request] response.  [`Stop] after a [shutdown] op — the caller
+    should stop reading and {!drain}. *)
+
+val drain : t -> unit
+(** Stop accepting, finish queued + in-flight work, join the workers,
+    and write a final store index snapshot.  Idempotent; subsequent
+    {!submit_line} calls shed everything. *)
+
+val stats_json : t -> Obs.Json.t
+(** The [stats] op's payload: request/served/shed/retry counts, queue
+    depth, and the store's [Store.stats_json] when one is attached. *)

@@ -47,7 +47,7 @@ let verify ?(tol = 1e-6) ~target ~epsilon ~claimed word =
 (* ------------------------------------------------------------------ *)
 
 module Fault = struct
-  type mode = Fail | Stall of float | Corrupt
+  type mode = Fail | Stall of float | Corrupt | Torn | Enospc
 
   type spec = { backend : string; mode : mode; prob : float }
 
@@ -87,6 +87,8 @@ module Fault = struct
                 match action with
                 | "fail" -> Ok Fail
                 | "corrupt" -> Ok Corrupt
+                | "torn" -> Ok Torn
+                | "enospc" -> Ok Enospc
                 | "stall" -> Ok (Stall 0.05)
                 | a -> Error (Printf.sprintf "unknown fault action %S" a))
             | Some j -> (
@@ -229,7 +231,9 @@ let run_chain ?(deadline = Obs.Deadline.none) ~target rungs =
           else begin
             let outcome =
               match injected with
-              | Some Fault.Fail ->
+              (* Torn/Enospc are store-I/O modes; on a synthesis rung
+                 they degrade to a plain injected failure. *)
+              | Some (Fault.Fail | Fault.Torn | Fault.Enospc) ->
                   Obs.incr c_faults;
                   Error (Backend_error (rung.name ^ ": injected failure"))
               | _ -> (
@@ -273,8 +277,8 @@ let guarded f =
   match f () with
   | v -> Ok v
   | exception Failure_exn fl -> Error ("error: " ^ failure_to_string fl)
-  | exception Qasm_reader.Parse_error (file, line, msg) ->
-      Error (Printf.sprintf "error: %s:%d: %s" file line msg)
+  | exception Qasm_reader.Parse_error (file, line, col, msg) ->
+      Error (Printf.sprintf "error: %s:%d:%d: %s" file line col msg)
   | exception Gridsynth.Synthesis_failed msg -> Error ("error: synthesis failed: " ^ msg)
   | exception Sys_error msg -> Error ("error: " ^ msg)
   | exception Invalid_argument msg -> Error ("error: invalid argument: " ^ msg)

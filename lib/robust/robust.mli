@@ -78,10 +78,19 @@ module Fault : sig
     | Stall of float  (** sleep that many seconds before the rung runs *)
     | Corrupt  (** the rung's word is altered after it returns, so only
                    the guard can catch it *)
+    | Torn
+        (** store I/O only: the append writes a partial frame and stops
+            — a deterministic [kill -9] mid-write.  On a synthesis rung
+            this behaves like {!Fail}. *)
+    | Enospc
+        (** store I/O only: the write fails as if the disk were full;
+            the store degrades to read-only.  On a synthesis rung this
+            behaves like {!Fail}. *)
 
   type spec = {
     backend : string;
-        (** rung name to target: ["trasyn"], ["gridsynth"], ["sk"], …;
+        (** rung name to target: ["trasyn"], ["gridsynth"], ["sk"], …,
+            or a store I/O site (["store.append"], ["store.snapshot"]);
             ["*"] matches every rung; a name matches its sub-rungs too
             (["trasyn"] also hits ["trasyn.retry"]) *)
     mode : mode;
@@ -90,10 +99,14 @@ module Fault : sig
 
   val parse : string -> (int option * spec list, string) result
   (** The [TGATES_FAULTS] grammar: comma-separated clauses, each either
-      [seed=INT] or [backend=action], where action is [fail], [corrupt]
-      or [stall:SECONDS], optionally suffixed [@PROB].  Examples:
-      ["trasyn=fail"], ["*=corrupt@0.25,seed=7"],
-      ["gridsynth=stall:0.2,sk=fail"]. *)
+      [seed=INT] or [backend=action], where action is [fail], [corrupt],
+      [torn], [enospc] or [stall:SECONDS], optionally suffixed [@PROB].
+      Examples: ["trasyn=fail"], ["*=corrupt@0.25,seed=7"],
+      ["gridsynth=stall:0.2,sk=fail"],
+      ["store.append=torn"] (crash mid-append),
+      ["store.append=corrupt"] (flip a payload byte on disk),
+      ["store.snapshot=fail"] (index rename fails),
+      ["store.append=enospc"] (disk full). *)
 
   val configure : ?seed:int -> spec list -> unit
   (** Install the spec list (replacing any active set, including one

@@ -1,0 +1,195 @@
+(** Crash-safe, content-addressed, disk-backed store of synthesized
+    Clifford+T sequences.
+
+    Synthesized words are exact, canonical artifacts (Kliuchnikov–
+    Maslov–Mosca): once a rotation has been synthesized and
+    guard-verified, the word is worth persisting and re-serving across
+    processes.  Entries are keyed by (gate set, canonical target,
+    ε-bucket); lookups are ε-monotonic — a stored word whose verified
+    distance d satisfies d ≤ ε is a valid hit for any request at ε.
+
+    {b On-disk layout} (all under one store directory):
+
+    {v
+    dir/
+      LOCK                  single-writer lock (Unix.lockf, auto-released
+                            on process death — kill -9 leaves no stale lock)
+      segments/seg-NNNNNN.log   append-only record frames
+      index.json            atomic (tmp+rename) snapshot of the index
+      quarantine/           segments moved aside by corruption recovery
+      quarantine/rejected.jsonl  read-path re-verification forensics
+    v}
+
+    Each record is framed ["TGSR <len> <crc32>\n<payload>\n"], where
+    [crc32] (IEEE, hex) covers the payload bytes, so a flipped bit on
+    disk is detected before the payload is ever parsed.
+
+    {b Crash safety.}  Appends are buffered-then-flushed; a [kill -9]
+    mid-append leaves a torn final frame that the open-time recovery
+    scan truncates away.  The index snapshot is written to a temp file
+    and renamed into place, so a crash mid-snapshot leaves the previous
+    snapshot intact; the snapshot is an acceleration only — the
+    segments are authoritative, and any inconsistency between the two
+    triggers a rescan of the affected segment(s).
+
+    {b Corruption.}  A frame whose CRC fails (or whose framing is
+    unparseable before end-of-file) marks the segment corrupt: the
+    original file is moved into [quarantine/], its intact records are
+    rewritten into a fresh segment (atomic tmp+rename), and the corrupt
+    records are dropped from the index — never served.  Read-path
+    re-verification (through [Robust.verify]) additionally recomputes
+    every served word's unitary against the {e requested} target, so
+    even an entry corrupted past the CRC (e.g. a tampered index) turns
+    into a miss plus a quarantine record, never a wrong circuit.
+
+    {b Fault injection.}  Store I/O consults [Robust.Fault] under the
+    rung names ["store.append"] (modes [torn], [corrupt], [enospc]) and
+    ["store.snapshot"] (mode [fail] = failed rename), making crash
+    recovery deterministically testable via [TGATES_FAULTS].
+
+    {b Graceful degradation.}  An append failure (real or injected
+    ENOSPC) flips the store into degraded read-only mode: lookups keep
+    serving, puts become counted no-ops, and the process never sees an
+    exception from persistence.
+
+    Observability ([Obs] counters/gauges): [store.open.cold]/[.warm],
+    [store.recovery.records], [store.recovery.torn_tails],
+    [store.recovery.quarantined_records],
+    [store.recovery.quarantined_segments], [store.hit]/[store.miss],
+    [store.put]/[store.put.dropped], [store.read_verify.rejected],
+    [store.snapshot.written]/[.failed], [store.faults.injected], and
+    gauges [store.records], [store.segments], [store.degraded]. *)
+
+type t
+
+(** {1 Targets} *)
+
+type target = Rz of float | U3 of float * float * float
+(** Canonical rotation targets.  [U3] carries the Euler angles of
+    [Mat2.to_u3_angles]; angle identity follows [Synth.target_id]'s
+    10-decimal rendering, while the exact float bits are persisted (hex
+    floats) so re-verification reconstructs the matrix bit-exactly. *)
+
+val target_id : target -> string
+(** ["rz(%.10f)"] / ["u3(%.10f,%.10f,%.10f)"] — identical to
+    [Synth.target_id] on the corresponding [Synth.target]. *)
+
+val target_mat2 : target -> Mat2.t
+
+val default_gate_set : string
+(** ["cliffordt"] — the only alphabet the compiler emits today; the key
+    dimension exists so precomputed tables for other gate sets can
+    share one store. *)
+
+(** {1 Entries} *)
+
+type entry = {
+  gate_set : string;
+  target : target;
+  eps_req : float;  (** ε requested when the word was synthesized *)
+  distance : float;  (** guard-verified distance at write time *)
+  word : Ctgate.t list;
+  t_count : int;
+  backend : string;  (** the backend that produced the word *)
+  chain : string;  (** chain id it was produced under (provenance only) *)
+}
+
+val bucket_of_eps : float -> int
+(** ε-bucket index (4 per decade, tighter ε → larger index).  At most
+    one entry per (gate set, target, bucket-of-distance) is retained:
+    the cheapest (lowest T-count) word in that accuracy band. *)
+
+(** {1 Opening and closing} *)
+
+type recovery = {
+  segments_scanned : int;  (** segments read end to end with CRC checks *)
+  segments_trusted : int;  (** segments served from the index snapshot *)
+  records_recovered : int;  (** valid records recovered by scanning *)
+  records_quarantined : int;  (** CRC/framing failures dropped *)
+  segments_quarantined : int;  (** segment files moved to [quarantine/] *)
+  torn_tails : int;  (** torn final frames truncated away *)
+  index_loaded : bool;  (** the index snapshot parsed and passed its CRC *)
+}
+
+val open_store :
+  ?readonly:bool ->
+  ?verify_on_read:bool ->
+  ?rescan:bool ->
+  ?segment_max_bytes:int ->
+  string ->
+  (t, string) result
+(** Open (creating if needed) the store at that directory and run the
+    recovery scan.  [readonly] (default false) skips the writer lock
+    and never modifies the directory (torn tails are tolerated in
+    memory instead of truncated).  [verify_on_read] (default true)
+    re-verifies every served word against the requested target.
+    [rescan] (default false) ignores the index snapshot and re-scans
+    every segment — what a consistency check or a corruption drill
+    wants.  [segment_max_bytes] (default 4 MiB) bounds a segment before
+    appends roll over to a fresh one.  [Error] when the directory is
+    unusable or another writer holds the lock. *)
+
+val recovery : t -> recovery
+(** What the open-time scan found (all zeros for a fresh, empty dir). *)
+
+val dir : t -> string
+val readonly : t -> bool
+
+val degraded : t -> bool
+(** The store stopped persisting (append failure / injected ENOSPC);
+    lookups still serve. *)
+
+val size : t -> int
+(** Live entries in the index. *)
+
+val segment_count : t -> int
+
+val snapshot : t -> unit
+(** Write the index snapshot (tmp+rename).  No-op when [readonly] or
+    [degraded].  An injected ["store.snapshot=fail"] fault (or a real
+    rename failure) is absorbed and counted — the segments remain
+    authoritative. *)
+
+val close : ?snapshot:bool -> t -> unit
+(** Flush segments, optionally (default true) write a final index
+    snapshot, and release the writer lock.  Idempotent. *)
+
+(** {1 Reading and writing} *)
+
+val put : t -> entry -> unit
+(** Append the entry to the current segment (CRC-framed, flushed) and
+    index it.  Within one (gate set, target, distance-bucket) cell only
+    the lowest-T-count word is kept.  Counted no-op when [readonly] or
+    [degraded]; an append failure degrades the store rather than
+    raising. *)
+
+val lookup : t -> ?gate_set:string -> epsilon:float -> target -> entry option
+(** The cheapest stored word for [target] whose verified distance is
+    ≤ [epsilon], re-verified on the way out when the store was opened
+    with [verify_on_read]: the candidate's unitary is recomputed and
+    checked against the requested target through [Robust.verify]; on
+    mismatch the entry is dropped from the index, recorded in
+    [quarantine/rejected.jsonl], counted as
+    [store.read_verify.rejected], and the next candidate is tried.
+    [None] is a miss.  The returned [distance] is the freshly verified
+    one. *)
+
+val entries : t -> entry list
+(** Every live entry (index order unspecified) — for tests and tools. *)
+
+val stats_json : t -> Obs.Json.t
+(** One-object summary (records, segments, hits/misses/puts, degraded
+    flag, recovery counts) — what the server's [stats] op returns. *)
+
+(** {1 Framing internals (exposed for tests)} *)
+
+val crc32 : string -> int
+(** IEEE CRC-32 of the string (unsigned, fits 32 bits). *)
+
+val frame : string -> string
+(** Wrap a payload in the on-disk record frame. *)
+
+val entry_payload : entry -> string
+(** The JSON payload persisted for an entry. *)
+
+val entry_of_payload : string -> (entry, string) result

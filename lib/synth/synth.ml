@@ -176,7 +176,9 @@ let find name = locked (fun () -> List.assoc_opt name !reg)
 let find_exn name =
   match find name with
   | Some b -> b
-  | None -> invalid_arg ("Synth.find_exn: unknown backend " ^ name)
+  | None ->
+      let known = locked (fun () -> String.concat ", " (List.map fst !reg)) in
+      invalid_arg (Printf.sprintf "Synth.find_exn: unknown backend %S (known: %s)" name known)
 
 let all () = locked (fun () -> List.map snd !reg)
 
@@ -319,8 +321,34 @@ let failure_tag : Robust.failure -> string = function
   | Robust.Backend_error _ -> "backend_error"
 
 let c_rotations = Obs.counter "synth.rotations"
+let c_store_hit = Obs.counter "synth.store.hit"
+let c_store_miss = Obs.counter "synth.store.miss"
 
-let run_chain ?deadline ~config:cfg chain target =
+(* The process-wide persistent store, when a CLI armed one.  Guarded by
+   a mutex: [run_chain] runs on planner worker domains.  (The store's
+   own operations are internally locked; this mutex only protects the
+   option cell.) *)
+let store_lock = Mutex.create ()
+let store_ref : Store.t option ref = ref None
+
+let set_store s =
+  Mutex.lock store_lock;
+  store_ref := s;
+  Mutex.unlock store_lock
+
+let store () =
+  Mutex.lock store_lock;
+  let s = !store_ref in
+  Mutex.unlock store_lock;
+  s
+
+let store_target = function
+  | Rz theta -> Store.Rz theta
+  | Unitary m ->
+      let theta, phi, lam = Mat2.to_u3_angles m in
+      Store.U3 (theta, phi, lam)
+
+let run_chain_sourced ?deadline ~config:cfg chain target =
   let deadline =
     match deadline with
     | Some d -> Obs.Deadline.earliest d cfg.deadline
@@ -328,6 +356,49 @@ let run_chain ?deadline ~config:cfg chain target =
   in
   Obs.incr c_rotations;
   let t0 = Obs.Clock.elapsed_s () in
+  (* Consult the persistent store first: a stored word whose verified
+     distance is ≤ ε is a valid answer for this request (ε-monotonic
+     reuse), already re-verified by the store's read path. *)
+  let store_hit =
+    match store () with
+    | None -> None
+    | Some st ->
+        let hit = Store.lookup st ~epsilon:cfg.epsilon (store_target target) in
+        Obs.incr (match hit with Some _ -> c_store_hit | None -> c_store_miss);
+        hit
+  in
+  match store_hit with
+  | Some (e : Store.entry) ->
+      if Ledger.enabled () then
+        Ledger.record
+          {
+            Ledger.target = target_id target;
+            chain = chain_id chain;
+            eps_req = cfg.epsilon;
+            rung_eps = cfg.epsilon;
+            distance = e.Store.distance;
+            backend = e.Store.backend;
+            fallbacks = 0;
+            attempts = 0;
+            t_count = e.Store.t_count;
+            word_len = List.length e.Store.word;
+            wall_s = Obs.Clock.elapsed_s () -. t0;
+            degraded = false;
+            cached = true;
+            source = "store";
+            ok = true;
+            failure = None;
+          };
+      Ok
+        ( {
+            Robust.word = e.Store.word;
+            distance = e.Store.distance;
+            backend = e.Store.backend;
+            fallbacks = 0;
+            rung_epsilon = cfg.epsilon;
+          },
+          `Store )
+  | None ->
   let result =
     Robust.run_chain ~deadline ~target:(target_mat2 target)
       (List.map (rung_of_spec ~config:cfg ~target) chain)
@@ -352,6 +423,7 @@ let run_chain ?deadline ~config:cfg chain target =
         wall_s;
         degraded = true;
         cached = false;
+        source = "fresh";
         ok = false;
         failure = None;
       }
@@ -373,7 +445,25 @@ let run_chain ?deadline ~config:cfg chain target =
           }
       | Error f -> { base with Ledger.failure = Some (failure_tag f) })
   end;
-  result
+  (* A freshly synthesized, guard-verified word is worth keeping. *)
+  (match (result, store ()) with
+  | Ok (a : Robust.attempt), Some st when not (Store.readonly st) ->
+      Store.put st
+        {
+          Store.gate_set = Store.default_gate_set;
+          target = store_target target;
+          eps_req = cfg.epsilon;
+          distance = a.Robust.distance;
+          word = a.Robust.word;
+          t_count = Ctgate.t_count a.Robust.word;
+          backend = a.Robust.backend;
+          chain = chain_id chain;
+        }
+  | _ -> ());
+  Result.map (fun a -> (a, `Fresh)) result
+
+let run_chain ?deadline ~config chain target =
+  Result.map fst (run_chain_sourced ?deadline ~config chain target)
 
 let synthesize_u3 ?deadline ?(config = Trasyn.default_config) ?(budgets = default_budgets)
     ~epsilon target =

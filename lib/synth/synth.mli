@@ -132,6 +132,19 @@ val parse_chain : string -> (rung_spec list, string) result
     chains still land).  [Error] names the unknown backend and lists
     the known ones. *)
 
+(** {1 Persistent store hookup} *)
+
+val set_store : Store.t option -> unit
+(** Arm (or disarm) the process-wide persistent synthesis store.  With
+    a store armed, {!run_chain} consults it before executing any rung —
+    a stored word with verified distance ≤ ε is served directly
+    (["synth.store.hit"], ledger record with [cached = true] and
+    [source = "store"], zero fallbacks) — and writes every fresh
+    guard-verified word back with {!Store.put} (unless the store is
+    read-only or degraded). *)
+
+val store : unit -> Store.t option
+
 (** {1 Running a chain} *)
 
 val target_id : target -> string
@@ -160,6 +173,16 @@ val run_chain :
     success or failure — carrying the canonical target, requested and
     rung ε, guard-verified distance, winning backend, fallback depth,
     T-count, word length, wall time, and degraded flag. *)
+
+val run_chain_sourced :
+  ?deadline:Obs.Deadline.t ->
+  config:config ->
+  rung_spec list ->
+  target ->
+  (Robust.attempt * [ `Store | `Fresh ], Robust.failure) result
+(** {!run_chain}, additionally reporting whether the word was served
+    from the persistent store or freshly synthesized — what the batch
+    server stamps into its responses. *)
 
 val synthesize_u3 :
   ?deadline:Obs.Deadline.t ->

@@ -20,4 +20,6 @@ let () =
       ("telemetry", Test_metrics.suite);
       ("robust", Test_robust.suite);
       ("synth", Test_synth.suite);
+      ("store", Test_store.suite);
+      ("server", Test_server.suite);
     ]

@@ -19,6 +19,7 @@ let mkrec ?(backend = "trasyn") ?(cached = false) ?(ok = true) ?(distance = 1e-3
     wall_s;
     degraded = false;
     cached;
+    source = (if cached then "replay" else "fresh");
     ok;
     failure = (if ok then None else Some "timeout");
   }

@@ -70,14 +70,15 @@ let suite =
         | _ -> Alcotest.fail "aliases not handled");
     Alcotest.test_case "errors carry file and line" `Quick (fun () ->
         (match Qasm_reader.of_string ~file:"bad.qasm" "qreg q[1];\nfrobnicate q[0];\n" with
-        | exception Qasm_reader.Parse_error ("bad.qasm", 2, _) -> ()
-        | exception Qasm_reader.Parse_error (f, l, m) ->
+        | exception Qasm_reader.Parse_error ("bad.qasm", 2, c, _) ->
+            Alcotest.(check int) "column" 1 c
+        | exception Qasm_reader.Parse_error (f, l, _, m) ->
             Alcotest.fail (Printf.sprintf "wrong location %s:%d: %s" f l m)
         | _ -> Alcotest.fail "should have failed");
         (* Without an explicit file the placeholder is used. *)
         match Qasm_reader.of_string "qreg q[1];\nfrobnicate q[0];\n" with
-        | exception Qasm_reader.Parse_error ("<string>", 2, _) -> ()
-        | exception Qasm_reader.Parse_error (f, _, _) -> Alcotest.fail ("wrong file " ^ f)
+        | exception Qasm_reader.Parse_error ("<string>", 2, _, _) -> ()
+        | exception Qasm_reader.Parse_error (f, _, _, _) -> Alcotest.fail ("wrong file " ^ f)
         | _ -> Alcotest.fail "should have failed");
     Alcotest.test_case "of_file errors carry the path" `Quick (fun () ->
         let path = Filename.temp_file "tgates_bad" ".qasm" in
@@ -86,15 +87,15 @@ let suite =
         output_string oc "qreg q[2];\nh q[0];\nnope q[1];\n";
         close_out oc;
         match Qasm_reader.of_file path with
-        | exception Qasm_reader.Parse_error (f, 3, _) ->
+        | exception Qasm_reader.Parse_error (f, 3, _, _) ->
             Alcotest.(check string) "path in error" path f
-        | exception Qasm_reader.Parse_error (f, l, m) ->
+        | exception Qasm_reader.Parse_error (f, l, _, m) ->
             Alcotest.fail (Printf.sprintf "wrong location %s:%d: %s" f l m)
         | _ -> Alcotest.fail "should have failed");
     Alcotest.test_case "malformed QASM is rejected with locations" `Quick (fun () ->
         let expect_error ~what ~line text =
           match Qasm_reader.of_string text with
-          | exception Qasm_reader.Parse_error (_, l, _) ->
+          | exception Qasm_reader.Parse_error (_, l, _, _) ->
               Alcotest.(check int) (what ^ " line") line l
           | _ -> Alcotest.fail (what ^ ": should have failed")
         in

@@ -285,9 +285,9 @@ let guarded_tests =
         (match Robust.guarded (fun () -> Robust.fail Robust.Timeout) with
         | Error msg -> Alcotest.(check bool) "timeout" true (contains msg "timeout")
         | Ok _ -> Alcotest.fail "should fail");
-        (match Robust.guarded (fun () -> raise (Qasm_reader.Parse_error ("f.qasm", 3, "bad gate"))) with
+        (match Robust.guarded (fun () -> raise (Qasm_reader.Parse_error ("f.qasm", 3, 5, "bad gate"))) with
         | Error msg ->
-            Alcotest.(check bool) "file:line" true (contains msg "f.qasm:3");
+            Alcotest.(check bool) "file:line:col" true (contains msg "f.qasm:3:5");
             Alcotest.(check bool) "prefix" true (String.length msg >= 6 && String.sub msg 0 6 = "error:")
         | Ok _ -> Alcotest.fail "should fail");
         match Robust.guarded (fun () -> invalid_arg "nope") with

@@ -1,0 +1,96 @@
+(* Unit tests for the batch server engine, driven without a process
+   boundary: requests go in through [Server.submit_line], responses come
+   out through the [emit] callback.  [drain] joins the workers, so after
+   it returns every submitted request has exactly one response. *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let make_server ?(cfg = Server.default_config) () =
+  let out = ref [] in
+  let m = Mutex.create () in
+  let emit s =
+    Mutex.lock m;
+    out := s :: !out;
+    Mutex.unlock m
+  in
+  let t = Server.create ~emit cfg in
+  (t, fun () -> List.rev !out)
+
+let cval name = Obs.counter_value (Obs.counter name)
+
+let suite =
+  [
+    Alcotest.test_case "ping, stats and bad requests answer synchronously" `Quick (fun () ->
+        let t, out = make_server () in
+        Alcotest.(check bool) "ping continues" true (Server.submit_line t {|{"op":"ping","id":7}|} = `Continue);
+        ignore (Server.submit_line t {|{"op":"stats"}|});
+        ignore (Server.submit_line t "this is not json");
+        ignore (Server.submit_line t {|{"op":"frobnicate"}|});
+        ignore (Server.submit_line t {|{"op":"rz","theta":0.1,"epsilon":-1.0}|});
+        Server.drain t;
+        match out () with
+        | [ pong; stats; bad1; bad2; bad3 ] ->
+            Alcotest.(check bool) "pong" true
+              (contains pong {|"op":"ping"|} && contains pong {|"id":7|});
+            Alcotest.(check bool) "stats schema" true (contains stats "tgates-server-stats/v1");
+            Alcotest.(check bool) "non-json" true (contains bad1 "bad_request");
+            Alcotest.(check bool) "unknown op" true (contains bad2 "bad_request");
+            Alcotest.(check bool) "bad epsilon" true (contains bad3 "bad_request")
+        | rs -> Alcotest.failf "expected 5 responses, got %d" (List.length rs));
+    Alcotest.test_case "rz and batch synthesize through the registry" `Quick (fun () ->
+        let t, out = make_server () in
+        ignore (Server.submit_line t {|{"op":"rz","id":1,"theta":0.37,"epsilon":0.07}|});
+        ignore
+          (Server.submit_line t
+             {|{"op":"batch","id":2,"requests":[{"op":"rz","theta":0.5},{"op":"u3","theta":0.3,"phi":1.1,"lam":-0.7}]}|});
+        Server.drain t;
+        (match out () with
+        | [ r1; r2 ] ->
+            Alcotest.(check bool) "rz ok" true (contains r1 {|"ok":true|});
+            Alcotest.(check bool) "rz word" true (contains r1 {|"word"|});
+            Alcotest.(check bool) "rz source" true
+              (contains r1 {|"source":"fresh"|} || contains r1 {|"source":"store"|});
+            Alcotest.(check bool) "batch ok" true (contains r2 {|"ok":true|});
+            Alcotest.(check bool) "batch results" true (contains r2 {|"results"|});
+            Alcotest.(check bool) "batch u3 target" true (contains r2 "u3(")
+        | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+        (* Drain is idempotent, and a drained server sheds. *)
+        Server.drain t;
+        ignore (Server.submit_line t {|{"op":"rz","id":9,"theta":0.1}|});
+        match List.rev (out ()) with
+        | last :: _ -> Alcotest.(check bool) "shed after drain" true (contains last "overloaded")
+        | [] -> Alcotest.fail "no shed response");
+    Alcotest.test_case "shutdown op stops the read loop" `Quick (fun () ->
+        let t, out = make_server () in
+        Alcotest.(check bool) "shutdown stops" true
+          (Server.submit_line t {|{"op":"shutdown","id":3}|} = `Stop);
+        Server.drain t;
+        match out () with
+        | [ r ] -> Alcotest.(check bool) "acked" true (contains r {|"ok":true|})
+        | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+    Alcotest.test_case "transient failures are retried with backoff, then reported" `Quick
+      (fun () ->
+        (* Every backend rung dead: each attempt fails as a transient
+           backend error, the engine retries max_retries times, and the
+           response carries the failure tag and the retry count. *)
+        (match Robust.Fault.parse "*=fail,seed=3" with
+        | Ok (seed, specs) -> Robust.Fault.configure ?seed specs
+        | Error e -> Alcotest.failf "fault parse: %s" e);
+        Fun.protect ~finally:(fun () -> Robust.Fault.configure []) @@ fun () ->
+        let cfg =
+          { Server.default_config with Server.max_retries = 2; backoff_base_s = 0.001; backoff_cap_s = 0.002 }
+        in
+        let retries0 = cval "server.retries" in
+        let t, out = make_server ~cfg () in
+        ignore (Server.submit_line t {|{"op":"rz","id":4,"theta":0.37}|});
+        Server.drain t;
+        (match out () with
+        | [ r ] ->
+            Alcotest.(check bool) "failed" true (contains r {|"ok":false|});
+            Alcotest.(check bool) "retries reported" true (contains r {|"retries":2|})
+        | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+        Alcotest.(check int) "retry counter" (retries0 + 2) (cval "server.retries"));
+  ]
