@@ -24,6 +24,7 @@ let suite_budget = ref 120.0
 let bench_out = ref ""
 let metrics_out = ref ""
 let jobs = ref 0
+let serve_cli = ref ""
 
 let args =
   [
@@ -60,6 +61,10 @@ let args =
     ( "--jobs",
       Arg.Set_int jobs,
       "planner worker domains for the perf suite's pipeline phases (0 = runtime default)" );
+    ( "--serve-cli",
+      Arg.Set_string serve_cli,
+      "serve_cli binary for the perf suite's server_load phase (default: bin/serve_cli.exe next \
+       to this binary; the phase is skipped when absent)" );
   ]
 
 let want id =
@@ -106,6 +111,7 @@ let () =
         ?out:(if !bench_out = "" then None else Some !bench_out)
         ?jobs:(if !jobs > 0 then Some !jobs else None)
         ?metrics_out:(if !metrics_out = "" then None else Some !metrics_out)
+        ?serve_cli:(if !serve_cli = "" then None else Some !serve_cli)
         ~budget:!suite_budget ~smoke:!quick ();
       exit 0
   | s -> raise (Arg.Bad ("unknown --suite " ^ s ^ " (use exps | perf)")));

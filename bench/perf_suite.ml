@@ -62,9 +62,20 @@ let phase_json acc =
         ("p90_s", J.Num (q s.Obs.p90));
         ("p95_s", J.Num (q s.Obs.p95));
         ("p99_s", J.Num (q s.Obs.p99));
+        ("p999_s", J.Num (q s.Obs.p999));
         ("t_count", J.Num (float_of_int acc.t_count));
         ("degraded", J.Num (float_of_int acc.degraded));
       ] )
+
+(* Recursive delete for the suite's scratch directories (store replay,
+   server load). *)
+let rec rm_rf p =
+  match Unix.lstat p with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+      (try Unix.rmdir p with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
 
 (* The first unused BENCH_<n>.json slot in [dir]. *)
 let next_bench_path dir =
@@ -147,6 +158,7 @@ let planner_phase ~deadline ~smoke ~par_jobs =
         ("p90_s", J.Num (q s.Obs.p90));
         ("p95_s", J.Num (q s.Obs.p95));
         ("p99_s", J.Num (q s.Obs.p99));
+        ("p999_s", J.Num (q s.Obs.p999));
         ("t_count", J.Num (float_of_int t_count));
         ("degraded", J.Num 0.0);
         ("unique_jobs", J.Num (float_of_int (Array.length plan.Planner.jobs)));
@@ -216,6 +228,7 @@ let chain_reuse_phase ~deadline ~smoke =
         ("p90_s", J.Num (q s.Obs.p90));
         ("p95_s", J.Num (q s.Obs.p95));
         ("p99_s", J.Num (q s.Obs.p99));
+        ("p999_s", J.Num (q s.Obs.p999));
         ("t_count", J.Num 0.0);
         ("degraded", J.Num 0.0);
         ("cold_wall_s", J.Num cold_wall);
@@ -244,14 +257,6 @@ let store_replay_phase ~deadline ~smoke =
   let dir =
     Filename.concat (Filename.get_temp_dir_name ())
       (Printf.sprintf "tgates-bench-store.%d" (Unix.getpid ()))
-  in
-  let rec rm_rf p =
-    match Unix.lstat p with
-    | exception Unix.Unix_error _ -> ()
-    | { Unix.st_kind = Unix.S_DIR; _ } ->
-        Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
-        (try Unix.rmdir p with Unix.Unix_error _ -> ())
-    | _ -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
   in
   rm_rf dir;
   let prev_store = Synth.store () in
@@ -323,6 +328,7 @@ let store_replay_phase ~deadline ~smoke =
             ("p90_s", J.Num (q s.Obs.p90));
             ("p95_s", J.Num (q s.Obs.p95));
             ("p99_s", J.Num (q s.Obs.p99));
+            ("p999_s", J.Num (q s.Obs.p999));
             ("t_count", J.Num (float_of_int (List.fold_left (fun a w -> a + Ctgate.t_count w) 0 warm_words)));
             ("degraded", J.Num 0.0);
             ("unique_targets", J.Num (float_of_int n_uniq));
@@ -336,7 +342,223 @@ let store_replay_phase ~deadline ~smoke =
             ("identical", J.Bool identical);
           ] ))
 
-let run ?out ?jobs ?metrics_out ~budget ~smoke () =
+(* The server-load phase: sustained replayed rotation traffic against a
+   live [serve_cli] child over a Unix-domain socket — the full
+   wire-to-wire path (parse, admission queue, worker, store, response
+   emission), not the in-process engine.  A windowed client keeps
+   [window] requests in flight and timestamps each send/receive, so the
+   reported p50/p95/p99/p999 are exact client-observed latencies (sorted
+   samples, not histogram buckets).  The angle stream repeats [n_uniq]
+   angles across [n_occ] requests, so after the first round the store
+   serves hits and the phase measures the server's steady state; the
+   final [stats] op supplies the server-side queue-wait quantiles and
+   store hit rate, and a [shutdown] op drains the child cleanly. *)
+let server_load_phase ~deadline ~smoke ~serve_cli =
+  let n_occ = if smoke then 24 else 160 in
+  let n_uniq = if smoke then 4 else 10 in
+  let eps = if smoke then 0.3 else 0.2 in
+  let window = 8 in
+  let rng = Random.State.make [| 47 |] in
+  let uniq = Array.init n_uniq (fun _ -> Random.State.float rng (2.0 *. pi)) in
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tgates-bench-serve.%d" (Unix.getpid ()))
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o700;
+  let sock_path = Filename.concat dir "serve.sock" in
+  let store_dir = Filename.concat dir "store" in
+  let log_path = Filename.concat dir "serve.log" in
+  let log_fd = Unix.openfile log_path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o600 in
+  let null_fd = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process serve_cli
+      [|
+        serve_cli; "--socket"; sock_path; "--store"; store_dir; "--epsilon";
+        Printf.sprintf "%g" eps; "-j"; "2";
+      |]
+      null_fd Unix.stdout log_fd
+  in
+  Unix.close null_fd;
+  Unix.close log_fd;
+  let fail_with fmt =
+    Printf.ksprintf
+      (fun msg ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid);
+        let log = try In_channel.with_open_text log_path In_channel.input_all with _ -> "" in
+        rm_rf dir;
+        failwith (Printf.sprintf "server_load: %s\nserver log:\n%s" msg log))
+      fmt
+  in
+  (* The socket file appears once the child has bound it. *)
+  let rec await_socket tries =
+    if Sys.file_exists sock_path then ()
+    else if tries <= 0 then fail_with "server did not bind %s" sock_path
+    else begin
+      (match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ -> ()
+      | _, st ->
+          fail_with "server exited before binding its socket (%s)"
+            (match st with
+            | Unix.WEXITED c -> Printf.sprintf "exit %d" c
+            | Unix.WSIGNALED s -> Printf.sprintf "signal %d" s
+            | Unix.WSTOPPED s -> Printf.sprintf "stopped %d" s));
+      Unix.sleepf 0.05;
+      await_socket (tries - 1)
+    end
+  in
+  await_socket 300;
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let rec connect tries =
+    match Unix.connect fd (Unix.ADDR_UNIX sock_path) with
+    | () -> ()
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when tries > 0 ->
+        Unix.sleepf 0.05;
+        connect (tries - 1)
+    | exception Unix.Unix_error (e, _, _) -> fail_with "connect: %s" (Unix.error_message e)
+  in
+  connect 100;
+  let write_all line =
+    let rec go off =
+      if off < String.length line then
+        match Unix.write_substring fd line off (String.length line - off) with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        | n -> go (off + n)
+    in
+    go 0
+  in
+  (* One-response-line-at-a-time buffered reader. *)
+  let rbuf = Buffer.create 256 in
+  let chunk = Bytes.create 4096 in
+  let pending = Queue.create () in
+  let rec read_response () =
+    if not (Queue.is_empty pending) then Queue.pop pending
+    else
+      match Unix.read fd chunk 0 (Bytes.length chunk) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_response ()
+      | 0 -> fail_with "server closed the connection mid-traffic"
+      | n ->
+          for i = 0 to n - 1 do
+            match Bytes.get chunk i with
+            | '\n' ->
+                Queue.push (Buffer.contents rbuf) pending;
+                Buffer.clear rbuf
+            | c -> Buffer.add_char rbuf c
+          done;
+          read_response ()
+  in
+  let parse_response line =
+    match J.parse line with Ok j -> j | Error e -> fail_with "bad response %S: %s" line e
+  in
+  (* Windowed replay: timestamp each send, match responses back by id. *)
+  let sent_at = Hashtbl.create 64 in
+  let latencies = ref [] in
+  let served = ref 0 and failed = ref 0 in
+  let truncated = ref false in
+  let t0 = Obs.Clock.elapsed_s () in
+  let send i =
+    let theta = uniq.(i mod n_uniq) in
+    Hashtbl.replace sent_at i (Obs.Clock.elapsed_s ());
+    write_all (Printf.sprintf "{\"op\":\"rz\",\"id\":%d,\"theta\":%.17g}\n" i theta)
+  in
+  let recv () =
+    let j = parse_response (read_response ()) in
+    (match J.member "id" j with
+    | Some (J.Num f) -> (
+        let id = int_of_float f in
+        match Hashtbl.find_opt sent_at id with
+        | Some t ->
+            latencies := (Obs.Clock.elapsed_s () -. t) :: !latencies;
+            Hashtbl.remove sent_at id
+        | None -> ())
+    | _ -> ());
+    match J.member "ok" j with Some (J.Bool true) -> incr served | _ -> incr failed
+  in
+  let next = ref 0 and inflight = ref 0 in
+  while !next < n_occ || !inflight > 0 do
+    if Obs.Deadline.expired deadline && !next < n_occ then begin
+      truncated := true;
+      next := n_occ
+    end
+    else if !next < n_occ && !inflight < window then begin
+      send !next;
+      incr next;
+      incr inflight
+    end
+    else begin
+      recv ();
+      decr inflight
+    end
+  done;
+  let wall = Obs.Clock.elapsed_s () -. t0 in
+  (* Server-side view: queue-wait quantiles and store hit rate from the
+     live stats snapshot. *)
+  write_all "{\"op\":\"stats\",\"id\":-1}\n";
+  let stats =
+    match J.member "stats" (parse_response (read_response ())) with
+    | Some s -> s
+    | None -> fail_with "stats response carried no stats object"
+  in
+  let stat_num path =
+    let rec go j = function
+      | [] -> ( match j with J.Num f -> f | _ -> 0.0)
+      | k :: rest -> ( match J.member k j with Some j' -> go j' rest | None -> 0.0)
+    in
+    go stats path
+  in
+  write_all "{\"op\":\"shutdown\",\"id\":-2}\n";
+  ignore (read_response ());
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  (match status with
+  | Unix.WEXITED 0 -> ()
+  | Unix.WEXITED c -> fail_with "server exited with %d after shutdown" c
+  | Unix.WSIGNALED s | Unix.WSTOPPED s -> fail_with "server killed by signal %d" s);
+  rm_rf dir;
+  (* Exact quantiles over the client-observed latencies. *)
+  let samples = Array.of_list !latencies in
+  Array.sort compare samples;
+  let quant p =
+    let n = Array.length samples in
+    if n = 0 then 0.0 else samples.(min (n - 1) (int_of_float (ceil (p *. float_of_int n)) - 1))
+  in
+  let items = !served + !failed in
+  let rps = if wall > 0.0 then float_of_int items /. wall else 0.0 in
+  let hit_rate = stat_num [ "store_hit_rate" ] in
+  Printf.printf
+    "  %-20s %3d requests  wall=%.3fs (%.0f/s)  p50=%.4fs p99=%.4fs p999=%.4fs  queue_wait \
+     p99=%.4fs  hit_rate=%.2f%s\n\
+     %!"
+    "server_load" items wall rps (quant 0.5) (quant 0.99) (quant 0.999)
+    (stat_num [ "queue_wait"; "p99_s" ])
+    hit_rate
+    (if !failed > 0 then Printf.sprintf "  failed=%d" !failed else "");
+  ( "server_load",
+    J.Obj
+      [
+        ("items", J.Num (float_of_int items));
+        ("truncated", J.Bool !truncated);
+        ("wall_s", J.Num wall);
+        ("p50_s", J.Num (quant 0.5));
+        ("p90_s", J.Num (quant 0.9));
+        ("p95_s", J.Num (quant 0.95));
+        ("p99_s", J.Num (quant 0.99));
+        ("p999_s", J.Num (quant 0.999));
+        ("t_count", J.Num 0.0);
+        ("degraded", J.Num 0.0);
+        ("unique_targets", J.Num (float_of_int n_uniq));
+        ("window", J.Num (float_of_int window));
+        ("served", J.Num (float_of_int !served));
+        ("failed", J.Num (float_of_int !failed));
+        ("rps", J.Num rps);
+        ("queue_wait_p50_s", J.Num (stat_num [ "queue_wait"; "p50_s" ]));
+        ("queue_wait_p99_s", J.Num (stat_num [ "queue_wait"; "p99_s" ]));
+        ("server_latency_p99_s", J.Num (stat_num [ "latency"; "p99_s" ]));
+        ("store_hit_rate", J.Num hit_rate);
+      ] )
+
+let run ?out ?jobs ?metrics_out ?serve_cli ~budget ~smoke () =
   Util.header (Printf.sprintf "PERF SUITE (budget %gs%s)" budget (if smoke then ", smoke" else ""));
   let was_enabled = Obs.enabled () in
   Obs.reset ();
@@ -405,6 +627,24 @@ let run ?out ?jobs ?metrics_out ~budget ~smoke () =
   in
   let chain_reuse = chain_reuse_phase ~deadline ~smoke in
   let store_replay = store_replay_phase ~deadline ~smoke in
+  (* The server child is found next to this binary unless overridden. *)
+  let serve_exe =
+    match serve_cli with
+    | Some p -> Some p
+    | None ->
+        let guess =
+          Filename.concat (Filename.dirname Sys.executable_name) "../bin/serve_cli.exe"
+        in
+        if Sys.file_exists guess then Some guess else None
+  in
+  let server_load =
+    match serve_exe with
+    | Some exe when Sys.file_exists exe ->
+        Some (server_load_phase ~deadline ~smoke ~serve_cli:exe)
+    | _ ->
+        Printf.printf "  [perf] server_load skipped (serve_cli.exe not found; pass --serve-cli)\n%!";
+        None
+  in
   let pt =
     run_phase ~deadline "pipeline_trasyn" circuits
       (run_pipeline (Pipeline.run_trasyn_result ~epsilon:pipeline_eps ~config ~deadline ?jobs))
@@ -450,7 +690,11 @@ let run ?out ?jobs ?metrics_out ~budget ~smoke () =
               ("truncated", J.Bool (List.exists (fun a -> a.truncated) phases));
             ] );
         ("wall_s", J.Num wall);
-        ("phases", J.Obj (List.map phase_json phases @ [ chain_reuse; planner; store_replay ]));
+        ( "phases",
+          J.Obj
+            (List.map phase_json phases
+            @ [ chain_reuse; planner; store_replay ]
+            @ Option.to_list server_load) );
         ( "cache",
           J.Obj
             [

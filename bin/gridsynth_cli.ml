@@ -26,6 +26,7 @@ let record_direct ~target ~eps_req ~wall_s result =
         source = "fresh";
         ok = false;
         failure = None;
+        request_id = "";
       }
     in
     Ledger.record

@@ -16,11 +16,19 @@ open Cmdliner
 let stop_requested = Atomic.make false
 
 (* Feed fd's lines to the engine, polling the stop flag between reads
-   so a signal interrupts an idle server within ~100 ms. *)
+   so a signal interrupts an idle server within ~100 ms.  A shutdown op
+   raises the stop flag too, so in socket mode the accept loop exits
+   instead of waiting for the next client. *)
 let pump_lines fd server =
   let buf = Buffer.create 256 in
   let chunk = Bytes.create 4096 in
-  let submit line = Server.submit_line server line = `Stop in
+  let submit line =
+    if Server.submit_line server line = `Stop then begin
+      Atomic.set stop_requested true;
+      true
+    end
+    else false
+  in
   let rec loop () =
     if Atomic.get stop_requested then ()
     else
@@ -114,9 +122,10 @@ let serve_socket path make_server =
 
 let run store_dir rescan socket epsilon backend_chain workers queue_limit max_retries backoff_base
     backoff_cap request_deadline planner_jobs seed faults ledger_out metrics_out metrics_interval
-    prom_out =
+    prom_out trace_out =
   match
     Robust.guarded @@ fun () ->
+    (match trace_out with Some p -> Obs.trace_to_file p | None -> ());
     (match faults with
     | None -> ()
     | Some s -> (
@@ -173,7 +182,29 @@ let run store_dir rescan socket epsilon backend_chain workers queue_limit max_re
     in
     arm Sys.sigterm;
     arm Sys.sigint;
-    let make_server emit = Server.create ?store ~emit cfg in
+    let make_server emit =
+      let server = Server.create ?store ~emit cfg in
+      (* Structured one-line startup banner: everything an operator (or
+         a log scraper) needs to find and correlate this boot. *)
+      let open Obs.Json in
+      let opt_str = function Some s -> Str s | None -> Null in
+      Printf.eprintf "serve: %s\n%!"
+        (to_string
+           (Obj
+              [
+                ("ev", Str "serve.start");
+                ("pid", Num (float_of_int (Unix.getpid ())));
+                ("trace_id", Str (Server.trace_id server));
+                ("store", opt_str store_dir);
+                ("socket", (match socket with Some p -> Str p | None -> Str "stdio"));
+                ("workers", Num (float_of_int (max 1 workers)));
+                ( "jobs",
+                  match planner_jobs with Some j -> Num (float_of_int j) | None -> Str "auto" );
+                ("queue_limit", Num (float_of_int (max 1 queue_limit)));
+                ("epsilon", Num epsilon);
+              ]));
+      server
+    in
     let server =
       match socket with
       | None -> serve_stdio make_server
@@ -186,7 +217,15 @@ let run store_dir rescan socket epsilon backend_chain workers queue_limit max_re
         Store.close st;
         Printf.eprintf "serve: store closed with %d entries\n%!" (Store.size st)
     | None -> ());
-    Printf.eprintf "serve: drained, exiting\n%!"
+    (* Drain report: uptime plus request totals, from the same snapshot
+       the stats op serves. *)
+    let stats = Server.stats_json server in
+    let n k = match Obs.Json.member k stats with Some (Obs.Json.Num f) -> f | _ -> 0.0 in
+    Printf.eprintf
+      "serve: drained after uptime_s=%.3f — %.0f requests (%.0f served, %.0f failed, %.0f shed, \
+       %.0f retries), exiting\n\
+       %!"
+      (Server.uptime_s server) (n "requests") (n "served") (n "failed") (n "shed") (n "retries")
   with
   | Ok () -> 0
   | Error msg ->
@@ -302,6 +341,14 @@ let prom_out =
     & info [ "prom-out" ] ~docv:"FILE"
         ~doc:"write a Prometheus text exposition, atomically replaced per tick")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"write a JSONL span trace to $(docv); spans carry req.trace/req.id attributes, so \
+              'tgates-trace requests' reassembles per-request waterfalls")
+
 let cmd =
   Cmd.v
     (Cmd.info "tgates-serve"
@@ -309,6 +356,6 @@ let cmd =
     Term.(
       const run $ store_dir $ rescan $ socket $ epsilon $ backend_chain $ workers $ queue_limit
       $ max_retries $ backoff_base $ backoff_cap $ request_deadline $ planner_jobs $ seed $ faults
-      $ ledger_out $ metrics_out $ metrics_interval $ prom_out)
+      $ ledger_out $ metrics_out $ metrics_interval $ prom_out $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

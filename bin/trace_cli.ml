@@ -140,6 +140,61 @@ let metrics_cmd =
           planner utilization), torn/duplicate-line detection, sampler-overhead gating")
     Term.(const run $ max_overhead $ require $ path)
 
+let requests_cmd =
+  let run slowest fail_above expect path =
+    with_trace path (fun tr ->
+        let rs = Trace_analysis.requests tr in
+        Trace_analysis.render_requests ~slowest Format.std_formatter tr;
+        match expect with
+        | Some n when List.length rs <> n ->
+            fail "expected %d requests, found %d" n (List.length rs)
+        | _ -> (
+            match fail_above with
+            | None -> 0
+            | Some thr -> (
+                match
+                  List.filter (fun r -> r.Trace_analysis.rq_latency_s > thr) rs
+                with
+                | [] -> 0
+                | over ->
+                    List.iter
+                      (fun r ->
+                        Printf.eprintf "tgates-trace: request %s latency %.6fs exceeds %.6fs\n"
+                          r.Trace_analysis.rq_id r.Trace_analysis.rq_latency_s thr)
+                      over;
+                    1)))
+  in
+  let slowest =
+    Arg.(
+      value & opt int 1
+      & info [ "slowest" ] ~docv:"K"
+          ~doc:"render the span waterfall of the $(docv) highest-latency requests (0 disables)")
+  in
+  let fail_above =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "fail-above" ] ~docv:"SECONDS"
+          ~doc:"exit nonzero when any request's latency exceeds $(docv) seconds — the CI gate on \
+                tail latency")
+  in
+  let expect =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "expect-requests" ] ~docv:"N"
+          ~doc:"exit nonzero unless the trace carries exactly $(docv) requests")
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE") in
+  Cmd.v
+    (Cmd.info "requests"
+       ~doc:
+         "reassemble a server trace into per-request waterfalls: one latency-table row per wire \
+          request (req.trace/req.id span attributes are the grouping key, so spans emitted on \
+          planner worker domains fold back under their request), plus the slowest requests' span \
+          waterfalls and a tail-latency CI gate")
+    Term.(const run $ slowest $ fail_above $ expect $ path)
+
 let ledger_cmd =
   let run expect paths =
     let loaded = List.map (fun p -> (p, Ledger.load p)) paths in
@@ -176,6 +231,9 @@ let ledger_cmd =
 let cmd =
   Cmd.group
     (Cmd.info "tgates-trace" ~doc:"analyze Obs JSONL traces and BENCH_*.json perf baselines")
-    [ report_cmd; hotspots_cmd; flame_cmd; diff_cmd; validate_cmd; metrics_cmd; ledger_cmd ]
+    [
+      report_cmd; hotspots_cmd; flame_cmd; diff_cmd; validate_cmd; metrics_cmd; requests_cmd;
+      ledger_cmd;
+    ]
 
 let () = exit (Cmd.eval' cmd)

@@ -27,6 +27,7 @@ let record_direct ~backend ~target ~eps_req ~wall_s outcome =
         source = "fresh";
         ok = false;
         failure = None;
+        request_id = "";
       }
     in
     Ledger.record

@@ -21,6 +21,7 @@ type record = {
   source : string;
   ok : bool;
   failure : string option;
+  request_id : string;  (* "" outside a server request *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -96,11 +97,23 @@ let record_to_json r =
        ("source", Str r.source);
        ("ok", Bool r.ok);
      ]
+    (* Only when attributed: keeps CLI-produced ledgers byte-identical
+       to pre-request-tracing ones. *)
+    @ (if r.request_id = "" then [] else [ ("request_id", Str r.request_id) ])
     @ match r.failure with Some f -> [ ("failure", Str f) ] | None -> [])
 
 let record r =
   if Atomic.get enabled_flag then begin
     Obs.incr c_records;
+    (* Stamp the ambient request context unless the producer already
+       attributed the record explicitly. *)
+    let r =
+      if r.request_id <> "" then r
+      else
+        match Obs.current_request () with
+        | Some c -> { r with request_id = c.Obs.request_id }
+        | None -> r
+    in
     let line = Obs.Json.to_string (record_to_json r) in
     locked (fun () ->
         if Queue.length ring >= !capacity then begin
@@ -176,6 +189,7 @@ let load path =
               | None -> if boolean "cached" j then "replay" else "fresh");
             ok = boolean "ok" j;
             failure = str "failure" j;
+            request_id = (match str "request_id" j with Some s -> s | None -> "");
           }
     | _ -> Error (Printf.sprintf "line %d: rotation event missing target/chain/backend" lineno)
   in

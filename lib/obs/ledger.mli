@@ -44,6 +44,12 @@ type record = {
           ledgers from [cached]. *)
   ok : bool;
   failure : string option;  (** failure tag when [not ok] *)
+  request_id : string;
+      (** originating server request ([Obs.request_ctx.request_id]);
+          [""] outside a server.  Producers may leave it [""] — {!record}
+          stamps the ambient [Obs.current_request] context when set.
+          Emitted in JSONL only when non-empty, so CLI-produced ledgers
+          are unchanged. *)
 }
 
 (** {1 Producer side} *)

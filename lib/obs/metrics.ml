@@ -47,7 +47,13 @@ let exposition () =
             (fun (q, v) ->
               if Float.is_finite v then
                 Buffer.add_string b (Printf.sprintf "%s{quantile=\"%s\"} %s\n" pn q (prom_num v)))
-            [ ("0.5", s.Obs.p50); ("0.9", s.Obs.p90); ("0.95", s.Obs.p95); ("0.99", s.Obs.p99) ];
+            [
+              ("0.5", s.Obs.p50);
+              ("0.9", s.Obs.p90);
+              ("0.95", s.Obs.p95);
+              ("0.99", s.Obs.p99);
+              ("0.999", s.Obs.p999);
+            ];
           Buffer.add_string b
             (Printf.sprintf "%s_sum %s\n%s_count %d\n" pn
                (prom_num (if Float.is_finite s.Obs.sum then s.Obs.sum else 0.0))
@@ -168,6 +174,7 @@ let snapshot_json ~seq ~t ~dump ~derived =
                     ("p90", opt_num s.Obs.p90);
                     ("p95", opt_num s.Obs.p95);
                     ("p99", opt_num s.Obs.p99);
+                    ("p999", opt_num s.Obs.p999);
                   ] )
         | _ -> None)
       dump
@@ -319,6 +326,7 @@ type hsnap = {
   hs_p90 : float;
   hs_p95 : float;
   hs_p99 : float;
+  hs_p999 : float;
 }
 
 type snapshot = {
@@ -357,6 +365,7 @@ let load_stream path =
                             hs_p90 = hnum "p90" v;
                             hs_p95 = hnum "p95" v;
                             hs_p99 = hnum "p99" v;
+                            hs_p999 = hnum "p999" v;
                           } )
                   | _ -> None)
                 kvs

@@ -48,7 +48,15 @@ val exposition : unit -> string
 (** {1 Consumer side} *)
 
 (** Histogram summary as serialized in a snapshot. *)
-type hsnap = { hs_count : int; hs_sum : float; hs_p50 : float; hs_p90 : float; hs_p95 : float; hs_p99 : float }
+type hsnap = {
+  hs_count : int;
+  hs_sum : float;
+  hs_p50 : float;
+  hs_p90 : float;
+  hs_p95 : float;
+  hs_p99 : float;
+  hs_p999 : float;
+}
 
 type snapshot = {
   seq : int;  (** strictly increasing from 1 *)

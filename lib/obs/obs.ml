@@ -126,6 +126,12 @@ let histogram_k kind ?(buckets = default_time_buckets) name =
 
 let histogram ?buckets name = histogram_k Value ?buckets name
 
+(* An unregistered histogram: same cells and locking, but invisible to
+   [dump]/[metrics_jsonl]/[report].  The server keeps one per instance
+   for its live [stats] quantiles, so two servers in one process don't
+   blend their request-latency distributions. *)
+let private_histogram ?(buckets = default_time_buckets) name = make_histogram Value buckets name
+
 let observe h v =
   Mutex.lock h.hlock;
   let nb = Array.length h.bounds in
@@ -170,6 +176,7 @@ type summary = {
   p90 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 let summarize h =
@@ -183,6 +190,7 @@ let summarize h =
         p90 = quantile_unlocked h 0.9;
         p95 = quantile_unlocked h 0.95;
         p99 = quantile_unlocked h 0.99;
+        p999 = quantile_unlocked h 0.999;
       })
 
 let reset () =
@@ -522,6 +530,39 @@ let with_span_parent id f =
   parent := id;
   Fun.protect ~finally:(fun () -> parent := p0) f
 
+(* ------------------------------------------------------------------ *)
+(* Request context                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The ambient request: set by the server around each unit of work and
+   re-established by planner workers on their own domains, so every span
+   (and ledger record) emitted while synthesizing can name the wire
+   request that caused it.  Domain-local like the span parent — and with
+   the same caveat: DLS is shared by all systhreads of a domain, so two
+   server worker *threads* interleaving on one domain would see each
+   other's context.  Planner workers are whole domains running one job
+   at a time, so cross-domain attribution is exact. *)
+type request_ctx = { trace_id : string; request_id : string; batch_index : int }
+
+let request_key = Domain.DLS.new_key (fun () : request_ctx option ref -> ref None)
+let current_request () = !(Domain.DLS.get request_key)
+
+let with_request ctx f =
+  let cell = Domain.DLS.get request_key in
+  let prev = !cell in
+  cell := ctx;
+  Fun.protect ~finally:(fun () -> cell := prev) f
+
+(* Attrs a closing span gains from the ambient request, namespaced so
+   they never collide with user attrs.  [req.batch] only when the
+   request is a batch element (index >= 0). *)
+let request_attrs () =
+  match current_request () with
+  | None -> []
+  | Some c ->
+      let base = [ ("req.trace", c.trace_id); ("req.id", c.request_id) ] in
+      if c.batch_index >= 0 then base @ [ ("req.batch", string_of_int c.batch_index) ] else base
+
 (* Peak-heap gauge, sampled at span exit ([Gc.quick_stat] reads the
    live counters without walking the heap). *)
 let g_peak_heap = lazy (gauge "obs.heap.peak_words")
@@ -583,7 +624,9 @@ let span name f =
         let dur = Clock.elapsed_s () -. t0 in
         let m1 = Gc.minor_words () in
         let g1 = Gc.quick_stat () in
-        let my_attrs = !attrs in
+        (* [emit_span] reverses the list, so prepending the (reversed)
+           request attrs makes them render after the user attrs. *)
+        let my_attrs = List.rev (request_attrs ()) @ !attrs in
         depth := d0;
         parent := p0;
         attrs := a0;
@@ -643,6 +686,7 @@ let metrics_jsonl () =
               ("p90", opt_num s.p90);
               ("p95", opt_num s.p95);
               ("p99", opt_num s.p99);
+              ("p999", opt_num s.p999);
             ] )
         :: !lines)
     hists;
@@ -725,24 +769,25 @@ let report oc =
     List.iter (fun (n, v) -> Printf.fprintf oc "  %-44s %12g\n" n v) gauges
   end;
   if spans <> [] then begin
-    Printf.fprintf oc "spans:%40s %8s %8s %8s %8s %8s %8s\n" "" "calls" "total" "p50" "p90" "p95"
-      "p99";
+    Printf.fprintf oc "spans:%40s %8s %8s %8s %8s %8s %8s %8s\n" "" "calls" "total" "p50" "p90"
+      "p95" "p99" "p99.9";
     List.iter
       (fun h ->
         let s = summarize h in
-        Printf.fprintf oc "  %-44s %8d %8s %8s %8s %8s %8s\n" h.hname s.count (fmt_seconds s.sum)
-          (fmt_seconds s.p50) (fmt_seconds s.p90) (fmt_seconds s.p95) (fmt_seconds s.p99))
+        Printf.fprintf oc "  %-44s %8d %8s %8s %8s %8s %8s %8s\n" h.hname s.count (fmt_seconds s.sum)
+          (fmt_seconds s.p50) (fmt_seconds s.p90) (fmt_seconds s.p95) (fmt_seconds s.p99)
+          (fmt_seconds s.p999))
       spans
   end;
   if values <> [] then begin
-    Printf.fprintf oc "histograms:%35s %8s %10s %8s %8s %8s %8s\n" "" "count" "mean" "p50" "p90"
-      "p95" "p99";
+    Printf.fprintf oc "histograms:%35s %8s %10s %8s %8s %8s %8s %8s\n" "" "count" "mean" "p50"
+      "p90" "p95" "p99" "p99.9";
     List.iter
       (fun h ->
         let s = summarize h in
         let mean = if s.count = 0 then nan else s.sum /. float_of_int s.count in
-        Printf.fprintf oc "  %-44s %8d %10.3g %8.3g %8.3g %8.3g %8.3g\n" h.hname s.count mean s.p50
-          s.p90 s.p95 s.p99)
+        Printf.fprintf oc "  %-44s %8d %10.3g %8.3g %8.3g %8.3g %8.3g %8.3g\n" h.hname s.count mean
+          s.p50 s.p90 s.p95 s.p99 s.p999)
       values
   end;
   Printf.fprintf oc "==================================================================\n%!"

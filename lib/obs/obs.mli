@@ -117,6 +117,14 @@ val histogram : ?buckets:float array -> string -> histogram
     is ignored.
     @raise Invalid_argument on empty or non-increasing [buckets]. *)
 
+val private_histogram : ?buckets:float array -> string -> histogram
+(** A histogram that is {e not} interned in the registry: invisible to
+    {!dump}, {!metrics_jsonl}, {!report}, and {!reset}, with a fresh
+    instance per call even under an existing name.  For per-instance
+    distributions (the server's live request-latency quantiles) that
+    must not blend across instances in one process.
+    @raise Invalid_argument on empty or non-increasing [buckets]. *)
+
 val observe : histogram -> float -> unit
 
 type summary = {
@@ -128,6 +136,7 @@ type summary = {
   p90 : float;
   p95 : float;
   p99 : float;
+  p999 : float;
 }
 
 val quantile : histogram -> float -> float
@@ -176,6 +185,35 @@ val with_span_parent : int -> (unit -> 'a) -> 'a
     spawned worker domain starts parentless: workers wrap their work in
     [with_span_parent caller_id] to graft their spans onto the caller's
     branch of the trace tree instead of creating orphan roots. *)
+
+(** {1 Request context}
+
+    The ambient wire request.  The server wraps each unit of work in
+    {!with_request}; the planner re-establishes the submitting request's
+    context on its worker domains before running a job.  While a context
+    is set, every closing span gains [req.trace] / [req.id] (and
+    [req.batch] for batch elements) attributes, and fresh [Ledger]
+    records are stamped with the request id — so [tgates-trace requests]
+    can reassemble a cross-domain per-request waterfall and every ledger
+    line names the request that caused it.
+
+    Like the span parent, the context is {e domain}-local (DLS), which
+    all systhreads of a domain share: two server worker threads
+    interleaving on one domain can observe each other's context, while
+    planner worker domains (one job at a time) are always exact. *)
+
+type request_ctx = {
+  trace_id : string;  (** one id per server process/boot *)
+  request_id : string;  (** unique per wire request within the trace *)
+  batch_index : int;  (** element index within a batch; [-1] otherwise *)
+}
+
+val with_request : request_ctx option -> (unit -> 'a) -> 'a
+(** Run [f] with the ambient request context set ([None] clears it),
+    restoring the previous context afterwards. *)
+
+val current_request : unit -> request_ctx option
+(** The ambient context on this domain, if any. *)
 
 (** {1 Trace export} *)
 

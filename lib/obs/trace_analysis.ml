@@ -30,6 +30,7 @@ type hist = {
   p90 : float;
   p95 : float;  (* nan in traces written before the p95 column existed *)
   p99 : float;
+  p999 : float;  (* nan in traces written before the p999 column existed *)
 }
 type metric = Counter of float | Gauge of float | Hist of hist
 type t = { spans : span list; metrics : (string * metric) list }
@@ -100,6 +101,7 @@ let parse_metric j =
               p90 = num "p90" j;
               p95 = num "p95" j;
               p99 = num "p99" j;
+              p999 = num "p999" j;
             } )
   | _ -> None
 
@@ -232,6 +234,84 @@ let folded_stacks tr =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl [] |> List.sort compare
 
 (* ------------------------------------------------------------------ *)
+(* Per-request reassembly                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Spans carry [req.trace]/[req.id] attrs when the server's request
+   context was ambient at close (Obs.with_request).  Batch elements get
+   derived ids ["rN.i"]; the element index before the first dot names
+   the top-level wire request, which is the unit the table reports. *)
+
+let req_attr (s : span) = List.assoc_opt "req.id" s.attrs
+let req_trace_attr (s : span) = Option.value ~default:"" (List.assoc_opt "req.trace" s.attrs)
+
+let top_request_id id = match String.index_opt id '.' with None -> id | Some i -> String.sub id 0 i
+
+type request = {
+  rq_trace : string;
+  rq_id : string;
+  rq_t0 : float;
+  rq_latency_s : float;
+  rq_spans : int;
+  rq_elements : int;  (* distinct batch-element sub-ids, 0 for singles *)
+}
+
+(* All spans belonging to top-level request (trace, id): the request's
+   own spans plus its batch elements' ("id.N") — possibly emitted from
+   other domains (planner workers). *)
+let request_spans tr ~trace ~id =
+  List.filter
+    (fun (s : span) ->
+      match req_attr s with
+      | Some rid ->
+          top_request_id rid = id && (trace = "" || req_trace_attr s = "" || req_trace_attr s = trace)
+      | None -> false)
+    tr.spans
+
+let requests tr =
+  let tbl : (string * string, span list ref) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : span) ->
+      match req_attr s with
+      | None -> ()
+      | Some rid -> (
+          let key = (req_trace_attr s, top_request_id rid) in
+          match Hashtbl.find_opt tbl key with
+          | Some l -> l := s :: !l
+          | None -> Hashtbl.add tbl key (ref [ s ])))
+    tr.spans;
+  Hashtbl.fold
+    (fun (trace, id) group acc ->
+      let group = !group in
+      let t0 = List.fold_left (fun a (s : span) -> Float.min a s.t0) infinity group in
+      let t1 = List.fold_left (fun a (s : span) -> Float.max a (s.t0 +. s.dur)) neg_infinity group in
+      (* Prefer the server's own request span for latency — it brackets
+         queue wait and emission; fall back to the group extent for
+         traces without one. *)
+      let latency =
+        match
+          List.filter (fun (s : span) -> s.name = "server.request" && req_attr s = Some id) group
+        with
+        | s :: _ -> s.dur
+        | [] -> t1 -. t0
+      in
+      let elements =
+        List.filter_map (fun s -> match req_attr s with Some r when r <> id -> Some r | _ -> None) group
+        |> List.sort_uniq compare |> List.length
+      in
+      {
+        rq_trace = trace;
+        rq_id = id;
+        rq_t0 = t0;
+        rq_latency_s = latency;
+        rq_spans = List.length group;
+        rq_elements = elements;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare (a.rq_t0, a.rq_id) (b.rq_t0, b.rq_id))
+
+(* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -297,6 +377,63 @@ let render_flame fmt tr =
       if us >= 1.0 then Format.fprintf fmt "%s %.0f@." path us)
     (folded_stacks tr)
 
+let render_request_waterfall fmt tr (rq : request) =
+  let group = request_spans tr ~trace:rq.rq_trace ~id:rq.rq_id in
+  (* Rebuild the tree over just this request's spans: the parent<id rule
+     still applies, and spans whose parent lies outside the request
+     (workers grafted under the caller) become waterfall roots. *)
+  let sub = { spans = group; metrics = [] } in
+  Format.fprintf fmt "request %s%s: %d spans%s, latency %s@." rq.rq_id
+    (if rq.rq_trace = "" then "" else Printf.sprintf " (trace %s)" rq.rq_trace)
+    rq.rq_spans
+    (if rq.rq_elements > 0 then Printf.sprintf ", %d batch elements" rq.rq_elements else "")
+    (fmt_s rq.rq_latency_s);
+  let rec walk indent n =
+    let s = n.span in
+    let extras =
+      List.filter_map
+        (fun k -> Option.map (fun v -> (k, v)) (List.assoc_opt k s.attrs))
+        [ "backend"; "outcome"; "op" ]
+    in
+    let elem =
+      match req_attr s with Some rid when rid <> rq.rq_id -> Printf.sprintf " <%s>" rid | _ -> ""
+    in
+    Format.fprintf fmt "  [+%8s %8s] %s%s%s%s@."
+      (fmt_s (s.t0 -. rq.rq_t0))
+      (fmt_s s.dur)
+      (String.make (2 * indent) ' ')
+      s.name
+      (match extras with
+      | [] -> ""
+      | kvs -> "[" ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) kvs) ^ "]")
+      elem;
+    List.iter (walk (indent + 1)) n.children
+  in
+  List.iter (walk 0) (tree sub)
+
+let render_requests ?(slowest = 0) fmt tr =
+  let rs = requests tr in
+  if rs = [] then Format.fprintf fmt "no request-annotated spans in this trace@."
+  else begin
+    let traces = List.sort_uniq compare (List.map (fun r -> r.rq_trace) rs) in
+    Format.fprintf fmt "%d requests across %d server trace(s)@." (List.length rs)
+      (List.length traces);
+    Format.fprintf fmt "%-12s %10s %10s %6s %9s%s@." "request" "start" "latency" "spans" "elements"
+      (if List.length traces > 1 then "  trace" else "");
+    List.iter
+      (fun r ->
+        Format.fprintf fmt "%-12s %10s %10s %6d %9d%s@." r.rq_id (fmt_s r.rq_t0)
+          (fmt_s r.rq_latency_s) r.rq_spans r.rq_elements
+          (if List.length traces > 1 then "  " ^ r.rq_trace else ""))
+      rs;
+    if slowest > 0 then begin
+      let by_latency =
+        List.sort (fun a b -> compare (b.rq_latency_s, a.rq_id) (a.rq_latency_s, b.rq_id)) rs
+      in
+      List.iteri (fun i r -> if i < slowest then render_request_waterfall fmt tr r) by_latency
+    end
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Diffing                                                             *)
 (* ------------------------------------------------------------------ *)
@@ -335,6 +472,7 @@ let flatten = function
                 (name ^ ".p90", h.p90);
                 (name ^ ".p95", h.p95);
                 (name ^ ".p99", h.p99);
+                (name ^ ".p999", h.p999);
               ])
         tr.metrics
       |> List.filter (fun (_, v) -> Float.is_finite v)
@@ -386,7 +524,8 @@ let regression_key key =
   contains key "wall_s" || contains key "dur" || contains key "t_count"
   || contains key "degraded" || contains key "gc" || contains key "heap"
   || ends_with key ".sum" || ends_with key ".p50" || ends_with key ".p90"
-  || ends_with key ".p95" || ends_with key ".p99" || ends_with key "_s"
+  || ends_with key ".p95" || ends_with key ".p99" || ends_with key ".p999"
+  || ends_with key "_s"
 
 let regressions ~fail_above deltas =
   List.filter

@@ -37,6 +37,7 @@ type hist = {
   p90 : float;
   p95 : float;  (** [nan] in traces written before the p95 column existed *)
   p99 : float;
+  p999 : float;  (** [nan] in traces written before the p999 column existed *)
 }
 
 type metric = Counter of float | Gauge of float | Hist of hist
@@ -93,6 +94,46 @@ val folded_stacks : t -> (string * float) list
     [flamegraph.pl] after scaling seconds to integer microseconds
     (done by {!render_flame}). *)
 
+(** {1 Per-request reassembly}
+
+    Spans emitted while a server request context was ambient carry
+    [req.trace] / [req.id] attributes ([Obs.with_request]); batch
+    elements get derived ids ["rN.i"].  {!requests} folds a trace into
+    one row per top-level wire request — the spans may have been
+    emitted from any planner worker domain; the attributes, not the
+    tree, are the grouping key. *)
+
+type request = {
+  rq_trace : string;  (** server boot trace id; [""] in old traces *)
+  rq_id : string;  (** top-level request id, e.g. ["r5"] *)
+  rq_t0 : float;  (** earliest span start *)
+  rq_latency_s : float;
+      (** the server's own ["server.request"] span duration when
+          present (brackets queue wait and emission); otherwise the
+          extent of the request's span group *)
+  rq_spans : int;
+  rq_elements : int;  (** distinct batch-element sub-ids; 0 for singles *)
+}
+
+val requests : t -> request list
+(** One row per top-level request, sorted by start time. *)
+
+val request_spans : t -> trace:string -> id:string -> span list
+(** The spans belonging to that request: its own plus its batch
+    elements', whatever domain they closed on. *)
+
+val render_requests : ?slowest:int -> Format.formatter -> t -> unit
+(** The per-request latency table ([tgates-trace requests]), followed by
+    a {!render_request_waterfall} for each of the [slowest] (default 0)
+    highest-latency requests. *)
+
+val render_request_waterfall : Format.formatter -> t -> request -> unit
+(** One request's spans as an indented waterfall: offset from request
+    start, duration, name (with backend/outcome/op attrs and the batch
+    element id when present).  Spans whose parent lies outside the
+    request — planner workers grafted under the caller — start new
+    waterfall roots. *)
+
 (** {1 Rendering (what the CLI prints)} *)
 
 val render_report : Format.formatter -> t -> unit
@@ -115,7 +156,8 @@ val load_source : string -> (source, string) result
 val flatten : source -> (string * float) list
 (** Comparable numeric series.  For a trace: every counter and gauge
     under its own name, every histogram as [name.sum] / [name.p50] /
-    [name.p90] / [name.p95] / [name.p99] / [name.count].  For a bench
+    [name.p90] / [name.p95] / [name.p99] / [name.p999] / [name.count].
+    For a bench
     JSON: every
     numeric leaf as its dotted path (arrays indexed), minus the
     [schema] / [meta] header. *)

@@ -243,6 +243,7 @@ let replay_record ~chain ~requested target (a : Robust.attempt) =
     source = "replay";
     ok = true;
     failure = None;
+    request_id = "";
   }
 
 let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budget ~cache ~c_hit

@@ -1,7 +1,14 @@
 (* See server.mli.  One bounded queue, N worker threads, responses
    serialized through the emit callback.  Synthesis itself is
    Synth.run_chain_sourced, so the persistent store, the guard, the
-   fault layer, and the provenance ledger all apply unchanged. *)
+   fault layer, and the provenance ledger all apply unchanged.
+
+   Request-scoped tracing: every parsed wire line gets a server-unique
+   request id ("r<seq>"), echoed in its response; work items establish
+   an [Obs.request_ctx] (the server's boot trace id + the request id)
+   around processing, and the batch path re-establishes per-element
+   contexts ("r<seq>.<i>") on the planner's worker domains — so spans
+   and ledger records emitted anywhere name the wire request. *)
 
 let c_requests = Obs.counter "server.requests"
 let c_served = Obs.counter "server.served"
@@ -10,6 +17,22 @@ let c_shed = Obs.counter "server.shed"
 let c_retries = Obs.counter "server.retries"
 let c_batch = Obs.counter "server.batch.requests"
 let g_queue = Obs.gauge "server.queue.depth"
+let g_in_flight = Obs.gauge "server.in_flight"
+
+(* RED histograms, process-global so the Metrics sampler and the
+   Prometheus exposition pick them up.  duration = admission → response
+   emitted (queue wait included); queue_wait = admission → dequeue. *)
+let h_duration = Obs.histogram "server.request.duration_s"
+let h_queue_wait = Obs.histogram "server.request.queue_wait_s"
+
+(* Per-command request/error counters ("server.requests.rz", …).
+   [Obs.counter] interns, so repeated calls return the same cell; the
+   registry lock is negligible next to a synthesis request. *)
+let c_op op = Obs.counter ("server.requests." ^ op)
+let c_op_err op = Obs.counter ("server.errors." ^ op)
+
+(* Bound of the slowest-requests exemplar ring in [stats_json]. *)
+let slowest_cap = 16
 
 type config = {
   epsilon : float;
@@ -40,17 +63,30 @@ let default_config =
 
 (* One admitted unit of work: a single rotation, or a whole batch (a
    batch occupies queue slots proportional to its size, so a giant
-   batch cannot sneak past the admission bound). *)
-type rotation = { id : Obs.Json.t; target : Synth.target; epsilon : float; deadline_s : float option }
+   batch cannot sneak past the admission bound).  [rid] is the tracing
+   request id; batch elements carry derived ids "r<seq>.<i>" with their
+   element index. *)
+type rotation = {
+  id : Obs.Json.t;
+  rid : string;
+  batch_index : int;  (* -1 for singles *)
+  target : Synth.target;
+  epsilon : float;
+  deadline_s : float option;
+}
 
-type work = Rotation of rotation | Batch of { id : Obs.Json.t; rotations : rotation list }
+type work =
+  | Rotation of rotation
+  | Batch of { id : Obs.Json.t; rid : string; rotations : rotation list }
+
+type item = { work : work; admitted_at : float }
 
 type t = {
   cfg : config;
   store : Store.t option;
   emit : string -> unit;
   emit_mutex : Mutex.t;
-  queue : work Queue.t;
+  queue : item Queue.t;
   mutable queued_slots : int;
   mutable in_flight : int;
   mutable stopping : bool;
@@ -60,12 +96,24 @@ type t = {
   idle : Condition.t;
   rng : Random.State.t;  (* backoff jitter; guarded by [mutex] *)
   mutable threads : Thread.t list;
+  trace_id : string;  (* one per server instance ("boot") *)
+  created_at : float;  (* Obs.Clock.elapsed_s at create *)
+  mutable req_seq : int;  (* request-id allocator; under [mutex] *)
+  (* Per-instance latency distributions for the live [stats] op —
+     private so two servers in one process don't blend. *)
+  h_dur_local : Obs.histogram;
+  h_wait_local : Obs.histogram;
+  (* Slowest work items seen: (rid, op, latency_s), at most
+     [slowest_cap], unordered; under [mutex]. *)
+  mutable slowest : (string * string * float) list;
   (* per-server mirrors for stats_json *)
   mutable n_requests : int;
   mutable n_served : int;
   mutable n_failed : int;
   mutable n_shed : int;
   mutable n_retries : int;
+  cmd_counts : (string, int) Hashtbl.t;  (* under [mutex] *)
+  cmd_errors : (string, int) Hashtbl.t;  (* under [mutex] *)
 }
 
 let locked t f =
@@ -78,14 +126,28 @@ let emit_line t s =
 
 let respond t json = emit_line t (Obs.Json.to_string json)
 
+let bump tbl key =
+  Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key))
+
+(* Count one wire command (and optionally its error) on both the
+   process-global counters and the per-server mirrors. *)
+let count_command t op =
+  Obs.incr (c_op op);
+  locked t (fun () -> bump t.cmd_counts op)
+
+let count_error t op =
+  Obs.incr (c_op_err op);
+  locked t (fun () -> bump t.cmd_errors op)
+
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
 (* ------------------------------------------------------------------ *)
 
-let error_response ?(extra = []) id tag message =
+let error_response ?(extra = []) ?rid id tag message =
   Obs.Json.Obj
     ([ ("id", id); ("ok", Obs.Json.Bool false); ("error", Obs.Json.Str tag);
        ("message", Obs.Json.Str message) ]
+    @ (match rid with Some r -> [ ("request_id", Obs.Json.Str r) ] | None -> [])
     @ extra)
 
 let op_of_target = function Synth.Rz _ -> "rz" | Synth.Unitary _ -> "u3"
@@ -95,6 +157,7 @@ let success_response (r : rotation) (a : Robust.attempt) source retries =
   Obj
     [
       ("id", r.id);
+      ("request_id", Str r.rid);
       ("ok", Bool true);
       ("op", Str (op_of_target r.target));
       ("target", Str (Synth.target_id r.target));
@@ -155,14 +218,22 @@ let rotation_response t (r : rotation) =
       success_response r a source retries
   | Error (f, retries) ->
       Obs.incr c_failed;
+      count_error t (op_of_target r.target);
       locked t (fun () -> t.n_failed <- t.n_failed + 1);
       error_response
         ~extra:[ ("retries", Obs.Json.Num (float_of_int retries)) ]
-        r.id (Synth.failure_tag f) (Robust.failure_to_string f)
+        ~rid:r.rid r.id (Synth.failure_tag f) (Robust.failure_to_string f)
+
+(* The request context a rotation's synthesis should run under — the
+   planner re-establishes it on whatever domain picks the job up. *)
+let ctx_of t (r : rotation) =
+  Some { Obs.trace_id = t.trace_id; request_id = r.rid; batch_index = r.batch_index }
 
 (* A batch routes through the deduplicating multicore planner: repeated
-   angles synthesize once, distinct angles run across domains. *)
-let batch_response t id rotations =
+   angles synthesize once, distinct angles run across domains.  Each
+   job carries the context of the first element with its key (dedup
+   folds the rest away — their responses replay the job's result). *)
+let batch_response t id rid rotations =
   let open Obs.Json in
   let keyed =
     List.map (fun r -> (Printf.sprintf "%s@%.17g" (Synth.target_id r.target) r.epsilon, r)) rotations
@@ -170,6 +241,7 @@ let batch_response t id rotations =
   let plan = Planner.plan keyed in
   let results =
     Planner.execute ?jobs:t.cfg.planner_jobs
+      ~ctx:(fun r -> ctx_of t r)
       ~run:(fun ~deadline:_ r ->
         match synthesize_with_retries t r with
         | Ok (a, source, retries) -> Ok (a, source, retries)
@@ -186,21 +258,52 @@ let batch_response t id rotations =
             success_response r a source retries
         | Some (Error f) ->
             Obs.incr c_failed;
+            count_error t (op_of_target r.target);
             locked t (fun () -> t.n_failed <- t.n_failed + 1);
-            error_response r.id (Synth.failure_tag f) (Robust.failure_to_string f)
+            error_response ~rid:r.rid r.id (Synth.failure_tag f) (Robust.failure_to_string f)
         | None ->
             Obs.incr c_failed;
+            count_error t (op_of_target r.target);
             locked t (fun () -> t.n_failed <- t.n_failed + 1);
-            error_response r.id "internal" "planner returned no result for this job")
+            error_response ~rid:r.rid r.id "internal" "planner returned no result for this job")
       keyed
   in
-  Obj [ ("id", id); ("ok", Bool true); ("op", Str "batch"); ("results", Arr sub) ]
+  Obj [ ("id", id); ("request_id", Str rid); ("ok", Bool true); ("op", Str "batch"); ("results", Arr sub) ]
 
 (* ------------------------------------------------------------------ *)
 (* Workers                                                             *)
 (* ------------------------------------------------------------------ *)
 
 let slots_of = function Rotation _ -> 1 | Batch b -> max 1 (List.length b.rotations)
+let work_rid = function Rotation r -> r.rid | Batch b -> b.rid
+let work_op = function Rotation r -> op_of_target r.target | Batch _ -> "batch"
+
+(* Record a finished work item: latency histograms (global + this
+   server's private stats copy) and the slowest-requests ring. *)
+let note_done t ~rid ~op ~wait_s ~latency_s =
+  Obs.observe h_duration latency_s;
+  Obs.observe h_queue_wait wait_s;
+  Obs.observe t.h_dur_local latency_s;
+  Obs.observe t.h_wait_local wait_s;
+  locked t (fun () ->
+      if List.length t.slowest < slowest_cap then t.slowest <- (rid, op, latency_s) :: t.slowest
+      else begin
+        (* Replace the fastest remembered exemplar if we beat it. *)
+        let min_l = List.fold_left (fun a (_, _, l) -> Float.min a l) infinity t.slowest in
+        if latency_s > min_l then begin
+          let dropped = ref false in
+          t.slowest <-
+            (rid, op, latency_s)
+            :: List.filter
+                 (fun (_, _, l) ->
+                   if (not !dropped) && l = min_l then begin
+                     dropped := true;
+                     false
+                   end
+                   else true)
+                 t.slowest
+        end
+      end)
 
 let worker_loop t =
   let rec loop () =
@@ -212,7 +315,7 @@ let worker_loop t =
           if Queue.is_empty t.queue then None
           else begin
             let w = Queue.pop t.queue in
-            t.queued_slots <- t.queued_slots - slots_of w;
+            t.queued_slots <- t.queued_slots - slots_of w.work;
             t.in_flight <- t.in_flight + 1;
             Obs.set_gauge g_queue (float_of_int t.queued_slots);
             Some w
@@ -220,21 +323,40 @@ let worker_loop t =
     in
     match item with
     | None -> ()  (* stopping and empty *)
-    | Some w ->
+    | Some { work = w; admitted_at } ->
+        Obs.add_gauge g_in_flight 1.0;
+        let wait_s = Obs.Clock.elapsed_s () -. admitted_at in
+        let rid = work_rid w and op = work_op w in
+        (* Context + span around the whole processing step: every span
+           opened below (chain runs, store lookups, planner jobs via
+           [ctx_of]) carries this request's identity.  NB the context
+           is domain-local, so with [workers > 1] two worker *threads*
+           sharing this domain can bleed contexts; worker domains
+           spawned by the planner are always exact. *)
+        let ctx =
+          Some { Obs.trace_id = t.trace_id; request_id = rid; batch_index = -1 }
+        in
         let response =
-          match w with
-          | Rotation r -> (
-              try rotation_response t r
-              with e ->
-                Obs.incr c_failed;
-                error_response r.id "internal" (Printexc.to_string e))
-          | Batch b -> (
-              try batch_response t b.id b.rotations
-              with e ->
-                Obs.incr c_failed;
-                error_response b.id "internal" (Printexc.to_string e))
+          Obs.with_request ctx (fun () ->
+              Obs.span "server.request" (fun () ->
+                  Obs.set_span_attr "op" op;
+                  match w with
+                  | Rotation r -> (
+                      try rotation_response t r
+                      with e ->
+                        Obs.incr c_failed;
+                        count_error t op;
+                        error_response ~rid:r.rid r.id "internal" (Printexc.to_string e))
+                  | Batch b -> (
+                      try batch_response t b.id b.rid b.rotations
+                      with e ->
+                        Obs.incr c_failed;
+                        count_error t op;
+                        error_response ~rid:b.rid b.id "internal" (Printexc.to_string e))))
         in
         respond t response;
+        note_done t ~rid ~op ~wait_s ~latency_s:(Obs.Clock.elapsed_s () -. admitted_at);
+        Obs.add_gauge g_in_flight (-1.0);
         locked t (fun () ->
             t.in_flight <- t.in_flight - 1;
             if t.in_flight = 0 && Queue.is_empty t.queue then Condition.broadcast t.idle);
@@ -259,15 +381,30 @@ let create ?store ~emit cfg =
       idle = Condition.create ();
       rng = Random.State.make [| cfg.seed; 0x5e4e |];
       threads = [];
+      (* Unique per boot: pid + monotonic nanoseconds.  Lets traces
+         from a warm-restarted server distinguish the two lives. *)
+      trace_id =
+        Printf.sprintf "srv-%d-%Lx" (Unix.getpid ())
+          (Int64.logand (Obs.Clock.now_ns ()) 0xffffffffL);
+      created_at = Obs.Clock.elapsed_s ();
+      req_seq = 0;
+      h_dur_local = Obs.private_histogram "server.request.duration_s";
+      h_wait_local = Obs.private_histogram "server.request.queue_wait_s";
+      slowest = [];
       n_requests = 0;
       n_served = 0;
       n_failed = 0;
       n_shed = 0;
       n_retries = 0;
+      cmd_counts = Hashtbl.create 8;
+      cmd_errors = Hashtbl.create 8;
     }
   in
   t.threads <- List.init t.cfg.workers (fun _ -> Thread.create worker_loop t);
   t
+
+let trace_id t = t.trace_id
+let uptime_s t = Obs.Clock.elapsed_s () -. t.created_at
 
 (* ------------------------------------------------------------------ *)
 (* Request parsing                                                     *)
@@ -275,7 +412,7 @@ let create ?store ~emit cfg =
 
 let jid j = Option.value (Obs.Json.member "id" j) ~default:Obs.Json.Null
 
-let parse_rotation t j =
+let parse_rotation t ~rid ~batch_index j =
   let open Obs.Json in
   let num k = match member k j with Some (Num f) when Float.is_finite f -> Some f | _ -> None in
   let epsilon = Option.value (num "epsilon") ~default:t.cfg.epsilon in
@@ -285,22 +422,32 @@ let parse_rotation t j =
     match member "op" j with
     | Some (Str "rz") -> (
         match num "theta" with
-        | Some theta -> Ok { id = jid j; target = Synth.Rz theta; epsilon; deadline_s }
+        | Some theta ->
+            Ok { id = jid j; rid; batch_index; target = Synth.Rz theta; epsilon; deadline_s }
         | None -> Error "rz needs a numeric theta")
     | Some (Str "u3") -> (
         match (num "theta", num "phi", num "lam") with
         | Some th, Some ph, Some lm ->
-            Ok { id = jid j; target = Synth.Unitary (Mat2.u3 th ph lm); epsilon; deadline_s }
+            Ok
+              {
+                id = jid j;
+                rid;
+                batch_index;
+                target = Synth.Unitary (Mat2.u3 th ph lm);
+                epsilon;
+                deadline_s;
+              }
         | _ -> Error "u3 needs numeric theta, phi, lam")
     | _ -> Error "expected op rz or u3"
 
-let shed t id slots =
+let shed t ~rid ~op id slots =
   Obs.incr c_shed ~by:slots;
+  count_error t op;
   locked t (fun () -> t.n_shed <- t.n_shed + slots);
   respond t
     (error_response
        ~extra:[ ("queue_limit", Obs.Json.Num (float_of_int t.cfg.queue_limit)) ]
-       id "overloaded" "admission queue full; retry later")
+       ~rid id "overloaded" "admission queue full; retry later")
 
 (* Admission: shed when the queue (in slots) is full or the server is
    draining; otherwise enqueue and wake a worker. *)
@@ -311,27 +458,64 @@ let admit t work =
     locked t (fun () ->
         if t.stopping || t.queued_slots + slots > t.cfg.queue_limit then false
         else begin
-          Queue.push work t.queue;
+          Queue.push { work; admitted_at = Obs.Clock.elapsed_s () } t.queue;
           t.queued_slots <- t.queued_slots + slots;
           Obs.set_gauge g_queue (float_of_int t.queued_slots);
           Condition.signal t.nonempty;
           true
         end)
   in
-  if not admitted then shed t id slots
+  if not admitted then shed t ~rid:(work_rid work) ~op:(work_op work) id slots
+
+let quantiles_json h =
+  let open Obs.Json in
+  let s = Obs.summarize h in
+  let q v = if Float.is_finite v then Num v else Null in
+  Obj
+    [
+      ("count", Num (float_of_int s.Obs.count));
+      ("p50_s", q s.Obs.p50);
+      ("p95_s", q s.Obs.p95);
+      ("p99_s", q s.Obs.p99);
+      ("p999_s", q s.Obs.p999);
+      ("max_s", q s.Obs.vmax);
+    ]
 
 let stats_json t =
   let open Obs.Json in
-  let queued, in_flight, counts =
+  let queued, in_flight, counts, cmds, errs, slowest =
     locked t (fun () ->
         ( t.queued_slots,
           t.in_flight,
-          (t.n_requests, t.n_served, t.n_failed, t.n_shed, t.n_retries) ))
+          (t.n_requests, t.n_served, t.n_failed, t.n_shed, t.n_retries),
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cmd_counts [],
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cmd_errors [],
+          t.slowest ))
   in
   let n_requests, n_served, n_failed, n_shed, n_retries = counts in
+  let count_obj kvs =
+    Obj (List.sort compare kvs |> List.map (fun (k, v) -> (k, Num (float_of_int v))))
+  in
+  (* Store hit rate over this process's lookups, from the attached
+     store's own counters. *)
+  let store_fields =
+    match t.store with
+    | None -> []
+    | Some st ->
+        let sj = Store.stats_json st in
+        let f k = match member k sj with Some (Num v) -> v | _ -> 0.0 in
+        let hits = f "hits" and misses = f "misses" in
+        [
+          ( "store_hit_rate",
+            if hits +. misses > 0.0 then Num (hits /. (hits +. misses)) else Null );
+          ("store", sj);
+        ]
+  in
   Obj
     ([
        ("schema", Str "tgates-server-stats/v1");
+       ("trace_id", Str t.trace_id);
+       ("uptime_s", Num (uptime_s t));
        ("requests", Num (float_of_int n_requests));
        ("served", Num (float_of_int n_served));
        ("failed", Num (float_of_int n_failed));
@@ -341,8 +525,17 @@ let stats_json t =
        ("in_flight", Num (float_of_int in_flight));
        ("workers", Num (float_of_int t.cfg.workers));
        ("queue_limit", Num (float_of_int t.cfg.queue_limit));
+       ("commands", count_obj cmds);
+       ("errors", count_obj errs);
+       ("latency", quantiles_json t.h_dur_local);
+       ("queue_wait", quantiles_json t.h_wait_local);
+       ( "slowest",
+         Arr
+           (List.sort (fun (_, _, a) (_, _, b) -> compare b a) slowest
+           |> List.map (fun (rid, op, l) ->
+                  Obj [ ("request_id", Str rid); ("op", Str op); ("latency_s", Num l) ])) );
      ]
-    @ match t.store with Some st -> [ ("store", Store.stats_json st) ] | None -> [])
+    @ store_fields)
 
 let submit_line t line =
   let open Obs.Json in
@@ -350,56 +543,93 @@ let submit_line t line =
   if line = "" then `Continue
   else begin
     Obs.incr c_requests;
-    locked t (fun () -> t.n_requests <- t.n_requests + 1);
+    let rid =
+      locked t (fun () ->
+          t.n_requests <- t.n_requests + 1;
+          t.req_seq <- t.req_seq + 1;
+          Printf.sprintf "r%d" t.req_seq)
+    in
     match parse line with
     | Error e ->
-        respond t (error_response Null "bad_request" ("unparseable request: " ^ e));
+        count_command t "invalid";
+        count_error t "invalid";
+        respond t (error_response ~rid Null "bad_request" ("unparseable request: " ^ e));
         `Continue
     | Ok j -> (
         match member "op" j with
         | Some (Str "ping") ->
-            respond t (Obj [ ("id", jid j); ("ok", Bool true); ("op", Str "ping") ]);
+            count_command t "ping";
+            respond t
+              (Obj [ ("id", jid j); ("request_id", Str rid); ("ok", Bool true); ("op", Str "ping") ]);
             `Continue
         | Some (Str "stats") ->
+            count_command t "stats";
             respond t
-              (Obj [ ("id", jid j); ("ok", Bool true); ("op", Str "stats"); ("stats", stats_json t) ]);
+              (Obj
+                 [
+                   ("id", jid j);
+                   ("request_id", Str rid);
+                   ("ok", Bool true);
+                   ("op", Str "stats");
+                   ("stats", stats_json t);
+                 ]);
             `Continue
         | Some (Str "shutdown") ->
-            respond t (Obj [ ("id", jid j); ("ok", Bool true); ("op", Str "shutdown") ]);
+            count_command t "shutdown";
+            respond t
+              (Obj
+                 [
+                   ("id", jid j); ("request_id", Str rid); ("ok", Bool true); ("op", Str "shutdown");
+                 ]);
             `Stop
         | Some (Str "batch") -> (
             Obs.incr c_batch;
+            count_command t "batch";
             match member "requests" j with
             | Some (Arr reqs) -> (
-                let parsed = List.map (parse_rotation t) reqs in
+                let parsed =
+                  List.mapi
+                    (fun i r ->
+                      parse_rotation t ~rid:(Printf.sprintf "%s.%d" rid i) ~batch_index:i r)
+                    reqs
+                in
                 match List.find_opt Result.is_error parsed with
                 | Some (Error e) ->
-                    respond t (error_response (jid j) "bad_request" e);
+                    count_error t "batch";
+                    respond t (error_response ~rid (jid j) "bad_request" e);
                     `Continue
                 | _ ->
                     admit t
                       (Batch
                          {
                            id = jid j;
+                           rid;
                            rotations = List.filter_map Result.to_option parsed;
                          });
                     `Continue)
             | _ ->
-                respond t (error_response (jid j) "bad_request" "batch needs a requests array");
+                count_error t "batch";
+                respond t (error_response ~rid (jid j) "bad_request" "batch needs a requests array");
                 `Continue)
         | Some (Str ("rz" | "u3")) -> (
-            match parse_rotation t j with
+            count_command t (match member "op" j with Some (Str op) -> op | _ -> "invalid");
+            match parse_rotation t ~rid ~batch_index:(-1) j with
             | Ok r ->
                 admit t (Rotation r);
                 `Continue
             | Error e ->
-                respond t (error_response (jid j) "bad_request" e);
+                count_error t (match member "op" j with Some (Str op) -> op | _ -> "invalid");
+                respond t (error_response ~rid (jid j) "bad_request" e);
                 `Continue)
         | Some (Str op) ->
-            respond t (error_response (jid j) "bad_request" ("unknown op " ^ op));
+            count_command t "invalid";
+            count_error t "invalid";
+            respond t (error_response ~rid (jid j) "bad_request" ("unknown op " ^ op));
             `Continue
         | _ ->
-            respond t (error_response (jid j) "bad_request" "missing op");
+            count_command t "invalid";
+            count_error t "invalid";
+            respond t (error_response ~rid (jid j) "bad_request" "missing op");
             `Continue)
   end
 

@@ -18,14 +18,28 @@
     [id] is echoed verbatim into the response (any JSON value);
     [epsilon] and [deadline_s] default to the server config.
 
-    {b Responses}: [{"id":…,"ok":true,"op":"rz","target":"rz(…)",
-    "word":"THTS…","t_count":…,"length":…,"distance":…,"backend":…,
-    "fallbacks":…,"retries":…,"source":"store"|"fresh"}] on success;
+    {b Responses}: [{"id":…,"request_id":"r7","ok":true,"op":"rz",
+    "target":"rz(…)","word":"THTS…","t_count":…,"length":…,
+    "distance":…,"backend":…,"fallbacks":…,"retries":…,
+    "source":"store"|"fresh"}] on success;
     [{"id":…,"ok":false,"error":TAG,"message":…}] on failure, where
     [TAG] is ["overloaded"] (admission queue full — backpressure),
     ["bad_request"], or a synthesis failure tag ([timeout],
     [budget_exhausted], …).  A [batch] response carries its
     sub-responses in-order under ["results"].
+
+    {b Request-scoped tracing}: every parsed wire line gets a
+    server-unique [request_id] ("r<seq>", echoed in its response; batch
+    elements get "r<seq>.<i>").  Work items run under
+    [Obs.with_request { trace_id; request_id; _ }] — [trace_id] is one
+    id per server instance — inside a ["server.request"] span, and the
+    batch path re-establishes per-element contexts on the planner's
+    worker domains, so every span and fresh ledger record emitted
+    during processing names the wire request ([tgates-trace requests]
+    reassembles the per-request waterfall).  Caveat: the context is
+    domain-local, so with [workers > 1] two worker {e threads} sharing
+    the initial domain can bleed contexts between interleaved requests;
+    planner worker domains are always exact.
 
     {b Durability & degradation}: misses run through [Synth.run_chain]
     (store consultation included when [Synth.set_store] armed one);
@@ -36,9 +50,17 @@
     {!drain} finishes in-flight work and writes a final store index
     snapshot.
 
-    Observability: counters [server.requests], [server.served],
+    Observability (RED): counters [server.requests], [server.served],
     [server.failed], [server.shed], [server.retries],
-    [server.batch.requests]; gauge [server.queue.depth]. *)
+    [server.batch.requests], plus per-command [server.requests.<op>] /
+    [server.errors.<op>] ([rz], [u3], [batch], [ping], [stats],
+    [shutdown], [invalid]); gauges [server.queue.depth] and
+    [server.in_flight]; histograms [server.request.duration_s]
+    (admission → response emitted, queue wait included) and
+    [server.request.queue_wait_s] (admission → dequeue) — all visible
+    to the [Metrics] sampler and Prometheus exposition.  Each server
+    also keeps private copies of the two histograms and a bounded
+    slowest-requests ring for the live [stats] snapshot. *)
 
 type config = {
   epsilon : float;  (** default ε for requests that omit it *)
@@ -80,5 +102,18 @@ val drain : t -> unit
     {!submit_line} calls shed everything. *)
 
 val stats_json : t -> Obs.Json.t
-(** The [stats] op's payload: request/served/shed/retry counts, queue
-    depth, and the store's [Store.stats_json] when one is attached. *)
+(** The [stats] op's payload — a live health snapshot:
+    [trace_id], [uptime_s], request/served/failed/shed/retry totals,
+    [queued] / [in_flight] / [workers] / [queue_limit], per-command
+    [commands] / [errors] objects, [latency] and [queue_wait] quantile
+    objects ([count]/[p50_s]/[p95_s]/[p99_s]/[p999_s]/[max_s], from
+    this server's private histograms), the [slowest] exemplar ring
+    (up to 16 [{request_id, op, latency_s}], slowest first), and —
+    when a store is attached — [store_hit_rate] plus the store's
+    [Store.stats_json]. *)
+
+val trace_id : t -> string
+(** This server instance's boot trace id (the [req.trace] span attr). *)
+
+val uptime_s : t -> float
+(** Monotonic seconds since {!create}. *)

@@ -55,7 +55,11 @@
     Observability ([Obs] counters/gauges): [store.open.cold]/[.warm],
     [store.recovery.records], [store.recovery.torn_tails],
     [store.recovery.quarantined_records],
-    [store.recovery.quarantined_segments], [store.hit]/[store.miss],
+    [store.recovery.quarantined_segments], [store.hit]/[store.miss]
+    (with the hits split into [store.lookup.exact_hits] — the winning
+    entry sits in the request ε's own bucket — and
+    [store.lookup.bucket_hits] — served from a tighter bucket by the
+    ε-monotonic relaxation),
     [store.put]/[store.put.dropped], [store.read_verify.rejected],
     [store.snapshot.written]/[.failed], [store.faults.injected], and
     gauges [store.records], [store.segments], [store.degraded]. *)
@@ -172,7 +176,10 @@ val lookup : t -> ?gate_set:string -> epsilon:float -> target -> entry option
     [quarantine/rejected.jsonl], counted as
     [store.read_verify.rejected], and the next candidate is tried.
     [None] is a miss.  The returned [distance] is the freshly verified
-    one. *)
+    one.  Hits are classified by the winning entry's {e stored}
+    distance: same ε-bucket as the request counts as
+    [store.lookup.exact_hits], a tighter bucket as
+    [store.lookup.bucket_hits]. *)
 
 val entries : t -> entry list
 (** Every live entry (index order unspecified) — for tests and tools. *)

@@ -48,7 +48,7 @@ let with_parent_heap domains f =
     Fun.protect ~finally:(fun () -> Gc.set g) f
   end
 
-let execute ?jobs:requested ?(deadline = Obs.Deadline.none) ?job_budget ~run plan =
+let execute ?jobs:requested ?(deadline = Obs.Deadline.none) ?job_budget ?ctx ~run plan =
   let requested =
     match requested with Some n -> n | None -> Domain.recommended_domain_count ()
   in
@@ -82,21 +82,28 @@ let execute ?jobs:requested ?(deadline = Obs.Deadline.none) ?job_budget ~run pla
               | None -> deadline
               | Some b -> Obs.Deadline.earliest deadline (Obs.Deadline.after b)
             in
+            (* Re-establish the submitting request's context on this
+               domain before the job span opens, so cross-domain spans
+               (and fresh ledger records) carry the request id. *)
+            let with_ctx k =
+              match ctx with None -> k () | Some f -> Obs.with_request (f job.target) k
+            in
             let res =
-              Obs.span "planner.job" (fun () ->
-                  match run ~deadline:jd job.target with
-                  | Error _ as e ->
-                      Obs.set_span_attr "backend" "failed";
-                      e
-                  | Ok _ as ok -> ok
-                  | exception Robust.Failure_exn f ->
-                      Obs.set_span_attr "backend" "failed";
-                      Error f
-                  | exception e ->
-                      (* A worker domain must never die mid-plan: any
-                         stray exception becomes a per-job failure. *)
-                      Obs.set_span_attr "backend" "failed";
-                      Error (Robust.Backend_error (Printexc.to_string e)))
+              with_ctx (fun () ->
+                  Obs.span "planner.job" (fun () ->
+                      match run ~deadline:jd job.target with
+                      | Error _ as e ->
+                          Obs.set_span_attr "backend" "failed";
+                          e
+                      | Ok _ as ok -> ok
+                      | exception Robust.Failure_exn f ->
+                          Obs.set_span_attr "backend" "failed";
+                          Error f
+                      | exception e ->
+                          (* A worker domain must never die mid-plan: any
+                             stray exception becomes a per-job failure. *)
+                          Obs.set_span_attr "backend" "failed";
+                          Error (Robust.Backend_error (Printexc.to_string e))))
             in
             Obs.add_gauge g_busy (Obs.Clock.elapsed_s () -. jt0);
             Obs.incr c_done;

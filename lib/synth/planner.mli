@@ -36,10 +36,17 @@ val execute :
   ?jobs:int ->
   ?deadline:Obs.Deadline.t ->
   ?job_budget:float ->
+  ?ctx:('a -> Obs.request_ctx option) ->
   run:(deadline:Obs.Deadline.t -> 'a -> ('b, Robust.failure) result) ->
   'a plan ->
   (string, ('b, Robust.failure) result) Hashtbl.t
 (** Run every job and return results keyed by job key.
+
+    [ctx] maps a job's target to the request context to establish (via
+    [Obs.with_request]) on the worker domain around that job — the
+    server's batch path uses it so spans and ledger records emitted on
+    {e any} domain carry the originating wire request's id.  When
+    omitted, the ambient context (if any) is left untouched.
 
     [jobs] is the requested domain count (default
     [Domain.recommended_domain_count ()]), clamped to \[1, #jobs\];

@@ -363,9 +363,13 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
     match store () with
     | None -> None
     | Some st ->
-        let hit = Store.lookup st ~epsilon:cfg.epsilon (store_target target) in
-        Obs.incr (match hit with Some _ -> c_store_hit | None -> c_store_miss);
-        hit
+        (* Under its own span so a request's waterfall shows the store
+           consult (and its outcome) as a step distinct from synthesis. *)
+        Obs.span "synth.store.lookup" (fun () ->
+            let hit = Store.lookup st ~epsilon:cfg.epsilon (store_target target) in
+            Obs.incr (match hit with Some _ -> c_store_hit | None -> c_store_miss);
+            Obs.set_span_attr "outcome" (match hit with Some _ -> "hit" | None -> "miss");
+            hit)
   in
   match store_hit with
   | Some (e : Store.entry) ->
@@ -388,6 +392,7 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
             source = "store";
             ok = true;
             failure = None;
+            request_id = "";
           };
       Ok
         ( {
@@ -426,6 +431,7 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
         source = "fresh";
         ok = false;
         failure = None;
+        request_id = "";
       }
     in
     Ledger.record

@@ -22,7 +22,12 @@
       once wall-time lines are dropped — provenance aggregation is
       deterministic across domain counts.
 
-   The executables arrive as argv: BENCH_MAIN TRACE_CLI COMPILE_CLI. *)
+   The suite runs get --serve-cli, so every gate's bench JSON carries
+   the server_load phase (live serve_cli child over a socket) and the
+   sampler-overhead bound of gate 6 covers request tracing too.
+
+   The executables arrive as argv:
+   BENCH_MAIN TRACE_CLI COMPILE_CLI SERVE_CLI. *)
 
 let failf fmt = Printf.ksprintf (fun s -> prerr_endline ("perf_smoke: FAIL: " ^ s); exit 1) fmt
 let command cmd = Sys.command cmd
@@ -46,7 +51,8 @@ let rec slow_down = function
            (fun (k, v) ->
              match v with
              | Obs.Json.Num f
-               when k = "wall_s" || k = "p50_s" || k = "p90_s" || k = "p95_s" || k = "p99_s" ->
+               when k = "wall_s" || k = "p50_s" || k = "p90_s" || k = "p95_s" || k = "p99_s"
+                    || k = "p999_s" ->
                  (k, Obs.Json.Num (2.0 *. f))
              | _ -> (k, slow_down v))
            kvs)
@@ -54,16 +60,23 @@ let rec slow_down = function
   | j -> j
 
 let () =
-  if Array.length Sys.argv < 4 then failf "usage: perf_smoke BENCH_MAIN TRACE_CLI COMPILE_CLI";
-  let bench_main = Sys.argv.(1) and trace_cli = Sys.argv.(2) and compile_cli = Sys.argv.(3) in
+  if Array.length Sys.argv < 5 then
+    failf "usage: perf_smoke BENCH_MAIN TRACE_CLI COMPILE_CLI SERVE_CLI";
+  let bench_main = Sys.argv.(1)
+  and trace_cli = Sys.argv.(2)
+  and compile_cli = Sys.argv.(3)
+  and serve_cli = Sys.argv.(4) in
   let q = Filename.quote in
+  let suite_cmd out extra =
+    Printf.sprintf
+      "%s --suite perf --quick --suite-budget 20 --jobs 2 --serve-cli %s --bench-out %s%s \
+       >/dev/null 2>/dev/null"
+      (q bench_main) (q serve_cli) (q out) extra
+  in
 
   (* Gate 1: smoke perf run emits schema-valid JSON. *)
   let bench_json = Filename.temp_file "perf_smoke" ".json" in
-  run_ok "perf suite"
-    (Printf.sprintf
-       "%s --suite perf --quick --suite-budget 20 --jobs 2 --bench-out %s >/dev/null 2>/dev/null"
-       (q bench_main) (q bench_json));
+  run_ok "perf suite" (suite_cmd bench_json "");
   run_ok "validate" (Printf.sprintf "%s validate %s >/dev/null" (q trace_cli) (q bench_json));
 
   (* Gate 2: self-diff with the CI threshold is clean. *)
@@ -125,10 +138,7 @@ let () =
      two honest runs of the same workload pass while the plumbing
      (flatten, key filter, exit code) runs end-to-end on real files. *)
   let bench_json2 = Filename.temp_file "perf_smoke_rerun" ".json" in
-  run_ok "perf suite re-run"
-    (Printf.sprintf
-       "%s --suite perf --quick --suite-budget 20 --jobs 2 --bench-out %s >/dev/null 2>/dev/null"
-       (q bench_main) (q bench_json2));
+  run_ok "perf suite re-run" (suite_cmd bench_json2 "");
   run_ok "re-run diff"
     (Printf.sprintf "%s diff --fail-above 300 %s %s >/dev/null" (q trace_cli) (q bench_json)
        (q bench_json2));
@@ -141,10 +151,7 @@ let () =
      in Metrics.load_stream. *)
   let metrics_jsonl = Filename.temp_file "perf_smoke_metrics" ".jsonl" in
   run_ok "perf suite with sampler"
-    (Printf.sprintf
-       "%s --suite perf --quick --suite-budget 20 --jobs 2 --bench-out %s --metrics-out %s \
-        >/dev/null 2>/dev/null"
-       (q bench_main) (q bench_json2) (q metrics_jsonl));
+    (suite_cmd bench_json2 (Printf.sprintf " --metrics-out %s" (q metrics_jsonl)));
   run_ok "metrics overhead gate"
     (Printf.sprintf
        "%s metrics --max-overhead-pct 2 --require-series synth.rotations \

@@ -22,6 +22,7 @@ let mkrec ?(backend = "trasyn") ?(cached = false) ?(ok = true) ?(distance = 1e-3
     source = (if cached then "replay" else "fresh");
     ok;
     failure = (if ok then None else Some "timeout");
+    request_id = "";
   }
 
 let ledger_tests =
@@ -179,6 +180,48 @@ let metrics_tests =
                 Alcotest.(check bool)
                   "domain 0 utilization series" true
                   (List.mem "obs.planner.domain.0.utilization" names)));
+    Alcotest.test_case "sampler concurrent with a loaded multi-domain server" `Quick (fun () ->
+        (* The sampler ticks while a server pushes singles and a batch
+           through planner worker domains: the stream must stay valid
+           JSONL (no torn/duplicate lines), the request counter must
+           reconcile with the responses sent, and stop() must join the
+           sampler cleanly after the server has drained. *)
+        let stream = Filename.temp_file "test_metrics_server" ".jsonl" in
+        Fun.protect
+          ~finally:(fun () -> Sys.remove stream)
+          (fun () ->
+            let requests0 = Obs.counter_value (Obs.counter "server.requests") in
+            Metrics.start ~interval:0.01 ~stream ();
+            let out = ref [] in
+            let m = Mutex.create () in
+            let emit s =
+              Mutex.lock m;
+              out := s :: !out;
+              Mutex.unlock m
+            in
+            let cfg = { Server.default_config with Server.planner_jobs = Some 2 } in
+            let t = Server.create ~emit cfg in
+            for i = 0 to 7 do
+              ignore
+                (Server.submit_line t
+                   (Printf.sprintf {|{"op":"rz","id":%d,"theta":%f,"epsilon":0.3}|} i
+                      (0.1 +. (0.2 *. float_of_int i))))
+            done;
+            ignore
+              (Server.submit_line t
+                 {|{"op":"batch","id":100,"requests":[{"op":"rz","theta":0.5,"epsilon":0.3},{"op":"rz","theta":1.3,"epsilon":0.3}]}|});
+            ignore (Server.submit_line t {|{"op":"stats","id":101}|});
+            Server.drain t;
+            Metrics.stop ();
+            Alcotest.(check bool) "sampler joined" false (Metrics.running ());
+            Alcotest.(check int) "one response per request" 10 (List.length !out);
+            Alcotest.(check int)
+              "request counter reconciles" 10
+              (Obs.counter_value (Obs.counter "server.requests") - requests0);
+            match Metrics.load_stream stream with
+            | Error e -> Alcotest.failf "stream under server load: %s" e
+            | Ok snaps ->
+                Alcotest.(check bool) "snapshots taken" true (List.length snaps >= 1)));
     Alcotest.test_case "exposition parses; garbage does not" `Quick (fun () ->
         ignore (Obs.counter "test.metrics.exposition");
         (match Metrics.parse_exposition (Metrics.exposition ()) with

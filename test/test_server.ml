@@ -71,6 +71,46 @@ let suite =
         match out () with
         | [ r ] -> Alcotest.(check bool) "acked" true (contains r {|"ok":true|})
         | rs -> Alcotest.failf "expected 1 response, got %d" (List.length rs));
+    Alcotest.test_case "request ids thread through responses, stats and the slowest ring" `Quick
+      (fun () ->
+        let t, out = make_server () in
+        ignore (Server.submit_line t {|{"op":"rz","id":1,"theta":0.37,"epsilon":0.3}|});
+        ignore
+          (Server.submit_line t
+             {|{"op":"batch","id":2,"requests":[{"op":"rz","theta":0.5,"epsilon":0.3},{"op":"rz","theta":1.1,"epsilon":0.3}]}|});
+        Server.drain t;
+        (match out () with
+        | [ r1; r2 ] ->
+            Alcotest.(check bool) "rz request_id" true (contains r1 {|"request_id":"r1"|});
+            Alcotest.(check bool) "batch request_id" true (contains r2 {|"request_id":"r2"|});
+            Alcotest.(check bool) "batch element ids" true
+              (contains r2 {|"request_id":"r2.0"|} && contains r2 {|"request_id":"r2.1"|})
+        | rs -> Alcotest.failf "expected 2 responses, got %d" (List.length rs));
+        Alcotest.(check bool) "trace_id nonempty" true (String.length (Server.trace_id t) > 0);
+        Alcotest.(check bool) "uptime positive" true (Server.uptime_s t > 0.0);
+        (* After drain every worker has recorded its telemetry, so the
+           snapshot must reconcile with the traffic just sent. *)
+        let stats = Server.stats_json t in
+        let num path =
+          let rec go j = function
+            | [] -> ( match j with Obs.Json.Num f -> f | _ -> Alcotest.fail "not a number")
+            | k :: rest -> (
+                match Obs.Json.member k j with
+                | Some j' -> go j' rest
+                | None -> Alcotest.failf "stats field %s missing" k)
+          in
+          go stats path
+        in
+        Alcotest.(check int) "latency count" 2 (int_of_float (num [ "latency"; "count" ]));
+        Alcotest.(check int) "queue_wait count" 2 (int_of_float (num [ "queue_wait"; "count" ]));
+        Alcotest.(check int) "commands.rz" 1 (int_of_float (num [ "commands"; "rz" ]));
+        Alcotest.(check int) "commands.batch" 1 (int_of_float (num [ "commands"; "batch" ]));
+        Alcotest.(check bool) "quantiles ordered" true
+          (num [ "latency"; "p999_s" ] >= num [ "latency"; "p50_s" ]);
+        match Obs.Json.member "slowest" stats with
+        | Some (Obs.Json.Arr exemplars) ->
+            Alcotest.(check int) "slowest ring holds both requests" 2 (List.length exemplars)
+        | _ -> Alcotest.fail "stats without slowest array");
     Alcotest.test_case "transient failures are retried with backoff, then reported" `Quick
       (fun () ->
         (* Every backend rung dead: each attempt fails as a transient
