@@ -43,10 +43,34 @@ let report_degraded (ds : Pipeline.degradation list) =
       Printf.printf "  ... and %d more\n" (List.length ds - max_degraded_lines)
   end
 
-let run input output workflow epsilon optimize estimate trace metrics_out metrics_interval
-    prom_out ledger_out deadline rotation_deadline faults jobs backend_chain store_dir =
+let run input output workflow epsilon gate_set gateset_files tables optimize estimate trace
+    metrics_out metrics_interval prom_out ledger_out deadline rotation_deadline faults jobs
+    backend_chain store_dir =
   match
     Robust.guarded @@ fun () ->
+    List.iter
+      (fun path ->
+        match Gateset.load_file path with
+        | Ok gs -> Printf.printf "gate set : %s loaded from %s\n" gs.Gateset.name path
+        | Error e -> invalid_arg (Printf.sprintf "--gate-set-file %s: %s" path e))
+      gateset_files;
+    List.iter
+      (fun path ->
+        match Tablegen.load_and_provide path with
+        | Ok (gs, table) ->
+            Printf.printf "table    : %s provided for gate set %s (max_t %d, %d entries)\n" path gs
+              table.Ma_table.max_t
+              (Array.length table.Ma_table.entries)
+        | Error e -> invalid_arg (Printf.sprintf "--load-table %s: %s" path e))
+      tables;
+    let gate_set =
+      match Gateset.find gate_set with
+      | Some gs -> gs
+      | None ->
+          invalid_arg
+            (Printf.sprintf "--gate-set: unknown gate set %S (known: %s)" gate_set
+               (String.concat ", " (Gateset.names ())))
+    in
     (match faults with
     | None -> ()
     | Some s -> (
@@ -95,14 +119,15 @@ let run input output workflow epsilon optimize estimate trace metrics_out metric
       (Circuit.nontrivial_rotation_count circuit);
     let synthesized =
       match workflow with
-      | "trasyn" -> Pipeline.run_trasyn ~epsilon ~deadline ?rotation_budget ?jobs ?chain circuit
+      | "trasyn" ->
+          Pipeline.run_trasyn ~epsilon ~gate_set ~deadline ?rotation_budget ?jobs ?chain circuit
       | "gridsynth" ->
-          Pipeline.run_gridsynth ~epsilon ~deadline ?rotation_budget ?jobs ?chain circuit
+          Pipeline.run_gridsynth ~epsilon ~gate_set ~deadline ?rotation_budget ?jobs ?chain circuit
       | "compare" ->
           (* Run both workflows (the paper's RQ2-RQ4 comparison), report
              the ratios, and continue with the TRASYN output. *)
           let cmp =
-            Pipeline.compare_workflows ~epsilon ~deadline ?rotation_budget ?jobs ?chain
+            Pipeline.compare_workflows ~epsilon ~gate_set ~deadline ?rotation_budget ?jobs ?chain
               ~name:(Filename.basename input) circuit
           in
           Printf.printf "compare  : T ratio=%.2f  Tdepth ratio=%.2f  Clifford ratio=%.2f (gridsynth/trasyn)\n"
@@ -152,6 +177,28 @@ let workflow =
   Arg.(value & opt string "trasyn" & info [ "workflow"; "w" ] ~doc:"trasyn | gridsynth | compare")
 
 let epsilon = Arg.(value & opt float 0.07 & info [ "epsilon" ] ~doc:"per-rotation error threshold")
+
+let gate_set =
+  Arg.(
+    value & opt string "cliffordt"
+    & info [ "gate-set" ] ~docv:"NAME"
+        ~doc:"target gate set: a built-in name or one loaded with --gate-set-file; non-built-in \
+              sets need a table loaded with --load-table")
+
+let gateset_files =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "gate-set-file" ] ~docv:"FILE"
+        ~doc:"register a gate-set descriptor from a JSON config file (repeatable)")
+
+let tables =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "load-table" ] ~docv:"FILE"
+        ~doc:"load a tgates-table/v1 file generated by tgates-tablegen and provide it to the \
+              synthesis stack under its gate-set name (repeatable)")
 let optimize = Arg.(value & flag & info [ "optimize" ] ~doc:"run phase folding afterwards")
 let estimate = Arg.(value & flag & info [ "estimate" ] ~doc:"print a surface-code resource estimate")
 
@@ -245,8 +292,8 @@ let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
     Term.(
-      const run $ input $ output $ workflow $ epsilon $ optimize $ estimate $ trace $ metrics_out
-      $ metrics_interval $ prom_out $ ledger_out $ deadline $ rotation_deadline $ faults $ jobs
-      $ backend_chain $ store_dir)
+      const run $ input $ output $ workflow $ epsilon $ gate_set $ gateset_files $ tables
+      $ optimize $ estimate $ trace $ metrics_out $ metrics_interval $ prom_out $ ledger_out
+      $ deadline $ rotation_deadline $ faults $ jobs $ backend_chain $ store_dir)
 
 let () = exit (Cmd.eval' cmd)

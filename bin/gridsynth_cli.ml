@@ -11,6 +11,7 @@ let record_direct ~target ~eps_req ~wall_s result =
     let base =
       {
         Ledger.target = Synth.target_id target;
+        gate_set = "cliffordt";
         chain = "gridsynth";
         eps_req;
         rung_eps = eps_req;

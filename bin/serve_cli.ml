@@ -120,12 +120,34 @@ let serve_socket path make_server =
     accept_loop;
   server
 
-let run store_dir rescan socket epsilon backend_chain workers queue_limit max_retries backoff_base
-    backoff_cap request_deadline planner_jobs seed faults ledger_out metrics_out metrics_interval
-    prom_out trace_out =
+let run store_dir rescan socket epsilon gate_set gateset_files tables backend_chain workers
+    queue_limit max_retries backoff_base backoff_cap request_deadline planner_jobs seed faults
+    ledger_out metrics_out metrics_interval prom_out trace_out =
   match
     Robust.guarded @@ fun () ->
     (match trace_out with Some p -> Obs.trace_to_file p | None -> ());
+    List.iter
+      (fun path ->
+        match Gateset.load_file path with
+        | Ok gs -> Printf.eprintf "serve: gate set %s loaded from %s\n%!" gs.Gateset.name path
+        | Error e -> invalid_arg (Printf.sprintf "--gate-set-file %s: %s" path e))
+      gateset_files;
+    List.iter
+      (fun path ->
+        match Tablegen.load_and_provide path with
+        | Ok (gs, table) ->
+            Printf.eprintf "serve: table %s provided for gate set %s (max_t %d)\n%!" path gs
+              table.Ma_table.max_t
+        | Error e -> invalid_arg (Printf.sprintf "--load-table %s: %s" path e))
+      tables;
+    let gate_set =
+      match Gateset.find gate_set with
+      | Some gs -> gs
+      | None ->
+          invalid_arg
+            (Printf.sprintf "--gate-set: unknown gate set %S (known: %s)" gate_set
+               (String.concat ", " (Gateset.names ())))
+    in
     (match faults with
     | None -> ()
     | Some s -> (
@@ -164,6 +186,7 @@ let run store_dir rescan socket epsilon backend_chain workers queue_limit max_re
     let cfg =
       {
         Server.epsilon;
+        gate_set;
         chain;
         workers;
         queue_limit;
@@ -202,6 +225,7 @@ let run store_dir rescan socket epsilon backend_chain workers queue_limit max_re
                   match planner_jobs with Some j -> Num (float_of_int j) | None -> Str "auto" );
                 ("queue_limit", Num (float_of_int (max 1 queue_limit)));
                 ("epsilon", Num epsilon);
+                ("gate_set", Str gate_set.Gateset.name);
               ]));
       server
     in
@@ -257,6 +281,28 @@ let socket =
 
 let epsilon =
   Arg.(value & opt float 0.07 & info [ "epsilon" ] ~doc:"default per-rotation error threshold")
+
+let gate_set =
+  Arg.(
+    value & opt string "cliffordt"
+    & info [ "gate-set" ] ~docv:"NAME"
+        ~doc:"default gate set for requests that omit gate_set (a built-in name or one loaded \
+              with --gate-set-file)")
+
+let gateset_files =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "gate-set-file" ] ~docv:"FILE"
+        ~doc:"register a gate-set descriptor from a JSON config file (repeatable)")
+
+let tables =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "load-table" ] ~docv:"FILE"
+        ~doc:"load a tgates-table/v1 file generated by tgates-tablegen and provide it to the \
+              synthesis stack under its gate-set name (repeatable)")
 
 let backend_chain =
   Arg.(
@@ -354,8 +400,9 @@ let cmd =
     (Cmd.info "tgates-serve"
        ~doc:"Durable batch synthesis server over the persistent store (line-delimited JSON)")
     Term.(
-      const run $ store_dir $ rescan $ socket $ epsilon $ backend_chain $ workers $ queue_limit
-      $ max_retries $ backoff_base $ backoff_cap $ request_deadline $ planner_jobs $ seed $ faults
-      $ ledger_out $ metrics_out $ metrics_interval $ prom_out $ trace_out)
+      const run $ store_dir $ rescan $ socket $ epsilon $ gate_set $ gateset_files $ tables
+      $ backend_chain $ workers $ queue_limit $ max_retries $ backoff_base $ backoff_cap
+      $ request_deadline $ planner_jobs $ seed $ faults $ ledger_out $ metrics_out
+      $ metrics_interval $ prom_out $ trace_out)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,6 +12,7 @@ let record_direct ~backend ~target ~eps_req ~wall_s outcome =
     let base =
       {
         Ledger.target = Synth.target_id target;
+        gate_set = "cliffordt";
         chain = backend;
         eps_req;
         rung_eps = eps_req;

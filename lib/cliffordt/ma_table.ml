@@ -45,6 +45,41 @@ let prefixes_by_level max_t =
   done;
   levels
 
+(* Lookup/offset construction shared by the in-process enumeration and
+   the on-disk table loader ([Tablegen.load]): feeding the same entry
+   array through here yields a bit-identical [t], which is what makes
+   "generated table round-trips to [build]" a checkable property rather
+   than a hope.  Entries must already be sorted by [tcount]. *)
+let of_entries ~max_t entries =
+  Array.iteri
+    (fun i e ->
+      if i > 0 && entries.(i - 1).tcount > e.tcount then
+        invalid_arg "Ma_table.of_entries: entries not sorted by tcount";
+      if e.tcount > max_t then invalid_arg "Ma_table.of_entries: tcount exceeds max_t")
+    entries;
+  let lookup = Exact_u.Table.create (Array.length entries * 2) in
+  Array.iteri
+    (fun i e ->
+      let key = Exact_u.key (Exact_u.canonicalize e.u) in
+      match Exact_u.Table.find_opt lookup key with
+      | Some j ->
+          let better =
+            let a = entries.(j) in
+            (e.tcount, e.ccount, List.length e.seq) < (a.tcount, a.ccount, List.length a.seq)
+          in
+          if better then Exact_u.Table.replace lookup key i
+      | None -> Exact_u.Table.add lookup key i)
+    entries;
+  let offsets = Array.make (max_t + 2) 0 in
+  let idx = ref 0 in
+  for k = 0 to max_t + 1 do
+    while !idx < Array.length entries && entries.(!idx).tcount < k do
+      incr idx
+    done;
+    offsets.(k) <- !idx
+  done;
+  { max_t; entries; lookup; offsets }
+
 let build max_t =
   let levels = prefixes_by_level max_t in
   let buf = ref [] in
@@ -72,28 +107,12 @@ let build max_t =
   done;
   let entries = Array.of_list (List.rev !buf) in
   assert (Array.length entries = theoretical_count max_t);
-  let lookup = Exact_u.Table.create (Array.length entries * 2) in
-  Array.iteri
-    (fun i e ->
-      let key = Exact_u.key (Exact_u.canonicalize e.u) in
-      match Exact_u.Table.find_opt lookup key with
-      | Some j ->
-          let better =
-            let a = entries.(j) in
-            (e.tcount, e.ccount, List.length e.seq) < (a.tcount, a.ccount, List.length a.seq)
-          in
-          if better then Exact_u.Table.replace lookup key i
-      | None -> Exact_u.Table.add lookup key i)
-    entries;
-  let offsets = Array.make (max_t + 2) 0 in
-  let idx = ref 0 in
-  for k = 0 to max_t + 1 do
-    while !idx < Array.length entries && entries.(!idx).tcount < k do
-      incr idx
-    done;
-    offsets.(k) <- !idx
-  done;
-  { max_t; entries; lookup; offsets }
+  of_entries ~max_t entries
+
+let truncate table max_t =
+  if max_t >= table.max_t then table
+  else if max_t < 0 then invalid_arg "Ma_table.truncate: negative depth"
+  else of_entries ~max_t (Array.sub table.entries 0 table.offsets.(max_t + 1))
 
 (* Tables are expensive to build once max_t grows; share them.  The
    cache is consulted from planner worker domains, so it is mutex
@@ -113,6 +132,83 @@ let get max_t =
           let t = build max_t in
           Hashtbl.add cache max_t t;
           t)
+
+(* Provided-table registry: tables for non-built-in gate sets arrive
+   from outside (generated offline, loaded from disk) and are keyed by
+   gate-set name here so the synthesis stack can ask for "the table for
+   gate set G at depth m" without knowing where G's table came from.
+   Keeping the registry string-keyed in this module (rather than in
+   [Gateset]) avoids a dependency cycle: [Gateset]/[Tablegen] sit above
+   us and call [provide].  Per gate set we keep the deepest table seen
+   plus memoized truncations, all under one lock shared with the
+   in-process cache. *)
+let builtin_gate_set = "cliffordt"
+let provided : (string, t) Hashtbl.t = Hashtbl.create 4
+let truncations : (string * int, t) Hashtbl.t = Hashtbl.create 8
+
+let provide ~gate_set table =
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      (match Hashtbl.find_opt provided gate_set with
+      | Some old when old.max_t > table.max_t -> ()
+      | _ -> Hashtbl.replace provided gate_set table);
+      let stale =
+        Hashtbl.fold
+          (fun ((gs, _) as k) _ acc -> if String.equal gs gate_set then k :: acc else acc)
+          truncations []
+      in
+      List.iter (Hashtbl.remove truncations) stale)
+
+let provided_sets () =
+  Mutex.lock cache_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_lock)
+    (fun () ->
+      Hashtbl.fold (fun gs t acc -> (gs, t.max_t) :: acc) provided []
+      |> List.sort compare)
+
+let get_for ~gate_set max_t =
+  let from_provided () =
+    Mutex.lock cache_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock cache_lock)
+      (fun () ->
+        match Hashtbl.find_opt provided gate_set with
+        | None -> None
+        | Some t when t.max_t = max_t -> Some t
+        | Some t when t.max_t > max_t -> (
+            match Hashtbl.find_opt truncations (gate_set, max_t) with
+            | Some tr -> Some tr
+            | None ->
+                let tr = truncate t max_t in
+                Hashtbl.add truncations (gate_set, max_t) tr;
+                Some tr)
+        | Some t ->
+            failwith
+              (Printf.sprintf
+                 "Ma_table.get_for: table for gate set %S only reaches depth %d (need %d); \
+                  regenerate it with tablegen at --max-t >= %d"
+                 gate_set t.max_t max_t max_t))
+  in
+  match from_provided () with
+  | Some t -> t
+  | None ->
+      if String.equal gate_set builtin_gate_set then get max_t
+      else
+        let known =
+          match provided_sets () with
+          | [] -> "none"
+          | sets ->
+              String.concat ", "
+                (List.map (fun (gs, m) -> Printf.sprintf "%s (max_t=%d)" gs m) sets)
+        in
+        failwith
+          (Printf.sprintf
+             "Ma_table.get_for: no table provided for gate set %S (provided: %s); generate \
+              one with tablegen and load it with --load-table"
+             gate_set known)
 
 let lookup_best table u =
   match Exact_u.Table.find_opt table.lookup (Exact_u.key (Exact_u.canonicalize u)) with

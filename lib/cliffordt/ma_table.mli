@@ -27,6 +27,39 @@ val build : int -> t
 val get : int -> t
 (** Memoized [build]. *)
 
+val of_entries : max_t:int -> entry array -> t
+(** Rebuild the lookup/offset structure around an entry array already
+    sorted by [tcount] (all ≤ [max_t]).  [build] and the on-disk table
+    loader both funnel through here, so a loaded table is bit-identical
+    to the in-process enumeration.  @raise Invalid_argument on unsorted
+    or too-deep entries. *)
+
+val truncate : t -> int -> t
+(** [truncate t m] is the table restricted to entries with tcount ≤ [m]
+    ([t] itself when [m ≥ t.max_t]). *)
+
+(** {1 Gate-set-keyed registry}
+
+    Tables for gate sets other than the built-in Clifford+T enumeration
+    are generated offline ([Tablegen]) and registered here by name; the
+    synthesis stack then asks for the table of the active gate set
+    without knowing its origin. *)
+
+val provide : gate_set:string -> t -> unit
+(** Register the table as the one for [gate_set].  A deeper table wins:
+    providing a shallower table than one already registered is a no-op.
+    Thread-safe. *)
+
+val get_for : gate_set:string -> int -> t
+(** The table for [gate_set] at depth [max_t].  A provided deeper table
+    is truncated (memoized); ["cliffordt"] falls back to the in-process
+    [get] when nothing was provided.  @raise Failure with a structured
+    message when no table for that gate set is available or the provided
+    one is too shallow. *)
+
+val provided_sets : unit -> (string * int) list
+(** Registered (gate set, max_t) pairs, sorted — for diagnostics. *)
+
 val lookup_best : t -> Exact_u.t -> entry option
 (** Cheapest known realization of an operator, up to global phase. *)
 

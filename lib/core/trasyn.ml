@@ -13,6 +13,7 @@ type config = {
   post_process : bool;  (** run step 3 *)
   seed : int;
   reuse_chains : bool;  (** reuse canonicalized interiors across calls *)
+  gate_set : string;  (** which step-0 table ([Ma_table.get_for]) to sample *)
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     post_process = true;
     seed = 0x7a51;
     reuse_chains = true;
+    gate_set = "cliffordt";
   }
 
 (* Observability handles (interned once; see lib/obs). *)
@@ -55,7 +57,7 @@ let c_chain_hit = Obs.counter "mps.chain_cache.hit"
 let c_chain_miss = Obs.counter "mps.chain_cache.miss"
 let c_chain_evict = Obs.counter "mps.chain_cache.evictions"
 
-type chain_key = int * (int * int) list
+type chain_key = string * int * (int * int) list
 
 type chain_entry = {
   chain : Mps.chain;
@@ -91,7 +93,7 @@ let mat2_bits_equal (a : Mat2.t) (b : Mat2.t) =
 
 (* [clamped] has been validated and clamped to the table depth. *)
 let banks_of config clamped =
-  let table = Ma_table.get config.table_t in
+  let table = Ma_table.get_for ~gate_set:config.gate_set config.table_t in
   Array.of_list (List.map (fun (lo, hi) -> Sitebank.of_table table ~lo ~hi) clamped)
 
 (* A ready-to-sample MPS for the target.  The cached path and the cold
@@ -104,7 +106,7 @@ let mps_for config ~target clamped =
     mps
   end
   else begin
-    let key = (config.table_t, clamped) in
+    let key = (config.gate_set, config.table_t, clamped) in
     let with_lock f =
       Mutex.lock chain_lock;
       Fun.protect ~finally:(fun () -> Mutex.unlock chain_lock) f
@@ -232,7 +234,7 @@ let synthesize_ranges ?(config = default_config) ?epsilon ?(t_slack = 0) ~target
     |> List.map snd
   in
   let top = List.filteri (fun i _ -> i < 16) scored in
-  let table = Ma_table.get config.table_t in
+  let table = Ma_table.get_for ~gate_set:config.gate_set config.table_t in
   let l = Array.length mps.Mps.sites in
   let candidates =
     List.map

@@ -14,15 +14,21 @@ type config = {
   seed : int;  (** RNG seed — synthesis is deterministic given a config *)
   reuse_chains : bool;
       (** Cache canonicalized target-independent chain interiors keyed
-          by [(table_t, ranges)] and reuse them across calls (budget
-          escalation, timed reseeds, repeated targets).  Results are
-          bit-identical either way; disable only to benchmark the cold
-          path.  Default: [true]. *)
+          by [(gate_set, table_t, ranges)] and reuse them across calls
+          (budget escalation, timed reseeds, repeated targets).
+          Results are bit-identical either way; disable only to
+          benchmark the cold path.  Default: [true]. *)
+  gate_set : string;
+      (** Which step-0 table the MPS sites range over, resolved through
+          [Ma_table.get_for] — ["cliffordt"] builds in-process, any
+          other name must have a generated table provided.  Also keys
+          the chain cache, so two alphabets never share interiors.
+          Default: ["cliffordt"]. *)
 }
 
 val default_config : config
 (** CPU-friendly defaults: table_t = 8, samples = 1024, beam = 32,
-    reuse_chains = true. *)
+    reuse_chains = true, gate_set = "cliffordt". *)
 
 val clear_chain_cache : unit -> unit
 (** Drop every cached canonicalized chain (the process-wide cache

@@ -6,6 +6,7 @@ let schema = "tgates-ledger/v1"
 
 type record = {
   target : string;
+  gate_set : string;
   chain : string;
   eps_req : float;
   rung_eps : float;
@@ -82,6 +83,7 @@ let record_to_json r =
     ([
        ("ev", Str "rotation");
        ("target", Str r.target);
+       ("gate_set", Str r.gate_set);
        ("chain", Str r.chain);
        ("eps_req", opt_num r.eps_req);
        ("rung_eps", opt_num r.rung_eps);
@@ -172,6 +174,8 @@ let load path =
             target;
             chain;
             backend;
+            (* Pre-gateset ledgers: everything was Clifford+T. *)
+            gate_set = (match str "gate_set" j with Some g -> g | None -> "cliffordt");
             eps_req = num "eps_req" j;
             rung_eps = num "rung_eps" j;
             distance = num "distance" j;
@@ -235,6 +239,7 @@ let load path =
 
 type backend_stats = {
   bs_backend : string;
+  bs_gate_set : string;
   bs_records : int;
   bs_cached : int;
   bs_degraded : int;
@@ -255,17 +260,22 @@ let deterministic_order rs =
 
 let stats rs =
   let rs = deterministic_order rs in
-  let tbl : (string, record list ref) Hashtbl.t = Hashtbl.create 8 in
+  (* Group by (gate set, backend): the same backend serving two
+     alphabets is two rows — mixing their T statistics would blur
+     exactly the cost-model distinction the gate_set field exists
+     to record. *)
+  let tbl : (string * string, record list ref) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun r ->
-      match Hashtbl.find_opt tbl r.backend with
+      let k = (r.gate_set, r.backend) in
+      match Hashtbl.find_opt tbl k with
       | Some l -> l := r :: !l
-      | None -> Hashtbl.add tbl r.backend (ref [ r ]))
+      | None -> Hashtbl.add tbl k (ref [ r ]))
     rs;
   let backends = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] |> List.sort compare in
   List.map
-    (fun b ->
-      let group = List.rev !(Hashtbl.find tbl b) in
+    (fun ((gs, b) as key) ->
+      let group = List.rev !(Hashtbl.find tbl key) in
       let n = List.length group in
       let count p = List.length (List.filter p group) in
       let t_sum = List.fold_left (fun a r -> a + r.t_count) 0 group in
@@ -275,6 +285,7 @@ let stats rs =
       let nd = List.length dists in
       {
         bs_backend = b;
+        bs_gate_set = gs;
         bs_records = n;
         bs_cached = count (fun r -> r.cached);
         bs_degraded = count (fun r -> r.degraded);
@@ -296,13 +307,13 @@ let render_stats ppf rs =
     (count (fun r -> r.degraded))
     (count (fun r -> not r.ok));
   let fg f = if Float.is_finite f then Printf.sprintf "%10.4g" f else Printf.sprintf "%10s" "-" in
-  Format.fprintf ppf "%-16s %8s %8s %8s %8s %10s %10s %10s %10s@." "backend" "records" "cached"
-    "degraded" "failed" "T.sum" "T.mean" "dist.mean" "len.mean";
+  Format.fprintf ppf "%-16s %-20s %8s %8s %8s %8s %10s %10s %10s %10s@." "backend" "gate_set"
+    "records" "cached" "degraded" "failed" "T.sum" "T.mean" "dist.mean" "len.mean";
   List.iter
     (fun s ->
-      Format.fprintf ppf "%-16s %8d %8d %8d %8d %10d %s %s %s@." s.bs_backend s.bs_records
-        s.bs_cached s.bs_degraded s.bs_failed s.bs_t_sum (fg s.bs_t_mean) (fg s.bs_dist_mean)
-        (fg s.bs_len_mean))
+      Format.fprintf ppf "%-16s %-20s %8d %8d %8d %8d %10d %s %s %s@." s.bs_backend s.bs_gate_set
+        s.bs_records s.bs_cached s.bs_degraded s.bs_failed s.bs_t_sum (fg s.bs_t_mean)
+        (fg s.bs_dist_mean) (fg s.bs_len_mean))
     (stats rs);
   (* Wall timing is run-dependent; keep it on its own "wall"-prefixed
      lines so deterministic comparisons can filter it out. *)

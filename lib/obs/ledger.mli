@@ -25,6 +25,9 @@ val schema : string
 
 type record = {
   target : string;  (** canonical target id, e.g. ["rz(0.3700000000)"] *)
+  gate_set : string;
+      (** alphabet the word was synthesized over (["cliffordt"] for the
+          built-in stack; loaders default pre-gateset ledgers to it) *)
   chain : string;  (** chain id (or backend name for direct CLI calls) *)
   eps_req : float;  (** requested ε *)
   rung_eps : float;  (** ε of the winning rung ([nan] on failure) *)
@@ -94,6 +97,7 @@ val load : string -> (record list, string) result
 
 type backend_stats = {
   bs_backend : string;
+  bs_gate_set : string;
   bs_records : int;
   bs_cached : int;
   bs_degraded : int;
@@ -105,7 +109,7 @@ type backend_stats = {
 }
 
 val stats : record list -> backend_stats list
-(** Per-backend aggregates, sorted by backend name.  Records are
+(** Per-(gate set, backend) aggregates, sorted.  Records are
     re-sorted on a wall-time-free key before folding, so float
     accumulations are independent of arrival order — the aggregate is
     bit-identical across [--jobs 1] and [--jobs N] runs of the same

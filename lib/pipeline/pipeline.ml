@@ -62,8 +62,8 @@ let word_to_gates seq = List.rev_map Qgate.of_ctgate seq
    can pass the angle-space triviality test while its matrix sits a few
    ulps away from the exact operator (wrapped angles), which is a
    harmless substitution at circuit thresholds. *)
-let exact_word_of_trivial g =
-  let table = Ma_table.get 1 in
+let exact_word_of_trivial ?(gate_set = "cliffordt") g =
+  let table = Ma_table.get_for ~gate_set 1 in
   let m = Qgate.to_mat2 g in
   let best = ref None in
   Array.iter
@@ -128,11 +128,15 @@ let u3_default_chain = Synth.u3_chain
 let rz_default_tag = "rz-default"
 let u3_default_tag = "u3-default"
 
-let rz_key ~epsilon ~tag theta = Printf.sprintf "%s@%.6g|%s" (angle_key theta) epsilon tag
+(* Memo keys carry the gate set as well as the chain tag: two alphabets
+   can synthesize the same angle at the same ε to different words, so
+   they must never share a cache cell. *)
+let rz_key ~epsilon ~tag ~gate_set theta =
+  Printf.sprintf "%s@%.6g|%s|%s" (angle_key theta) epsilon tag gate_set
 
-let u3_key ~epsilon ~tag (theta, phi, lam) =
-  Printf.sprintf "%s/%s/%s@%.6g|%s" (angle_key theta) (angle_key phi) (angle_key lam) epsilon
-    tag
+let u3_key ~epsilon ~tag ~gate_set (theta, phi, lam) =
+  Printf.sprintf "%s/%s/%s@%.6g|%s|%s" (angle_key theta) (angle_key phi) (angle_key lam)
+    epsilon tag gate_set
 
 (* ------------------------------------------------------------------ *)
 (* Memo caches and the word-level entry points                         *)
@@ -152,7 +156,7 @@ let default_config = { Trasyn.default_config with table_t = 10; samples = 48; be
 let gridsynth_rz_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~epsilon theta :
     (Robust.attempt, Robust.failure) result =
   let theta = canonical_angle theta in
-  let key = rz_key ~epsilon ~tag:rz_default_tag theta in
+  let key = rz_key ~epsilon ~tag:rz_default_tag ~gate_set:"cliffordt" theta in
   match Hashtbl.find_opt gridsynth_cache key with
   | Some a ->
       Obs.incr c_gs_hit;
@@ -182,7 +186,7 @@ let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~
   let theta = canonical_angle theta
   and phi = canonical_angle phi
   and lam = canonical_angle lam in
-  let key = u3_key ~epsilon ~tag:u3_default_tag (theta, phi, lam) in
+  let key = u3_key ~epsilon ~tag:u3_default_tag ~gate_set:"cliffordt" (theta, phi, lam) in
   match Hashtbl.find_opt trasyn_cache key with
   | Some a ->
       Obs.incr c_tr_hit;
@@ -225,9 +229,10 @@ let trasyn_u3_attempt ?(deadline = Obs.Deadline.none) ?rotation_budget ~config ~
    fills the gap — every occurrence served by a cache or by another
    occurrence's execution gets a [cached] record — so a workflow run's
    ledger holds exactly [rotations_synthesized] records. *)
-let replay_record ~chain ~requested target (a : Robust.attempt) =
+let replay_record ~chain ~gate_set ~requested target (a : Robust.attempt) =
   {
     Ledger.target = Synth.target_id target;
+    gate_set;
     chain;
     eps_req = requested;
     rung_eps = a.Robust.rung_epsilon;
@@ -247,7 +252,7 @@ let replay_record ~chain ~requested target (a : Robust.attempt) =
   }
 
 let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budget ~cache ~c_hit
-    ~c_miss ~ledger_chain ~classify ~run_target (c : Circuit.t) :
+    ~c_miss ~ledger_chain ~gate_set ~classify ~run_target (c : Circuit.t) :
     (synthesized, Robust.failure) result =
   Obs.span span @@ fun () ->
   let setting, transpiled =
@@ -256,7 +261,7 @@ let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budge
   in
   let occs = ref [] in
   let scan g =
-    (match exact_word_of_trivial g with
+    (match exact_word_of_trivial ~gate_set g with
     | Some _ -> ()
     | None -> occs := classify g :: !occs);
     [ g ]
@@ -307,7 +312,7 @@ let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budge
       let total_err = ref 0.0 and nsynth = ref 0 in
       let degraded = ref [] in
       let emit g =
-        match exact_word_of_trivial g with
+        match exact_word_of_trivial ~gate_set g with
         | Some word -> word_to_gates word
         | None -> (
             incr nsynth;
@@ -320,7 +325,8 @@ let run_workflow ~span ~ir ~transpile ~requested ~jobs ~deadline ~rotation_budge
                    match Hashtbl.find_opt fresh key with
                    | Some () -> Hashtbl.remove fresh key
                    | None ->
-                       Ledger.record (replay_record ~chain:ledger_chain ~requested target a));
+                       Ledger.record
+                         (replay_record ~chain:ledger_chain ~gate_set ~requested target a));
                 total_err := !total_err +. a.Robust.distance;
                 if a.Robust.fallbacks > 0 || a.Robust.distance > requested then begin
                   Obs.incr c_degraded;
@@ -369,18 +375,20 @@ let make_run_target ~config ~chain () ~deadline target =
 (* GRIDSYNTH (Rz) workflow                                             *)
 (* ------------------------------------------------------------------ *)
 
-let run_gridsynth_result ?(epsilon = 0.07) ?(deadline = Obs.Deadline.none) ?rotation_budget
-    ?(transpile = true) ?jobs ?chain (c : Circuit.t) : (synthesized, Robust.failure) result =
+let run_gridsynth_result ?(epsilon = 0.07) ?(gate_set = Gateset.default)
+    ?(deadline = Obs.Deadline.none) ?rotation_budget ?(transpile = true) ?jobs ?chain
+    (c : Circuit.t) : (synthesized, Robust.failure) result =
   let chain_rungs, tag =
     match chain with
     | None -> (rz_default_chain, rz_default_tag)
     | Some ch -> (ch, Synth.chain_id ch)
   in
+  let gs_name = gate_set.Gateset.name in
   let classify g =
     match g with
     | Qgate.Rz theta ->
         let theta = canonical_angle theta in
-        Ok (rz_key ~epsilon ~tag theta, Synth.Rz theta)
+        Ok (rz_key ~epsilon ~tag ~gate_set:gs_name theta, Synth.Rz theta)
     | _ ->
         (* The Rz IR only leaves Rz rotations; anything else is a
            transpiler bug (or a hand-fed IR), surfaced structurally
@@ -392,13 +400,16 @@ let run_gridsynth_result ?(epsilon = 0.07) ?(deadline = Obs.Deadline.none) ?rota
   in
   run_workflow ~span:"pipeline.run_gridsynth" ~ir:Settings.Rz_ir ~transpile ~requested:epsilon
     ~jobs ~deadline ~rotation_budget ~cache:gridsynth_cache ~c_hit:c_gs_hit ~c_miss:c_gs_miss
-    ~ledger_chain:(Synth.chain_id chain_rungs) ~classify
-    ~run_target:(make_run_target ~config:(Synth.config ~epsilon ()) ~chain:chain_rungs ())
+    ~ledger_chain:(Synth.chain_id chain_rungs) ~gate_set:gs_name ~classify
+    ~run_target:
+      (make_run_target ~config:(Synth.config ~gate_set ~epsilon ()) ~chain:chain_rungs ())
     c
 
-let run_gridsynth ?epsilon ?deadline ?rotation_budget ?transpile ?jobs ?chain (c : Circuit.t) :
-    synthesized =
-  match run_gridsynth_result ?epsilon ?deadline ?rotation_budget ?transpile ?jobs ?chain c with
+let run_gridsynth ?epsilon ?gate_set ?deadline ?rotation_budget ?transpile ?jobs ?chain
+    (c : Circuit.t) : synthesized =
+  match
+    run_gridsynth_result ?epsilon ?gate_set ?deadline ?rotation_budget ?transpile ?jobs ?chain c
+  with
   | Ok s -> s
   | Error f -> Robust.fail f
 
@@ -406,35 +417,39 @@ let run_gridsynth ?epsilon ?deadline ?rotation_budget ?transpile ?jobs ?chain (c
 (* TRASYN (U3) workflow                                                *)
 (* ------------------------------------------------------------------ *)
 
-let run_trasyn_result ?(epsilon = 0.07) ?(config = default_config) ?(budgets = default_budgets)
-    ?(deadline = Obs.Deadline.none) ?rotation_budget ?(transpile = true) ?jobs ?chain
-    (c : Circuit.t) : (synthesized, Robust.failure) result =
+let run_trasyn_result ?(epsilon = 0.07) ?(gate_set = Gateset.default)
+    ?(config = default_config) ?(budgets = default_budgets) ?(deadline = Obs.Deadline.none)
+    ?rotation_budget ?(transpile = true) ?jobs ?chain (c : Circuit.t) :
+    (synthesized, Robust.failure) result =
   let chain_rungs, tag =
     match chain with
     | None -> (u3_default_chain, u3_default_tag)
     | Some ch -> (ch, Synth.chain_id ch)
   in
+  let gs_name = gate_set.Gateset.name in
   let classify g =
     let theta, phi, lam = Mat2.to_u3_angles (Qgate.to_mat2 g) in
     let theta = canonical_angle theta
     and phi = canonical_angle phi
     and lam = canonical_angle lam in
-    Ok (u3_key ~epsilon ~tag (theta, phi, lam), Synth.Unitary (Mat2.u3 theta phi lam))
+    Ok
+      ( u3_key ~epsilon ~tag ~gate_set:gs_name (theta, phi, lam),
+        Synth.Unitary (Mat2.u3 theta phi lam) )
   in
   run_workflow ~span:"pipeline.run_trasyn" ~ir:Settings.U3_ir ~transpile ~requested:epsilon
     ~jobs ~deadline ~rotation_budget ~cache:trasyn_cache ~c_hit:c_tr_hit ~c_miss:c_tr_miss
-    ~ledger_chain:(Synth.chain_id chain_rungs) ~classify
+    ~ledger_chain:(Synth.chain_id chain_rungs) ~gate_set:gs_name ~classify
     ~run_target:
       (make_run_target
-         ~config:(Synth.config ~trasyn:config ~budgets ~epsilon ())
+         ~config:(Synth.config ~gate_set ~trasyn:config ~budgets ~epsilon ())
          ~chain:chain_rungs ())
     c
 
-let run_trasyn ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile ?jobs ?chain
-    (c : Circuit.t) : synthesized =
+let run_trasyn ?epsilon ?gate_set ?config ?budgets ?deadline ?rotation_budget ?transpile ?jobs
+    ?chain (c : Circuit.t) : synthesized =
   match
-    run_trasyn_result ?epsilon ?config ?budgets ?deadline ?rotation_budget ?transpile ?jobs
-      ?chain c
+    run_trasyn_result ?epsilon ?gate_set ?config ?budgets ?deadline ?rotation_budget ?transpile
+      ?jobs ?chain c
   with
   | Ok s -> s
   | Error f -> Robust.fail f
@@ -463,14 +478,16 @@ let ratio a b =
 (* Run both workflows on one benchmark circuit.  [deadline] is absolute
    and shared: whatever remains after the TRASYN pass bounds the
    GRIDSYNTH pass. *)
-let compare_workflows ?(epsilon = 0.07) ?config ?budgets ?deadline ?rotation_budget ?jobs
-    ?chain ~name (c : Circuit.t) : comparison =
-  let tr = run_trasyn ~epsilon ?config ?budgets ?deadline ?rotation_budget ?jobs ?chain c in
+let compare_workflows ?(epsilon = 0.07) ?gate_set ?config ?budgets ?deadline ?rotation_budget
+    ?jobs ?chain ~name (c : Circuit.t) : comparison =
+  let tr =
+    run_trasyn ~epsilon ?gate_set ?config ?budgets ?deadline ?rotation_budget ?jobs ?chain c
+  in
   let u3_rot = Circuit.nontrivial_rotation_count tr.transpiled in
   let _, rz_pre = Settings.best_for Settings.Rz_ir c in
   let rz_rot = Circuit.nontrivial_rotation_count rz_pre in
   let gs_eps = scaled_gridsynth_epsilon ~epsilon ~u3_rotations:u3_rot ~rz_rotations:rz_rot in
-  let gs = run_gridsynth ~epsilon:gs_eps ?deadline ?rotation_budget ?jobs ?chain c in
+  let gs = run_gridsynth ~epsilon:gs_eps ?gate_set ?deadline ?rotation_budget ?jobs ?chain c in
   {
     name;
     trasyn = tr;

@@ -56,6 +56,7 @@ val angle_key : float -> string
 
 val run_gridsynth :
   ?epsilon:float ->
+  ?gate_set:Gateset.t ->
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
   ?transpile:bool ->
@@ -72,12 +73,17 @@ val run_gridsynth :
     [Backend_error].  [jobs] is the planner domain count (default
     [Domain.recommended_domain_count ()]); [chain] overrides the
     default [Synth.rz_chain] (e.g. from [Synth.parse_chain]) — memo
-    keys carry the chain id, so words synthesized under different
-    chains never mix.
+    keys carry the chain id {e and} the gate-set name, so words
+    synthesized under different chains or alphabets never mix.
+    [gate_set] (default [Gateset.default]) selects the alphabet: it
+    keys the store and ledger, filters chain rungs to supporting
+    backends, and picks the step-0 table (non-built-in sets need one
+    provided via [Tablegen.load_and_provide]).
     @raise Robust.Failure_exn when a rotation cannot be synthesized. *)
 
 val run_gridsynth_result :
   ?epsilon:float ->
+  ?gate_set:Gateset.t ->
   ?deadline:Obs.Deadline.t ->
   ?rotation_budget:float ->
   ?transpile:bool ->
@@ -137,6 +143,7 @@ val set_cache_capacity : int -> unit
 
 val run_trasyn :
   ?epsilon:float ->
+  ?gate_set:Gateset.t ->
   ?config:Trasyn.config ->
   ?budgets:int list ->
   ?deadline:Obs.Deadline.t ->
@@ -153,6 +160,7 @@ val run_trasyn :
 
 val run_trasyn_result :
   ?epsilon:float ->
+  ?gate_set:Gateset.t ->
   ?config:Trasyn.config ->
   ?budgets:int list ->
   ?deadline:Obs.Deadline.t ->
@@ -175,6 +183,7 @@ type comparison = {
 
 val compare_workflows :
   ?epsilon:float ->
+  ?gate_set:Gateset.t ->
   ?config:Trasyn.config ->
   ?budgets:int list ->
   ?deadline:Obs.Deadline.t ->

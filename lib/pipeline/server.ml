@@ -36,6 +36,7 @@ let slowest_cap = 16
 
 type config = {
   epsilon : float;
+  gate_set : Gateset.t;
   chain : Synth.rung_spec list;
   workers : int;
   queue_limit : int;
@@ -50,6 +51,7 @@ type config = {
 let default_config =
   {
     epsilon = 0.07;
+    gate_set = Gateset.default;
     chain = Synth.rz_chain ();
     workers = 1;
     queue_limit = 64;
@@ -72,6 +74,7 @@ type rotation = {
   batch_index : int;  (* -1 for singles *)
   target : Synth.target;
   epsilon : float;
+  gate_set : Gateset.t;
   deadline_s : float option;
 }
 
@@ -114,6 +117,7 @@ type t = {
   mutable n_retries : int;
   cmd_counts : (string, int) Hashtbl.t;  (* under [mutex] *)
   cmd_errors : (string, int) Hashtbl.t;  (* under [mutex] *)
+  gs_counts : (string, int) Hashtbl.t;  (* rotations per gate set; under [mutex] *)
 }
 
 let locked t f =
@@ -138,6 +142,11 @@ let count_command t op =
 let count_error t op =
   Obs.incr (c_op_err op);
   locked t (fun () -> bump t.cmd_errors op)
+
+(* Per-gate-set rotation counts for the [stats] op; counted once per
+   admitted rotation (batch elements individually). *)
+let count_gate_set t (r : rotation) =
+  locked t (fun () -> bump t.gs_counts r.gate_set.Gateset.name)
 
 (* ------------------------------------------------------------------ *)
 (* Responses                                                           *)
@@ -168,6 +177,7 @@ let success_response (r : rotation) (a : Robust.attempt) source retries =
       ("backend", Str a.Robust.backend);
       ("fallbacks", Num (float_of_int a.Robust.fallbacks));
       ("retries", Num (float_of_int retries));
+      ("gate_set", Str r.gate_set.Gateset.name);
       ("source", Str (match source with `Store -> "store" | `Fresh -> "fresh"));
     ]
 
@@ -191,7 +201,7 @@ let transient = function
 
 let synthesize_with_retries t (r : rotation) =
   let deadline = deadline_of t r in
-  let cfg = Synth.config ~epsilon:r.epsilon () in
+  let cfg = Synth.config ~gate_set:r.gate_set ~epsilon:r.epsilon () in
   let rec attempt k =
     match Synth.run_chain_sourced ~deadline ~config:cfg t.cfg.chain r.target with
     | Ok (a, source) -> Ok (a, source, k)
@@ -235,8 +245,15 @@ let ctx_of t (r : rotation) =
    folds the rest away — their responses replay the job's result). *)
 let batch_response t id rid rotations =
   let open Obs.Json in
+  (* The dedup key carries the gate set: the same angle at the same ε
+     under two alphabets is two distinct jobs. *)
   let keyed =
-    List.map (fun r -> (Printf.sprintf "%s@%.17g" (Synth.target_id r.target) r.epsilon, r)) rotations
+    List.map
+      (fun r ->
+        ( Printf.sprintf "%s@%.17g|%s" (Synth.target_id r.target) r.epsilon
+            r.gate_set.Gateset.name,
+          r ))
+      rotations
   in
   let plan = Planner.plan keyed in
   let results =
@@ -398,6 +415,7 @@ let create ?store ~emit cfg =
       n_retries = 0;
       cmd_counts = Hashtbl.create 8;
       cmd_errors = Hashtbl.create 8;
+      gs_counts = Hashtbl.create 8;
     }
   in
   t.threads <- List.init t.cfg.workers (fun _ -> Thread.create worker_loop t);
@@ -417,28 +435,56 @@ let parse_rotation t ~rid ~batch_index j =
   let num k = match member k j with Some (Num f) when Float.is_finite f -> Some f | _ -> None in
   let epsilon = Option.value (num "epsilon") ~default:t.cfg.epsilon in
   let deadline_s = num "deadline_s" in
-  if epsilon <= 0.0 then Error "epsilon must be positive"
-  else
-    match member "op" j with
-    | Some (Str "rz") -> (
-        match num "theta" with
-        | Some theta ->
-            Ok { id = jid j; rid; batch_index; target = Synth.Rz theta; epsilon; deadline_s }
-        | None -> Error "rz needs a numeric theta")
-    | Some (Str "u3") -> (
-        match (num "theta", num "phi", num "lam") with
-        | Some th, Some ph, Some lm ->
-            Ok
-              {
-                id = jid j;
-                rid;
-                batch_index;
-                target = Synth.Unitary (Mat2.u3 th ph lm);
-                epsilon;
-                deadline_s;
-              }
-        | _ -> Error "u3 needs numeric theta, phi, lam")
-    | _ -> Error "expected op rz or u3"
+  (* Optional per-request alphabet: a registered gate-set name.  An
+     unknown name is a request error, not a server fault — reject it
+     with the list of names this process knows. *)
+  let gate_set =
+    match member "gate_set" j with
+    | None -> Ok t.cfg.gate_set
+    | Some (Str name) -> (
+        match Gateset.find name with
+        | Some gs -> Ok gs
+        | None ->
+            Error
+              (Printf.sprintf "unknown gate set %S (known: %s)" name
+                 (String.concat ", " (Gateset.names ()))))
+    | Some _ -> Error "gate_set must be a string"
+  in
+  match gate_set with
+  | Error e -> Error e
+  | Ok gate_set -> (
+      if epsilon <= 0.0 then Error "epsilon must be positive"
+      else
+        match member "op" j with
+        | Some (Str "rz") -> (
+            match num "theta" with
+            | Some theta ->
+                Ok
+                  {
+                    id = jid j;
+                    rid;
+                    batch_index;
+                    target = Synth.Rz theta;
+                    epsilon;
+                    gate_set;
+                    deadline_s;
+                  }
+            | None -> Error "rz needs a numeric theta")
+        | Some (Str "u3") -> (
+            match (num "theta", num "phi", num "lam") with
+            | Some th, Some ph, Some lm ->
+                Ok
+                  {
+                    id = jid j;
+                    rid;
+                    batch_index;
+                    target = Synth.Unitary (Mat2.u3 th ph lm);
+                    epsilon;
+                    gate_set;
+                    deadline_s;
+                  }
+            | _ -> Error "u3 needs numeric theta, phi, lam")
+        | _ -> Error "expected op rz or u3")
 
 let shed t ~rid ~op id slots =
   Obs.incr c_shed ~by:slots;
@@ -466,6 +512,10 @@ let admit t work =
         end)
   in
   if not admitted then shed t ~rid:(work_rid work) ~op:(work_op work) id slots
+  else
+    match work with
+    | Rotation r -> count_gate_set t r
+    | Batch b -> List.iter (count_gate_set t) b.rotations
 
 let quantiles_json h =
   let open Obs.Json in
@@ -483,13 +533,14 @@ let quantiles_json h =
 
 let stats_json t =
   let open Obs.Json in
-  let queued, in_flight, counts, cmds, errs, slowest =
+  let queued, in_flight, counts, cmds, errs, gsets, slowest =
     locked t (fun () ->
         ( t.queued_slots,
           t.in_flight,
           (t.n_requests, t.n_served, t.n_failed, t.n_shed, t.n_retries),
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cmd_counts [],
           Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.cmd_errors [],
+          Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.gs_counts [],
           t.slowest ))
   in
   let n_requests, n_served, n_failed, n_shed, n_retries = counts in
@@ -527,6 +578,7 @@ let stats_json t =
        ("queue_limit", Num (float_of_int t.cfg.queue_limit));
        ("commands", count_obj cmds);
        ("errors", count_obj errs);
+       ("gate_sets", count_obj gsets);
        ("latency", quantiles_json t.h_dur_local);
        ("queue_wait", quantiles_json t.h_wait_local);
        ( "slowest",

@@ -17,11 +17,16 @@
 
     [id] is echoed verbatim into the response (any JSON value);
     [epsilon] and [deadline_s] default to the server config.
+    [rz]/[u3] requests (batch elements included) may carry an optional
+    ["gate_set"] — the name of a gate set registered in this process
+    (built-ins, plus any loaded from config files by the CLI).  An
+    unknown name is rejected with [bad_request] listing the known
+    names; omitted, the server's configured default applies.
 
     {b Responses}: [{"id":…,"request_id":"r7","ok":true,"op":"rz",
     "target":"rz(…)","word":"THTS…","t_count":…,"length":…,
     "distance":…,"backend":…,"fallbacks":…,"retries":…,
-    "source":"store"|"fresh"}] on success;
+    "gate_set":…,"source":"store"|"fresh"}] on success;
     [{"id":…,"ok":false,"error":TAG,"message":…}] on failure, where
     [TAG] is ["overloaded"] (admission queue full — backpressure),
     ["bad_request"], or a synthesis failure tag ([timeout],
@@ -64,6 +69,9 @@
 
 type config = {
   epsilon : float;  (** default ε for requests that omit it *)
+  gate_set : Gateset.t;  (** default alphabet for requests that omit
+                             [gate_set]; per-request names are resolved
+                             against the [Gateset] registry *)
   chain : Synth.rung_spec list;  (** fallback ladder for misses *)
   workers : int;  (** worker threads consuming the queue (≥ 1) *)
   queue_limit : int;  (** max queued work items before shedding *)
@@ -76,9 +84,9 @@ type config = {
 }
 
 val default_config : config
-(** ε 0.07, the standard Rz ladder, 1 worker, queue 64, 3 retries,
-    base 0.05 s capped at 1 s, no default deadline, planner default
-    domains, seed 0. *)
+(** ε 0.07, [Gateset.default], the standard Rz ladder, 1 worker,
+    queue 64, 3 retries, base 0.05 s capped at 1 s, no default
+    deadline, planner default domains, seed 0. *)
 
 type t
 
@@ -105,7 +113,9 @@ val stats_json : t -> Obs.Json.t
 (** The [stats] op's payload — a live health snapshot:
     [trace_id], [uptime_s], request/served/failed/shed/retry totals,
     [queued] / [in_flight] / [workers] / [queue_limit], per-command
-    [commands] / [errors] objects, [latency] and [queue_wait] quantile
+    [commands] / [errors] objects, a [gate_sets] object counting
+    admitted rotations per gate-set name (batch elements
+    individually), [latency] and [queue_wait] quantile
     objects ([count]/[p50_s]/[p95_s]/[p99_s]/[p999_s]/[max_s], from
     this server's private histograms), the [slowest] exemplar ring
     (up to 16 [{request_id, op, latency_s}], slowest first), and —

@@ -17,6 +17,7 @@ let default_budgets = [ 10; 10; 8 ]
 type config = {
   epsilon : float;
   deadline : Obs.Deadline.t;
+  gate_set : Gateset.t;
   trasyn : Trasyn.config;
   trasyn_budgets : int list;
   trasyn_attempts : int;
@@ -28,11 +29,12 @@ type config = {
   sk_max_depth : int option;
 }
 
-let config ?(deadline = Obs.Deadline.none) ?(trasyn = Trasyn.default_config)
-    ?(budgets = default_budgets) ~epsilon () =
+let config ?(deadline = Obs.Deadline.none) ?(gate_set = Gateset.default)
+    ?(trasyn = Trasyn.default_config) ?(budgets = default_budgets) ~epsilon () =
   {
     epsilon;
     deadline;
+    gate_set;
     trasyn;
     trasyn_budgets = budgets;
     trasyn_attempts = 1;
@@ -44,6 +46,8 @@ let config ?(deadline = Obs.Deadline.none) ?(trasyn = Trasyn.default_config)
     sk_max_depth = None;
   }
 
+let gate_set_name cfg = cfg.gate_set.Gateset.name
+
 (* ------------------------------------------------------------------ *)
 (* The backend signature and the four adapters                         *)
 (* ------------------------------------------------------------------ *)
@@ -51,6 +55,12 @@ let config ?(deadline = Obs.Deadline.none) ?(trasyn = Trasyn.default_config)
 module type BACKEND = sig
   val name : string
   val capability : capability
+
+  val supports_gate_set : string -> bool
+  (* Which alphabets the backend can emit words over.  Exact-arithmetic
+     backends (gridsynth, synthetiq, sk) are Clifford+T-native; trasyn
+     samples whatever step-0 table the gate set resolves to. *)
+
   val synthesize : target -> config -> (Ctgate.t list * float, Robust.failure) result
 end
 
@@ -63,6 +73,10 @@ let backend_name (b : backend) =
 let backend_capability (b : backend) =
   let module B = (val b) in
   B.capability
+
+let backend_supports (b : backend) gate_set =
+  let module B = (val b) in
+  B.supports_gate_set gate_set
 
 (* Convert the backends' native exception vocabulary to the structured
    taxonomy right at the adapter boundary, mirroring what run_chain
@@ -80,11 +94,16 @@ module Trasyn_backend : BACKEND = struct
 
   let capability = Full_u3
 
+  (* Any alphabet with a step-0 table: [Ma_table.get_for] raises its
+     structured error (converted by [wrap]) when none was provided. *)
+  let supports_gate_set _ = true
+
   let synthesize target cfg =
     let m = target_mat2 target in
     wrap name (fun () ->
+        let tconf = { cfg.trasyn with Trasyn.gate_set = gate_set_name cfg } in
         let r =
-          Trasyn.to_error ~config:cfg.trasyn ~attempts:cfg.trasyn_attempts ~selection:`Min_t
+          Trasyn.to_error ~config:tconf ~attempts:cfg.trasyn_attempts ~selection:`Min_t
             ~t_slack:2 ~target:m ~budgets:cfg.trasyn_budgets ~epsilon:cfg.epsilon ()
         in
         (r.Trasyn.seq, r.Trasyn.distance))
@@ -97,6 +116,8 @@ module Gridsynth_backend : BACKEND = struct
      routed through the Eq. (1) Euler-angle decomposition (three Rz
      syntheses at ε/3) inside [Gridsynth.u3]. *)
   let capability = Rz_only
+
+  let supports_gate_set = String.equal "cliffordt"
 
   let synthesize target cfg =
     wrap name (fun () ->
@@ -122,6 +143,8 @@ module Synthetiq_backend : BACKEND = struct
 
   let capability = Full_u3
 
+  let supports_gate_set = String.equal "cliffordt"
+
   let synthesize target cfg =
     let m = target_mat2 target in
     wrap name (fun () ->
@@ -141,6 +164,8 @@ module Sk_backend : BACKEND = struct
   let name = "sk"
 
   let capability = Full_u3
+
+  let supports_gate_set = String.equal "cliffordt"
 
   let synthesize target cfg =
     let m = target_mat2 target in
@@ -181,6 +206,8 @@ let find_exn name =
       invalid_arg (Printf.sprintf "Synth.find_exn: unknown backend %S (known: %s)" name known)
 
 let all () = locked (fun () -> List.map snd !reg)
+
+let backends_for gate_set = List.filter (fun b -> backend_supports b gate_set) (all ())
 
 let () =
   List.iter register
@@ -356,9 +383,12 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
   in
   Obs.incr c_rotations;
   let t0 = Obs.Clock.elapsed_s () in
+  let gs_name = gate_set_name cfg in
   (* Consult the persistent store first: a stored word whose verified
      distance is ≤ ε is a valid answer for this request (ε-monotonic
-     reuse), already re-verified by the store's read path. *)
+     reuse), already re-verified by the store's read path.  The lookup
+     is keyed by the active gate set, so an alphabet never serves
+     another alphabet's words. *)
   let store_hit =
     match store () with
     | None -> None
@@ -366,7 +396,9 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
         (* Under its own span so a request's waterfall shows the store
            consult (and its outcome) as a step distinct from synthesis. *)
         Obs.span "synth.store.lookup" (fun () ->
-            let hit = Store.lookup st ~epsilon:cfg.epsilon (store_target target) in
+            let hit =
+              Store.lookup st ~gate_set:gs_name ~epsilon:cfg.epsilon (store_target target)
+            in
             Obs.incr (match hit with Some _ -> c_store_hit | None -> c_store_miss);
             Obs.set_span_attr "outcome" (match hit with Some _ -> "hit" | None -> "miss");
             hit)
@@ -377,6 +409,7 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
         Ledger.record
           {
             Ledger.target = target_id target;
+            gate_set = gs_name;
             chain = chain_id chain;
             eps_req = cfg.epsilon;
             rung_eps = cfg.epsilon;
@@ -404,9 +437,19 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
           },
           `Store )
   | None ->
+  (* Rungs whose backend cannot emit this alphabet are skipped, so a
+     non-Clifford+T request falls through gridsynth/sk straight to the
+     table-driven backends instead of getting a wrong-alphabet word. *)
+  let usable = List.filter (fun spec -> backend_supports spec.backend gs_name) chain in
   let result =
-    Robust.run_chain ~deadline ~target:(target_mat2 target)
-      (List.map (rung_of_spec ~config:cfg ~target) chain)
+    if usable = [] then
+      Error
+        (Robust.Backend_error
+           (Printf.sprintf "no backend in chain %S supports gate set %S" (chain_id chain)
+              gs_name))
+    else
+      Robust.run_chain ~deadline ~target:(target_mat2 target)
+        (List.map (rung_of_spec ~config:cfg ~target) usable)
   in
   (* One fresh provenance record per chain execution, success or
      failure; the pipelines add cached-replay records for occurrences
@@ -416,13 +459,14 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
     let base =
       {
         Ledger.target = target_id target;
+        gate_set = gs_name;
         chain = chain_id chain;
         eps_req = cfg.epsilon;
         rung_eps = nan;
         distance = nan;
         backend = "failed";
-        fallbacks = List.length chain - 1;
-        attempts = List.length chain;
+        fallbacks = max 0 (List.length usable - 1);
+        attempts = List.length usable;
         t_count = 0;
         word_len = 0;
         wall_s;
@@ -451,12 +495,14 @@ let run_chain_sourced ?deadline ~config:cfg chain target =
           }
       | Error f -> { base with Ledger.failure = Some (failure_tag f) })
   end;
-  (* A freshly synthesized, guard-verified word is worth keeping. *)
+  (* A freshly synthesized, guard-verified word is worth keeping — under
+     the alphabet that produced it, so cross-alphabet hits are
+     impossible. *)
   (match (result, store ()) with
   | Ok (a : Robust.attempt), Some st when not (Store.readonly st) ->
       Store.put st
         {
-          Store.gate_set = Store.default_gate_set;
+          Store.gate_set = gs_name;
           target = store_target target;
           eps_req = cfg.epsilon;
           distance = a.Robust.distance;
@@ -477,6 +523,7 @@ let synthesize_u3 ?deadline ?(config = Trasyn.default_config) ?(budgets = defaul
     {
       epsilon;
       deadline = Obs.Deadline.none;
+      gate_set = Gateset.default;
       trasyn = config;
       trasyn_budgets = budgets;
       trasyn_attempts = 1;

@@ -35,6 +35,10 @@ val target_mat2 : target -> Mat2.t
 type config = {
   epsilon : float;  (** requested unitary-distance threshold *)
   deadline : Obs.Deadline.t;
+  gate_set : Gateset.t;
+      (** active alphabet: keys store lookups/writes and ledger
+          provenance, selects the TRASYN step-0 table, and filters
+          chain rungs to backends that support it *)
   trasyn : Trasyn.config;
   trasyn_budgets : int list;  (** per-MPS-site T budgets *)
   trasyn_attempts : int;  (** reseeded tries per budget prefix *)
@@ -51,15 +55,19 @@ val default_budgets : int list
 
 val config :
   ?deadline:Obs.Deadline.t ->
+  ?gate_set:Gateset.t ->
   ?trasyn:Trasyn.config ->
   ?budgets:int list ->
   epsilon:float ->
   unit ->
   config
 (** Smart constructor with the standard defaults (no deadline,
-    [Trasyn.default_config], {!default_budgets}, 1 attempt, backend
-    -default gridsynth search, 10 s / seed 0 synthetiq, default SK
-    escalation). *)
+    [Gateset.default], [Trasyn.default_config], {!default_budgets},
+    1 attempt, backend-default gridsynth search, 10 s / seed 0
+    synthetiq, default SK escalation). *)
+
+val gate_set_name : config -> string
+(** [config.gate_set.Gateset.name]. *)
 
 (** {1 The backend signature} *)
 
@@ -68,6 +76,12 @@ module type BACKEND = sig
   (** registry key, counter suffix, fault-injection key *)
 
   val capability : capability
+
+  val supports_gate_set : string -> bool
+  (** Which alphabets the engine can emit words over.  The exact
+      -arithmetic engines (gridsynth, synthetiq, sk) are Clifford+T
+      -native; trasyn samples whatever step-0 table the gate set
+      resolves to ([Ma_table.get_for]). *)
 
   val synthesize : target -> config -> (Ctgate.t list * float, Robust.failure) result
   (** Produce (word, claimed distance) or a structured failure.  The
@@ -80,6 +94,9 @@ type backend = (module BACKEND)
 val backend_name : backend -> string
 
 val backend_capability : backend -> capability
+
+val backend_supports : backend -> string -> bool
+(** [backend_supports b gs] = [B.supports_gate_set gs]. *)
 
 (** {1 Registry} *)
 
@@ -95,6 +112,10 @@ val find_exn : string -> backend
 val all : unit -> backend list
 (** In registration order; the four built-ins ([trasyn], [gridsynth],
     [synthetiq], [sk]) are registered at module initialization. *)
+
+val backends_for : string -> backend list
+(** The registered backends that support the named gate set, in
+    registration order. *)
 
 (** {1 Chains as data} *)
 
@@ -164,7 +185,9 @@ val run_chain :
   target ->
   (Robust.attempt, Robust.failure) result
 (** Execute the chain through [Robust.run_chain]: first rung whose
-    guard-verified word meets its threshold wins.  The effective
+    guard-verified word meets its threshold wins.  Rungs whose backend
+    does not support [config.gate_set] are skipped; a chain with no
+    usable rung fails with a structured [Backend_error].  The effective
     deadline is the tighter of [deadline] and [config.deadline]; each
     rung sees it in its [config].
 

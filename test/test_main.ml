@@ -22,4 +22,5 @@ let () =
       ("synth", Test_synth.suite);
       ("store", Test_store.suite);
       ("server", Test_server.suite);
+      ("gateset", Test_gateset.suite);
     ]

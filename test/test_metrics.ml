@@ -7,6 +7,7 @@ let mkrec ?(backend = "trasyn") ?(cached = false) ?(ok = true) ?(distance = 1e-3
     ?(wall_s = 0.01) ?(t_count = 12) i =
   {
     Ledger.target = Printf.sprintf "rz(%.10f)" (0.1 *. float_of_int i);
+    gate_set = "cliffordt";
     chain = "u3";
     eps_req = 0.07;
     rung_eps = 0.07;
