@@ -25,6 +25,7 @@ let bench_out = ref ""
 let metrics_out = ref ""
 let jobs = ref 0
 let serve_cli = ref ""
+let compile_cli = ref ""
 
 let args =
   [
@@ -65,6 +66,10 @@ let args =
       Arg.Set_string serve_cli,
       "serve_cli binary for the perf suite's server_load phase (default: bin/serve_cli.exe next \
        to this binary; the phase is skipped when absent)" );
+    ( "--compile-cli",
+      Arg.Set_string compile_cli,
+      "compile_cli binary for the perf suite's stream_compile phase (default: \
+       bin/compile_cli.exe next to this binary; the phase is skipped when absent)" );
   ]
 
 let want id =
@@ -112,6 +117,7 @@ let () =
         ?jobs:(if !jobs > 0 then Some !jobs else None)
         ?metrics_out:(if !metrics_out = "" then None else Some !metrics_out)
         ?serve_cli:(if !serve_cli = "" then None else Some !serve_cli)
+        ?compile_cli:(if !compile_cli = "" then None else Some !compile_cli)
         ~budget:!suite_budget ~smoke:!quick ();
       exit 0
   | s -> raise (Arg.Bad ("unknown --suite " ^ s ^ " (use exps | perf)")));

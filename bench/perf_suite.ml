@@ -558,7 +558,100 @@ let server_load_phase ~deadline ~smoke ~serve_cli =
         ("store_hit_rate", J.Num hit_rate);
       ] )
 
-let run ?out ?jobs ?metrics_out ?serve_cli ~budget ~smoke () =
+(* The streaming-compilation phase: real compile_cli children driven
+   over generated QAOA gate streams at two sizes (5x apart), measuring
+   end-to-end throughput (parse → window → planner with backpressure →
+   in-order QASM emission) and the process-wide peak heap each child
+   reports from its [obs.heap.peak_words] gauge.  The headline
+   bounded-memory claim is [peak_ratio]: with O(window + queue + depth)
+   state the big run's peak must sit close to the small run's, nowhere
+   near the 5x of an O(input) pipeline.  perf_smoke gates on it. *)
+let stream_compile_phase ~deadline ~smoke ~compile_cli =
+  let small_gates = if smoke then 1_000 else 20_000 in
+  let big_gates = if smoke then 5_000 else 100_000 in
+  (* Smoke runs ride inside CI gates that also measure the parent's
+     sampler overhead; on small machines a --jobs 2 child would starve
+     the sampler thread and trip that bound, so smoke children stay
+     single-domain (bit-identity across jobs is covered by @stream). *)
+  let child_jobs = if smoke then 1 else 2 in
+  let n = 12 and window = 64 in
+  let gen gates =
+    let path = Filename.temp_file "tgates-bench-stream" ".qasm" in
+    let oc = open_out path in
+    ignore (Generators.write_qaoa_stream ~seed:11 ~n ~gates oc);
+    close_out oc;
+    path
+  in
+  let scan_line out fmt conv =
+    let v = ref None in
+    List.iter
+      (fun line ->
+        try Scanf.sscanf line fmt (fun x -> v := Some (conv x))
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+      (String.split_on_char '\n' out);
+    !v
+  in
+  let compile gates =
+    let qasm = gen gates in
+    let report = Filename.temp_file "tgates-bench-stream" ".report" in
+    let cmd =
+      Printf.sprintf
+        "%s --input %s --stream --workflow gridsynth --epsilon 0.1 --window %d --jobs %d > %s \
+         2>/dev/null"
+        (Filename.quote compile_cli) (Filename.quote qasm) window child_jobs (Filename.quote report)
+    in
+    let code = Obs.span "perf.stream_compile" (fun () -> Sys.command cmd) in
+    let rep = In_channel.with_open_text report In_channel.input_all in
+    Sys.remove qasm;
+    Sys.remove report;
+    if code <> 0 then failwith (Printf.sprintf "stream_compile: exit %d: %s" code cmd);
+    let num what = function
+      | Some v -> v
+      | None -> failwith (Printf.sprintf "stream_compile: report has no %s line:\n%s" what rep)
+    in
+    let rate = num "gates/sec" (scan_line rep "gates/sec: %f" Fun.id) in
+    let peak = num "peak heap" (scan_line rep "peak heap: %d words" Fun.id) in
+    let t_count = ref None in
+    List.iter
+      (fun line ->
+        try
+          Scanf.sscanf line "output   : %d gates in -> %d gates out, T=%d" (fun _ _ t ->
+              t_count := Some t)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> ())
+      (String.split_on_char '\n' rep);
+    (rate, peak, num "output" !t_count)
+  in
+  let _, small_peak, _ = compile small_gates in
+  let rate, big_peak, t_count = compile big_gates in
+  let peak_ratio = float_of_int big_peak /. float_of_int (max 1 small_peak) in
+  let s = Obs.summarize (Obs.histogram "perf.stream_compile") in
+  let q v = if Float.is_finite v then v else 0.0 in
+  Printf.printf
+    "  %-20s %d gates  %.0f gates/s  peak=%dw (vs %dw at %d gates; ratio %.2f)\n%!"
+    "stream_compile" big_gates rate big_peak small_peak small_gates peak_ratio;
+  ( "stream_compile",
+    J.Obj
+      [
+        ("items", J.Num (float_of_int (small_gates + big_gates)));
+        ("truncated", J.Bool (Obs.Deadline.expired deadline));
+        ("wall_s", J.Num (q s.Obs.sum));
+        ("p50_s", J.Num (q s.Obs.p50));
+        ("p90_s", J.Num (q s.Obs.p90));
+        ("p95_s", J.Num (q s.Obs.p95));
+        ("p99_s", J.Num (q s.Obs.p99));
+        ("p999_s", J.Num (q s.Obs.p999));
+        ("t_count", J.Num (float_of_int t_count));
+        ("degraded", J.Num 0.0);
+        ("gates", J.Num (float_of_int big_gates));
+        ("window", J.Num (float_of_int window));
+        ("gates_per_s", J.Num rate);
+        ("peak_heap_words", J.Num (float_of_int big_peak));
+        ("small_gates", J.Num (float_of_int small_gates));
+        ("small_peak_heap_words", J.Num (float_of_int small_peak));
+        ("peak_ratio", J.Num peak_ratio);
+      ] )
+
+let run ?out ?jobs ?metrics_out ?serve_cli ?compile_cli ~budget ~smoke () =
   Util.header (Printf.sprintf "PERF SUITE (budget %gs%s)" budget (if smoke then ", smoke" else ""));
   let was_enabled = Obs.enabled () in
   Obs.reset ();
@@ -645,6 +738,23 @@ let run ?out ?jobs ?metrics_out ?serve_cli ~budget ~smoke () =
         Printf.printf "  [perf] server_load skipped (serve_cli.exe not found; pass --serve-cli)\n%!";
         None
   in
+  let compile_exe =
+    match compile_cli with
+    | Some p -> Some p
+    | None ->
+        let guess =
+          Filename.concat (Filename.dirname Sys.executable_name) "../bin/compile_cli.exe"
+        in
+        if Sys.file_exists guess then Some guess else None
+  in
+  let stream_compile =
+    match compile_exe with
+    | Some exe when Sys.file_exists exe -> Some (stream_compile_phase ~deadline ~smoke ~compile_cli:exe)
+    | _ ->
+        Printf.printf
+          "  [perf] stream_compile skipped (compile_cli.exe not found; pass --compile-cli)\n%!";
+        None
+  in
   let pt =
     run_phase ~deadline "pipeline_trasyn" circuits
       (run_pipeline (Pipeline.run_trasyn_result ~epsilon:pipeline_eps ~config ~deadline ?jobs))
@@ -694,7 +804,8 @@ let run ?out ?jobs ?metrics_out ?serve_cli ~budget ~smoke () =
           J.Obj
             (List.map phase_json phases
             @ [ chain_reuse; planner; store_replay ]
-            @ Option.to_list server_load) );
+            @ Option.to_list server_load
+            @ Option.to_list stream_compile) );
         ( "cache",
           J.Obj
             [

@@ -43,9 +43,57 @@ let report_degraded (ds : Pipeline.degradation list) =
       Printf.printf "  ... and %d more\n" (List.length ds - max_degraded_lines)
   end
 
+(* Streaming mode: incremental parse → windowed optimization → planned
+   synthesis with backpressure → in-order QASM emission, never holding
+   the circuit in memory.  Prints machine-parseable [gates/sec :] and
+   [peak heap:] lines that the perf suite and the heap smoke test parse. *)
+let run_stream ~input ~output ~workflow ~epsilon ~gate_set ~window ~queue ~deadline
+    ~rotation_budget ~jobs ~chain =
+  let ir =
+    match workflow with
+    | "gridsynth" -> Settings.Rz_ir
+    | "trasyn" -> Settings.U3_ir
+    | "compare" -> invalid_arg "--stream: workflow compare needs the whole circuit in memory"
+    | w -> invalid_arg ("unknown workflow " ^ w ^ " (with --stream use trasyn | gridsynth)")
+  in
+  let jobs = match jobs with Some j -> j | None -> Domain.recommended_domain_count () in
+  let cfg =
+    Stream_compile.config ~epsilon ~gate_set ~ir ~window ~queue ~jobs ~deadline ?rotation_budget
+      ?chain ()
+  in
+  let ic = open_in input in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let reader = Qasm_reader.stream_of_channel ~file:input ic in
+  let oc = Option.map open_out output in
+  Fun.protect ~finally:(fun () -> match oc with Some oc -> close_out oc | None -> ())
+  @@ fun () ->
+  let emit i = match oc with Some oc -> Qasm.write_instr oc i | None -> () in
+  let on_qreg n =
+    Printf.printf "input    : %d qubits (streaming, window %d, queue %d, %d jobs)\n%!" n window
+      queue jobs;
+    match oc with Some oc -> Qasm.write_header oc n | None -> ()
+  in
+  let t0 = Obs.Clock.elapsed_s () in
+  match Stream_compile.run_qasm cfg reader ~on_qreg ~emit with
+  | Error f -> Robust.fail f
+  | Ok st ->
+      let dt = Obs.Clock.elapsed_s () -. t0 in
+      let rate = if dt > 0.0 then float_of_int st.Stream_compile.gates_in /. dt else 0.0 in
+      Printf.printf "output   : %d gates in -> %d gates out, T=%d, Cliffords=%d\n"
+        st.Stream_compile.gates_in st.Stream_compile.gates_out st.Stream_compile.t_count
+        st.Stream_compile.clifford_count;
+      Printf.printf "synth    : %d rotations (%d unique, %d dedup hits), err %.4f, %d degraded\n"
+        st.Stream_compile.rotations_synthesized st.Stream_compile.unique_syntheses
+        st.Stream_compile.dedup_hits st.Stream_compile.total_synth_error
+        st.Stream_compile.degraded;
+      Printf.printf "gates/sec: %.1f\n" rate;
+      Printf.printf "backpressure: %d producer waits\n" st.Stream_compile.backpressure_waits;
+      Printf.printf "peak heap: %d words\n" st.Stream_compile.peak_heap_words;
+      (match output with Some path -> Printf.printf "wrote    : %s\n" path | None -> ())
+
 let run input output workflow epsilon gate_set gateset_files tables optimize estimate trace
     metrics_out metrics_interval prom_out ledger_out deadline rotation_deadline faults jobs
-    backend_chain store_dir =
+    backend_chain store_dir stream window queue =
   match
     Robust.guarded @@ fun () ->
     List.iter
@@ -113,6 +161,15 @@ let run input output workflow epsilon gate_set gateset_files tables optimize est
       match deadline with None -> Obs.Deadline.none | Some s -> Obs.Deadline.after s
     in
     let rotation_budget = rotation_deadline in
+    if stream then begin
+      if optimize then
+        invalid_arg "--stream: --optimize is whole-circuit; windowed optimization is built in";
+      if estimate then
+        invalid_arg "--stream: --estimate needs the whole circuit; run it on the written output";
+      run_stream ~input ~output ~workflow ~epsilon ~gate_set ~window ~queue ~deadline
+        ~rotation_budget ~jobs ~chain
+    end
+    else begin
     let circuit = Qasm_reader.of_file input in
     Printf.printf "input    : %d qubits, %d gates, %d nontrivial rotations\n"
       circuit.Circuit.n_qubits (Circuit.length circuit)
@@ -162,6 +219,7 @@ let run input output workflow epsilon gate_set gateset_files tables optimize est
         output_string oc (Qasm.to_string compiled);
         close_out oc;
         Printf.printf "wrote    : %s\n" path
+    end
   with
   | Ok () -> 0
   | Error msg ->
@@ -288,12 +346,35 @@ let store_dir =
               verified distance <= epsilon are served without synthesis, and fresh words are \
               written back for the next run")
 
+let stream =
+  Arg.(
+    value & flag
+    & info [ "stream" ]
+        ~doc:"streaming compilation: parse, optimize over a sliding window, synthesize and emit \
+              incrementally with bounded memory — the input never lives in memory as a whole; \
+              output is bit-identical to the in-memory path at any --jobs")
+
+let window =
+  Arg.(
+    value & opt int 64
+    & info [ "window" ] ~docv:"N"
+        ~doc:"sliding-window size for streaming merge/commute/phase-fold optimization (with \
+              --stream; default 64)")
+
+let queue =
+  Arg.(
+    value & opt int 32
+    & info [ "queue" ] ~docv:"N"
+        ~doc:"planner job-queue capacity in streaming mode — a full queue blocks the parser \
+              (backpressure; default 32)")
+
 let cmd =
   Cmd.v
     (Cmd.info "ftcompile" ~doc:"Compile a circuit to Clifford+T via the TRASYN or GRIDSYNTH workflow")
     Term.(
       const run $ input $ output $ workflow $ epsilon $ gate_set $ gateset_files $ tables
       $ optimize $ estimate $ trace $ metrics_out $ metrics_interval $ prom_out $ ledger_out
-      $ deadline $ rotation_deadline $ faults $ jobs $ backend_chain $ store_dir)
+      $ deadline $ rotation_deadline $ faults $ jobs $ backend_chain $ store_dir $ stream
+      $ window $ queue)
 
 let () = exit (Cmd.eval' cmd)

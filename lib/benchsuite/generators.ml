@@ -360,3 +360,75 @@ let qaoa ~seed ~n ~depth =
   done;
   let init = List.init n (fun q -> i1 Qgate.H q) in
   Circuit.make n (init @ !instrs)
+
+(* ------------------------------------------------------------------ *)
+(* Streaming QAOA (bounded-memory million-gate source)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A pull-based QAOA/MaxCut gate stream for exercising the streaming
+   compiler: same layer structure as [qaoa] (H init layer, then CX ·
+   Rz(2γ) · CX gadgets in merge-maximizing order plus Rx(2β) mixers),
+   but angles come from a small fixed palette so a million-gate stream
+   dedups into a handful of synthesis jobs, and layers repeat until
+   [gates] instructions have been emitted.  State is O(n): the edge
+   schedule, a 3-instruction buffer, and the layer counters. *)
+let qaoa_stream ~seed ~n ~gates =
+  let g = Graphs.regular ~seed ~n ~d:3 in
+  let ordered = Array.of_list (merge_maximizing_order ~n g.Graphs.edges) in
+  let rng = Random.State.make [| seed; n; 67 |] in
+  let palette = Array.init 12 (fun k -> float_of_int (2 * k + 1) *. pi /. 16.0) in
+  let pick () = palette.(Random.State.int rng (Array.length palette)) in
+  let remaining = ref gates in
+  let buffer = Queue.create () in
+  let h_q = ref 0 in
+  let edge_i = ref (Array.length ordered) in
+  let mixer_q = ref n in
+  let gamma = ref 0.0 and beta = ref 0.0 in
+  let rec refill () =
+    if !h_q < n then begin
+      Queue.push (i1 Qgate.H !h_q) buffer;
+      incr h_q
+    end
+    else if !edge_i < Array.length ordered then begin
+      let a, b = ordered.(!edge_i) in
+      incr edge_i;
+      Queue.push (cx a b) buffer;
+      Queue.push (i1 (Qgate.Rz (2.0 *. !gamma)) b) buffer;
+      Queue.push (cx a b) buffer
+    end
+    else if !mixer_q < n then begin
+      Queue.push (i1 (Qgate.Rx (2.0 *. !beta)) !mixer_q) buffer;
+      incr mixer_q
+    end
+    else begin
+      gamma := pick ();
+      beta := pick ();
+      edge_i := 0;
+      mixer_q := 0;
+      refill ()
+    end
+  in
+  fun () ->
+    if !remaining <= 0 then None
+    else begin
+      if Queue.is_empty buffer then refill ();
+      decr remaining;
+      Some (Queue.pop buffer)
+    end
+
+(* Render the same stream as OpenQASM text without ever materializing
+   it; returns the instruction count written. *)
+let write_qaoa_stream ~seed ~n ~gates oc =
+  Qasm.write_header oc n;
+  let next = qaoa_stream ~seed ~n ~gates in
+  let count = ref 0 in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some i ->
+        Qasm.write_instr oc i;
+        incr count;
+        loop ()
+  in
+  loop ();
+  !count

@@ -44,3 +44,16 @@ val merge_maximizing_order : n:int -> (int * int) list -> (int * int) list
 
 val qaoa : seed:int -> n:int -> depth:int -> Circuit.t
 (** 3-regular MaxCut QAOA with the merge-maximizing ordering. *)
+
+(** {1 Streaming QAOA} *)
+
+val qaoa_stream : seed:int -> n:int -> gates:int -> unit -> Circuit.instr option
+(** A pull-based QAOA/MaxCut gate stream of exactly [gates]
+    instructions (H init layer, then repeating gadget + mixer layers
+    with angles from a fixed 12-entry palette, so million-gate streams
+    dedup into a handful of synthesis jobs).  O(n) state — built for
+    feeding the streaming compiler without materializing a circuit. *)
+
+val write_qaoa_stream : seed:int -> n:int -> gates:int -> out_channel -> int
+(** Render the same stream as OpenQASM text, gate by gate; returns the
+    number of instructions written. *)

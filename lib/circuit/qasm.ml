@@ -5,6 +5,17 @@ let instr_to_string (i : Circuit.instr) =
   let qs = String.concat "," (Array.to_list (Array.map (Printf.sprintf "q[%d]") i.Circuit.qubits)) in
   Printf.sprintf "%s %s;" (Qgate.to_string i.Circuit.gate) qs
 
+(* Incremental rendering (the streaming compiler writes gate by gate);
+   [to_string] is defined in terms of these so the two paths are
+   byte-identical by construction. *)
+let write_header oc n_qubits =
+  output_string oc "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";
+  output_string oc (Printf.sprintf "qreg q[%d];\n" n_qubits)
+
+let write_instr oc i =
+  output_string oc (instr_to_string i);
+  output_char oc '\n'
+
 let to_string (c : Circuit.t) =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n";

@@ -2,3 +2,11 @@
 
 val instr_to_string : Circuit.instr -> string
 val to_string : Circuit.t -> string
+
+val write_header : out_channel -> int -> unit
+(** Write the OPENQASM 2.0 preamble and [qreg q[n];] declaration.
+    [to_string] is byte-identical to [write_header] + [write_instr]
+    per instruction, so streamed output can be compared bytewise. *)
+
+val write_instr : out_channel -> Circuit.instr -> unit
+(** Write one instruction line (gate-by-gate streaming output). *)

@@ -2,7 +2,12 @@
     common gates of the benchmark suites (qelib1-style).  Enough to
     round-trip {!Qasm.to_string} output and to ingest external circuits
     for compilation; unsupported statements raise with the source file
-    name and line number. *)
+    name, line number, and column.
+
+    One parser, two entry styles: the whole-circuit API ([of_string] /
+    [of_file]) and the incremental API ([stream_of_channel] /
+    [next_event]) share the same per-statement parser, so streamed
+    parsing is equivalent to in-memory parsing by construction. *)
 
 exception Parse_error of string * int * int * string
 
@@ -12,7 +17,9 @@ exception Parse_error of string * int * int * string
 let fail file line col msg = raise (Parse_error (file, line, col, msg))
 
 (* Arithmetic expressions in gate arguments: numbers, pi, + - * / and
-   parentheses (recursive descent over a token list). *)
+   parentheses (recursive descent over a token list).  Tokens carry the
+   0-based offset of their first character so errors deep inside an
+   expression still point at the exact column. *)
 type token = Num of float | Pi | Plus | Minus | Star | Slash | LParen | RParen
 
 let tokenize_expr file line col s =
@@ -21,14 +28,18 @@ let tokenize_expr file line col s =
   let i = ref 0 in
   while !i < n do
     let c = s.[!i] in
+    let push t = tokens := (t, !i) :: !tokens; incr i in
     if c = ' ' || c = '\t' then incr i
-    else if c = '+' then (tokens := Plus :: !tokens; incr i)
-    else if c = '-' then (tokens := Minus :: !tokens; incr i)
-    else if c = '*' then (tokens := Star :: !tokens; incr i)
-    else if c = '/' then (tokens := Slash :: !tokens; incr i)
-    else if c = '(' then (tokens := LParen :: !tokens; incr i)
-    else if c = ')' then (tokens := RParen :: !tokens; incr i)
-    else if !i + 1 < n && String.sub s !i 2 = "pi" then (tokens := Pi :: !tokens; i := !i + 2)
+    else if c = '+' then push Plus
+    else if c = '-' then push Minus
+    else if c = '*' then push Star
+    else if c = '/' then push Slash
+    else if c = '(' then push LParen
+    else if c = ')' then push RParen
+    else if !i + 1 < n && String.sub s !i 2 = "pi" then begin
+      tokens := (Pi, !i) :: !tokens;
+      i := !i + 2
+    end
     else if (c >= '0' && c <= '9') || c = '.' then begin
       let j = ref !i in
       while
@@ -38,19 +49,26 @@ let tokenize_expr file line col s =
       do
         incr j
       done;
-      tokens := Num (float_of_string (String.sub s !i (!j - !i))) :: !tokens;
+      tokens := (Num (float_of_string (String.sub s !i (!j - !i))), !i) :: !tokens;
       i := !j
     end
-    else fail file line col (Printf.sprintf "unexpected character %c in expression" c)
+    else fail file line (col + !i) (Printf.sprintf "unexpected character %c in expression" c)
   done;
   List.rev !tokens
 
 (* expr := term (('+'|'-') term)* ; term := factor (('*'|'/') factor)* ;
-   factor := ['-'] (number | pi | '(' expr ')') *)
-let parse_expr file line col tokens =
+   factor := ['-'] (number | pi | '(' expr ')')
+   [col] is the column of the expression's first character; token
+   offsets are added to it so every error points at its own token. *)
+let parse_expr file line col endcol tokens =
   let toks = ref tokens in
-  let peek () = match !toks with [] -> None | t :: _ -> Some t in
-  let advance () = match !toks with [] -> fail file line col "unexpected end of expression" | _ :: r -> toks := r in
+  let pos () = match !toks with [] -> endcol | (_, o) :: _ -> col + o in
+  let peek () = match !toks with [] -> None | (t, _) :: _ -> Some t in
+  let advance () =
+    match !toks with
+    | [] -> fail file line endcol "unexpected end of expression"
+    | _ :: r -> toks := r
+  in
   let rec expr () =
     let v = ref (term ()) in
     let rec loop () =
@@ -99,23 +117,24 @@ let parse_expr file line col tokens =
         let v = expr () in
         (match peek () with
         | Some RParen -> advance ()
-        | _ -> fail file line col "expected )");
+        | _ -> fail file line (pos ()) "expected )");
         v
-    | _ -> fail file line col "malformed expression"
+    | _ -> fail file line (pos ()) "malformed expression"
   in
   let v = expr () in
-  if !toks <> [] then fail file line col "trailing tokens in expression";
+  if !toks <> [] then fail file line (pos ()) "trailing tokens in expression";
   v
 
-let eval_expr file line col s = parse_expr file line col (tokenize_expr file line col s)
+let eval_expr file line col s =
+  parse_expr file line col (col + String.length s) (tokenize_expr file line col s)
 
-(* "q[3]" -> 3 (single register named q). *)
+(* "q[3]" -> 3 (single register named q); [col] points at the operand. *)
 let parse_qubit file line col s =
-  let s = String.trim s in
   match String.index_opt s '[' with
-  | Some i when s.[String.length s - 1] = ']' ->
+  | Some i when String.length s > 0 && s.[String.length s - 1] = ']' ->
       let idx = String.sub s (i + 1) (String.length s - i - 2) in
-      (try int_of_string idx with _ -> fail file line col ("bad qubit index " ^ idx))
+      (try int_of_string idx
+       with _ -> fail file line (col + i + 1) ("bad qubit index " ^ idx))
   | _ -> fail file line col ("expected q[i], got " ^ s)
 
 let gate_of_name file line col name args =
@@ -141,104 +160,245 @@ let gate_of_name file line col name args =
       fail file line col
         (Printf.sprintf "unsupported gate %s/%d" name (List.length args))
 
-let split_on_string sep s =
-  (* Split on a single char sep, trimming pieces. *)
-  String.split_on_char sep s |> List.map String.trim |> List.filter (fun x -> x <> "")
+(* ------------------------------------------------------------------ *)
+(* Shared statement parser                                            *)
+(* ------------------------------------------------------------------ *)
 
-let of_string ?(file = "<string>") text =
-  let lines = String.split_on_char '\n' text in
-  let n_qubits = ref 0 in
-  let saw_qreg = ref false in
-  let instrs = ref [] in
-  List.iteri
-    (fun lineno raw ->
-      let line = lineno + 1 in
-      (* Strip // comments. *)
-      let raw =
-        match String.index_opt raw '/' with
-        | Some i when i + 1 < String.length raw && raw.[i + 1] = '/' -> String.sub raw 0 i
-        | _ -> raw
+type event = Qreg of int | Instr of Circuit.instr
+
+(* Mutable reader state shared by the whole-file and streaming paths:
+   validation (arity, range, declaration-before-use) happens statement
+   by statement in both. *)
+type state = { mutable n_qubits : int; mutable saw_qreg : bool }
+
+let new_state () = { n_qubits = 0; saw_qreg = false }
+
+let is_ws c = c = ' ' || c = '\t' || c = '\r' || c = '\012'
+
+(* Pieces of s.[from..upto) split on [sep], each trimmed, paired with
+   the 0-based offset of the piece's first post-trim character; empty
+   pieces are dropped. *)
+let split_pieces sep s from upto =
+  let pieces = ref [] in
+  let start = ref from in
+  let flush stop =
+    let b = ref !start and e = ref stop in
+    while !b < !e && is_ws s.[!b] do incr b done;
+    while !e > !b && is_ws s.[!e - 1] do decr e done;
+    if !e > !b then pieces := (String.sub s !b (!e - !b), !b) :: !pieces
+  in
+  for i = from to upto - 1 do
+    if s.[i] = sep then begin
+      flush i;
+      start := i + 1
+    end
+  done;
+  flush upto;
+  List.rev !pieces
+
+(* Parse one source line (without its newline).  Returns [None] for
+   lines that contribute nothing to the circuit (blank, comment,
+   OPENQASM/include/barrier/creg/measure). *)
+let parse_line st file line raw : event option =
+  let len = String.length raw in
+  (* The statement ends at the first "//" comment. *)
+  let limit =
+    let rec find i =
+      if i + 1 >= len then len
+      else if raw.[i] = '/' && raw.[i + 1] = '/' then i
+      else find (i + 1)
+    in
+    find 0
+  in
+  (* Trim to [s, e): surrounding whitespace (including a CR from CRLF
+     line endings) and the trailing ';' dropped.  Offsets stay relative
+     to [raw] so columns are exact. *)
+  let s = ref 0 and e = ref limit in
+  while !s < !e && is_ws raw.[!s] do incr s done;
+  while !e > !s && is_ws raw.[!e - 1] do decr e done;
+  if !e > !s && raw.[!e - 1] = ';' then begin
+    decr e;
+    while !e > !s && is_ws raw.[!e - 1] do decr e done
+  end;
+  if !e = !s then None
+  else begin
+    let col = !s + 1 in
+    let has kw =
+      !e - !s >= String.length kw && String.sub raw !s (String.length kw) = kw
+    in
+    if has "OPENQASM" || has "include" || has "barrier" || has "creg" || has "measure"
+    then None
+    else if has "qreg" then begin
+      let sub = String.sub raw !s (!e - !s) in
+      match (String.index_opt sub '[', String.index_opt sub ']') with
+      | Some i, Some j when j > i -> (
+          match int_of_string_opt (String.trim (String.sub sub (i + 1) (j - i - 1))) with
+          | Some nq when nq > 0 ->
+              st.saw_qreg <- true;
+              st.n_qubits <- nq;
+              Some (Qreg nq)
+          | _ -> fail file line (col + i) "malformed qreg")
+      | _ -> fail file line col "malformed qreg"
+    end
+    else begin
+      (* gate[(args)] q[i] [, q[j] ...] *)
+      let find_from p pred =
+        let rec go i = if i >= !e then None else if pred raw.[i] then Some i else go (i + 1) in
+        go p
       in
-      (* 1-based column of the statement's first character, so error
-         messages point into indented lines correctly. *)
-      let col =
-        let i = ref 0 in
-        let n = String.length raw in
-        while !i < n && (raw.[!i] = ' ' || raw.[!i] = '\t') do
-          incr i
-        done;
-        !i + 1
+      let op = find_from !s (fun c -> c = '(') in
+      let first_ws = find_from !s is_ws in
+      let name_end, args, operands_from =
+        match (op, first_ws) with
+        | Some op, ws when (match ws with None -> true | Some w -> op < w) ->
+            (* Arguments run to the matching close; arguments may nest
+               parentheses but operands never contain one, so the last
+               ')' of the statement is the close. *)
+            let close =
+              let rec go i =
+                if i <= op then fail file line (op + 1) "unbalanced ("
+                else if raw.[i] = ')' then i
+                else go (i - 1)
+              in
+              go (!e - 1)
+            in
+            let args =
+              split_pieces ',' raw (op + 1) close
+              |> List.map (fun (piece, off) -> eval_expr file line (off + 1) piece)
+            in
+            (op, args, close + 1)
+        | _, Some ws -> (ws, [], ws + 1)
+        | _, None ->
+            fail file line col ("malformed statement: " ^ String.sub raw !s (!e - !s))
       in
-      let stmt = String.trim raw in
-      if stmt = "" then ()
-      else begin
-        let stmt =
-          if String.length stmt > 0 && stmt.[String.length stmt - 1] = ';' then
-            String.trim (String.sub stmt 0 (String.length stmt - 1))
-          else stmt
-        in
-        if stmt = "" then ()
-        else if String.length stmt >= 8 && String.sub stmt 0 8 = "OPENQASM" then ()
-        else if String.length stmt >= 7 && String.sub stmt 0 7 = "include" then ()
-        else if String.length stmt >= 7 && String.sub stmt 0 7 = "barrier" then ()
-        else if String.length stmt >= 4 && String.sub stmt 0 4 = "creg" then ()
-        else if String.length stmt >= 7 && String.sub stmt 0 7 = "measure" then ()
-        else if String.length stmt >= 4 && String.sub stmt 0 4 = "qreg" then begin
-          match (String.index_opt stmt '[', String.index_opt stmt ']') with
-          | Some i, Some j when j > i -> (
-              match int_of_string_opt (String.trim (String.sub stmt (i + 1) (j - i - 1))) with
-              | Some n when n > 0 ->
-                  saw_qreg := true;
-                  n_qubits := n
-              | _ -> fail file line col "malformed qreg")
-          | _ -> fail file line col "malformed qreg"
+      let name = String.lowercase_ascii (String.sub raw !s (name_end - !s)) in
+      let qubits =
+        split_pieces ',' raw operands_from !e
+        |> List.map (fun (piece, off) -> (parse_qubit file line (off + 1) piece, off + 1))
+      in
+      (* Range and arity problems are caught here, per statement, so
+         the message points at the offending operand instead of
+         surfacing later as an Invalid_argument from Circuit. *)
+      List.iter
+        (fun (q, qcol) ->
+          if not st.saw_qreg then fail file line col "gate before qreg declaration"
+          else if q < 0 || q >= st.n_qubits then
+            fail file line qcol
+              (Printf.sprintf "qubit %d out of range (qreg has %d)" q st.n_qubits))
+        qubits;
+      let gate = gate_of_name file line col name args in
+      let instr =
+        try Circuit.instr gate (Array.of_list (List.map fst qubits))
+        with Invalid_argument msg -> fail file line col msg
+      in
+      Some (Instr instr)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (streaming) API                                        *)
+(* ------------------------------------------------------------------ *)
+
+type stream = {
+  file : string;
+  refill : bytes -> int;  (* fill [buf] from the source; 0 = EOF *)
+  buf : bytes;
+  mutable pos : int;  (* read cursor within [buf] *)
+  mutable len : int;  (* valid bytes in [buf] *)
+  mutable eof : bool;
+  line : Buffer.t;  (* the line being assembled across refills *)
+  mutable lineno : int;
+  st : state;
+}
+
+let stream_of_refill ~file ~chunk refill =
+  if chunk < 1 then invalid_arg "Qasm_reader: chunk must be >= 1";
+  {
+    file;
+    refill;
+    buf = Bytes.create chunk;
+    pos = 0;
+    len = 0;
+    eof = false;
+    line = Buffer.create 256;
+    lineno = 0;
+    st = new_state ();
+  }
+
+let stream_of_channel ?(file = "<channel>") ?(chunk = 65536) ic =
+  stream_of_refill ~file ~chunk (fun buf -> input ic buf 0 (Bytes.length buf))
+
+let stream_of_string ?(file = "<string>") ?(chunk = 65536) text =
+  let off = ref 0 in
+  stream_of_refill ~file ~chunk (fun buf ->
+      let n = min (Bytes.length buf) (String.length text - !off) in
+      Bytes.blit_string text !off buf 0 n;
+      off := !off + n;
+      n)
+
+let stream_n_qubits sr = sr.st.n_qubits
+let stream_line sr = sr.lineno
+
+let rec next_event sr =
+  if sr.eof then None
+  else begin
+    (* Assemble the next source line across refills.  Memory held is
+       one chunk plus one line — never the whole file. *)
+    let rec take_line () =
+      if sr.pos >= sr.len then begin
+        let n = sr.refill sr.buf in
+        if n = 0 then begin
+          sr.eof <- true;
+          (* A final line without a trailing newline still parses. *)
+          Buffer.length sr.line > 0
         end
         else begin
-          (* gate[(args)] q[i] [, q[j] ...] *)
-          let name_args, operands =
-            match String.index_opt stmt ' ' with
-            | None -> fail file line col ("malformed statement: " ^ stmt)
-            | Some i ->
-                (String.trim (String.sub stmt 0 i),
-                 String.trim (String.sub stmt (i + 1) (String.length stmt - i - 1)))
-          in
-          let name, args =
-            match String.index_opt name_args '(' with
-            | None -> (name_args, [])
-            | Some i ->
-                let close =
-                  match String.rindex_opt name_args ')' with
-                  | Some c -> c
-                  | None -> fail file line col "unbalanced ("
-                in
-                let inner = String.sub name_args (i + 1) (close - i - 1) in
-                ( String.sub name_args 0 i,
-                  List.map (eval_expr file line col) (split_on_string ',' inner) )
-          in
-          let qubits = List.map (parse_qubit file line col) (split_on_string ',' operands) in
-          (* Range and arity problems are caught here, per statement,
-             so the message points at the offending line instead of
-             surfacing later as an Invalid_argument from Circuit. *)
-          List.iter
-            (fun q ->
-              if not !saw_qreg then fail file line col "gate before qreg declaration"
-              else if q < 0 || q >= !n_qubits then
-                fail file line col (Printf.sprintf "qubit %d out of range (qreg has %d)" q !n_qubits))
-            qubits;
-          let gate = gate_of_name file line col (String.lowercase_ascii name) args in
-          let instr =
-            try Circuit.instr gate (Array.of_list qubits)
-            with Invalid_argument msg -> fail file line col msg
-          in
-          instrs := instr :: !instrs
+          sr.pos <- 0;
+          sr.len <- n;
+          take_line ()
         end
-      end)
-    lines;
-  Circuit.make !n_qubits (List.rev !instrs)
+      end
+      else begin
+        let c = Bytes.get sr.buf sr.pos in
+        sr.pos <- sr.pos + 1;
+        if c = '\n' then true
+        else begin
+          Buffer.add_char sr.line c;
+          take_line ()
+        end
+      end
+    in
+    if take_line () then begin
+      sr.lineno <- sr.lineno + 1;
+      let raw = Buffer.contents sr.line in
+      Buffer.clear sr.line;
+      match parse_line sr.st sr.file sr.lineno raw with
+      | Some ev -> Some ev
+      | None -> next_event sr
+    end
+    else None
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Whole-circuit API (drains the stream)                              *)
+(* ------------------------------------------------------------------ *)
+
+let of_stream sr =
+  let instrs = ref [] in
+  let rec loop () =
+    match next_event sr with
+    | Some (Instr i) ->
+        instrs := i :: !instrs;
+        loop ()
+    | Some (Qreg _) -> loop ()
+    | None -> ()
+  in
+  loop ();
+  Circuit.make sr.st.n_qubits (List.rev !instrs)
+
+let of_string ?(file = "<string>") text = of_stream (stream_of_string ~file text)
 
 let of_file path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let buf = really_input_string ic len in
-  close_in ic;
-  of_string ~file:path buf
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  of_stream (stream_of_channel ~file:path ic)

@@ -54,6 +54,23 @@ val canonical_angle : float -> float
 val angle_key : float -> string
 (** ["%.10f"] of {!canonical_angle} — the memo/dedup key component. *)
 
+val rz_key : epsilon:float -> tag:string -> gate_set:string -> float -> string
+(** Full memo/dedup key of an Rz target: canonical angle, ε, chain tag,
+    gate set.  Shared with the streaming engine so both paths dedup
+    identically. *)
+
+val u3_key :
+  epsilon:float -> tag:string -> gate_set:string -> float * float * float -> string
+(** As {!rz_key} for a U3 target (canonical angle triple). *)
+
+val exact_word_of_trivial : ?gate_set:string -> Qgate.t -> Ctgate.t list option
+(** The exact Clifford+T word of a trivial rotation (≤1-T operator),
+    from the step-0 table; [None] when the gate genuinely needs
+    synthesis. *)
+
+val word_to_gates : Ctgate.t list -> Qgate.t list
+(** A Clifford+T word (matrix order) as circuit gates (time order). *)
+
 val run_gridsynth :
   ?epsilon:float ->
   ?gate_set:Gateset.t ->

@@ -1,0 +1,478 @@
+(** Streaming compilation: parse → windowed optimize → synthesize →
+    emit, all interleaved, with bounded memory end to end.
+
+    The producer (calling domain) pulls instructions from [next], runs
+    them through a {!Stream_opt} window, classifies what the window
+    gives up, and feeds unique synthesis targets to a pool of worker
+    domains over a *bounded* job queue — when the queue is full the
+    producer blocks (backpressure), so parsing never outruns synthesis
+    by more than the queue.  Results are emitted strictly in input
+    order from a depth-bounded reorder FIFO, interleaved with parsing.
+
+    Determinism: per-key synthesis is deterministic and occurrences are
+    emitted in input order, so the output is byte-identical whatever
+    the worker count — and identical to feeding the same input through
+    {!run_circuit} in one batch, which is how the runtest bit-identity
+    gate checks the streaming machinery. *)
+
+let g_queue_depth = Obs.gauge "obs.planner.queue_depth"
+let c_jobs = Obs.counter "obs.planner.jobs"
+let c_dedup = Obs.counter "obs.planner.dedup_hits"
+let c_bp_waits = Obs.counter "obs.stream.backpressure_waits"
+let c_in = Obs.counter "obs.stream.gates_in"
+let c_out = Obs.counter "obs.stream.gates_out"
+let c_memo_hit = Obs.counter "pipeline.stream_cache.hit"
+let c_memo_miss = Obs.counter "pipeline.stream_cache.miss"
+let c_evictions = Obs.counter "pipeline.stream_cache.evictions"
+let g_heap_peak = Obs.gauge "obs.heap.peak_words"
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type config = {
+  epsilon : float;
+  gate_set : Gateset.t;
+  ir : Settings.ir;
+  window : int;  (** W: max gates held by the sliding optimizer *)
+  queue : int;  (** job-queue capacity — the backpressure bound *)
+  depth : int;  (** max out-of-order results awaiting emission *)
+  jobs : int;  (** total domains (1 = synthesize on the producer) *)
+  deadline : Obs.Deadline.t;
+  rotation_budget : float option;
+  chain : Synth.rung_spec list option;
+  trasyn : Trasyn.config;
+  budgets : int list;
+}
+
+let default_trasyn = { Trasyn.default_config with table_t = 10; samples = 48; beam = 4 }
+
+let config ?(epsilon = 0.07) ?(gate_set = Gateset.default) ?(ir = Settings.Rz_ir)
+    ?(window = 64) ?(queue = 32) ?(depth = 4096) ?(jobs = 1)
+    ?(deadline = Obs.Deadline.none) ?rotation_budget ?chain ?(trasyn = default_trasyn)
+    ?(budgets = Synth.default_budgets) () =
+  if window < 1 then invalid_arg "Stream_compile.config: window must be >= 1";
+  if queue < 1 then invalid_arg "Stream_compile.config: queue must be >= 1";
+  if depth < 1 then invalid_arg "Stream_compile.config: depth must be >= 1";
+  if jobs < 1 then invalid_arg "Stream_compile.config: jobs must be >= 1";
+  { epsilon; gate_set; ir; window; queue; depth; jobs; deadline; rotation_budget;
+    chain; trasyn; budgets }
+
+type stats = {
+  gates_in : int;
+  gates_out : int;
+  t_count : int;
+  clifford_count : int;
+  rotations_synthesized : int;
+  unique_syntheses : int;
+  dedup_hits : int;
+  total_synth_error : float;
+  degraded : int;
+  backpressure_waits : int;
+  peak_heap_words : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Memo cache (bounded, flush-all — same policy as Pipeline's)        *)
+(* ------------------------------------------------------------------ *)
+
+let memo : (string, Robust.attempt) Hashtbl.t = Hashtbl.create 256
+let memo_capacity = ref 65_536
+
+let set_cache_capacity n =
+  if n < 1 then invalid_arg "Stream_compile.set_cache_capacity: capacity must be positive";
+  memo_capacity := n
+
+(* Trivial rotations repeat massively in QAOA-like streams; cache the
+   step-0 table scan per distinct gate ([None] = genuinely nontrivial). *)
+let trivial_cache : (string, Qgate.t list option) Hashtbl.t = Hashtbl.create 256
+
+let clear_cache () =
+  Hashtbl.reset memo;
+  Hashtbl.reset trivial_cache
+
+let cache_put tbl key v =
+  if Hashtbl.length tbl >= !memo_capacity then begin
+    Obs.incr c_evictions;
+    Hashtbl.reset tbl
+  end;
+  Hashtbl.add tbl key v
+
+let trivial_word ~gs g =
+  let key = gs ^ "|" ^ Qgate.to_string g in
+  match Hashtbl.find_opt trivial_cache key with
+  | Some w -> w
+  | None ->
+      let w =
+        Option.map Pipeline.word_to_gates (Pipeline.exact_word_of_trivial ~gate_set:gs g)
+      in
+      cache_put trivial_cache key w;
+      w
+
+(* ------------------------------------------------------------------ *)
+(* Bounded blocking job queue (the backpressure point)                *)
+(* ------------------------------------------------------------------ *)
+
+type 'a bq = {
+  buf : 'a option array;
+  mutable head : int;
+  mutable count : int;
+  lock : Mutex.t;
+  not_full : Condition.t;
+  not_empty : Condition.t;
+  mutable closed : bool;
+}
+
+let bq_create n =
+  { buf = Array.make n None; head = 0; count = 0; lock = Mutex.create ();
+    not_full = Condition.create (); not_empty = Condition.create (); closed = false }
+
+let bq_push q v waits =
+  Mutex.lock q.lock;
+  let waited = ref false in
+  while q.count >= Array.length q.buf && not q.closed do
+    if not !waited then begin
+      waited := true;
+      incr waits;
+      Obs.incr c_bp_waits
+    end;
+    Condition.wait q.not_full q.lock
+  done;
+  if not q.closed then begin
+    q.buf.((q.head + q.count) mod Array.length q.buf) <- Some v;
+    q.count <- q.count + 1;
+    Obs.set_gauge g_queue_depth (float_of_int q.count);
+    Condition.signal q.not_empty
+  end;
+  Mutex.unlock q.lock
+
+let bq_pop q =
+  Mutex.lock q.lock;
+  while q.count = 0 && not q.closed do
+    Condition.wait q.not_empty q.lock
+  done;
+  let r =
+    if q.count = 0 then None
+    else begin
+      let v = q.buf.(q.head) in
+      q.buf.(q.head) <- None;
+      q.head <- (q.head + 1) mod Array.length q.buf;
+      q.count <- q.count - 1;
+      Obs.set_gauge g_queue_depth (float_of_int q.count);
+      Condition.signal q.not_full;
+      v
+    end
+  in
+  Mutex.unlock q.lock;
+  r
+
+let bq_close q =
+  Mutex.lock q.lock;
+  q.closed <- true;
+  Condition.broadcast q.not_empty;
+  Condition.broadcast q.not_full;
+  Mutex.unlock q.lock
+
+(* Same rationale as Planner: synthesis allocates heavily and minor GCs
+   are stop-all-domains barriers, so multi-domain runs get a roomier
+   minor heap (restored afterwards). *)
+let worker_minor_heap_words = 4 * 1024 * 1024
+
+let enlarge_minor_heap () =
+  let g = Gc.get () in
+  if g.Gc.minor_heap_size < worker_minor_heap_words then
+    Gc.set { g with Gc.minor_heap_size = worker_minor_heap_words };
+  g
+
+(* ------------------------------------------------------------------ *)
+(* The engine                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* In-order output slots: a Direct gate, a precomputed word, or a
+   rotation awaiting its (possibly still running) synthesis. *)
+type out_item =
+  | Direct of Circuit.instr
+  | Word of Qgate.t list * int array
+  | Rotation of { key : string; qubits : int array }
+
+exception Abort_run
+
+let classify ~epsilon ~tag ~gs g =
+  match g with
+  | Qgate.Rz theta ->
+      let theta = Pipeline.canonical_angle theta in
+      (Pipeline.rz_key ~epsilon ~tag ~gate_set:gs theta, Synth.Rz theta)
+  | _ ->
+      let t, p, l = Mat2.to_u3_angles (Qgate.to_mat2 g) in
+      let t = Pipeline.canonical_angle t
+      and p = Pipeline.canonical_angle p
+      and l = Pipeline.canonical_angle l in
+      (Pipeline.u3_key ~epsilon ~tag ~gate_set:gs (t, p, l), Synth.Unitary (Mat2.u3 t p l))
+
+let heap_sample () =
+  let s = Gc.quick_stat () in
+  Obs.max_gauge g_heap_peak (float_of_int s.Gc.heap_words)
+
+let run cfg ~next ~emit : (stats, Robust.failure) result =
+  let chain =
+    match cfg.chain with
+    | Some c -> c
+    | None -> (
+        match cfg.ir with
+        | Settings.Rz_ir -> Synth.rz_chain ()
+        | Settings.U3_ir -> Synth.u3_chain)
+  in
+  let tag = Synth.chain_id chain in
+  let gs = cfg.gate_set.Gateset.name in
+  let scfg =
+    Synth.config ~gate_set:cfg.gate_set ~trasyn:cfg.trasyn ~budgets:cfg.budgets
+      ~epsilon:cfg.epsilon ()
+  in
+  let queue = bq_create cfg.queue in
+  let results : (string, (Robust.attempt, Robust.failure) result) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let results_lock = Mutex.create () in
+  let result_ready = Condition.create () in
+  let job_deadline () =
+    match cfg.rotation_budget with
+    | None -> cfg.deadline
+    | Some b -> Obs.Deadline.earliest cfg.deadline (Obs.Deadline.after b)
+  in
+  let exec_target target =
+    Obs.span "planner.job" (fun () ->
+        match
+          Obs.span "pipeline.synthesize_rotation" (fun () ->
+              Synth.run_chain ~deadline:(job_deadline ()) ~config:scfg chain target)
+        with
+        | Ok a ->
+            Obs.set_span_attr "backend" a.Robust.backend;
+            Ok a
+        | Error _ as e ->
+            Obs.set_span_attr "backend" "failed";
+            e
+        | exception Robust.Failure_exn f ->
+            Obs.set_span_attr "backend" "failed";
+            Error f
+        | exception e ->
+            (* A worker domain must never die mid-stream. *)
+            Obs.set_span_attr "backend" "failed";
+            Error (Robust.Backend_error (Printexc.to_string e)))
+  in
+  let post key r =
+    Mutex.lock results_lock;
+    Hashtbl.replace results key r;
+    Condition.broadcast result_ready;
+    Mutex.unlock results_lock
+  in
+  let worker parent () =
+    ignore (enlarge_minor_heap ());
+    Obs.with_span_parent parent (fun () ->
+        let rec loop () =
+          match bq_pop queue with
+          | None -> ()
+          | Some (key, target) ->
+              post key (exec_target target);
+              loop ()
+        in
+        loop ())
+  in
+  (* Producer-side accounting (all refs touched only on this domain). *)
+  let gates_in = ref 0 and gates_out = ref 0 in
+  let t_count = ref 0 and cliffords = ref 0 in
+  let nsynth = ref 0 and unique = ref 0 in
+  let total_err = ref 0.0 and degraded = ref 0 in
+  let waits = ref 0 in
+  let failure = ref None in
+  let out : out_item Queue.t = Queue.create () in
+  let inflight : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let emit_instr (i : Circuit.instr) =
+    incr gates_out;
+    Obs.incr c_out;
+    if Qgate.is_t i.Circuit.gate then incr t_count
+    else if Qgate.is_counted_clifford i.Circuit.gate then incr cliffords;
+    emit i
+  in
+  let emit_word gates qubits =
+    List.iter (fun g -> emit_instr (Circuit.instr g qubits)) gates
+  in
+  let account (a : Robust.attempt) =
+    incr nsynth;
+    total_err := !total_err +. a.Robust.distance;
+    if a.Robust.fallbacks > 0 || a.Robust.distance > cfg.epsilon then incr degraded
+  in
+  (* Emit the FIFO head if its result is available.  The memo is only
+     ever touched on this domain, in emission order, so cache contents
+     and evictions are independent of the worker count — part of the
+     byte-identity guarantee. *)
+  let try_resolve_head () =
+    match Queue.peek_opt out with
+    | None -> false
+    | Some (Direct i) ->
+        ignore (Queue.pop out);
+        emit_instr i;
+        true
+    | Some (Word (gates, qubits)) ->
+        ignore (Queue.pop out);
+        emit_word gates qubits;
+        true
+    | Some (Rotation { key; qubits }) -> (
+        match Hashtbl.find_opt memo key with
+        | Some a ->
+            ignore (Queue.pop out);
+            account a;
+            emit_word (Pipeline.word_to_gates a.Robust.word) qubits;
+            true
+        | None -> (
+            Mutex.lock results_lock;
+            let r = Hashtbl.find_opt results key in
+            Mutex.unlock results_lock;
+            match r with
+            | Some (Ok a) ->
+                cache_put memo key a;
+                Hashtbl.remove inflight key;
+                ignore (Queue.pop out);
+                account a;
+                emit_word (Pipeline.word_to_gates a.Robust.word) qubits;
+                true
+            | Some (Error f) ->
+                failure := Some f;
+                false
+            | None -> false))
+  in
+  let drain_ready () =
+    while !failure = None && try_resolve_head () do
+      ()
+    done;
+    if !failure <> None then raise Abort_run
+  in
+  (* Block until the head's result lands (checked under the results
+     lock so a completion between drain and wait cannot be missed). *)
+  let wait_for_head () =
+    drain_ready ();
+    if Queue.length out > 0 then begin
+      Mutex.lock results_lock;
+      (match Queue.peek_opt out with
+      | Some (Rotation { key; _ })
+        when (not (Hashtbl.mem results key)) && not (Hashtbl.mem memo key) ->
+          Condition.wait result_ready results_lock
+      | _ -> ());
+      Mutex.unlock results_lock
+    end
+  in
+  (* Classify one gate the window gave up and append its output slot. *)
+  let handle (g : Circuit.instr) =
+    if not (Qgate.is_rotation g.Circuit.gate) then Queue.push (Direct g) out
+    else
+      match trivial_word ~gs g.Circuit.gate with
+      | Some gates -> Queue.push (Word (gates, g.Circuit.qubits)) out
+      | None ->
+          let key, target = classify ~epsilon:cfg.epsilon ~tag ~gs g.Circuit.gate in
+          if Hashtbl.mem memo key then Obs.incr c_memo_hit
+          else if Hashtbl.mem inflight key then Obs.incr c_dedup
+          else begin
+            Obs.incr c_memo_miss;
+            Obs.incr c_jobs;
+            incr unique;
+            Hashtbl.add inflight key ();
+            if cfg.jobs <= 1 then post key (exec_target target)
+            else bq_push queue (key, target) waits
+          end;
+          Queue.push (Rotation { key; qubits = g.Circuit.qubits }) out
+  in
+  Obs.span "pipeline.stream_compile" @@ fun () ->
+  let parent = Obs.current_span_id () in
+  let saved_gc = if cfg.jobs > 1 then Some (enlarge_minor_heap ()) else None in
+  let workers =
+    if cfg.jobs > 1 then List.init (cfg.jobs - 1) (fun _ -> Domain.spawn (worker parent))
+    else []
+  in
+  let joined = ref false in
+  let shutdown () =
+    if not !joined then begin
+      joined := true;
+      bq_close queue;
+      List.iter Domain.join workers;
+      match saved_gc with Some g -> Gc.set g | None -> ()
+    end
+  in
+  Fun.protect ~finally:shutdown @@ fun () ->
+  let window = Stream_opt.create ~window:cfg.window cfg.ir in
+  let body () =
+    let rec pump () =
+      match next () with
+      | None -> ()
+      | Some instr ->
+          incr gates_in;
+          Obs.incr c_in;
+          Stream_opt.push window instr ~emit:handle;
+          drain_ready ();
+          (* Reorder-FIFO bound: past [depth] pending slots, stall the
+             producer until the head result lands. *)
+          while Queue.length out > cfg.depth && !failure = None do
+            wait_for_head ();
+            drain_ready ()
+          done;
+          if !gates_in land 1023 = 0 then heap_sample ();
+          pump ()
+    in
+    pump ();
+    Stream_opt.flush window ~emit:handle;
+    while Queue.length out > 0 do
+      wait_for_head ();
+      drain_ready ()
+    done;
+    heap_sample ()
+  in
+  match body () with
+  | () ->
+      Ok
+        {
+          gates_in = !gates_in;
+          gates_out = !gates_out;
+          t_count = !t_count;
+          clifford_count = !cliffords;
+          rotations_synthesized = !nsynth;
+          unique_syntheses = !unique;
+          dedup_hits = !nsynth - !unique;
+          total_synth_error = !total_err;
+          degraded = !degraded;
+          backpressure_waits = !waits;
+          peak_heap_words = int_of_float (Obs.gauge_value g_heap_peak);
+        }
+  | exception Abort_run -> (
+      match !failure with
+      | Some f -> Error f
+      | None -> Error (Robust.Backend_error "stream_compile: aborted without failure"))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let run_circuit cfg (c : Circuit.t) : (Circuit.t * stats, Robust.failure) result =
+  let rem = ref c.Circuit.instrs in
+  let next () =
+    match !rem with
+    | [] -> None
+    | i :: tl ->
+        rem := tl;
+        Some i
+  in
+  let out = ref [] in
+  match run cfg ~next ~emit:(fun i -> out := i :: !out) with
+  | Ok st -> Ok (Circuit.make c.Circuit.n_qubits (List.rev !out), st)
+  | Error f -> Error f
+
+let run_qasm cfg reader ~on_qreg ~emit : (stats, Robust.failure) result =
+  let next () =
+    let rec go () =
+      match Qasm_reader.next_event reader with
+      | None -> None
+      | Some (Qasm_reader.Qreg n) ->
+          on_qreg n;
+          go ()
+      | Some (Qasm_reader.Instr i) -> Some i
+    in
+    go ()
+  in
+  run cfg ~next ~emit

@@ -5,12 +5,11 @@
 
 let pi = Float.pi
 
-(* Lower CZ/Swap/Ccx to CX + 1q gates. *)
-let lower (c : Circuit.t) : Circuit.t =
-  let instrs =
-    List.concat_map
-      (fun (i : Circuit.instr) ->
-        match (i.Circuit.gate, i.Circuit.qubits) with
+(* Lower one CZ/Swap/Ccx to CX + 1q gates (everything else passes
+   through).  Shared by the whole-circuit pass and the streaming
+   optimizer, which lowers instruction by instruction. *)
+let lower_instr (i : Circuit.instr) : Circuit.instr list =
+  match (i.Circuit.gate, i.Circuit.qubits) with
         | Qgate.CZ, [| a; b |] ->
             [
               Circuit.instr Qgate.H [| b |];
@@ -42,10 +41,10 @@ let lower (c : Circuit.t) : Circuit.t =
               Circuit.instr Qgate.Tdg [| b |];
               Circuit.instr Qgate.CX [| a; b |];
             ]
-        | _ -> [ i ])
-      c.Circuit.instrs
-  in
-  { c with Circuit.instrs }
+  | _ -> [ i ]
+
+let lower (c : Circuit.t) : Circuit.t =
+  { c with Circuit.instrs = List.concat_map lower_instr c.Circuit.instrs }
 
 let is_identity_mat m = Mat2.distance m Mat2.identity < 1e-10
 
@@ -108,27 +107,26 @@ let u3_to_rz_ir q (theta, phi, lam) =
   if Float.abs (norm_angle theta) < 1e-12 then rz (phi +. lam)
   else List.concat [ rz (lam -. (pi /. 2.0)); [ h ]; rz theta; [ h ]; rz (phi +. (5.0 *. pi /. 2.0)) ]
 
+(* Rewrite one rotation (or stray 1q gate) into the Rz IR; shared by
+   the whole-circuit pass and the streaming optimizer. *)
+let rz_ir_instr (i : Circuit.instr) : Circuit.instr list =
+  match i.Circuit.gate with
+  | Qgate.U3 (t, p, l) -> u3_to_rz_ir i.Circuit.qubits.(0) (t, p, l)
+  | Qgate.Rz a -> if Float.abs (norm_angle a) < 1e-12 then [] else [ Circuit.instr (Qgate.Rz (snap a)) i.Circuit.qubits ]
+  | Qgate.Rx a ->
+      let q = i.Circuit.qubits.(0) in
+      let h = Circuit.instr Qgate.H [| q |] in
+      if Float.abs (norm_angle a) < 1e-12 then []
+      else [ h; Circuit.instr (Qgate.Rz (snap a)) [| q |]; h ]
+  | Qgate.Ry a ->
+      let q = i.Circuit.qubits.(0) in
+      let t, p, l = Mat2.to_u3_angles (Mat2.ry a) in
+      u3_to_rz_ir q (t, p, l)
+  | _ -> [ i ]
+
 (* Rewrite every rotation (and stray 1q gate) into the Rz IR. *)
 let to_rz_ir (c : Circuit.t) : Circuit.t =
-  let instrs =
-    List.concat_map
-      (fun (i : Circuit.instr) ->
-        match i.Circuit.gate with
-        | Qgate.U3 (t, p, l) -> u3_to_rz_ir i.Circuit.qubits.(0) (t, p, l)
-        | Qgate.Rz a -> if Float.abs (norm_angle a) < 1e-12 then [] else [ Circuit.instr (Qgate.Rz (snap a)) i.Circuit.qubits ]
-        | Qgate.Rx a ->
-            let q = i.Circuit.qubits.(0) in
-            let h = Circuit.instr Qgate.H [| q |] in
-            if Float.abs (norm_angle a) < 1e-12 then []
-            else [ h; Circuit.instr (Qgate.Rz (snap a)) [| q |]; h ]
-        | Qgate.Ry a ->
-            let q = i.Circuit.qubits.(0) in
-            let t, p, l = Mat2.to_u3_angles (Mat2.ry a) in
-            u3_to_rz_ir q (t, p, l)
-        | _ -> [ i ])
-      c.Circuit.instrs
-  in
-  { c with Circuit.instrs }
+  { c with Circuit.instrs = List.concat_map rz_ir_instr c.Circuit.instrs }
 
 (* Rewrite every 1q gate into a U3 (the trivial "level 0" U3 IR). *)
 let to_u3_ir_simple (c : Circuit.t) : Circuit.t =

@@ -5,6 +5,14 @@
 val lower : Circuit.t -> Circuit.t
 (** Decompose CZ, Swap, Toffoli into CX + single-qubit gates. *)
 
+val lower_instr : Circuit.instr -> Circuit.instr list
+(** {!lower} for one instruction — what the streaming optimizer calls
+    per incoming gate. *)
+
+val is_identity_mat : Mat2.t -> bool
+(** Within 1e-10 of the identity — the threshold under which a merged
+    1q run vanishes. *)
+
 val merge_1q : Circuit.t -> Circuit.t
 (** Fuse every maximal run of adjacent 1q gates per qubit into one U3
     (identity runs vanish). *)
@@ -22,6 +30,10 @@ val u3_to_rz_ir : int -> float * float * float -> Circuit.instr list
 
 val to_rz_ir : Circuit.t -> Circuit.t
 (** Rewrite all rotations into the CX + H + Rz basis. *)
+
+val rz_ir_instr : Circuit.instr -> Circuit.instr list
+(** {!to_rz_ir} for one instruction (exact-identity rotations vanish);
+    what the streaming optimizer calls per incoming gate. *)
 
 val to_u3_ir_simple : Circuit.t -> Circuit.t
 (** Rewrite every rotation into a U3 gate (level-0 U3 IR). *)

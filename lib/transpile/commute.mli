@@ -3,6 +3,13 @@
     every rotation to its earliest commuting slot brings mergeable
     rotations next to each other. *)
 
+val commutes_past : Circuit.instr -> Circuit.instr -> bool
+(** Does single-qubit instruction [a] commute with (an earlier or later)
+    instruction [b]?  True on disjoint qubits, for diagonal gates
+    through a CX control or a CZ, X-axis gates through a CX target, and
+    same-axis 1q pairs.  The streaming optimizer uses this to fold a
+    rotation backward through its window. *)
+
 val pull_rotations_left : Circuit.t -> Circuit.t
 
 val cancel_pairs : Circuit.t -> Circuit.t

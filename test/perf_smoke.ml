@@ -36,6 +36,24 @@ let run_ok what cmd =
   let code = command cmd in
   if code <> 0 then failf "%s: exit %d: %s" what code cmd
 
+(* Gates 5 and 6 measure wall-clock behaviour of whole child suites on
+   whatever machine CI lands on; on a loaded or two-core box an honest
+   run can trip their bounds.  Each attempt re-runs the workload from
+   scratch, so a deterministic regression still fails every attempt —
+   retries only absorb machine noise. *)
+let retry_ok ?(attempts = 3) what run_attempt =
+  let rec go n =
+    let code = run_attempt () in
+    if code <> 0 then
+      if n + 1 < attempts then begin
+        Printf.eprintf "perf_smoke: note: %s: attempt %d/%d exited %d; retrying\n%!" what (n + 1)
+          attempts code;
+        go (n + 1)
+      end
+      else failf "%s: exit %d after %d attempts" what code attempts
+  in
+  go 0
+
 let read_file path =
   let ic = open_in_bin path in
   let s = really_input_string ic (in_channel_length ic) in
@@ -69,15 +87,40 @@ let () =
   let q = Filename.quote in
   let suite_cmd out extra =
     Printf.sprintf
-      "%s --suite perf --quick --suite-budget 20 --jobs 2 --serve-cli %s --bench-out %s%s \
-       >/dev/null 2>/dev/null"
-      (q bench_main) (q serve_cli) (q out) extra
+      "%s --suite perf --quick --suite-budget 20 --jobs 2 --serve-cli %s --compile-cli %s \
+       --bench-out %s%s >/dev/null 2>/dev/null"
+      (q bench_main) (q serve_cli) (q compile_cli) (q out) extra
   in
 
   (* Gate 1: smoke perf run emits schema-valid JSON. *)
   let bench_json = Filename.temp_file "perf_smoke" ".json" in
   run_ok "perf suite" (suite_cmd bench_json "");
   run_ok "validate" (Printf.sprintf "%s validate %s >/dev/null" (q trace_cli) (q bench_json));
+
+  (* Gate 1b: the streaming phase holds its bounded-memory contract.
+     peak_ratio compares process peak heap ([obs.heap.peak_words]) at
+     5x-apart input sizes: an O(input) pipeline would sit near 5, the
+     windowed one must stay under 2. *)
+  (match Obs.Json.parse (String.trim (read_file bench_json)) with
+  | Error e -> failf "bench JSON does not parse: %s" e
+  | Ok j ->
+      let num path =
+        let rec go j = function
+          | [] -> ( match j with Obs.Json.Num f -> Some f | _ -> None)
+          | k :: rest -> ( match Obs.Json.member k j with Some j' -> go j' rest | None -> None)
+        in
+        match go j path with
+        | Some f -> f
+        | None -> failf "bench JSON lacks %s" (String.concat "." path)
+      in
+      let sc k = num [ "phases"; "stream_compile"; k ] in
+      if sc "gates_per_s" <= 0.0 then failf "stream_compile reports no throughput";
+      if sc "peak_heap_words" <= 0.0 then failf "stream_compile big-run peak heap not sampled";
+      if sc "small_peak_heap_words" <= 0.0 then failf "stream_compile small-run peak heap not sampled";
+      let ratio = sc "peak_ratio" in
+      if ratio > 2.0 then
+        failf "stream_compile peak heap scales with input (ratio %.2f > 2 across a 5x size step)"
+          ratio);
 
   (* Gate 2: self-diff with the CI threshold is clean. *)
   run_ok "self diff"
@@ -138,10 +181,19 @@ let () =
      two honest runs of the same workload pass while the plumbing
      (flatten, key filter, exit code) runs end-to-end on real files. *)
   let bench_json2 = Filename.temp_file "perf_smoke_rerun" ".json" in
-  run_ok "perf suite re-run" (suite_cmd bench_json2 "");
-  run_ok "re-run diff"
-    (Printf.sprintf "%s diff --fail-above 300 %s %s >/dev/null" (q trace_cli) (q bench_json)
-       (q bench_json2));
+  retry_ok "re-run diff" (fun () ->
+      run_ok "perf suite re-run" (suite_cmd bench_json2 "");
+      let code =
+        command
+          (Printf.sprintf "%s diff --fail-above 300 %s %s >/dev/null" (q trace_cli) (q bench_json)
+             (q bench_json2))
+      in
+      (* On a miss the skew can live in either file — the baseline dates
+         from gate 1, possibly under very different machine load — so
+         refresh it too and let the next attempt compare two runs taken
+         under current conditions. *)
+      if code <> 0 then run_ok "perf suite baseline refresh" (suite_cmd bench_json "");
+      code);
 
   (* Gate 6: the sampler rides a quick suite and stays under the 2%
      overhead bound.  The suite itself runs for seconds while each tick
@@ -150,13 +202,14 @@ let () =
      all, and that the stream survives the torn/duplicate-line checks
      in Metrics.load_stream. *)
   let metrics_jsonl = Filename.temp_file "perf_smoke_metrics" ".jsonl" in
-  run_ok "perf suite with sampler"
-    (suite_cmd bench_json2 (Printf.sprintf " --metrics-out %s" (q metrics_jsonl)));
-  run_ok "metrics overhead gate"
-    (Printf.sprintf
-       "%s metrics --max-overhead-pct 2 --require-series synth.rotations \
-        --require-series obs.heap.words %s >/dev/null"
-       (q trace_cli) (q metrics_jsonl));
+  retry_ok "metrics overhead gate" (fun () ->
+      run_ok "perf suite with sampler"
+        (suite_cmd bench_json2 (Printf.sprintf " --metrics-out %s" (q metrics_jsonl)));
+      command
+        (Printf.sprintf
+           "%s metrics --max-overhead-pct 2 --require-series synth.rotations \
+            --require-series obs.heap.words %s >/dev/null"
+           (q trace_cli) (q metrics_jsonl)));
 
   (* Gate 7: per-backend ledger aggregates are bit-identical across
      --jobs 1 and --jobs 2 once wall-time lines (the only

@@ -23,4 +23,5 @@ let () =
       ("store", Test_store.suite);
       ("server", Test_server.suite);
       ("gateset", Test_gateset.suite);
+      ("stream", Test_stream.suite);
     ]
